@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmark harness.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one table or
+figure of the paper: it runs the corresponding experiment driver under
+pytest-benchmark (one round -- these are simulations, not microbenchmarks),
+prints the regenerated rows/series, and asserts the qualitative shape the
+paper reports.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def paper_suite():
+    """The 32-rank paper-scale suite shared by every figure."""
+    from repro.experiments import run_suite
+
+    return run_suite(num_ranks=32, paper_scale=True)
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,49 @@
+"""Database analytics on PIM: the filter-by-key scan across architectures.
+
+The motivating database workload of the paper: scan a resident key column
+with a predicate on the DRAM side, return the match bitmap, and gather the
+selected records on the host.  This example runs the same implementation
+on all three PIM variants (the PIM API portability claim) and compares
+their modeled runtime, energy, and phase breakdown against the CPU and
+GPU baselines.
+
+Run:  python examples/database_analytics.py
+"""
+
+from repro.bench import make_benchmark
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+
+
+def main() -> None:
+    print("Filter-By-Key: scan 4M records at 1% selectivity\n")
+    header = (
+        f"{'device':<12s} {'verified':>8s} {'kernel us':>10s} {'host us':>9s} "
+        f"{'copy us':>9s} {'vs CPU':>8s} {'vs GPU':>8s} {'host %':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for device_type in PimDeviceType:
+        device = PimDevice(make_device_config(device_type, 4), functional=True)
+        bench = make_benchmark("filter", num_records=4_194_304)
+        result = bench.run(device)
+        print(
+            f"{device_type.display_name:<12s} "
+            f"{str(result.verified):>8s} "
+            f"{result.stats.kernel_time_ns / 1e3:>10.2f} "
+            f"{result.stats.host_time_ns / 1e3:>9.2f} "
+            f"{result.stats.copy_time_ns / 1e3:>9.2f} "
+            f"{result.speedup_cpu_total:>8.2f} "
+            f"{result.speedup_gpu:>8.2f} "
+            f"{result.breakdown['host']:>7.1f}"
+        )
+    print(
+        "\nThe predicate evaluates in one pass on the DRAM side; the host "
+        "gather of the\nmatching records dominates end-to-end time on every "
+        "architecture (Figure 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Full evaluation runner: the artifact's build_run.sh, in one process.
+
+Regenerates every table and figure of the paper at 32 ranks and writes
+them, together with the ablation and future-work explorations, to
+``evaluation_report.txt``.  Takes a couple of minutes (the Figure 12 rank
+sweep simulates four whole-suite configurations).
+
+Run:  python examples/full_evaluation.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "evaluation_report.txt"
+    sections = []
+
+    def section(title, body):
+        sections.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+        print(f"[{time.strftime('%H:%M:%S')}] {title}: done")
+
+    from repro import experiments as exp
+    from repro.analysis import (
+        build_dendrogram,
+        extract_features,
+        render_text_dendrogram,
+    )
+    from repro.config.device import PimDeviceType
+    from repro.upmem import format_validation_table, upmem_validation_table
+
+    section("Table I: PIMbench Suite", exp.format_table1())
+    section("Table II: Evaluated Architectures", exp.format_table2())
+
+    suite = exp.run_suite(num_ranks=32, paper_scale=True)
+    features = [
+        extract_features(
+            suite.benchmarks[key],
+            suite.result(key, PimDeviceType.BITSIMD_V_AP),
+        )
+        for key in suite.benchmark_keys()
+    ]
+    section("Figure 1: Benchmark Similarity Dendrogram",
+            render_text_dendrogram(build_dendrogram(features)))
+    section("Figure 6a: Latency vs #Columns",
+            exp.format_sensitivity_table(exp.column_sensitivity()))
+    section("Figure 6b: Latency vs #Banks",
+            exp.format_sensitivity_table(exp.bank_sensitivity()))
+    section("Figure 7: Performance Breakdown",
+            exp.format_breakdown_table(exp.breakdown_table(suite)))
+    section("Figure 8: PIM Operation Mix",
+            exp.format_opmix_table(exp.opmix_table(suite)))
+    section("Figures 9/10a: Speedup over CPU and GPU",
+            exp.format_speedup_table(exp.speedup_table(suite)))
+    section("Figures 10b/11: Energy Reduction",
+            exp.format_energy_table(exp.energy_table(suite)))
+    section("Figure 12: Rank Scaling (capacity scales)",
+            exp.format_rank_table(exp.rank_scaling_table()))
+    section("Figure 13: Rank Scaling (capacity matched)",
+            exp.format_rank_table(exp.capacity_matched_table()))
+    section("Section V-E: UPMEM Validation",
+            format_validation_table(upmem_validation_table()))
+    from repro.validation import format_anchor_table, validation_anchors
+    section("Model Validation Anchors",
+            format_anchor_table(validation_anchors()))
+    section("Activity Census",
+            exp.format_activity_table(exp.activity_table(suite)))
+    section("Copy/Compute Overlap Potential",
+            exp.format_overlap_table(exp.overlap_table(suite)))
+    section("Filter Selectivity / Record-Width Sweep",
+            exp.format_selectivity_table(exp.selectivity_sweep()))
+    section("Radix Digit-Width Sweep",
+            exp.format_digit_table(exp.digit_width_sweep()))
+    section("Ablations", exp.format_ablation(
+        exp.gdl_width_sweep()
+        + exp.alu_clock_sweep()
+        + exp.fulcrum_simd_width_sweep()
+        + exp.fused_vs_portable_brightness()
+        + exp.digital_vs_analog_bitserial()
+        + exp.bitserial_reduction_strategies()
+    ))
+    section("Future Work: DDR4 vs HBM",
+            exp.format_memory_tech_table(exp.memory_technology_comparison()))
+    section("Future Work: Problem-Size Sweep",
+            exp.format_problem_size_table(exp.problem_size_sweep()))
+    section("Future Work: Data-Type Sensitivity",
+            exp.format_dtype_table(exp.dtype_sensitivity()))
+    section("Future Work: Channel-Sharing Correction",
+            exp.format_channel_table(exp.channel_sensitivity()))
+    section("Section X: Conclusions, as Measured",
+            exp.format_conclusions(exp.compute_conclusions(suite)))
+
+    report = "\n".join(sections)
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    print(f"\nWrote {len(report.splitlines())} lines to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Benchmark characterization, clustering, and report formatting."""
+
+from repro.analysis.charts import render_log_bars, render_stacked_bars
+from repro.analysis.energy_breakdown import (
+    EnergyBreakdown,
+    energy_breakdown,
+    format_energy_breakdown,
+)
+from repro.analysis.clustering import (
+    DendrogramResult,
+    build_dendrogram,
+    pca,
+    render_text_dendrogram,
+)
+from repro.analysis.features import (
+    BenchmarkFeatures,
+    extract_features,
+    feature_matrix,
+    op_mix_fractions,
+)
+from repro.analysis.reporting import (
+    format_command_stats,
+    format_copy_stats,
+    format_params,
+    format_report,
+)
+
+__all__ = [
+    "render_log_bars",
+    "render_stacked_bars",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "format_energy_breakdown",
+    "DendrogramResult",
+    "build_dendrogram",
+    "pca",
+    "render_text_dendrogram",
+    "BenchmarkFeatures",
+    "extract_features",
+    "feature_matrix",
+    "op_mix_fractions",
+    "format_command_stats",
+    "format_copy_stats",
+    "format_params",
+    "format_report",
+]

@@ -1,0 +1,87 @@
+"""ASCII chart rendering for the figure drivers.
+
+The paper's figures are log-scale bar charts; without a plotting
+dependency, this renders comparable horizontal log-scale bars in plain
+text so `python -m repro figure 9 --chart` style output reads like the
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def render_log_bars(
+    items: "typing.Sequence[tuple[str, float]]",
+    width: int = 50,
+    reference: float = 1.0,
+    unit: str = "x",
+) -> str:
+    """Horizontal log-scale bars with a reference line at ``reference``.
+
+    Values at the reference render an empty bar; each character covers an
+    equal log step between the smallest and largest value.
+    """
+    if not items:
+        return "(no data)"
+    values = [value for _, value in items if value > 0]
+    if not values:
+        return "(no positive data)"
+    low = math.log10(min(min(values), reference))
+    high = math.log10(max(max(values), reference))
+    span = max(high - low, 1e-9)
+    label_width = max(len(label) for label, _ in items)
+
+    def position(value: float) -> int:
+        return round((math.log10(value) - low) / span * width)
+
+    ref_pos = position(reference)
+    lines = []
+    for label, value in items:
+        if value <= 0:
+            lines.append(f"{label:<{label_width}s} |{'?':>{width}s}")
+            continue
+        pos = position(value)
+        row = [" "] * (width + 1)
+        start, end = sorted((ref_pos, pos))
+        for i in range(start, end + 1):
+            row[i] = "="
+        row[ref_pos] = "|"
+        row[pos] = "#"
+        lines.append(
+            f"{label:<{label_width}s} {''.join(row)} {value:10.3f}{unit}"
+        )
+    legend = (f"{'':<{label_width}s} {'|':>{ref_pos + 2}s} <- {reference}{unit} "
+              "(log scale)")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    items: "typing.Sequence[tuple[str, dict]]",
+    width: int = 50,
+    symbols: "dict[str, str] | None" = None,
+) -> str:
+    """100%-stacked horizontal bars (the Figure 7 style).
+
+    Each item maps segment names to percentages summing to ~100.
+    """
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    segment_names = list(items[0][1])
+    symbols = symbols or {
+        name: name[0].upper() for name in segment_names
+    }
+    lines = []
+    for label, segments in items:
+        bar = []
+        for name in segment_names:
+            count = round(segments.get(name, 0.0) / 100.0 * width)
+            bar.append(symbols[name] * count)
+        text = "".join(bar)[:width].ljust(width)
+        lines.append(f"{label:<{label_width}s} [{text}]")
+    legend = ", ".join(f"{symbols[name]}={name}" for name in segment_names)
+    lines.append(f"{'':<{label_width}s} {legend}")
+    return "\n".join(lines)

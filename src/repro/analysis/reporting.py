@@ -1,0 +1,87 @@
+"""Listing-3 style statistics reports.
+
+Formats a device's accumulated statistics the way the PIMeval artifact
+prints them after each benchmark run: the device parameters, the data-copy
+totals, and the per-command count/runtime/energy table.
+"""
+
+from __future__ import annotations
+
+from repro.core.device import PimDevice
+
+_RULE = "-" * 40
+
+
+def format_params(device: PimDevice) -> str:
+    """The "PIM Params" block of the artifact output."""
+    config = device.config
+    geometry = config.dram.geometry
+    timing = config.dram.timing
+    lines = [
+        "PIM Params:",
+        f"  PIM Simulation Target          : {config.device_type.name}",
+        "  Rank, Bank, Subarray, Row, Col : "
+        f"{geometry.num_ranks}, {geometry.banks_per_rank}, "
+        f"{geometry.subarrays_per_bank}, {geometry.rows_per_subarray}, "
+        f"{geometry.cols_per_subarray}",
+        f"  Number of PIM Cores            : {config.num_cores}",
+        f"  Number of Rows per Core        : {config.rows_per_core}",
+        f"  Number of Cols per Core        : {config.cols_per_core}",
+        f"  Typical Rank BW                : {timing.rank_bandwidth_gbps:.6f} GB/s",
+        f"  Row Read (ns)                  : {timing.row_read_ns:.6f}",
+        f"  Row Write (ns)                 : {timing.row_write_ns:.6f}",
+        f"  tCCD (ns)                      : {timing.tccd_ns:.6f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_copy_stats(device: PimDevice) -> str:
+    """The "Data Copy Stats" block."""
+    stats = device.stats
+    total_bytes = stats.copy_bytes
+    lines = [
+        "Data Copy Stats:",
+        f"  Host to Device   : {stats.host_to_device.num_bytes} bytes",
+        f"  Device to Host   : {stats.device_to_host.num_bytes} bytes",
+        f"  Device to Device : {stats.device_to_device.num_bytes} bytes",
+        f"  TOTAL ---------  : {total_bytes} bytes "
+        f"{stats.copy_time_ns / 1e6:.6f}ms Runtime "
+        f"{stats.copy_energy_nj / 1e6:.6f}mj Energy",
+    ]
+    return "\n".join(lines)
+
+
+def format_command_stats(device: PimDevice) -> str:
+    """The "PIM Command Stats" table."""
+    stats = device.stats
+    lines = [
+        "PIM Command Stats:",
+        "  PIM-CMD                 :        CNT "
+        "EstimatedRuntime(ms) EstimatedEnergyConsumption(mJ)",
+    ]
+    for signature, cmd in stats.commands.items():
+        lines.append(
+            f"  {signature:<24s}: {cmd.count:>10d} "
+            f"{cmd.latency_ns / 1e6:>20.6f} {cmd.energy_nj / 1e6:>30.6f}"
+        )
+    lines.append(
+        f"  {'TOTAL -----':<24s}: {stats.total_command_count:>10d} "
+        f"{stats.kernel_time_ns / 1e6:>20.6f} "
+        f"{stats.kernel_energy_nj / 1e6:>30.6f}"
+    )
+    return "\n".join(lines)
+
+
+def format_report(device: PimDevice, title: str = "") -> str:
+    """Full Listing-3 style report."""
+    blocks = [_RULE]
+    if title:
+        blocks.append(title)
+    blocks.extend([
+        format_params(device),
+        format_copy_stats(device),
+        "",
+        format_command_stats(device),
+        _RULE,
+    ])
+    return "\n".join(blocks)

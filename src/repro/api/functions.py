@@ -1,0 +1,224 @@
+"""The PIM API: the per-operation entry points of Section V-B.
+
+Each function mirrors one PIMeval API call (Listing 1 shows ``pimAlloc``,
+``pimAllocAssociated``, ``pimCopyHostToDevice``, ``pimScaledAdd``,
+``pimCopyDeviceToHost``, ``pimFree``).  Functions operate on the current
+device (see :mod:`repro.api.runtime`) and take/return
+:class:`repro.core.object.PimObject` handles rather than raw integer ids,
+which keeps the Python API type-safe while preserving the call shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.runtime import pim_get_device
+from repro.config.device import PimAllocType, PimDataType
+from repro.core.commands import PimCmdKind
+from repro.core.object import PimObject
+
+PIM_ALLOC_AUTO = PimAllocType.AUTO
+PIM_ALLOC_H = PimAllocType.HORIZONTAL
+PIM_ALLOC_V = PimAllocType.VERTICAL
+
+
+# -- allocation and data movement ------------------------------------------------
+
+
+def pim_alloc(
+    num_elements: int,
+    dtype: PimDataType = PimDataType.INT32,
+    layout: PimAllocType = PIM_ALLOC_AUTO,
+) -> PimObject:
+    """Allocate a PIM data object (``pimAlloc``)."""
+    return pim_get_device().alloc(num_elements, dtype, layout)
+
+
+def pim_alloc_associated(
+    ref: PimObject, dtype: "PimDataType | None" = None
+) -> PimObject:
+    """Allocate an object placed alongside ``ref`` (``pimAllocAssociated``)."""
+    return pim_get_device().alloc_associated(ref, dtype)
+
+
+def pim_free(obj: PimObject) -> None:
+    """Release a PIM data object (``pimFree``)."""
+    pim_get_device().free(obj)
+
+
+def pim_copy_host_to_device(values: "np.ndarray | None", obj: PimObject) -> None:
+    """Copy host data into a device object (``pimCopyHostToDevice``)."""
+    pim_get_device().copy_host_to_device(values, obj)
+
+
+def pim_copy_device_to_host(obj: PimObject) -> "np.ndarray | None":
+    """Copy a device object back to the host (``pimCopyDeviceToHost``)."""
+    return pim_get_device().copy_device_to_host(obj)
+
+
+def pim_copy_device_to_device(src: PimObject, dst: PimObject) -> None:
+    """Device-internal copy / re-layout (``pimCopyDeviceToDevice``)."""
+    pim_get_device().copy_device_to_device(src, dst)
+
+
+# -- element-wise arithmetic -------------------------------------------------
+
+
+def _binary(kind: PimCmdKind, a: PimObject, b: PimObject, dest: PimObject) -> None:
+    pim_get_device().execute(kind, (a, b), dest)
+
+
+def pim_add(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.ADD, a, b, dest)
+
+
+def pim_sub(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.SUB, a, b, dest)
+
+
+def pim_mul(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.MUL, a, b, dest)
+
+
+def pim_and(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.AND, a, b, dest)
+
+
+def pim_or(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.OR, a, b, dest)
+
+
+def pim_xor(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.XOR, a, b, dest)
+
+
+def pim_xnor(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.XNOR, a, b, dest)
+
+
+def pim_min(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.MIN, a, b, dest)
+
+
+def pim_max(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.MAX, a, b, dest)
+
+
+def pim_lt(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.LT, a, b, dest)
+
+
+def pim_gt(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.GT, a, b, dest)
+
+
+def pim_eq(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.EQ, a, b, dest)
+
+
+def pim_ne(a: PimObject, b: PimObject, dest: PimObject) -> None:
+    _binary(PimCmdKind.NE, a, b, dest)
+
+
+def pim_not(a: PimObject, dest: PimObject) -> None:
+    pim_get_device().execute(PimCmdKind.NOT, (a,), dest)
+
+
+def pim_abs(a: PimObject, dest: PimObject) -> None:
+    pim_get_device().execute(PimCmdKind.ABS, (a,), dest)
+
+
+def pim_copy(a: PimObject, dest: PimObject) -> None:
+    """On-device element-wise copy through the PIM cores (``pimCopy``)."""
+    pim_get_device().execute(PimCmdKind.COPY, (a,), dest)
+
+
+def pim_popcount(a: PimObject, dest: PimObject) -> None:
+    pim_get_device().execute(PimCmdKind.POPCOUNT, (a,), dest)
+
+
+# -- scalar-operand variants -------------------------------------------------
+
+
+def _scalar(kind: PimCmdKind, a: PimObject, scalar: int, dest: PimObject) -> None:
+    pim_get_device().execute(kind, (a,), dest, scalar=scalar)
+
+
+def pim_add_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.ADD_SCALAR, a, scalar, dest)
+
+
+def pim_sub_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.SUB_SCALAR, a, scalar, dest)
+
+
+def pim_mul_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.MUL_SCALAR, a, scalar, dest)
+
+
+def pim_min_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.MIN_SCALAR, a, scalar, dest)
+
+
+def pim_max_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.MAX_SCALAR, a, scalar, dest)
+
+
+def pim_eq_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.EQ_SCALAR, a, scalar, dest)
+
+
+def pim_lt_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.LT_SCALAR, a, scalar, dest)
+
+
+def pim_gt_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.GT_SCALAR, a, scalar, dest)
+
+
+def pim_sat_add_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    """dest = saturating a + scalar (the fused architecture-specific op)."""
+    _scalar(PimCmdKind.SAT_ADD_SCALAR, a, scalar, dest)
+
+
+def pim_and_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.AND_SCALAR, a, scalar, dest)
+
+
+def pim_or_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.OR_SCALAR, a, scalar, dest)
+
+
+def pim_xor_scalar(a: PimObject, scalar: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.XOR_SCALAR, a, scalar, dest)
+
+
+def pim_shift_left(a: PimObject, amount: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.SHIFT_LEFT, a, amount, dest)
+
+
+def pim_shift_right(a: PimObject, amount: int, dest: PimObject) -> None:
+    _scalar(PimCmdKind.SHIFT_RIGHT, a, amount, dest)
+
+
+def pim_scaled_add(a: PimObject, b: PimObject, dest: PimObject, scalar: int) -> None:
+    """dest = a * scalar + b (``pimScaledAdd``, the AXPY primitive)."""
+    pim_get_device().execute(PimCmdKind.SCALED_ADD, (a, b), dest, scalar=scalar)
+
+
+# -- non-SIMD specials ---------------------------------------------------------
+
+
+def pim_select(cond: PimObject, a: PimObject, b: PimObject, dest: PimObject) -> None:
+    """dest = cond ? a : b (the associative conditional update)."""
+    pim_get_device().execute(PimCmdKind.SELECT, (cond, a, b), dest)
+
+
+def pim_broadcast(dest: PimObject, value: int) -> None:
+    """Fill every element of ``dest`` with ``value`` (``pimBroadcastInt``)."""
+    pim_get_device().execute(PimCmdKind.BROADCAST, (), dest, scalar=value)
+
+
+def pim_redsum(a: PimObject) -> int:
+    """Reduction sum of an object, returned to the host (``pimRedSumInt``)."""
+    return pim_get_device().execute(PimCmdKind.REDSUM, (a,))

@@ -1,0 +1,68 @@
+"""Device lifecycle for the C-style PIM API.
+
+PIMeval programs first create a device (``pimCreateDevice``) and then issue
+commands against an implicit current device.  This module manages that
+current device; :mod:`repro.api.functions` provides the per-op entry
+points.  The object-oriented route (:class:`repro.core.device.PimDevice`)
+remains available for programs juggling several devices.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+from repro.core.errors import PimError
+
+
+_current_device: "PimDevice | None" = None
+
+
+def pim_create_device(
+    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    num_ranks: int = 4,
+    functional: bool = True,
+    config: "DeviceConfig | None" = None,
+) -> PimDevice:
+    """Create (and select) a PIM device; mirrors ``pimCreateDevice``.
+
+    The 4-rank default matches the artifact's out-of-the-box configuration
+    (Listing 3).  Pass ``config`` to override the geometry entirely.
+    """
+    global _current_device
+    if config is None:
+        config = make_device_config(device_type, num_ranks)
+    _current_device = PimDevice(config=config, functional=functional)
+    return _current_device
+
+
+def pim_get_device() -> PimDevice:
+    """The device commands are currently issued against."""
+    if _current_device is None:
+        raise PimError("no PIM device exists; call pim_create_device() first")
+    return _current_device
+
+
+def pim_delete_device() -> None:
+    """Tear down the current device; mirrors ``pimDeleteDevice``."""
+    global _current_device
+    if _current_device is not None:
+        _current_device.resources.free_all()
+    _current_device = None
+
+
+@contextlib.contextmanager
+def pim_device(
+    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    num_ranks: int = 4,
+    functional: bool = True,
+    config: "DeviceConfig | None" = None,
+):
+    """Context manager wrapping create/delete for scoped simulations."""
+    device = pim_create_device(device_type, num_ranks, functional, config)
+    try:
+        yield device
+    finally:
+        pim_delete_device()

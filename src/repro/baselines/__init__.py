@@ -1,0 +1,7 @@
+"""Analytic CPU/GPU baselines substituting for the paper's testbed."""
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.baselines.roofline import KernelProfile, roofline_time_ns
+
+__all__ = ["CpuModel", "GpuModel", "KernelProfile", "roofline_time_ns"]

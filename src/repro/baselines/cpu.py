@@ -1,0 +1,36 @@
+"""CPU baseline model: AMD EPYC 9124 (Table II).
+
+Substitutes for the paper's measured OpenMP/pthreads/OpenBLAS/OpenSSL
+baselines with a roofline over the Table II peaks: 460.8 GB/s of memory
+bandwidth and 16 cores at 3.71 GHz with 256-bit vector units, burning the
+200 W TDP while executing.  See DESIGN.md "Substitutions".
+"""
+
+from __future__ import annotations
+
+from repro.config.presets import CPU_BASELINE, CpuSpec
+from repro.baselines.roofline import KernelProfile, roofline_time_ns
+
+
+class CpuModel:
+    """Roofline execution model of the CPU baseline."""
+
+    def __init__(self, spec: "CpuSpec | None" = None) -> None:
+        self.spec = spec or CPU_BASELINE
+
+    def time_ns(self, profile: KernelProfile) -> float:
+        """Modeled wall-clock of one kernel, in nanoseconds."""
+        return roofline_time_ns(
+            profile,
+            peak_bandwidth_gbps=self.spec.mem_bandwidth_gbps,
+            peak_ops_per_ns=self.spec.peak_int32_ops_per_ns,
+        )
+
+    def energy_nj(self, profile: KernelProfile) -> float:
+        """Energy of one kernel at TDP (W x ns == nJ)."""
+        return self.time_ns(profile) * self.spec.tdp_w
+
+    def run(self, profile: KernelProfile) -> "tuple[float, float]":
+        """(time_ns, energy_nj) of one kernel."""
+        time = self.time_ns(profile)
+        return time, time * self.spec.tdp_w

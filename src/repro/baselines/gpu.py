@@ -1,0 +1,34 @@
+"""GPU baseline model: NVIDIA A100 80GB (Table II).
+
+Substitutes for the paper's measured cuBLAS/Thrust/CUB/Gunrock/PyTorch
+baselines with a roofline over the Table II peaks: 1935 GB/s HBM bandwidth
+and 19.5 TFLOPS of 32-bit throughput at a 300 W TDP.  Consistent with the
+paper's methodology, GPU comparisons exclude the PCIe/CXL transfer (it is
+identical for PIM and GPU and factored out on both sides).
+"""
+
+from __future__ import annotations
+
+from repro.config.presets import GPU_BASELINE, GpuSpec
+from repro.baselines.roofline import KernelProfile, roofline_time_ns
+
+
+class GpuModel:
+    """Roofline execution model of the GPU baseline."""
+
+    def __init__(self, spec: "GpuSpec | None" = None) -> None:
+        self.spec = spec or GPU_BASELINE
+
+    def time_ns(self, profile: KernelProfile) -> float:
+        return roofline_time_ns(
+            profile,
+            peak_bandwidth_gbps=self.spec.mem_bandwidth_gbps,
+            peak_ops_per_ns=self.spec.peak_ops_per_ns,
+        )
+
+    def energy_nj(self, profile: KernelProfile) -> float:
+        return self.time_ns(profile) * self.spec.tdp_w
+
+    def run(self, profile: KernelProfile) -> "tuple[float, float]":
+        time = self.time_ns(profile)
+        return time, time * self.spec.tdp_w

@@ -1,0 +1,91 @@
+"""Roofline kernel profiles for the host baselines.
+
+The paper measures its CPU and GPU baselines on real hardware (EPYC 9124,
+A100) running tuned libraries.  Without that hardware, this reproduction
+models each baseline kernel with a roofline: execution time is the larger
+of the memory time (bytes moved over sustained bandwidth) and the compute
+time (operations over sustained throughput).  The efficiency factors
+default to values typical of tuned streaming code and can be lowered for
+kernels with random access or poor vectorization; every benchmark
+documents its choices next to its profile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelProfile:
+    """Work performed by one baseline (or host-phase) kernel.
+
+    ``bytes_accessed`` counts all DRAM traffic (reads plus writes);
+    ``compute_ops`` counts element operations (integer or floating point).
+    The efficiency fields scale the hardware peaks: 0.8 memory efficiency
+    is a STREAM-class streaming kernel, 0.05-0.2 models pointer-chasing or
+    scattered access; compute efficiency folds in ILP/SIMD utilization.
+    """
+
+    name: str
+    bytes_accessed: float
+    compute_ops: float
+    mem_efficiency: float = 0.8
+    compute_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bytes_accessed < 0 or self.compute_ops < 0:
+            raise ValueError("profile work amounts must be non-negative")
+        if not 0 < self.mem_efficiency <= 1 or not 0 < self.compute_efficiency <= 1:
+            raise ValueError("efficiencies must be in (0, 1]")
+
+    def scaled(self, factor: float) -> "KernelProfile":
+        """The same kernel repeated ``factor`` times."""
+        return dataclasses.replace(
+            self,
+            bytes_accessed=self.bytes_accessed * factor,
+            compute_ops=self.compute_ops * factor,
+        )
+
+    def __add__(self, other: "KernelProfile") -> "KernelProfile":
+        """Sequential composition; the efficiencies are work-weighted."""
+        total_bytes = self.bytes_accessed + other.bytes_accessed
+        total_ops = self.compute_ops + other.compute_ops
+        mem_eff = _weighted(
+            self.bytes_accessed, self.mem_efficiency,
+            other.bytes_accessed, other.mem_efficiency,
+        )
+        compute_eff = _weighted(
+            self.compute_ops, self.compute_efficiency,
+            other.compute_ops, other.compute_efficiency,
+        )
+        return KernelProfile(
+            name=f"{self.name}+{other.name}",
+            bytes_accessed=total_bytes,
+            compute_ops=total_ops,
+            mem_efficiency=mem_eff,
+            compute_efficiency=compute_eff,
+        )
+
+
+def _weighted(w1: float, v1: float, w2: float, v2: float) -> float:
+    """Work-weighted harmonic-style blend of two efficiencies."""
+    if w1 + w2 == 0:
+        return max(v1, v2)
+    # Time-true blending: total work over summed per-part times.
+    time = w1 / v1 + w2 / v2
+    return (w1 + w2) / time
+
+
+def roofline_time_ns(
+    profile: KernelProfile,
+    peak_bandwidth_gbps: float,
+    peak_ops_per_ns: float,
+) -> float:
+    """Roofline execution time of a profile on the given peaks."""
+    mem_ns = profile.bytes_accessed / (
+        peak_bandwidth_gbps * profile.mem_efficiency
+    )
+    compute_ns = profile.compute_ops / (
+        peak_ops_per_ns * profile.compute_efficiency
+    )
+    return max(mem_ns, compute_ns)

@@ -1,0 +1,18 @@
+"""PIMbench: the Table I benchmark suite."""
+
+from repro.bench.common import BenchmarkResult, PimBenchmark
+from repro.bench.registry import (
+    BENCHMARK_CLASSES,
+    BENCHMARKS_BY_KEY,
+    all_benchmarks,
+    make_benchmark,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "PimBenchmark",
+    "BENCHMARK_CLASSES",
+    "BENCHMARKS_BY_KEY",
+    "all_benchmarks",
+    "make_benchmark",
+]

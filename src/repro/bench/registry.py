@@ -1,0 +1,67 @@
+"""Registry of the PIMbench suite (Table I order)."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bench.aes import AesDecryptBenchmark, AesEncryptBenchmark
+from repro.bench.axpy import AxpyBenchmark
+from repro.bench.brightness import BrightnessBenchmark
+from repro.bench.common import PimBenchmark
+from repro.bench.downsample import DownsampleBenchmark
+from repro.bench.filterbykey import FilterByKeyBenchmark
+from repro.bench.gemm import GemmBenchmark
+from repro.bench.gemv import GemvBenchmark
+from repro.bench.histogram import HistogramBenchmark
+from repro.bench.kmeans import KMeansBenchmark
+from repro.bench.knn import KnnBenchmark
+from repro.bench.linreg import LinearRegressionBenchmark
+from repro.bench.radixsort import RadixSortBenchmark
+from repro.bench.triangle import TriangleCountBenchmark
+from repro.bench.vecadd import VectorAddBenchmark
+from repro.bench.vgg import Vgg13Benchmark, Vgg16Benchmark, Vgg19Benchmark
+
+#: The 18 benchmarks of Table I, in the paper's figure order.
+BENCHMARK_CLASSES: "tuple[type[PimBenchmark], ...]" = (
+    VectorAddBenchmark,
+    AxpyBenchmark,
+    GemvBenchmark,
+    GemmBenchmark,
+    RadixSortBenchmark,
+    AesEncryptBenchmark,
+    AesDecryptBenchmark,
+    TriangleCountBenchmark,
+    FilterByKeyBenchmark,
+    HistogramBenchmark,
+    BrightnessBenchmark,
+    DownsampleBenchmark,
+    KnnBenchmark,
+    LinearRegressionBenchmark,
+    KMeansBenchmark,
+    Vgg13Benchmark,
+    Vgg16Benchmark,
+    Vgg19Benchmark,
+)
+
+BENCHMARKS_BY_KEY: "dict[str, type[PimBenchmark]]" = {
+    cls.key: cls for cls in BENCHMARK_CLASSES
+}
+
+
+def make_benchmark(
+    key: str, paper_scale: bool = False, **overrides: typing.Any
+) -> PimBenchmark:
+    """Instantiate a benchmark by key at functional or paper scale."""
+    cls = BENCHMARKS_BY_KEY.get(key)
+    if cls is None:
+        raise KeyError(
+            f"unknown benchmark {key!r}; known: {sorted(BENCHMARKS_BY_KEY)}"
+        )
+    params = cls.paper_params() if paper_scale else cls.default_params()
+    params.update(overrides)
+    return cls(**params)
+
+
+def all_benchmarks(paper_scale: bool = False) -> "list[PimBenchmark]":
+    """One instance of every Table I benchmark."""
+    return [make_benchmark(cls.key, paper_scale) for cls in BENCHMARK_CLASSES]

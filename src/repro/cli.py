@@ -1,0 +1,205 @@
+"""Command-line interface: run benchmarks and regenerate figures.
+
+Mirrors the artifact's workflow (build one simulation target, run each
+benchmark, read the stats report) without the per-target rebuilds::
+
+    python -m repro list                          # the Table I suite
+    python -m repro run vecadd --target fulcrum   # one benchmark + report
+    python -m repro suite --ranks 32              # Figure 9/10/11 tables
+    python -m repro figure 6a                     # any figure by number
+    python -m repro tables                        # Tables I and II
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_report
+from repro.bench.extensions import EXTENSION_BENCHMARKS
+from repro.bench.registry import BENCHMARK_CLASSES, BENCHMARKS_BY_KEY, make_benchmark
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+
+_TARGETS = {
+    "bitserial": PimDeviceType.BITSIMD_V_AP,
+    "bit-serial": PimDeviceType.BITSIMD_V_AP,
+    "fulcrum": PimDeviceType.FULCRUM,
+    "bank": PimDeviceType.BANK_LEVEL,
+    "bank-level": PimDeviceType.BANK_LEVEL,
+}
+
+
+def _parse_target(name: str) -> PimDeviceType:
+    target = _TARGETS.get(name.lower())
+    if target is None:
+        raise SystemExit(
+            f"unknown target {name!r}; choose from {sorted(set(_TARGETS))}"
+        )
+    return target
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'key':<12s} {'name':<22s} {'domain':<22s} {'execution':<10s}")
+    for cls in BENCHMARK_CLASSES:
+        print(f"{cls.key:<12s} {cls.name:<22s} {cls.domain:<22s} "
+              f"{cls.execution_type:<10s}")
+    print("\nextension kernels:")
+    for cls in EXTENSION_BENCHMARKS:
+        print(f"{cls.key:<12s} {cls.name:<22s} {cls.domain:<22s} "
+              f"{cls.execution_type:<10s}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    target = _parse_target(args.target)
+    extension_keys = {cls.key: cls for cls in EXTENSION_BENCHMARKS}
+    if args.benchmark in BENCHMARKS_BY_KEY:
+        bench = make_benchmark(args.benchmark, paper_scale=args.paper_scale)
+    elif args.benchmark in extension_keys:
+        cls = extension_keys[args.benchmark]
+        params = cls.paper_params() if args.paper_scale else cls.default_params()
+        bench = cls(**params)
+    else:
+        known = sorted(set(BENCHMARKS_BY_KEY) | set(extension_keys))
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}; known: {known}")
+
+    device = PimDevice(
+        make_device_config(target, args.ranks),
+        functional=not args.paper_scale,
+    )
+    result = bench.run(device)
+    print(f"Running {bench.name} on {target.display_name} "
+          f"({args.ranks} ranks, "
+          f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n")
+    if result.verified is not None:
+        print(f"Functional verification: "
+              f"{'PASSED' if result.verified else 'FAILED'}")
+    print(format_report(device, title=bench.name))
+    print(f"Speedup vs CPU (kernel+DM) : {result.speedup_cpu_total:10.3f}x")
+    print(f"Speedup vs CPU (kernel)    : {result.speedup_cpu_kernel:10.3f}x")
+    print(f"Speedup vs GPU             : {result.speedup_gpu:10.3f}x")
+    print(f"Energy reduction vs CPU    : {result.energy_reduction_cpu:10.3f}x")
+    print(f"Energy reduction vs GPU    : {result.energy_reduction_gpu:10.3f}x")
+    return 0 if result.verified in (True, None) else 1
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        breakdown_table,
+        energy_table,
+        format_breakdown_table,
+        format_energy_table,
+        format_speedup_table,
+        run_suite,
+        speedup_table,
+    )
+
+    suite = run_suite(num_ranks=args.ranks, paper_scale=True)
+    print(f"=== Speedups (Figures 9 / 10a), {args.ranks} ranks ===")
+    print(format_speedup_table(speedup_table(suite)))
+    print(f"\n=== Energy (Figures 10b / 11) ===")
+    print(format_energy_table(energy_table(suite)))
+    print(f"\n=== Breakdown (Figure 7) ===")
+    print(format_breakdown_table(breakdown_table(suite)))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    figure = args.figure.lower().lstrip("fig").strip(".")
+    if figure in ("1",):
+        from repro.analysis import (
+            build_dendrogram,
+            extract_features,
+            render_text_dendrogram,
+        )
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        features = [
+            extract_features(
+                suite.benchmarks[key],
+                suite.result(key, PimDeviceType.BITSIMD_V_AP),
+            )
+            for key in suite.benchmark_keys()
+        ]
+        print(render_text_dendrogram(build_dendrogram(features)))
+    elif figure in ("6", "6a"):
+        print(exp.format_sensitivity_table(exp.column_sensitivity()))
+    elif figure == "6b":
+        print(exp.format_sensitivity_table(exp.bank_sensitivity()))
+    elif figure == "7":
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        print(exp.format_breakdown_table(exp.breakdown_table(suite)))
+    elif figure == "8":
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        print(exp.format_opmix_table(exp.opmix_table(suite)))
+    elif figure in ("9", "10", "10a"):
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        print(exp.format_speedup_table(exp.speedup_table(suite)))
+    elif figure in ("10b", "11"):
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        print(exp.format_energy_table(exp.energy_table(suite)))
+    elif figure == "12":
+        print(exp.format_rank_table(exp.rank_scaling_table()))
+    elif figure == "13":
+        print(exp.format_rank_table(exp.capacity_matched_table()))
+    else:
+        raise SystemExit(f"unknown figure {args.figure!r}; know 1, 6a, 6b, "
+                         "7, 8, 9, 10a, 10b, 11, 12, 13")
+    return 0
+
+
+def cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.experiments import format_table1, format_table2
+
+    print("=== Table I: PIMbench Suite ===")
+    print(format_table1())
+    print("\n=== Table II: Evaluated Architectures ===")
+    print(format_table2())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("benchmark", help="benchmark key (see `list`)")
+    run.add_argument("--target", default="fulcrum",
+                     help="bitserial | fulcrum | bank (default fulcrum)")
+    run.add_argument("--ranks", type=int, default=4)
+    run.add_argument("--paper-scale", action="store_true",
+                     help="Table I input sizes, analytic mode")
+    run.set_defaults(func=cmd_run)
+
+    suite = sub.add_parser("suite", help="run the full evaluation")
+    suite.add_argument("--ranks", type=int, default=32)
+    suite.set_defaults(func=cmd_suite)
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("figure", help="1, 6a, 6b, 7, 8, 9, 10a, 10b, 11, 12, 13")
+    figure.add_argument("--ranks", type=int, default=32)
+    figure.set_defaults(func=cmd_figure)
+
+    sub.add_parser("tables", help="print Tables I and II").set_defaults(
+        func=cmd_tables
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

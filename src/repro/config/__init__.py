@@ -1,0 +1,57 @@
+"""Configuration layer: DRAM geometry/timing, device types, power params."""
+
+from repro.config.device import (
+    DeviceConfig,
+    PimAllocType,
+    PimArchParams,
+    PimDataType,
+    PimDeviceType,
+)
+from repro.config.dram import DramGeometry, DramSpec, DramTiming
+from repro.config.power import (
+    ComputeEnergyParams,
+    HostPowerParams,
+    MicronPowerParams,
+    PowerConfig,
+)
+from repro.config.presets import (
+    CPU_BASELINE,
+    PAPER_DEVICE_TYPES,
+    GPU_BASELINE,
+    CpuSpec,
+    GpuSpec,
+    all_pim_configs,
+    analog_bitserial_config,
+    bank_level_config,
+    bitserial_config,
+    fulcrum_config,
+    make_device_config,
+    paper_geometry,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "PimAllocType",
+    "PimArchParams",
+    "PimDataType",
+    "PimDeviceType",
+    "DramGeometry",
+    "DramSpec",
+    "DramTiming",
+    "ComputeEnergyParams",
+    "HostPowerParams",
+    "MicronPowerParams",
+    "PowerConfig",
+    "CPU_BASELINE",
+    "PAPER_DEVICE_TYPES",
+    "GPU_BASELINE",
+    "CpuSpec",
+    "GpuSpec",
+    "all_pim_configs",
+    "analog_bitserial_config",
+    "bank_level_config",
+    "bitserial_config",
+    "fulcrum_config",
+    "make_device_config",
+    "paper_geometry",
+]

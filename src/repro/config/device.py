@@ -1,0 +1,182 @@
+"""PIM device types, data types, and the device configuration record.
+
+These mirror PIMeval's ``PIM_DEVICE_*`` simulation targets and
+``PIM_INT*`` data types, restricted to the digital architectures the paper
+evaluates: subarray-level bit-serial (DRAM-AP / BITSIMD_V_AP), subarray-level
+bit-parallel (Fulcrum), and bank-level bit-parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.config.dram import DramSpec
+
+
+class PimDeviceType(enum.Enum):
+    """The three digital PIM architectures of the paper, plus the analog
+    bit-serial (TRA) variant PIMeval is being extended with (Section IX)."""
+
+    BITSIMD_V_AP = "bit-serial"
+    FULCRUM = "fulcrum"
+    BANK_LEVEL = "bank-level"
+    ANALOG_BITSIMD_V = "analog-bit-serial"
+
+    @property
+    def display_name(self) -> str:
+        """Label used in the paper's figures."""
+        return _DISPLAY_NAMES[self]
+
+    @property
+    def is_bit_serial(self) -> bool:
+        return self in (
+            PimDeviceType.BITSIMD_V_AP, PimDeviceType.ANALOG_BITSIMD_V
+        )
+
+    @property
+    def is_subarray_level(self) -> bool:
+        return self is not PimDeviceType.BANK_LEVEL
+
+    @property
+    def in_paper_evaluation(self) -> bool:
+        """Whether the variant appears in the paper's figures."""
+        return self is not PimDeviceType.ANALOG_BITSIMD_V
+
+
+_DISPLAY_NAMES = {
+    PimDeviceType.BITSIMD_V_AP: "Bit-Serial",
+    PimDeviceType.FULCRUM: "Fulcrum",
+    PimDeviceType.BANK_LEVEL: "Bank-level",
+    PimDeviceType.ANALOG_BITSIMD_V: "Analog Bit-Serial",
+}
+
+
+class PimDataType(enum.Enum):
+    """Element data types supported by the PIM API."""
+
+    INT8 = ("int8", 8, True)
+    INT16 = ("int16", 16, True)
+    INT32 = ("int32", 32, True)
+    INT64 = ("int64", 64, True)
+    UINT8 = ("uint8", 8, False)
+    UINT16 = ("uint16", 16, False)
+    UINT32 = ("uint32", 32, False)
+    UINT64 = ("uint64", 64, False)
+    BOOL = ("bool", 1, False)
+
+    def __init__(self, numpy_name: str, bits: int, signed: bool) -> None:
+        self.numpy_name = numpy_name
+        self.bits = bits
+        self.signed = signed
+
+    @property
+    def bytes(self) -> int:
+        """Storage size in bytes (bool is packed one element per byte)."""
+        return max(1, self.bits // 8)
+
+    @classmethod
+    def from_bits(cls, bits: int, signed: bool = True) -> "PimDataType":
+        """Look up the integer type with the given width."""
+        for dtype in cls:
+            if dtype.bits == bits and dtype.signed == signed and dtype is not cls.BOOL:
+                return dtype
+        if bits == 1:
+            return cls.BOOL
+        raise ValueError(f"no PIM data type with {bits} bits (signed={signed})")
+
+
+class PimAllocType(enum.Enum):
+    """Allocation strategies, mirroring PIMeval's ``PIM_ALLOC_*``.
+
+    ``AUTO`` picks the layout native to the simulation target: vertical for
+    bit-serial devices and horizontal for bit-parallel ones.
+    """
+
+    AUTO = "auto"
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+@dataclasses.dataclass(frozen=True)
+class PimArchParams:
+    """Architecture-specific processing-element parameters (Table II)."""
+
+    # Bit-serial: registers per sense-amp lane.
+    bitserial_num_registers: int = 4
+    # Fulcrum: ALU word width, clock, walkers, subarrays aggregated per core.
+    fulcrum_alu_bits: int = 32
+    fulcrum_alu_freq_mhz: float = 164.0
+    fulcrum_num_walkers: int = 3
+    fulcrum_subarrays_per_core: int = 2
+    # Bank-level: ALPU width and clock; GDL width lives in DramGeometry.
+    bank_alu_bits: int = 64
+    bank_alu_freq_mhz: float = 164.0
+    bank_num_walkers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fulcrum_alu_bits not in (32, 64):
+            raise ValueError("Fulcrum ALU must be 32 or 64 bits wide")
+        if self.bank_alu_bits not in (32, 64, 128):
+            raise ValueError("bank-level ALPU must be 32, 64, or 128 bits wide")
+        if self.fulcrum_subarrays_per_core < 1:
+            raise ValueError("fulcrum_subarrays_per_core must be >= 1")
+
+    @property
+    def fulcrum_cycle_ns(self) -> float:
+        return 1e3 / self.fulcrum_alu_freq_mhz
+
+    @property
+    def bank_cycle_ns(self) -> float:
+        return 1e3 / self.bank_alu_freq_mhz
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceConfig:
+    """Complete description of a simulated PIM device."""
+
+    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP
+    dram: DramSpec = dataclasses.field(default_factory=DramSpec)
+    arch: PimArchParams = dataclasses.field(default_factory=PimArchParams)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of PIM cores the device exposes.
+
+        Bit-serial: one core per subarray.  Fulcrum: one core per
+        ``fulcrum_subarrays_per_core`` subarrays.  Bank-level: one core per
+        bank.
+        """
+        geometry = self.dram.geometry
+        if self.device_type.is_bit_serial:
+            return geometry.num_subarrays
+        if self.device_type is PimDeviceType.FULCRUM:
+            return geometry.num_subarrays // self.arch.fulcrum_subarrays_per_core
+        return geometry.num_banks
+
+    @property
+    def rows_per_core(self) -> int:
+        geometry = self.dram.geometry
+        if self.device_type.is_bit_serial:
+            return geometry.rows_per_subarray
+        if self.device_type is PimDeviceType.FULCRUM:
+            return geometry.rows_per_subarray * self.arch.fulcrum_subarrays_per_core
+        return geometry.rows_per_subarray * geometry.subarrays_per_bank
+
+    @property
+    def cols_per_core(self) -> int:
+        return self.dram.geometry.cols_per_subarray
+
+    @property
+    def native_layout(self) -> PimAllocType:
+        """Layout chosen by ``PIM_ALLOC_AUTO`` on this device."""
+        if self.device_type.is_bit_serial:
+            return PimAllocType.VERTICAL
+        return PimAllocType.HORIZONTAL
+
+    def with_geometry(self, **overrides: int) -> "DeviceConfig":
+        """Copy of this config with modified DRAM geometry (for sweeps)."""
+        geometry = self.dram.geometry.scaled(**overrides)
+        return dataclasses.replace(
+            self, dram=dataclasses.replace(self.dram, geometry=geometry)
+        )

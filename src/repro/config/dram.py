@@ -1,0 +1,146 @@
+"""DRAM geometry and timing parameters.
+
+The paper (Section III and the artifact's Listing 3) fixes a DDR4
+organization: each rank is built from 8 x8 chips, each chip holds 16 banks
+(so PIMeval counts 128 banks per rank), each bank is divided into 32
+subarrays, and each subarray is a 1024-row by 8192-column matrix of cells
+within one chip.  Timing numbers come from the Listing 3 report: a row read
+into the local row buffer takes 28.5 ns, a row write takes 43.5 ns, tCCD is
+3 ns, and one rank sustains 25.6 GB/s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DramTiming:
+    """Timing of the DRAM operations PIM models are built from.
+
+    All durations are in nanoseconds, matching the units the PIMeval
+    artifact reports in its parameter dump.
+    """
+
+    row_read_ns: float = 28.5
+    row_write_ns: float = 43.5
+    tccd_ns: float = 3.0
+    tras_ns: float = 32.0
+    trp_ns: float = 14.0
+    rank_bandwidth_gbps: float = 25.6
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value <= 0:
+                raise ValueError(f"{field.name} must be positive, got {value}")
+
+    @property
+    def rank_bandwidth_bytes_per_ns(self) -> float:
+        """Rank bandwidth converted to bytes per nanosecond."""
+        return self.rank_bandwidth_gbps  # 1 GB/s == 1 byte/ns
+
+
+@dataclasses.dataclass(frozen=True)
+class DramGeometry:
+    """Hierarchical organization of the PIM memory module.
+
+    ``banks_per_rank`` counts chip-level banks across the whole rank the way
+    PIMeval does (16 banks/chip x 8 chips = 128), because each chip-level
+    bank/subarray hosts its own processing element.
+    """
+
+    num_ranks: int = 32
+    banks_per_rank: int = 128
+    subarrays_per_bank: int = 32
+    rows_per_subarray: int = 1024
+    cols_per_subarray: int = 8192
+    gdl_width_bits: int = 128
+    chips_per_rank: int = 8
+    #: Memory channels serving the module.  None reproduces PIMeval's
+    #: stated simplification (every rank an independent channel); an
+    #: integer caps host-transfer parallelism at that many channels, the
+    #: refinement Section V-C defers to DRAMsim3 integration.
+    num_channels: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is None:
+                continue
+            if value <= 0:
+                raise ValueError(f"{field.name} must be positive, got {value}")
+        if self.banks_per_rank % self.chips_per_rank:
+            raise ValueError(
+                "banks_per_rank must be a multiple of chips_per_rank, got "
+                f"{self.banks_per_rank} / {self.chips_per_rank}"
+            )
+
+    @property
+    def num_banks(self) -> int:
+        """Total bank count across all ranks."""
+        return self.num_ranks * self.banks_per_rank
+
+    @property
+    def num_subarrays(self) -> int:
+        """Total subarray count across all ranks."""
+        return self.num_banks * self.subarrays_per_bank
+
+    @property
+    def subarray_bits(self) -> int:
+        """Capacity of one subarray in bits."""
+        return self.rows_per_subarray * self.cols_per_subarray
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Total module capacity in bytes."""
+        return self.num_subarrays * self.subarray_bits // 8
+
+    @property
+    def transfer_parallelism(self) -> int:
+        """Independent links for host transfers: ranks, or the channel cap."""
+        if self.num_channels is None:
+            return self.num_ranks
+        return min(self.num_ranks, self.num_channels)
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        """Host<->PIM bandwidth with ranks treated as independent channels.
+
+        The paper notes PIMeval does not yet distinguish channels from
+        ranks, so every rank contributes its full bandwidth by default;
+        setting ``num_channels`` restores the sharing.
+        """
+        return self.transfer_parallelism * DramTiming().rank_bandwidth_gbps
+
+    def scaled(self, **overrides: int) -> "DramGeometry":
+        """Return a copy with the given fields replaced.
+
+        Used by the sensitivity experiments (Figure 6, 12, 13) that sweep
+        rank, bank, and column counts.
+        """
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclasses.dataclass(frozen=True)
+class DramSpec:
+    """Bundle of geometry plus timing; the full memory-module description."""
+
+    geometry: DramGeometry = dataclasses.field(default_factory=DramGeometry)
+    timing: DramTiming = dataclasses.field(default_factory=DramTiming)
+
+    @property
+    def transfer_bandwidth_bytes_per_ns(self) -> float:
+        """Aggregate host<->device bandwidth in bytes/ns."""
+        return (
+            self.geometry.transfer_parallelism
+            * self.timing.rank_bandwidth_bytes_per_ns
+        )
+
+    def data_transfer_ns(self, num_bytes: int) -> float:
+        """Latency to move ``num_bytes`` between host and device."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.transfer_bandwidth_bytes_per_ns

@@ -1,0 +1,63 @@
+"""HBM configuration preset (Section IX future work).
+
+The paper notes its modeling approach "should be easily extensible to
+High Bandwidth Memory (HBM)", while cautioning that "conclusions about
+which PIM architecture is best might change with HBM".  This preset
+provides that extension point: an HBM2e-class stack modeled through the
+same geometry/timing records --
+
+* far higher external bandwidth (16 pseudo-channels at ~25.6 GB/s each
+  per stack, ~410 GB/s aggregate for one stack, sweepable by stack count),
+* a wider internal data path (the paper notes the GDL "for HBM it is
+  wider"), and
+* more banks with fewer, smaller subarrays per bank (HBM banks are
+  smaller than DDR4's).
+
+The tradeoff shift the paper anticipates falls out of the model: the
+bank-level variant gains the most (its GDL bottleneck relaxes and its
+bank count rises), while bit-serial gains mainly on data movement.
+"""
+
+from __future__ import annotations
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.dram import DramGeometry, DramSpec, DramTiming
+
+
+def hbm_timing() -> DramTiming:
+    """HBM2e-class timing: similar core timing, per-pseudo-channel BW."""
+    return DramTiming(
+        row_read_ns=28.5,
+        row_write_ns=43.5,
+        tccd_ns=2.0,
+        tras_ns=33.0,
+        trp_ns=14.0,
+        rank_bandwidth_gbps=25.6,  # one pseudo-channel
+    )
+
+
+def hbm_geometry(num_stacks: int = 4) -> DramGeometry:
+    """One HBM stack = 16 pseudo-channels ("ranks" in PIMeval's terms).
+
+    Per pseudo-channel: 32 banks of 16 subarrays, 1024x4096 cells, with a
+    256-bit internal data path.
+    """
+    return DramGeometry(
+        num_ranks=16 * num_stacks,
+        banks_per_rank=32,
+        subarrays_per_bank=16,
+        rows_per_subarray=1024,
+        cols_per_subarray=4096,
+        gdl_width_bits=256,
+        chips_per_rank=1,  # a pseudo-channel spans one die slice
+    )
+
+
+def hbm_device_config(
+    device_type: PimDeviceType, num_stacks: int = 4
+) -> DeviceConfig:
+    """A PIM device built on HBM stacks instead of DDR4 ranks."""
+    return DeviceConfig(
+        device_type=device_type,
+        dram=DramSpec(geometry=hbm_geometry(num_stacks), timing=hbm_timing()),
+    )

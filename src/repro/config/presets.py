@@ -1,0 +1,114 @@
+"""Preset configurations reproducing Table II of the paper.
+
+The evaluation uses 32GB-per-rank-group DDR4 modules with 32 ranks, 128
+banks per rank, 32 subarrays per bank, and 8192-bit local row buffers for
+all three PIM variants; the variants differ only in where the processing
+elements sit.  The CPU and GPU baselines are an AMD EPYC 9124 and an NVIDIA
+A100.  The Listing 3 artifact output additionally shows the 4-rank default
+configuration used by the quickstart, which we expose as well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.dram import DramGeometry, DramSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuSpec:
+    """Table II CPU baseline: AMD EPYC 9124."""
+
+    name: str = "AMD EPYC 9124"
+    num_cores: int = 16
+    freq_ghz: float = 3.71
+    tdp_w: float = 200.0
+    mem_bandwidth_gbps: float = 460.8
+    simd_width_bits: int = 256  # AVX2-class vector units
+
+    @property
+    def peak_int32_ops_per_ns(self) -> float:
+        """Peak 32-bit integer throughput (ops per nanosecond)."""
+        lanes = self.simd_width_bits // 32
+        return self.num_cores * self.freq_ghz * lanes
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """Table II GPU baseline: NVIDIA A100 80GB."""
+
+    name: str = "NVIDIA A100"
+    tdp_w: float = 300.0
+    mem_bandwidth_gbps: float = 1935.0
+    peak_fp32_tflops: float = 19.5
+
+    @property
+    def peak_ops_per_ns(self) -> float:
+        """Peak 32-bit throughput in ops per nanosecond."""
+        return self.peak_fp32_tflops * 1e3
+
+
+def paper_geometry(num_ranks: int = 32) -> DramGeometry:
+    """The DRAM geometry used throughout the evaluation (Table II)."""
+    return DramGeometry(
+        num_ranks=num_ranks,
+        banks_per_rank=128,
+        subarrays_per_bank=32,
+        rows_per_subarray=1024,
+        cols_per_subarray=8192,
+        gdl_width_bits=128,
+    )
+
+
+def make_device_config(
+    device_type: PimDeviceType, num_ranks: int = 32, **geometry_overrides: int
+) -> DeviceConfig:
+    """Build a device configuration for one of the three PIM variants."""
+    geometry = paper_geometry(num_ranks)
+    if geometry_overrides:
+        geometry = geometry.scaled(**geometry_overrides)
+    return DeviceConfig(device_type=device_type, dram=DramSpec(geometry=geometry))
+
+
+def bitserial_config(num_ranks: int = 32) -> DeviceConfig:
+    """Table II "Bit-serial" row: DRAM-AP subarray-level bit-serial PIM."""
+    return make_device_config(PimDeviceType.BITSIMD_V_AP, num_ranks)
+
+
+def fulcrum_config(num_ranks: int = 32) -> DeviceConfig:
+    """Table II "Fulcrum" row: subarray-level bit-parallel PIM."""
+    return make_device_config(PimDeviceType.FULCRUM, num_ranks)
+
+
+def bank_level_config(num_ranks: int = 32) -> DeviceConfig:
+    """Table II "Bank-level PIM" row."""
+    return make_device_config(PimDeviceType.BANK_LEVEL, num_ranks)
+
+
+#: The three variants evaluated in the paper's figures.
+PAPER_DEVICE_TYPES = (
+    PimDeviceType.BITSIMD_V_AP,
+    PimDeviceType.FULCRUM,
+    PimDeviceType.BANK_LEVEL,
+)
+
+
+def all_pim_configs(num_ranks: int = 32) -> "dict[PimDeviceType, DeviceConfig]":
+    """The three evaluated PIM variants, keyed by device type."""
+    return {
+        device_type: make_device_config(device_type, num_ranks)
+        for device_type in PAPER_DEVICE_TYPES
+    }
+
+
+def analog_bitserial_config(num_ranks: int = 32) -> DeviceConfig:
+    """The analog (TRA) bit-serial extension variant (Section IX)."""
+    return make_device_config(PimDeviceType.ANALOG_BITSIMD_V, num_ranks)
+
+
+CPU_BASELINE = CpuSpec()
+GPU_BASELINE = GpuSpec()
+
+# The artifact's quickstart (Listing 3) runs with 4 ranks.
+LISTING3_NUM_RANKS = 4

@@ -1,0 +1,23 @@
+"""Exception hierarchy of the PIMeval reproduction."""
+
+from __future__ import annotations
+
+
+class PimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class PimAllocationError(PimError):
+    """Device memory could not satisfy an allocation request."""
+
+
+class PimInvalidObjectError(PimError):
+    """An object id does not name a live PIM data object."""
+
+
+class PimTypeError(PimError):
+    """Operand data types or shapes are incompatible with a command."""
+
+
+class PimConfigError(PimError):
+    """A device configuration is internally inconsistent."""

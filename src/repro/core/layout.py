@@ -1,0 +1,153 @@
+"""Data-layout math: how a PIM object maps onto cores and rows.
+
+A PIM data object spans 2-D regions across many PIM cores (Section V-A).
+Vertical layout (bit-serial devices) puts one element per column, one bit
+per row; horizontal layout (bit-parallel devices) packs elements along the
+row.  Objects are spread across as many cores as possible to maximize
+parallelism, mirroring PIMeval's allocator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.config.device import DeviceConfig, PimAllocType
+from repro.core.errors import PimAllocationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectLayout:
+    """Placement of one object on the device.
+
+    ``elements_per_core`` is the maximum over cores; because all cores
+    operate in lock-step, it (together with the per-core geometry)
+    determines kernel latency.  ``groups_per_core`` counts how many
+    full-width batches the core must process: vertical-layout groups of
+    ``cols`` elements, or horizontal rows.
+    """
+
+    layout: PimAllocType
+    num_elements: int
+    bits: int
+    num_cores_used: int
+    elements_per_core: int
+    elements_per_group: int
+    groups_per_core: int
+    rows_per_core: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_elements * self.bits
+
+    @property
+    def total_bytes(self) -> int:
+        """Host-side footprint of the object (whole bytes per element)."""
+        return self.num_elements * max(1, self.bits // 8)
+
+
+def plan_layout(
+    config: DeviceConfig,
+    num_elements: int,
+    bits: int,
+    layout: PimAllocType,
+    enforce_capacity: bool = True,
+) -> ObjectLayout:
+    """Compute the placement of an object on a device.
+
+    Raises :class:`PimAllocationError` when the object cannot fit even
+    using every row of every core, unless ``enforce_capacity`` is off
+    (the rank-scaling sweep of Figure 12 overcommits the smaller
+    configurations, as PIMeval's did).
+    """
+    if num_elements <= 0:
+        raise PimAllocationError(f"num_elements must be positive, got {num_elements}")
+    if bits <= 0:
+        raise PimAllocationError(f"bits must be positive, got {bits}")
+    if layout is PimAllocType.AUTO:
+        layout = config.native_layout
+
+    num_cores = config.num_cores
+    cols = config.cols_per_core
+    rows = config.rows_per_core
+    elements_per_core = math.ceil(num_elements / num_cores)
+    num_cores_used = math.ceil(num_elements / elements_per_core)
+
+    if layout is PimAllocType.VERTICAL:
+        elements_per_group = cols
+        groups_per_core = math.ceil(elements_per_core / cols)
+        rows_per_core = bits * groups_per_core
+    else:
+        elements_per_group = max(1, cols // bits)
+        groups_per_core = math.ceil(elements_per_core / elements_per_group)
+        rows_per_core = groups_per_core
+
+    if enforce_capacity and rows_per_core > rows:
+        needed = num_elements * bits
+        capacity = num_cores * rows * cols
+        raise PimAllocationError(
+            f"object of {num_elements} x {bits}-bit elements needs "
+            f"{rows_per_core} rows per core but only {rows} exist "
+            f"(demand {needed} bits vs capacity {capacity} bits)"
+        )
+
+    return ObjectLayout(
+        layout=layout,
+        num_elements=num_elements,
+        bits=bits,
+        num_cores_used=num_cores_used,
+        elements_per_core=elements_per_core,
+        elements_per_group=elements_per_group,
+        groups_per_core=groups_per_core,
+        rows_per_core=rows_per_core,
+    )
+
+
+class RowAllocator:
+    """First-fit interval allocator over the per-core row space.
+
+    PIMeval allocates every object at the same row offsets in all of its
+    cores, so a single one-dimensional allocator covers the whole device.
+    """
+
+    def __init__(self, num_rows: int, enforce_capacity: bool = True) -> None:
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        self.num_rows = num_rows
+        self.enforce_capacity = enforce_capacity
+        self._allocated: "dict[int, tuple[int, int]]" = {}  # id -> (start, count)
+
+    @property
+    def rows_in_use(self) -> int:
+        return sum(count for _, count in self._allocated.values())
+
+    def allocate(self, obj_id: int, count: int) -> int:
+        """Reserve ``count`` rows; returns the starting row."""
+        if count <= 0:
+            raise PimAllocationError(f"row count must be positive, got {count}")
+        if obj_id in self._allocated:
+            raise PimAllocationError(f"object {obj_id} already has rows allocated")
+        start = self._find_gap(count)
+        if start is None:
+            raise PimAllocationError(
+                f"cannot allocate {count} rows: {self.rows_in_use} of "
+                f"{self.num_rows} in use (fragmented or full)"
+            )
+        self._allocated[obj_id] = (start, count)
+        return start
+
+    def free(self, obj_id: int) -> None:
+        if obj_id not in self._allocated:
+            raise PimAllocationError(f"object {obj_id} has no allocated rows")
+        del self._allocated[obj_id]
+
+    def _find_gap(self, count: int) -> "int | None":
+        intervals = sorted(self._allocated.values())
+        cursor = 0
+        for start, length in intervals:
+            if start - cursor >= count:
+                return cursor
+            cursor = max(cursor, start + length)
+        if self.num_rows - cursor >= count or not self.enforce_capacity:
+            return cursor
+        return None

@@ -1,0 +1,76 @@
+"""PIM data objects.
+
+A PIM data object is a 1-D vector of fixed-width elements spanning 2-D
+regions across many PIM cores (Section V-A).  Objects carry their layout
+plan, their allocated row range, and -- in functional mode -- a host-side
+numpy shadow of their contents that the functional engine operates on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config.device import PimDataType
+from repro.core.errors import PimInvalidObjectError, PimTypeError
+from repro.core.layout import ObjectLayout
+
+
+@dataclasses.dataclass
+class PimObject:
+    """One live device allocation."""
+
+    obj_id: int
+    dtype: PimDataType
+    layout: ObjectLayout
+    row_start: int
+    data: "np.ndarray | None" = None
+    freed: bool = False
+
+    @property
+    def num_elements(self) -> int:
+        return self.layout.num_elements
+
+    @property
+    def bits(self) -> int:
+        return self.dtype.bits
+
+    @property
+    def nbytes(self) -> int:
+        """Transfer size of the object's contents in bytes.
+
+        Sub-byte types pack densely: a BOOL object moves as a bitmap
+        (one bit per element), the format the filter-by-key benchmark's
+        host gather walks.
+        """
+        return (self.num_elements * self.dtype.bits + 7) // 8
+
+    def numpy_dtype(self) -> np.dtype:
+        if self.dtype is PimDataType.BOOL:
+            return np.dtype(bool)
+        return np.dtype(self.dtype.numpy_name)
+
+    def require_live(self) -> None:
+        if self.freed:
+            raise PimInvalidObjectError(f"object {self.obj_id} has been freed")
+
+    def set_data(self, values: np.ndarray) -> None:
+        """Install a host array as this object's functional contents."""
+        self.require_live()
+        values = np.asarray(values)
+        if values.shape != (self.num_elements,):
+            raise PimTypeError(
+                f"object {self.obj_id} holds {self.num_elements} elements, "
+                f"got array of shape {values.shape}"
+            )
+        self.data = values.astype(self.numpy_dtype(), copy=True)
+
+    def require_data(self) -> np.ndarray:
+        self.require_live()
+        if self.data is None:
+            raise PimTypeError(
+                f"object {self.obj_id} has no functional data (analytic mode "
+                "or never copied from host)"
+            )
+        return self.data

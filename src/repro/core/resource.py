@@ -1,0 +1,111 @@
+"""PIM resource manager: object allocation, association, and tracking.
+
+Implements Section V-A's resource manager: data objects are placed across
+PIM cores at identical row offsets in every core, tracked by object id, and
+freed back to a row allocator.  ``alloc_associated`` reproduces
+``pimAllocAssociated``: the new object inherits the element count and core
+assignment of a reference object so that element i of both objects lands
+in the same core (and column, for vertical layouts).
+"""
+
+from __future__ import annotations
+
+from repro.config.device import DeviceConfig, PimAllocType, PimDataType
+from repro.core.errors import PimInvalidObjectError, PimTypeError
+from repro.core.layout import ObjectLayout, RowAllocator, plan_layout
+from repro.core.object import PimObject
+
+
+class ResourceManager:
+    """Allocation state of one PIM device."""
+
+    def __init__(self, config: DeviceConfig, enforce_capacity: bool = True) -> None:
+        self.config = config
+        self.enforce_capacity = enforce_capacity
+        self._rows = RowAllocator(config.rows_per_core, enforce_capacity)
+        self._objects: "dict[int, PimObject]" = {}
+        self._next_id = 1
+
+    @property
+    def num_live_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def rows_in_use(self) -> int:
+        return self._rows.rows_in_use
+
+    def get(self, obj_id: int) -> PimObject:
+        obj = self._objects.get(obj_id)
+        if obj is None:
+            raise PimInvalidObjectError(f"no live object with id {obj_id}")
+        return obj
+
+    def alloc(
+        self,
+        num_elements: int,
+        dtype: PimDataType = PimDataType.INT32,
+        layout: PimAllocType = PimAllocType.AUTO,
+    ) -> PimObject:
+        """Allocate a fresh object spread across all cores."""
+        plan = plan_layout(
+            self.config, num_elements, dtype.bits, layout,
+            enforce_capacity=self.enforce_capacity,
+        )
+        obj_id = self._next_id
+        row_start = self._rows.allocate(obj_id, plan.rows_per_core)
+        self._next_id += 1
+        obj = PimObject(obj_id=obj_id, dtype=dtype, layout=plan, row_start=row_start)
+        self._objects[obj_id] = obj
+        return obj
+
+    def alloc_associated(
+        self, ref: PimObject, dtype: "PimDataType | None" = None
+    ) -> PimObject:
+        """Allocate an object whose placement mirrors ``ref``.
+
+        The new object has the same element count and the same per-core
+        distribution, so element-wise commands touch matching cores.
+        """
+        ref.require_live()
+        dtype = dtype or ref.dtype
+        plan = plan_layout(
+            self.config, ref.num_elements, dtype.bits, ref.layout.layout,
+            enforce_capacity=self.enforce_capacity,
+        )
+        if plan.num_cores_used != ref.layout.num_cores_used:
+            raise PimTypeError(
+                "associated allocation changed the core assignment; "
+                f"{plan.num_cores_used} vs {ref.layout.num_cores_used} cores"
+            )
+        obj_id = self._next_id
+        row_start = self._rows.allocate(obj_id, plan.rows_per_core)
+        self._next_id += 1
+        obj = PimObject(obj_id=obj_id, dtype=dtype, layout=plan, row_start=row_start)
+        self._objects[obj_id] = obj
+        return obj
+
+    def free(self, obj: PimObject) -> None:
+        obj.require_live()
+        self._rows.free(obj.obj_id)
+        del self._objects[obj.obj_id]
+        obj.freed = True
+        obj.data = None
+
+    def free_all(self) -> None:
+        for obj in list(self._objects.values()):
+            self.free(obj)
+
+    def check_layout_compatible(self, *objects: PimObject) -> ObjectLayout:
+        """Validate that element-wise operands share a layout; returns it."""
+        if not objects:
+            raise PimTypeError("no operands supplied")
+        first = objects[0].layout
+        for obj in objects[1:]:
+            if obj.layout.num_elements != first.num_elements:
+                raise PimTypeError(
+                    f"operand element counts differ: {obj.layout.num_elements} "
+                    f"vs {first.num_elements}"
+                )
+            if obj.layout.layout is not first.layout:
+                raise PimTypeError("operand layouts differ (horizontal vs vertical)")
+        return first

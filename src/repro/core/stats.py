@@ -1,0 +1,235 @@
+"""Statistics tracking: the numbers Listing 3 reports.
+
+The tracker aggregates, per simulated run: data-copy bytes/latency/energy
+in each direction, per-command counts with estimated runtime and energy,
+background energy, and host-kernel time/energy for PIM+Host benchmarks.
+Latencies accumulate in nanoseconds and energies in nanojoules internally;
+reports convert to the paper's ms / mJ units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+from repro.core.commands import PimCmdKind
+
+
+@dataclasses.dataclass
+class CmdStats:
+    """Accumulated cost of one command signature (e.g. ``add.int32.v``)."""
+
+    count: int = 0
+    latency_ns: float = 0.0
+    energy_nj: float = 0.0
+
+    def record(self, latency_ns: float, energy_nj: float, count: int = 1) -> None:
+        self.count += count
+        self.latency_ns += latency_ns
+        self.energy_nj += energy_nj
+
+
+@dataclasses.dataclass(frozen=True)
+class EventCounts:
+    """Physical-event census: what the modeled hardware actually did.
+
+    Accumulated from the performance models' cost records; the basis of
+    the per-benchmark activity analysis (row activations dominate
+    bit-serial energy, GDL traffic exposes the bank-level bottleneck).
+    """
+
+    row_activations: float = 0.0
+    lane_logic_ops: float = 0.0
+    alu_word_ops: float = 0.0
+    walker_bits: float = 0.0
+    gdl_bits: float = 0.0
+
+    def __add__(self, other: "EventCounts") -> "EventCounts":
+        return EventCounts(
+            row_activations=self.row_activations + other.row_activations,
+            lane_logic_ops=self.lane_logic_ops + other.lane_logic_ops,
+            alu_word_ops=self.alu_word_ops + other.alu_word_ops,
+            walker_bits=self.walker_bits + other.walker_bits,
+            gdl_bits=self.gdl_bits + other.gdl_bits,
+        )
+
+    def __sub__(self, other: "EventCounts") -> "EventCounts":
+        return EventCounts(
+            row_activations=self.row_activations - other.row_activations,
+            lane_logic_ops=self.lane_logic_ops - other.lane_logic_ops,
+            alu_word_ops=self.alu_word_ops - other.alu_word_ops,
+            walker_bits=self.walker_bits - other.walker_bits,
+            gdl_bits=self.gdl_bits - other.gdl_bits,
+        )
+
+    def scaled(self, factor: float) -> "EventCounts":
+        return EventCounts(
+            row_activations=self.row_activations * factor,
+            lane_logic_ops=self.lane_logic_ops * factor,
+            alu_word_ops=self.alu_word_ops * factor,
+            walker_bits=self.walker_bits * factor,
+            gdl_bits=self.gdl_bits * factor,
+        )
+
+
+@dataclasses.dataclass
+class CopyStats:
+    """Data-movement accounting for one direction."""
+
+    num_bytes: int = 0
+    latency_ns: float = 0.0
+    energy_nj: float = 0.0
+
+    def record(self, num_bytes: int, latency_ns: float, energy_nj: float) -> None:
+        self.num_bytes += num_bytes
+        self.latency_ns += latency_ns
+        self.energy_nj += energy_nj
+
+
+class StatsTracker:
+    """Mutable statistics store attached to a device."""
+
+    def __init__(self) -> None:
+        self.commands: "OrderedDict[str, CmdStats]" = OrderedDict()
+        self.op_counts: "dict[PimCmdKind, int]" = {}
+        self.host_to_device = CopyStats()
+        self.device_to_host = CopyStats()
+        self.device_to_device = CopyStats()
+        self.background_energy_nj = 0.0
+        self.host_time_ns = 0.0
+        self.host_energy_nj = 0.0
+        self.events = EventCounts()
+
+    # -- recording ----------------------------------------------------------
+
+    def record_command(
+        self,
+        kind: PimCmdKind,
+        signature: str,
+        latency_ns: float,
+        energy_nj: float,
+        background_energy_nj: float = 0.0,
+        count: int = 1,
+        events: "EventCounts | None" = None,
+    ) -> None:
+        self.commands.setdefault(signature, CmdStats()).record(
+            latency_ns, energy_nj, count
+        )
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + count
+        self.background_energy_nj += background_energy_nj
+        if events is not None:
+            self.events = self.events + events
+
+    def record_copy(
+        self, direction: str, num_bytes: int, latency_ns: float, energy_nj: float
+    ) -> None:
+        bucket = {
+            "h2d": self.host_to_device,
+            "d2h": self.device_to_host,
+            "d2d": self.device_to_device,
+        }.get(direction)
+        if bucket is None:
+            raise ValueError(f"unknown copy direction {direction!r}")
+        bucket.record(num_bytes, latency_ns, energy_nj)
+
+    def record_host(self, time_ns: float, energy_nj: float) -> None:
+        self.host_time_ns += time_ns
+        self.host_energy_nj += energy_nj
+
+    def reset(self) -> None:
+        self.__init__()
+
+    # -- aggregate views ------------------------------------------------------
+
+    @property
+    def kernel_time_ns(self) -> float:
+        """Total modeled PIM-kernel latency."""
+        return sum(stats.latency_ns for stats in self.commands.values())
+
+    @property
+    def kernel_energy_nj(self) -> float:
+        """Total modeled PIM-kernel energy, excluding background."""
+        return sum(stats.energy_nj for stats in self.commands.values())
+
+    @property
+    def copy_time_ns(self) -> float:
+        return (
+            self.host_to_device.latency_ns
+            + self.device_to_host.latency_ns
+            + self.device_to_device.latency_ns
+        )
+
+    @property
+    def copy_energy_nj(self) -> float:
+        return (
+            self.host_to_device.energy_nj
+            + self.device_to_host.energy_nj
+            + self.device_to_device.energy_nj
+        )
+
+    @property
+    def copy_bytes(self) -> int:
+        return (
+            self.host_to_device.num_bytes
+            + self.device_to_host.num_bytes
+            + self.device_to_device.num_bytes
+        )
+
+    @property
+    def total_command_count(self) -> int:
+        return sum(stats.count for stats in self.commands.values())
+
+    def snapshot(self) -> "StatsSnapshot":
+        """Freeze the current totals (used by benchmark phase accounting)."""
+        return StatsSnapshot(
+            kernel_time_ns=self.kernel_time_ns,
+            kernel_energy_nj=self.kernel_energy_nj,
+            copy_time_ns=self.copy_time_ns,
+            copy_energy_nj=self.copy_energy_nj,
+            copy_bytes=self.copy_bytes,
+            background_energy_nj=self.background_energy_nj,
+            host_time_ns=self.host_time_ns,
+            host_energy_nj=self.host_energy_nj,
+            events=self.events,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable totals at one point in time; supports interval deltas."""
+
+    kernel_time_ns: float = 0.0
+    kernel_energy_nj: float = 0.0
+    copy_time_ns: float = 0.0
+    copy_energy_nj: float = 0.0
+    copy_bytes: int = 0
+    background_energy_nj: float = 0.0
+    host_time_ns: float = 0.0
+    host_energy_nj: float = 0.0
+    events: EventCounts = dataclasses.field(default_factory=EventCounts)
+
+    def __sub__(self, other: "StatsSnapshot") -> "StatsSnapshot":
+        return StatsSnapshot(
+            kernel_time_ns=self.kernel_time_ns - other.kernel_time_ns,
+            kernel_energy_nj=self.kernel_energy_nj - other.kernel_energy_nj,
+            copy_time_ns=self.copy_time_ns - other.copy_time_ns,
+            copy_energy_nj=self.copy_energy_nj - other.copy_energy_nj,
+            copy_bytes=self.copy_bytes - other.copy_bytes,
+            background_energy_nj=self.background_energy_nj - other.background_energy_nj,
+            host_time_ns=self.host_time_ns - other.host_time_ns,
+            host_energy_nj=self.host_energy_nj - other.host_energy_nj,
+            events=self.events - other.events,
+        )
+
+    @property
+    def total_time_ns(self) -> float:
+        return self.kernel_time_ns + self.copy_time_ns + self.host_time_ns
+
+    @property
+    def total_energy_nj(self) -> float:
+        return (
+            self.kernel_energy_nj
+            + self.copy_energy_nj
+            + self.background_energy_nj
+            + self.host_energy_nj
+        )

@@ -1,0 +1,6 @@
+"""Energy models: Micron power primitives and per-device accounting."""
+
+from repro.energy.micron import MicronEnergyModel
+from repro.energy.model import CommandEnergy, EnergyModel
+
+__all__ = ["CommandEnergy", "EnergyModel", "MicronEnergyModel"]

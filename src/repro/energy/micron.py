@@ -1,0 +1,55 @@
+"""Micron-power-model derived energy primitives (Section V-D).
+
+Turns the IDD-current parameters into the three per-event energies the
+simulator needs: data-transfer energy per byte (Equation 1 power times
+transfer time, plus I/O driver energy), activate-precharge energy per row
+operation (Equation 2), and the per-subarray background power used for
+Section V-D(iii)'s background-energy term.
+"""
+
+from __future__ import annotations
+
+from repro.config.dram import DramSpec
+from repro.config.power import MicronPowerParams
+
+
+class MicronEnergyModel:
+    """Energy primitives for one DRAM module."""
+
+    def __init__(self, params: MicronPowerParams, dram: DramSpec) -> None:
+        self.params = params
+        self.dram = dram
+
+    @property
+    def chips_per_rank(self) -> int:
+        return self.dram.geometry.chips_per_rank
+
+    def transfer_pj_per_byte(self, direction: str) -> float:
+        """Energy per byte moved over the channel (pJ/byte).
+
+        Equation 1 gives the burst power of one chip; a transfer engages
+        all chips of a rank at the rank's bandwidth, and the I/O drivers
+        add a per-byte term.
+        """
+        if direction == "d2h":
+            power_w = self.params.read_power_w()
+        elif direction == "h2d":
+            power_w = self.params.write_power_w()
+        else:  # device-internal copies burn both a read and a write burst
+            power_w = self.params.read_power_w() + self.params.write_power_w()
+        rank_power_w = power_w * self.chips_per_rank
+        bw_bytes_per_s = self.dram.timing.rank_bandwidth_gbps * 1e9
+        burst_pj = rank_power_w / bw_bytes_per_s * 1e12
+        return burst_pj + self.params.io_pj_per_byte
+
+    def transfer_energy_nj(self, num_bytes: int, direction: str) -> float:
+        return num_bytes * self.transfer_pj_per_byte(direction) * 1e-3
+
+    def row_activation_energy_nj(self) -> float:
+        """Equation 2: one activate-precharge cycle of one subarray row."""
+        timing = self.dram.timing
+        return self.params.activate_precharge_energy_nj(timing.tras_ns, timing.trp_ns)
+
+    def background_power_w_per_subarray(self) -> float:
+        """Active-minus-precharge standby power attributed per subarray."""
+        return self.params.background_power_w()

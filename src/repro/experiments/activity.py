@@ -1,0 +1,64 @@
+"""Physical-activity census: what each benchmark makes the hardware do.
+
+Beyond the time/energy outputs, the models track the raw event counts --
+row activations, bit-serial lane micro-ops, word-ALU operations, walker
+latches, and GDL bits.  This census explains *why* the figures look the
+way they do: bit-serial energy tracks row activations x lanes, the
+bank-level ceiling tracks GDL bits, and Fulcrum sits on its walker/ALU
+balance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.core.stats import EventCounts
+from repro.experiments.runner import DEVICE_ORDER, SuiteResults, run_suite
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivityRow:
+    """One benchmark's physical-event counts on one architecture."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    events: EventCounts
+    kernel_time_ns: float
+
+    @property
+    def activations_per_us(self) -> float:
+        """Row-activation rate: the device's thermal/power intensity."""
+        if self.kernel_time_ns <= 0:
+            return 0.0
+        return self.events.row_activations / (self.kernel_time_ns / 1e3)
+
+
+def activity_table(suite: "SuiteResults | None" = None) -> "list[ActivityRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    rows = []
+    for device_type in DEVICE_ORDER:
+        for key in suite.benchmark_keys():
+            result = suite.result(key, device_type)
+            rows.append(ActivityRow(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                events=result.stats.events,
+                kernel_time_ns=result.stats.kernel_time_ns,
+            ))
+    return rows
+
+
+def format_activity_table(rows: "list[ActivityRow]") -> str:
+    lines = [
+        f"{'benchmark':<22s} {'device':<12s} {'row acts':>12s} "
+        f"{'lane ops':>12s} {'ALU ops':>12s} {'GDL Gbit':>9s}"
+    ]
+    for row in rows:
+        events = row.events
+        lines.append(
+            f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+            f"{events.row_activations:>12.3g} {events.lane_logic_ops:>12.3g} "
+            f"{events.alu_word_ops:>12.3g} {events.gdl_bits / 1e9:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 7: execution-time breakdown per benchmark and architecture.
+
+Shows the percentage of each benchmark's modeled runtime spent in data
+movement, host execution, and PIM kernel execution at 32 ranks -- the
+stacked bars of Figure 7.  Host-bound benchmarks (radix sort,
+filter-by-key, KNN, VGG) show dominant host segments, matching the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import DEVICE_ORDER, SuiteResults, run_suite
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakdownRow:
+    """One stacked bar of Figure 7."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    data_movement_pct: float
+    host_pct: float
+    kernel_pct: float
+
+    def __post_init__(self) -> None:
+        total = self.data_movement_pct + self.host_pct + self.kernel_pct
+        if total and not 99.0 <= total <= 101.0:
+            raise ValueError(f"breakdown does not sum to 100%: {total}")
+
+
+def breakdown_table(suite: "SuiteResults | None" = None) -> "list[BreakdownRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    rows = []
+    for device_type in DEVICE_ORDER:
+        for key in suite.benchmark_keys():
+            result = suite.result(key, device_type)
+            shares = result.breakdown
+            rows.append(BreakdownRow(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                data_movement_pct=shares["data_movement"],
+                host_pct=shares["host"],
+                kernel_pct=shares["kernel"],
+            ))
+    return rows
+
+
+def format_breakdown_table(rows: "list[BreakdownRow]") -> str:
+    lines = [
+        f"{'benchmark':<22s} {'device':<12s} {'DataMove%':>10s} "
+        f"{'Host%':>8s} {'Kernel%':>8s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+            f"{row.data_movement_pct:>10.1f} {row.host_pct:>8.1f} "
+            f"{row.kernel_pct:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Channel-sharing sensitivity (the deferred DRAMsim3 refinement).
+
+Section V-C warns that treating every rank as an independent channel
+"amplifies data transfer bandwidth" and that "overhead of large data
+transfers will increase once modeling accounts for multiple ranks sharing
+a channel".  This experiment applies that correction: host-transfer
+parallelism is capped at a realistic channel count (the Table II EPYC has
+12 channels) and the kernel+DM speedups of the transfer-bound benchmarks
+are re-evaluated.  Kernel-only results are untouched by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import run_suite
+
+#: None = PIMeval's rank-independent default; the others are realistic.
+CHANNEL_SWEEP: "tuple[int | None, ...]" = (None, 12, 4)
+
+#: Benchmarks whose Figure 7 bars are transfer-dominated.
+TRANSFER_BOUND_KEYS = ("vecadd", "axpy", "brightness", "linreg")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelPoint:
+    """With-DM speedup of one benchmark under one channel count."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    num_channels: "int | None"
+    speedup_cpu_total: float
+    copy_ms: float
+
+
+def channel_sensitivity(
+    keys: "tuple[str, ...]" = TRANSFER_BOUND_KEYS,
+    channels: "tuple[int | None, ...]" = CHANNEL_SWEEP,
+    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+) -> "list[ChannelPoint]":
+    """Sweep the channel cap; kernel+DM speedups shrink as it tightens."""
+    points = []
+    for num_channels in channels:
+        overrides = {} if num_channels is None else {
+            "num_channels": num_channels
+        }
+        suite = run_suite(
+            num_ranks=32, paper_scale=True, keys=keys,
+            geometry_overrides=overrides or None,
+        )
+        for key in keys:
+            result = suite.result(key, device_type)
+            points.append(ChannelPoint(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                num_channels=num_channels,
+                speedup_cpu_total=result.speedup_cpu_total,
+                copy_ms=result.stats.copy_time_ns / 1e6,
+            ))
+    return points
+
+
+def format_channel_table(points: "list[ChannelPoint]") -> str:
+    channels = []
+    for point in points:
+        if point.num_channels not in channels:
+            channels.append(point.num_channels)
+    benchmarks = []
+    for point in points:
+        if point.benchmark not in benchmarks:
+            benchmarks.append(point.benchmark)
+    header = f"{'benchmark':<22s}" + "".join(
+        f" ch={'rank' if c is None else c:>4}" for c in channels
+    )
+    lines = [header + "   (kernel+DM speedup over CPU)"]
+    for name in benchmarks:
+        cells = []
+        for c in channels:
+            match = [p for p in points
+                     if p.benchmark == name and p.num_channels == c]
+            cells.append(f" {match[0].speedup_cpu_total:>7.2f}" if match
+                         else " " * 8)
+        lines.append(f"{name:<22s}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""The paper's Conclusions paragraph, computed from the model.
+
+Section X states four headline quantitative findings; this module
+evaluates each from the 32-rank suite so the claims are checked by the
+harness rather than transcribed:
+
+1. Fulcrum achieves the highest geometric-mean performance among the
+   variants, about 5.2x over the CPU;
+2. no PIM variant consistently outperforms the A100;
+3. most benchmarks reduce energy relative to the CPU on the subarray-
+   level bit-parallel design; and
+4. subarray-level PIM reaches ~2x energy Gmean over the GPU while the
+   bank-level approach cannot beat it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.energy import energy_table
+from repro.experiments.energy import gmean_summary as energy_gmeans
+from repro.experiments.runner import SuiteResults, run_suite
+from repro.experiments.speedup import gmean_summary as speedup_gmeans
+from repro.experiments.speedup import speedup_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Conclusions:
+    """The Section X headline numbers, as measured by this model."""
+
+    fulcrum_cpu_gmean: float
+    best_performance_variant: PimDeviceType
+    fraction_of_gpu_wins: float  # share of (benchmark, variant) beating GPU
+    fulcrum_energy_winners: int  # benchmarks with CPU-energy reduction > 1
+    num_benchmarks: int
+    fulcrum_energy_gmean_vs_gpu: float
+    bank_energy_gmean_vs_gpu: float
+
+    def summary_lines(self) -> "list[str]":
+        return [
+            f"Fulcrum Gmean speedup over CPU (kernel): "
+            f"{self.fulcrum_cpu_gmean:.2f}x (paper: ~5.2x)",
+            f"Best-performing variant: "
+            f"{self.best_performance_variant.display_name} (paper: Fulcrum)",
+            f"Share of PIM results beating the A100: "
+            f"{self.fraction_of_gpu_wins:.0%} (paper: not consistent)",
+            f"Fulcrum benchmarks with CPU energy reduction: "
+            f"{self.fulcrum_energy_winners}/{self.num_benchmarks} "
+            "(paper: most)",
+            f"Energy Gmean vs GPU: Fulcrum "
+            f"{self.fulcrum_energy_gmean_vs_gpu:.2f}x (paper: ~2x), "
+            f"bank-level {self.bank_energy_gmean_vs_gpu:.2f}x (paper: <1)",
+        ]
+
+
+def compute_conclusions(suite: "SuiteResults | None" = None) -> Conclusions:
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    speed_rows = speedup_table(suite)
+    speed_means = speedup_gmeans(speed_rows)
+    energy_rows = energy_table(suite)
+    energy_means = energy_gmeans(energy_rows)
+
+    # The paper ranks variants by Gmean "including data transfer
+    # overheads", i.e. the kernel+DM total.
+    best = max(speed_means, key=lambda d: speed_means[d]["total"])
+    gpu_wins = sum(1 for r in speed_rows if r.speedup_gpu > 1)
+    fulcrum_energy_rows = [
+        r for r in energy_rows if r.device_type is PimDeviceType.FULCRUM
+    ]
+    return Conclusions(
+        fulcrum_cpu_gmean=speed_means[PimDeviceType.FULCRUM]["kernel"],
+        best_performance_variant=best,
+        fraction_of_gpu_wins=gpu_wins / len(speed_rows),
+        fulcrum_energy_winners=sum(
+            1 for r in fulcrum_energy_rows if r.reduction_cpu > 1
+        ),
+        num_benchmarks=len(fulcrum_energy_rows),
+        fulcrum_energy_gmean_vs_gpu=energy_means[PimDeviceType.FULCRUM]["gpu"],
+        bank_energy_gmean_vs_gpu=energy_means[PimDeviceType.BANK_LEVEL]["gpu"],
+    )
+
+
+def format_conclusions(conclusions: Conclusions) -> str:
+    return "\n".join(conclusions.summary_lines())

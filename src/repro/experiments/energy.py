@@ -1,0 +1,76 @@
+"""Figures 10b and 11: PIM energy reduction over the GPU and CPU.
+
+Figure 11 compares full PIM energy (kernel + data transfer + background +
+host at TDP) against the CPU baseline at TDP; Figure 10b compares against
+the GPU with data-transfer and CPU-idle energy factored out of both sides,
+per the paper's methodology (Section VI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import (
+    DEVICE_ORDER,
+    SuiteResults,
+    geometric_mean,
+    run_suite,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyRow:
+    """One benchmark's energy-reduction bars for one architecture."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    reduction_cpu: float  # Figure 11
+    reduction_gpu: float  # Figure 10b
+    pim_energy_mj: float
+
+
+def energy_table(suite: "SuiteResults | None" = None) -> "list[EnergyRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    rows = []
+    for device_type in DEVICE_ORDER:
+        for key in suite.benchmark_keys():
+            result = suite.result(key, device_type)
+            rows.append(EnergyRow(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                reduction_cpu=result.energy_reduction_cpu,
+                reduction_gpu=result.energy_reduction_gpu,
+                pim_energy_mj=result.pim_total_energy_nj / 1e6,
+            ))
+    return rows
+
+
+def gmean_summary(rows: "list[EnergyRow]") -> "dict[PimDeviceType, dict[str, float]]":
+    summary = {}
+    for device_type in DEVICE_ORDER:
+        device_rows = [r for r in rows if r.device_type is device_type]
+        summary[device_type] = {
+            "cpu": geometric_mean(r.reduction_cpu for r in device_rows),
+            "gpu": geometric_mean(r.reduction_gpu for r in device_rows),
+        }
+    return summary
+
+
+def format_energy_table(rows: "list[EnergyRow]") -> str:
+    lines = [
+        f"{'benchmark':<22s} {'device':<12s} {'vs CPU':>10s} {'vs GPU':>10s} "
+        f"{'PIM mJ':>14s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+            f"{row.reduction_cpu:>10.3f} {row.reduction_gpu:>10.3f} "
+            f"{row.pim_energy_mj:>14.3f}"
+        )
+    for device_type, means in gmean_summary(rows).items():
+        lines.append(
+            f"{'Gmean':<22s} {device_type.display_name:<12s} "
+            f"{means['cpu']:>10.3f} {means['gpu']:>10.3f} {'':>14s}"
+        )
+    return "\n".join(lines)

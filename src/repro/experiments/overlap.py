@@ -1,0 +1,74 @@
+"""Copy/compute overlap potential (double buffering).
+
+The paper points at pipelining opportunities ("Fetching the second
+vector operand can be pipelined with the scaling") but models phases
+sequentially, as we do.  This analysis computes the analytic upper bound
+of perfect double buffering per benchmark: total time drops from
+``copy + kernel + host`` to ``max(copy, kernel + host)``.  Benchmarks
+whose Figure 7 bar is split between data movement and kernel gain up to
+2x; one-sided benchmarks gain nothing -- quantifying how much of the
+Figure 9 gap is recoverable by a smarter runtime rather than better
+hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import DEVICE_ORDER, SuiteResults, run_suite
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlapRow:
+    """Sequential vs perfectly-overlapped time for one benchmark."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    sequential_ms: float
+    overlapped_ms: float
+    speedup_cpu_sequential: float
+    speedup_cpu_overlapped: float
+
+    @property
+    def overlap_gain(self) -> float:
+        if self.overlapped_ms <= 0:
+            return 1.0
+        return self.sequential_ms / self.overlapped_ms
+
+
+def overlap_table(suite: "SuiteResults | None" = None) -> "list[OverlapRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    rows = []
+    for device_type in DEVICE_ORDER:
+        for key in suite.benchmark_keys():
+            result = suite.result(key, device_type)
+            stats = result.stats
+            sequential = stats.total_time_ns
+            overlapped = max(
+                stats.copy_time_ns, stats.kernel_time_ns + stats.host_time_ns
+            )
+            rows.append(OverlapRow(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                sequential_ms=sequential / 1e6,
+                overlapped_ms=overlapped / 1e6,
+                speedup_cpu_sequential=result.cpu_time_ns / sequential,
+                speedup_cpu_overlapped=result.cpu_time_ns / overlapped,
+            ))
+    return rows
+
+
+def format_overlap_table(rows: "list[OverlapRow]") -> str:
+    lines = [
+        f"{'benchmark':<22s} {'device':<12s} {'seq ms':>10s} {'ovl ms':>10s} "
+        f"{'gain':>6s} {'vsCPU seq':>10s} {'vsCPU ovl':>10s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+            f"{row.sequential_ms:>10.3f} {row.overlapped_ms:>10.3f} "
+            f"{row.overlap_gain:>6.2f} {row.speedup_cpu_sequential:>10.3f} "
+            f"{row.speedup_cpu_overlapped:>10.3f}"
+        )
+    return "\n".join(lines)

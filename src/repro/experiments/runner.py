@@ -1,0 +1,134 @@
+"""Suite runner shared by all figure-regeneration experiments.
+
+Runs every PIMbench benchmark on every PIM variant at a given rank count
+and caches the results, so the per-figure drivers (speedup, energy,
+breakdown, op-mix, rank scaling) reuse one simulation pass per
+configuration instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.bench.common import BenchmarkResult, PimBenchmark
+from repro.bench.registry import BENCHMARK_CLASSES, make_benchmark
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+
+#: Figure order of the benchmarks (Table I order).
+BENCHMARK_ORDER: "tuple[str, ...]" = tuple(cls.key for cls in BENCHMARK_CLASSES)
+#: Figure order of the architectures.
+DEVICE_ORDER: "tuple[PimDeviceType, ...]" = (
+    PimDeviceType.BITSIMD_V_AP,
+    PimDeviceType.FULCRUM,
+    PimDeviceType.BANK_LEVEL,
+)
+
+
+@dataclasses.dataclass
+class SuiteResults:
+    """All (benchmark, architecture) results of one configuration."""
+
+    num_ranks: int
+    paper_scale: bool
+    benchmarks: "dict[str, PimBenchmark]"
+    results: "dict[tuple[str, PimDeviceType], BenchmarkResult]"
+
+    def result(self, key: str, device_type: PimDeviceType) -> BenchmarkResult:
+        return self.results[(key, device_type)]
+
+    def benchmark_keys(self) -> "tuple[str, ...]":
+        return tuple(k for k in BENCHMARK_ORDER if k in self.benchmarks)
+
+
+_CACHE: "dict[tuple, SuiteResults]" = {}
+
+
+def _device_config(
+    device_type: PimDeviceType, num_ranks: int,
+    geometry_overrides: "dict[str, int] | None",
+) -> DeviceConfig:
+    overrides = geometry_overrides or {}
+    return make_device_config(device_type, num_ranks, **overrides)
+
+
+def run_suite(
+    num_ranks: int = 32,
+    paper_scale: bool = True,
+    keys: "typing.Sequence[str] | None" = None,
+    functional: bool = False,
+    geometry_overrides: "dict[str, int] | None" = None,
+    use_cache: bool = True,
+    enforce_capacity: bool = True,
+) -> SuiteResults:
+    """Run (or fetch cached) suite results for one configuration.
+
+    ``enforce_capacity=False`` permits over-committed allocations, which
+    the Figure 12 rank sweep needs: the paper runs the full Table I
+    inputs even at rank counts whose capacity they exceed.
+    """
+    keys = tuple(keys) if keys is not None else BENCHMARK_ORDER
+    cache_key = (
+        num_ranks, paper_scale, keys, functional, enforce_capacity,
+        tuple(sorted((geometry_overrides or {}).items())),
+    )
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    cpu = CpuModel()
+    gpu = GpuModel()
+    benchmarks: "dict[str, PimBenchmark]" = {}
+    results: "dict[tuple[str, PimDeviceType], BenchmarkResult]" = {}
+    for key in keys:
+        bench = make_benchmark(key, paper_scale=paper_scale)
+        benchmarks[key] = bench
+        for device_type in DEVICE_ORDER:
+            config = _device_config(device_type, num_ranks, geometry_overrides)
+            device = PimDevice(
+                config, functional=functional,
+                enforce_capacity=enforce_capacity,
+            )
+            results[(key, device_type)] = bench.run(device, cpu, gpu)
+    suite = SuiteResults(
+        num_ranks=num_ranks,
+        paper_scale=paper_scale,
+        benchmarks=benchmarks,
+        results=results,
+    )
+    if use_cache:
+        _CACHE[cache_key] = suite
+    return suite
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def export_suite_json(suite: SuiteResults) -> str:
+    """Serialize a whole suite run (for archiving / external analysis)."""
+    import json
+
+    payload = {
+        "num_ranks": suite.num_ranks,
+        "paper_scale": suite.paper_scale,
+        "results": [
+            suite.results[(key, device_type)].to_dict()
+            for key in suite.benchmark_keys()
+            for device_type in DEVICE_ORDER
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def geometric_mean(values: "typing.Iterable[float]") -> float:
+    """Geometric mean, ignoring non-positive entries (as figure Gmeans do)."""
+    import math
+
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))

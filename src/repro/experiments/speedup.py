@@ -1,0 +1,82 @@
+"""Figures 9 and 10a: PIM speedup over the CPU and GPU baselines.
+
+Figure 9 plots, per architecture and benchmark at 32 ranks, the speedup
+over the CPU for (i) kernel + data movement and (ii) kernel only; Figure
+10a plots the speedup over the GPU with the PCIe/CXL transfer factored
+out of both sides.  Gmean columns close each group, as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import (
+    DEVICE_ORDER,
+    SuiteResults,
+    geometric_mean,
+    run_suite,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupRow:
+    """One benchmark's bars for one architecture."""
+
+    benchmark: str
+    device_type: PimDeviceType
+    speedup_total: float  # kernel + data movement (+ host)
+    speedup_kernel: float  # kernel (+ host) only
+    speedup_gpu: float
+
+
+def speedup_table(suite: "SuiteResults | None" = None) -> "list[SpeedupRow]":
+    """All Figure 9 / 10a bars, in figure order."""
+    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    rows = []
+    for device_type in DEVICE_ORDER:
+        for key in suite.benchmark_keys():
+            result = suite.result(key, device_type)
+            rows.append(SpeedupRow(
+                benchmark=result.benchmark,
+                device_type=device_type,
+                speedup_total=result.speedup_cpu_total,
+                speedup_kernel=result.speedup_cpu_kernel,
+                speedup_gpu=result.speedup_gpu,
+            ))
+    return rows
+
+
+def gmean_summary(rows: "list[SpeedupRow]") -> "dict[PimDeviceType, dict[str, float]]":
+    """Per-architecture Gmean of each bar type (the paper's Gmean bars)."""
+    summary = {}
+    for device_type in DEVICE_ORDER:
+        device_rows = [r for r in rows if r.device_type is device_type]
+        summary[device_type] = {
+            "total": geometric_mean(r.speedup_total for r in device_rows),
+            "kernel": geometric_mean(r.speedup_kernel for r in device_rows),
+            "gpu": geometric_mean(r.speedup_gpu for r in device_rows),
+        }
+    return summary
+
+
+def format_speedup_table(rows: "list[SpeedupRow]") -> str:
+    """Figures 9 and 10a as one text table."""
+    lines = [
+        f"{'benchmark':<22s} {'device':<12s} {'CPU k+DM':>10s} "
+        f"{'CPU kernel':>10s} {'GPU':>10s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+            f"{row.speedup_total:>10.3f} {row.speedup_kernel:>10.3f} "
+            f"{row.speedup_gpu:>10.3f}"
+        )
+    summary = gmean_summary(rows)
+    for device_type, means in summary.items():
+        lines.append(
+            f"{'Gmean':<22s} {device_type.display_name:<12s} "
+            f"{means['total']:>10.3f} {means['kernel']:>10.3f} "
+            f"{means['gpu']:>10.3f}"
+        )
+    return "\n".join(lines)

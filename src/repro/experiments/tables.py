@@ -1,0 +1,48 @@
+"""Tables I and II: the benchmark inventory and architecture configs."""
+
+from __future__ import annotations
+
+from repro.bench.registry import BENCHMARK_CLASSES
+from repro.config.presets import CPU_BASELINE, GPU_BASELINE, all_pim_configs
+
+
+def format_table1() -> str:
+    """Table I: the PIMbench suite."""
+    lines = [
+        f"{'Domain':<22s} {'Application':<22s} {'Access':<12s} "
+        f"{'Execution':<11s} Input"
+    ]
+    for cls in BENCHMARK_CLASSES:
+        access = "Seq"
+        if cls.random_access and cls.sequential_access:
+            access = "Seq+Random"
+        elif cls.random_access:
+            access = "Random"
+        lines.append(
+            f"{cls.domain:<22s} {cls.name:<22s} {access:<12s} "
+            f"{cls.execution_type:<11s} {cls.paper_input}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(num_ranks: int = 32) -> str:
+    """Table II: the evaluated architecture configurations."""
+    lines = [
+        f"CPU: {CPU_BASELINE.name}, {CPU_BASELINE.num_cores} cores @ "
+        f"{CPU_BASELINE.freq_ghz} GHz, {CPU_BASELINE.tdp_w:.0f} W TDP, "
+        f"peak memory BW {CPU_BASELINE.mem_bandwidth_gbps} GB/s",
+        f"GPU: {GPU_BASELINE.name}, {GPU_BASELINE.tdp_w:.0f} W TDP, "
+        f"peak memory BW {GPU_BASELINE.mem_bandwidth_gbps} GB/s, "
+        f"peak 32-bit rate {GPU_BASELINE.peak_fp32_tflops} TFLOPS",
+    ]
+    for device_type, config in all_pim_configs(num_ranks).items():
+        geometry = config.dram.geometry
+        lines.append(
+            f"{device_type.display_name}: {geometry.num_ranks} ranks, "
+            f"{geometry.banks_per_rank} banks/rank, "
+            f"{geometry.subarrays_per_bank} subarrays/bank, "
+            f"{geometry.cols_per_subarray}-bit local row buffers, "
+            f"{config.num_cores} PIM cores, "
+            f"{geometry.total_capacity_bytes / 2**30:.0f} GiB"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Host-side execution modeling for PIM+Host benchmarks."""
+
+from repro.host.model import HostModel
+
+__all__ = ["HostModel"]

@@ -1,0 +1,44 @@
+"""Bit-serial microcode: ISA, assembler, programs, simulator, and tools."""
+
+from repro.microcode.analog import (
+    AnalogCost,
+    AnalogTiming,
+    TraSimulator,
+    translate_program,
+)
+from repro.microcode.assembler import Assembler, MicroProgram, Operand
+from repro.microcode.disasm import cost_table, disassemble, format_micro_op
+from repro.microcode.optimizer import OptimizationReport, optimize, report
+from repro.microcode.isa import MicroOp, MicroOpKind, MicroProgramCost, cost_of
+from repro.microcode.programs import get_program
+from repro.microcode.simulator import (
+    BitSliceSimulator,
+    run_binary_op,
+    run_reduction,
+    run_unary_op,
+)
+
+__all__ = [
+    "AnalogCost",
+    "AnalogTiming",
+    "TraSimulator",
+    "translate_program",
+    "cost_table",
+    "disassemble",
+    "format_micro_op",
+    "OptimizationReport",
+    "optimize",
+    "report",
+    "Assembler",
+    "MicroProgram",
+    "Operand",
+    "MicroOp",
+    "MicroOpKind",
+    "MicroProgramCost",
+    "cost_of",
+    "get_program",
+    "BitSliceSimulator",
+    "run_binary_op",
+    "run_reduction",
+    "run_unary_op",
+]

@@ -1,0 +1,62 @@
+"""Microprogram disassembler: human-readable bit-serial listings.
+
+Renders a :class:`MicroProgram` as assembly-style text, with summary
+statistics, for debugging microprograms and for the documentation's
+per-op cost tables.
+"""
+
+from __future__ import annotations
+
+from repro.microcode.assembler import MicroProgram
+from repro.microcode.isa import MicroOp, MicroOpKind
+
+
+def format_micro_op(op: MicroOp) -> str:
+    """One micro-op as assembly text."""
+    kind = op.kind
+    if kind is MicroOpKind.READ_ROW:
+        return f"read   {op.dst}, row[{op.row}]"
+    if kind is MicroOpKind.WRITE_ROW:
+        return f"write  row[{op.row}], {op.srcs[0]}"
+    if kind is MicroOpKind.SET:
+        return f"set    {op.dst}, #{op.value}"
+    if kind is MicroOpKind.POPCOUNT_ROW:
+        return f"popcnt {op.srcs[0]}"
+    operands = ", ".join((op.dst,) + op.srcs)
+    return f"{kind.value:<6s} {operands}"
+
+
+def disassemble(program: MicroProgram, max_ops: "int | None" = None) -> str:
+    """Full listing with a header and cost summary."""
+    cost = program.cost
+    lines = [
+        f".program {program.name}",
+        f".cost    reads={cost.num_row_reads} writes={cost.num_row_writes} "
+        f"logic={cost.num_logic_ops} popcounts={cost.num_popcount_rows}",
+    ]
+    ops = program.ops if max_ops is None else program.ops[:max_ops]
+    for index, op in enumerate(ops):
+        lines.append(f"  {index:>5d}: {format_micro_op(op)}")
+    if max_ops is not None and len(program.ops) > max_ops:
+        lines.append(f"  ... ({len(program.ops) - max_ops} more)")
+    return "\n".join(lines)
+
+
+def cost_table(bit_widths: "tuple[int, ...]" = (8, 16, 32)) -> str:
+    """Per-op microprogram cost table across bit widths (for the docs)."""
+    from repro.microcode.programs import get_program
+
+    ops = ("copy", "not", "and", "xor", "add", "sub", "mul", "eq",
+           "abs", "popcount", "redsum")
+    lines = [
+        f"{'op':<10s}" + "".join(
+            f" {f'rows@{bits}':>9s} {f'logic@{bits}':>9s}" for bits in bit_widths
+        )
+    ]
+    for op in ops:
+        cells = []
+        for bits in bit_widths:
+            cost = get_program(op, bits).cost
+            cells.append(f" {cost.num_row_ops:>9d} {cost.num_logic_ops:>9d}")
+        lines.append(f"{op:<10s}" + "".join(cells))
+    return "\n".join(lines)

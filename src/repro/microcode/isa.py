@@ -1,0 +1,159 @@
+"""Micro-op ISA of the DRAM-AP bit-serial processing element.
+
+Each sense amplifier in a subarray's local row buffer carries a small
+digital logic block with four single-bit registers (paper Section IV and
+Table II: move/set/and/xnor/mux plus the gates needed for associative
+processing).  A micro-op applies simultaneously to all 8192 lanes of the
+row buffer; a microprogram is a sequence of micro-ops broadcast by the
+memory controller to all subarrays.
+
+Three micro-op classes exist, with distinct costs:
+
+* row ops   -- ``READ_ROW`` / ``WRITE_ROW`` move one bit row between the
+               cell array and a lane register (a destructive row activation
+               or a write-back; dominates latency and energy),
+* logic ops -- ``SET``/``MOVE``/``NOT``/``AND``/``OR``/``XOR``/``XNOR``/
+               ``SEL`` operate on lane registers only,
+* ``POPCOUNT_ROW`` -- the row-wide population count used for reduction
+               sums (Section V-C "special handling"), producing a per-core
+               scalar collected by the controller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class MicroOpKind(enum.Enum):
+    """Kinds of bit-serial micro-operations."""
+
+    READ_ROW = "read_row"
+    WRITE_ROW = "write_row"
+    SET = "set"
+    MOVE = "move"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+    SEL = "sel"
+    POPCOUNT_ROW = "popcount_row"
+
+    @property
+    def is_row_op(self) -> bool:
+        return self in (MicroOpKind.READ_ROW, MicroOpKind.WRITE_ROW)
+
+    @property
+    def is_logic_op(self) -> bool:
+        return not self.is_row_op and self is not MicroOpKind.POPCOUNT_ROW
+
+    @property
+    def num_sources(self) -> int:
+        """Number of register sources the op consumes."""
+        return _NUM_SOURCES[self]
+
+
+_NUM_SOURCES = {
+    MicroOpKind.READ_ROW: 0,
+    MicroOpKind.WRITE_ROW: 1,
+    MicroOpKind.SET: 0,
+    MicroOpKind.MOVE: 1,
+    MicroOpKind.NOT: 1,
+    MicroOpKind.AND: 2,
+    MicroOpKind.OR: 2,
+    MicroOpKind.XOR: 2,
+    MicroOpKind.XNOR: 2,
+    MicroOpKind.SEL: 3,
+    MicroOpKind.POPCOUNT_ROW: 1,
+}
+
+#: Register file of one lane: the sense-amp latch plus four bit registers.
+#: "SA" is the row-buffer latch itself; R0..R3 are the extra registers the
+#: paper adds for carry/condition bits.
+REGISTER_NAMES = ("SA", "R0", "R1", "R2", "R3")
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroOp:
+    """One bit-serial micro-operation.
+
+    ``dst`` is a register name (or, for ``WRITE_ROW``, unused); ``srcs``
+    are register names; ``row`` indexes the subarray row for row ops;
+    ``value`` is the immediate for ``SET``.
+    """
+
+    kind: MicroOpKind
+    dst: str = ""
+    srcs: "tuple[str, ...]" = ()
+    row: int = -1
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.srcs) != self.kind.num_sources:
+            raise ValueError(
+                f"{self.kind.value} expects {self.kind.num_sources} sources, "
+                f"got {len(self.srcs)}"
+            )
+        if self.kind.is_row_op and self.row < 0:
+            raise ValueError(f"{self.kind.value} requires a row index")
+        for name in self.srcs + ((self.dst,) if self.dst else ()):
+            if name not in REGISTER_NAMES:
+                raise ValueError(f"unknown register {name!r}")
+        if self.kind is MicroOpKind.SET and self.value not in (0, 1):
+            raise ValueError(f"SET immediate must be 0 or 1, got {self.value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroProgramCost:
+    """Aggregate cost of a microprogram, the input to the perf model."""
+
+    num_row_reads: int = 0
+    num_row_writes: int = 0
+    num_logic_ops: int = 0
+    num_popcount_rows: int = 0
+
+    @property
+    def num_row_ops(self) -> int:
+        return self.num_row_reads + self.num_row_writes
+
+    @property
+    def total_ops(self) -> int:
+        return self.num_row_ops + self.num_logic_ops + self.num_popcount_rows
+
+    def __add__(self, other: "MicroProgramCost") -> "MicroProgramCost":
+        return MicroProgramCost(
+            num_row_reads=self.num_row_reads + other.num_row_reads,
+            num_row_writes=self.num_row_writes + other.num_row_writes,
+            num_logic_ops=self.num_logic_ops + other.num_logic_ops,
+            num_popcount_rows=self.num_popcount_rows + other.num_popcount_rows,
+        )
+
+    def scaled(self, factor: int) -> "MicroProgramCost":
+        """Cost of running this program ``factor`` times back-to-back."""
+        return MicroProgramCost(
+            num_row_reads=self.num_row_reads * factor,
+            num_row_writes=self.num_row_writes * factor,
+            num_logic_ops=self.num_logic_ops * factor,
+            num_popcount_rows=self.num_popcount_rows * factor,
+        )
+
+
+def cost_of(ops: "list[MicroOp]") -> MicroProgramCost:
+    """Tally the cost classes of a micro-op sequence."""
+    reads = writes = logic = popcounts = 0
+    for op in ops:
+        if op.kind is MicroOpKind.READ_ROW:
+            reads += 1
+        elif op.kind is MicroOpKind.WRITE_ROW:
+            writes += 1
+        elif op.kind is MicroOpKind.POPCOUNT_ROW:
+            popcounts += 1
+        else:
+            logic += 1
+    return MicroProgramCost(
+        num_row_reads=reads,
+        num_row_writes=writes,
+        num_logic_ops=logic,
+        num_popcount_rows=popcounts,
+    )

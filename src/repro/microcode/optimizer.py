@@ -1,0 +1,152 @@
+"""Peephole optimizer for bit-serial microprograms.
+
+The memory controller broadcasts microprograms verbatim, so every removed
+micro-op is a removed row access or logic cycle on every subarray.  Three
+conservative, semantics-preserving passes:
+
+* **store-to-load forwarding** -- a READ of a row that was just WRITTEN
+  (with no intervening write to that row) becomes a register MOVE
+  (row access -> logic cycle), or disappears entirely when the value is
+  still live in the same register;
+* **dead-write elimination** -- a WRITE overwritten by a later WRITE to
+  the same row with no intervening READ of that row is dropped (applies
+  to accumulator-style programs);
+* **redundant-move elimination** -- MOVE x, x and SET of a register that
+  already provably holds that constant are dropped.
+
+The optimizer is validated by equivalence-checking optimized programs
+against the originals on the functional simulator (see tests), and an
+experiment quantifies the savings per high-level op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.microcode.assembler import MicroProgram
+from repro.microcode.isa import MicroOp, MicroOpKind
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationReport:
+    """Before/after op counts of one optimization run."""
+
+    program: str
+    ops_before: int
+    ops_after: int
+    row_ops_before: int
+    row_ops_after: int
+
+    @property
+    def row_ops_saved(self) -> int:
+        return self.row_ops_before - self.row_ops_after
+
+
+def _forward_stores(ops: "list[MicroOp]") -> "list[MicroOp]":
+    """Replace READs of freshly written rows with register MOVEs."""
+    result: "list[MicroOp]" = []
+    last_writer: "dict[int, str]" = {}  # row -> register holding its value
+    reg_dirty: "dict[str, bool]" = {}
+    for op in ops:
+        if op.kind is MicroOpKind.WRITE_ROW:
+            last_writer[op.row] = op.srcs[0]
+            reg_dirty[op.srcs[0]] = False
+            result.append(op)
+            continue
+        if op.kind is MicroOpKind.READ_ROW and op.row in last_writer:
+            source_reg = last_writer[op.row]
+            if not reg_dirty.get(source_reg, True):
+                if source_reg == op.dst:
+                    continue  # value already in place: drop the read
+                replacement = MicroOp(
+                    MicroOpKind.MOVE, dst=op.dst, srcs=(source_reg,)
+                )
+                # The destination register now mirrors *this* row only:
+                # drop any stale mirrors it held.
+                stale = [row for row, reg in last_writer.items()
+                         if reg == op.dst and row != op.row]
+                for row in stale:
+                    del last_writer[row]
+                reg_dirty[op.dst] = False
+                result.append(replacement)
+                continue
+            # The register was overwritten since: fall through to a read.
+        if op.kind is MicroOpKind.READ_ROW:
+            # The register now holds this row's value and nothing else's.
+            stale = [row for row, reg in last_writer.items() if reg == op.dst]
+            for row in stale:
+                del last_writer[row]
+            reg_dirty[op.dst] = False
+            last_writer[op.row] = op.dst
+            result.append(op)
+            continue
+        # Logic ops invalidate their destination register's row mirror.
+        if op.dst:
+            reg_dirty[op.dst] = True
+            stale = [row for row, reg in last_writer.items() if reg == op.dst]
+            for row in stale:
+                del last_writer[row]
+        result.append(op)
+    return result
+
+
+def _eliminate_dead_writes(ops: "list[MicroOp]") -> "list[MicroOp]":
+    """Drop WRITEs whose row is rewritten before any read."""
+    keep = [True] * len(ops)
+    pending: "dict[int, int]" = {}  # row -> index of the last unread write
+    for index, op in enumerate(ops):
+        if op.kind is MicroOpKind.WRITE_ROW:
+            if op.row in pending:
+                keep[pending[op.row]] = False
+            pending[op.row] = index
+        elif op.kind is MicroOpKind.READ_ROW:
+            pending.pop(op.row, None)
+    # Writes still pending at program end are the program's outputs: keep.
+    return [op for index, op in enumerate(ops) if keep[index]]
+
+
+def _drop_redundant_moves(ops: "list[MicroOp]") -> "list[MicroOp]":
+    """Remove self-moves and repeated SETs of the same constant."""
+    result: "list[MicroOp]" = []
+    known_const: "dict[str, int]" = {}
+    for op in ops:
+        if op.kind is MicroOpKind.MOVE and op.dst == op.srcs[0]:
+            continue
+        if op.kind is MicroOpKind.SET:
+            if known_const.get(op.dst) == op.value:
+                continue
+            known_const[op.dst] = op.value
+        elif op.dst:
+            known_const.pop(op.dst, None)
+        result.append(op)
+    return result
+
+
+def optimize(program: MicroProgram) -> MicroProgram:
+    """All passes, to a fixpoint."""
+    ops = list(program.ops)
+    while True:
+        before = len(ops)
+        ops = _forward_stores(ops)
+        ops = _eliminate_dead_writes(ops)
+        ops = _drop_redundant_moves(ops)
+        if len(ops) == before:
+            break
+    optimized = MicroProgram(
+        name=f"{program.name}+opt",
+        ops=ops,
+        num_popcount_results=program.num_popcount_results,
+    )
+    return optimized
+
+
+def report(program: MicroProgram) -> OptimizationReport:
+    """Optimize and summarize the savings."""
+    optimized = optimize(program)
+    return OptimizationReport(
+        program=program.name,
+        ops_before=len(program.ops),
+        ops_after=len(optimized.ops),
+        row_ops_before=program.cost.num_row_ops,
+        row_ops_after=optimized.cost.num_row_ops,
+    )

@@ -1,0 +1,538 @@
+"""Bit-serial microprograms for the high-level PIM operations.
+
+Every high-level API call on the DRAM-AP device is realized as a
+microprogram over vertically-laid-out operands (Section V-C: "all
+high-level PIM APIs are mapped to low-level bit-serial microprograms").
+The programs here are *real* implementations -- the functional simulator
+executes them bit-by-bit and tests check them against integer semantics --
+and their micro-op tallies drive the performance and energy models.
+
+Row-layout conventions (n = element bit width, m = result bit width):
+
+* binary ops:  A = rows [0, n), B = rows [n, 2n), D = rows [2n, 2n+m)
+* unary ops:   A = rows [0, n), D = rows [n, n+m)
+* select:      C = row 0, A = rows [1, 1+n), B = rows [1+n, 1+2n),
+               D = rows [1+2n, 1+3n)
+* broadcast:   D = rows [0, n)
+
+Complexities match the paper: addition/subtraction and logic are linear in
+bit width, multiplication is quadratic, per-element popcount is log-linear,
+and reduction uses the row-wide popcount hardware.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.microcode.assembler import Assembler, MicroProgram, Operand
+
+
+def _binary_operands(bits: int, result_bits: "int | None" = None):
+    result_bits = bits if result_bits is None else result_bits
+    a = Operand(base=0, bits=bits)
+    b = Operand(base=bits, bits=bits)
+    d = Operand(base=2 * bits, bits=result_bits)
+    return a, b, d
+
+
+def _unary_operands(bits: int, result_bits: "int | None" = None):
+    result_bits = bits if result_bits is None else result_bits
+    a = Operand(base=0, bits=bits)
+    d = Operand(base=bits, bits=result_bits)
+    return a, d
+
+
+def copy_program(bits: int) -> MicroProgram:
+    """D = A, one row read plus one row write per bit."""
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"copy.{bits}")
+    for i in range(bits):
+        asm.read("SA", a.row(i)).write("SA", d.row(i))
+    return asm.done()
+
+
+def not_program(bits: int) -> MicroProgram:
+    """D = ~A (bitwise complement)."""
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"not.{bits}")
+    for i in range(bits):
+        asm.read("SA", a.row(i)).not_("SA", "SA").write("SA", d.row(i))
+    return asm.done()
+
+
+def _logic2_program(name: str, bits: int) -> MicroProgram:
+    """Shared body of the two-input bitwise ops (and/or/xor/xnor)."""
+    a, b, d = _binary_operands(bits)
+    asm = Assembler(f"{name}.{bits}")
+    gate = {
+        "and": asm.and_,
+        "or": asm.or_,
+        "xor": asm.xor,
+        "xnor": asm.xnor,
+    }[name]
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        gate("R0", "R0", "R1")
+        asm.write("R0", d.row(i))
+    return asm.done()
+
+
+def and_program(bits: int) -> MicroProgram:
+    return _logic2_program("and", bits)
+
+
+def or_program(bits: int) -> MicroProgram:
+    return _logic2_program("or", bits)
+
+
+def xor_program(bits: int) -> MicroProgram:
+    return _logic2_program("xor", bits)
+
+
+def xnor_program(bits: int) -> MicroProgram:
+    return _logic2_program("xnor", bits)
+
+
+def add_program(bits: int) -> MicroProgram:
+    """D = A + B via a ripple-carry full adder (linear in bit width)."""
+    a, b, d = _binary_operands(bits)
+    asm = Assembler(f"add.{bits}")
+    asm.set("R2", 0)  # carry
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        asm.full_adder("R0", "R1", "R2", "R3")
+        asm.write("R3", d.row(i))
+    return asm.done()
+
+
+def sub_program(bits: int) -> MicroProgram:
+    """D = A - B computed as A + ~B + 1."""
+    a, b, d = _binary_operands(bits)
+    asm = Assembler(f"sub.{bits}")
+    asm.set("R2", 1)  # borrow-free subtraction: carry-in of 1
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i)).not_("R1", "R1")
+        asm.full_adder("R0", "R1", "R2", "R3")
+        asm.write("R3", d.row(i))
+    return asm.done()
+
+
+def add_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    """D = A + scalar; the scalar's bits are folded into the microprogram."""
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"add_scalar.{bits}")
+    asm.set("R2", 0)  # carry
+    for i in range(bits):
+        asm.read("R0", a.row(i))
+        if (scalar >> i) & 1:
+            # b_i = 1: sum = ~(a ^ c), carry' = a | c
+            asm.xor("R3", "R0", "R2").not_("R3", "R3")
+            asm.or_("R2", "R0", "R2")
+        else:
+            # b_i = 0: sum = a ^ c, carry' = a & c
+            asm.xor("R3", "R0", "R2")
+            asm.and_("R2", "R0", "R2")
+        asm.write("R3", d.row(i))
+    return asm.done()
+
+
+def mul_program(bits: int) -> MicroProgram:
+    """Full 2n-bit product D = A * B (shift-and-add, quadratic).
+
+    The hardware accumulates the complete double-width product of the
+    unsigned reinterpretations (rows [2n, 4n)); the destination object
+    keeps the low ``bits`` rows, which equal the wrapped signed product.
+    Every partial-product addition runs over the full operand width, the
+    dominant term of the paper's quadratic bit-serial multiply cost.
+    """
+    a, b, d = _binary_operands(bits, result_bits=2 * bits)
+    asm = Assembler(f"mul.{bits}")
+    for i in range(2 * bits):  # zero the double-width accumulator
+        asm.set("SA", 0).write("SA", d.row(i))
+    for j in range(bits):
+        asm.read("R2", b.row(j))  # multiplier bit, persists over inner loop
+        asm.set("R3", 0)  # carry of this partial-product addition
+        for i in range(bits):
+            asm.read("R0", a.row(i)).and_("R0", "R0", "R2")
+            asm.read("R1", d.row(i + j))
+            asm.full_adder("R0", "R1", "R3", "SA")
+            asm.write("SA", d.row(i + j))
+        if j + bits < 2 * bits:  # ripple the final carry into the high half
+            asm.read("R0", d.row(j + bits))
+            asm.xor("SA", "R0", "R3")
+            asm.write("SA", d.row(j + bits))
+    return asm.done()
+
+
+def mul_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    """D = A * scalar; only the scalar's set bits cost an addition pass."""
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"mul_scalar.{bits}")
+    for i in range(bits):
+        asm.set("SA", 0).write("SA", d.row(i))
+    for j in range(bits):
+        if not (scalar >> j) & 1:
+            continue
+        asm.set("R3", 0)
+        for i in range(bits - j):
+            asm.read("R0", a.row(i))
+            asm.read("R1", d.row(i + j))
+            asm.full_adder("R0", "R1", "R3", "SA")
+            asm.write("SA", d.row(i + j))
+    return asm.done()
+
+
+def scaled_add_program(bits: int, scalar: int) -> MicroProgram:
+    """D = A * scalar + B (the AXPY primitive, ``pimScaledAdd``).
+
+    Layout matches binary ops.  Implemented as copy of B into D followed by
+    one shifted conditional addition per set scalar bit.
+    """
+    a, b, d = _binary_operands(bits)
+    asm = Assembler(f"scaled_add.{bits}")
+    for i in range(bits):
+        asm.read("SA", b.row(i)).write("SA", d.row(i))
+    for j in range(bits):
+        if not (scalar >> j) & 1:
+            continue
+        asm.set("R3", 0)
+        for i in range(bits - j):
+            asm.read("R0", a.row(i))
+            asm.read("R1", d.row(i + j))
+            asm.full_adder("R0", "R1", "R3", "SA")
+            asm.write("SA", d.row(i + j))
+    return asm.done()
+
+
+def eq_program(bits: int) -> MicroProgram:
+    """D (1 bit) = all bits of A equal those of B (XNOR-accumulate)."""
+    a, b, d = _binary_operands(bits, result_bits=1)
+    asm = Assembler(f"eq.{bits}")
+    asm.set("R2", 1)
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        asm.xnor("R0", "R0", "R1").and_("R2", "R2", "R0")
+    asm.write("R2", d.row(0))
+    return asm.done()
+
+
+def ne_program(bits: int) -> MicroProgram:
+    """D (1 bit) = A != B."""
+    a, b, d = _binary_operands(bits, result_bits=1)
+    asm = Assembler(f"ne.{bits}")
+    asm.set("R2", 1)
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        asm.xnor("R0", "R0", "R1").and_("R2", "R2", "R0")
+    asm.not_("R2", "R2").write("R2", d.row(0))
+    return asm.done()
+
+
+def _compare_body(asm: Assembler, a: Operand, b: Operand, signed: bool) -> None:
+    """Leave ``A < B`` in R3, scanning LSB to MSB.
+
+    At each bit: lt stays if a_i == b_i, otherwise lt = ~a_i & b_i.  For
+    signed types the sign bit inverts the sense (a negative, b positive
+    means a < b), handled by swapping the operand roles at the MSB.
+    """
+    asm.set("R3", 0)
+    for i in range(a.bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        sign_bit = signed and i == a.bits - 1
+        if sign_bit:
+            asm.xnor("R2", "R0", "R1")
+            asm.not_("R1", "R1").and_("R0", "R0", "R1")  # a_i & ~b_i
+            asm.sel("R3", "R2", "R3", "R0")
+        else:
+            asm.xnor("R2", "R0", "R1")
+            asm.not_("R0", "R0").and_("R0", "R0", "R1")  # ~a_i & b_i
+            asm.sel("R3", "R2", "R3", "R0")
+
+
+def lt_program(bits: int, signed: bool = True) -> MicroProgram:
+    """D (1 bit) = A < B."""
+    a, b, d = _binary_operands(bits, result_bits=1)
+    asm = Assembler(f"lt.{bits}{'s' if signed else 'u'}")
+    _compare_body(asm, a, b, signed)
+    asm.write("R3", d.row(0))
+    return asm.done()
+
+
+def gt_program(bits: int, signed: bool = True) -> MicroProgram:
+    """D (1 bit) = A > B (B < A with operands swapped in the scan)."""
+    a, b, d = _binary_operands(bits, result_bits=1)
+    asm = Assembler(f"gt.{bits}{'s' if signed else 'u'}")
+    _compare_body(asm, b, a, signed)  # note the swap
+    asm.write("R3", d.row(0))
+    return asm.done()
+
+
+def _min_max_program(bits: int, want_min: bool, signed: bool) -> MicroProgram:
+    """D = min(A, B) or max(A, B): compare pass then select pass."""
+    a, b, d = _binary_operands(bits)
+    kind = "min" if want_min else "max"
+    asm = Assembler(f"{kind}.{bits}")
+    _compare_body(asm, a, b, signed)  # R3 = A < B
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        if want_min:
+            asm.sel("SA", "R3", "R0", "R1")  # lt ? a : b
+        else:
+            asm.sel("SA", "R3", "R1", "R0")  # lt ? b : a
+        asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def min_program(bits: int, signed: bool = True) -> MicroProgram:
+    return _min_max_program(bits, want_min=True, signed=signed)
+
+
+def max_program(bits: int, signed: bool = True) -> MicroProgram:
+    return _min_max_program(bits, want_min=False, signed=signed)
+
+
+def shift_program(bits: int, amount: int, left: bool, arithmetic: bool = False) -> MicroProgram:
+    """D = A shifted by a constant ``amount`` (pure row moves)."""
+    if amount < 0:
+        raise ValueError(f"shift amount must be non-negative, got {amount}")
+    amount = min(amount, bits)
+    a, d = _unary_operands(bits)
+    direction = "l" if left else ("ra" if arithmetic else "r")
+    asm = Assembler(f"shift{direction}.{bits}.{amount}")
+    if left:
+        for i in range(bits - 1, amount - 1, -1):
+            asm.read("SA", a.row(i - amount)).write("SA", d.row(i))
+        for i in range(amount):
+            asm.set("SA", 0).write("SA", d.row(i))
+    else:
+        for i in range(bits - amount):
+            asm.read("SA", a.row(i + amount)).write("SA", d.row(i))
+        if amount:
+            if arithmetic:
+                asm.read("SA", a.row(bits - 1))  # replicate the sign bit
+            else:
+                asm.set("SA", 0)
+            for i in range(bits - amount, bits):
+                asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def abs_program(bits: int) -> MicroProgram:
+    """D = |A| via conditional two's-complement negation."""
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"abs.{bits}")
+    asm.read("R2", a.row(bits - 1))  # sign
+    asm.move("R3", "R2")  # carry-in = sign (the "+1" of negation)
+    for i in range(bits):
+        asm.read("R0", a.row(i))
+        asm.xor("R1", "R0", "R2")  # conditional complement
+        asm.xor("SA", "R1", "R3")  # sum
+        asm.and_("R3", "R1", "R3")  # carry
+        asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def popcount_program(bits: int) -> MicroProgram:
+    """Per-element popcount: D = number of set bits of A (log-linear)."""
+    result_bits = max(1, (bits).bit_length())
+    a, d = _unary_operands(bits, result_bits=result_bits)
+    asm = Assembler(f"popcount.{bits}")
+    for j in range(result_bits):
+        asm.set("SA", 0).write("SA", d.row(j))
+    for i in range(bits):
+        asm.read("R2", a.row(i))
+        asm.move("R3", "R2")  # carry into the accumulator increment
+        for j in range(result_bits):
+            asm.read("R0", d.row(j))
+            asm.xor("SA", "R0", "R3")
+            asm.and_("R3", "R0", "R3")
+            asm.write("SA", d.row(j))
+    return asm.done()
+
+
+def reduction_program(bits: int) -> MicroProgram:
+    """Row-wide reduction sum: one POPCOUNT_ROW per bit slice.
+
+    The controller weighs the per-slice counts by powers of two (with the
+    MSB slice weighted negatively for signed types) and accumulates across
+    cores; that host-side accumulation is modeled by the device, not here.
+    """
+    a = Operand(base=0, bits=bits)
+    asm = Assembler(f"redsum.{bits}")
+    for i in range(bits):
+        asm.read("SA", a.row(i)).popcount_row("SA")
+    return asm.done()
+
+
+def broadcast_program(bits: int, value: int) -> MicroProgram:
+    """D = value in every lane (one SET + row write per bit)."""
+    d = Operand(base=0, bits=bits)
+    asm = Assembler(f"broadcast.{bits}")
+    mask = (1 << bits) - 1
+    for i in range(bits):
+        asm.set("SA", (value & mask) >> i & 1).write("SA", d.row(i))
+    return asm.done()
+
+
+def select_program(bits: int) -> MicroProgram:
+    """D = C ? A : B with a one-bit condition operand (associative update)."""
+    cond = Operand(base=0, bits=1)
+    a = Operand(base=1, bits=bits)
+    b = Operand(base=1 + bits, bits=bits)
+    d = Operand(base=1 + 2 * bits, bits=bits)
+    asm = Assembler(f"select.{bits}")
+    asm.read("R2", cond.row(0))
+    for i in range(bits):
+        asm.read("R0", a.row(i)).read("R1", b.row(i))
+        asm.sel("SA", "R2", "R0", "R1")
+        asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def _logic_scalar_program(name: str, bits: int, scalar: int) -> MicroProgram:
+    """D = A op scalar for and/or/xor; constant bits simplify each slice.
+
+    Where the scalar bit makes the result constant or an identity/complement
+    of the input, the gate evaluation disappears and only the row traffic
+    (or a SET) remains.
+    """
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"{name}_scalar.{bits}")
+    mask = (1 << bits) - 1
+    for i in range(bits):
+        bit = (scalar & mask) >> i & 1
+        if name == "and" and not bit:
+            asm.set("SA", 0).write("SA", d.row(i))
+            continue
+        if name == "or" and bit:
+            asm.set("SA", 1).write("SA", d.row(i))
+            continue
+        asm.read("SA", a.row(i))
+        if name == "xor" and bit:
+            asm.not_("SA", "SA")
+        asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def and_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    return _logic_scalar_program("and", bits, scalar)
+
+
+def or_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    return _logic_scalar_program("or", bits, scalar)
+
+
+def xor_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    return _logic_scalar_program("xor", bits, scalar)
+
+
+def sat_add_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    """D = saturating unsigned A + scalar (clamps to all-ones on carry-out).
+
+    The fused architecture-specific operation of Section IX's discussion:
+    one microprogram replaces the portable min-then-add pair.  Pass 1
+    rippples only the carry to find the overflow flag; pass 2 recomputes
+    the sum bit-serially, muxing in 1s where the flag is set.
+    """
+    a, d = _unary_operands(bits)
+    asm = Assembler(f"sat_add_scalar.{bits}")
+    mask = (1 << bits) - 1
+    scalar &= mask
+    # Pass 1: carry chain only; R2 ends as the carry-out (overflow flag).
+    asm.set("R2", 0)
+    for i in range(bits):
+        asm.read("R0", a.row(i))
+        if (scalar >> i) & 1:
+            asm.or_("R2", "R0", "R2")
+        else:
+            asm.and_("R2", "R0", "R2")
+    # Pass 2: sum bits, saturated by the flag.
+    asm.set("R1", 1)  # the saturation value for every bit
+    asm.set("R3", 0)  # carry, recomputed
+    for i in range(bits):
+        asm.read("R0", a.row(i))
+        if (scalar >> i) & 1:
+            asm.xor("SA", "R0", "R3").not_("SA", "SA")
+            asm.or_("R3", "R0", "R3")
+        else:
+            asm.xor("SA", "R0", "R3")
+            asm.and_("R3", "R0", "R3")
+        asm.sel("SA", "R2", "R1", "SA")
+        asm.write("SA", d.row(i))
+    return asm.done()
+
+
+def eq_scalar_program(bits: int, scalar: int) -> MicroProgram:
+    """D (1 bit) = A == scalar; the scalar is baked into the microprogram.
+
+    This is the associative-search primitive of DRAM-AP (match against a
+    broadcast key without materializing the key operand).
+    """
+    a, d = _unary_operands(bits, result_bits=1)
+    asm = Assembler(f"eq_scalar.{bits}")
+    asm.set("R2", 1)
+    mask = (1 << bits) - 1
+    for i in range(bits):
+        asm.read("R0", a.row(i))
+        if (scalar & mask) >> i & 1:
+            asm.and_("R2", "R2", "R0")
+        else:
+            asm.not_("R0", "R0").and_("R2", "R2", "R0")
+    asm.write("R2", d.row(0))
+    return asm.done()
+
+
+@functools.lru_cache(maxsize=None)
+def _cached(name: str, bits: int, extra: "tuple | None" = None) -> MicroProgram:
+    builders = {
+        "copy": lambda: copy_program(bits),
+        "not": lambda: not_program(bits),
+        "and": lambda: and_program(bits),
+        "or": lambda: or_program(bits),
+        "xor": lambda: xor_program(bits),
+        "xnor": lambda: xnor_program(bits),
+        "add": lambda: add_program(bits),
+        "sub": lambda: sub_program(bits),
+        "mul": lambda: mul_program(bits),
+        "eq": lambda: eq_program(bits),
+        "ne": lambda: ne_program(bits),
+        "abs": lambda: abs_program(bits),
+        "popcount": lambda: popcount_program(bits),
+        "redsum": lambda: reduction_program(bits),
+        "select": lambda: select_program(bits),
+    }
+    extras = {
+        "add_scalar": lambda s: add_scalar_program(bits, s),
+        "mul_scalar": lambda s: mul_scalar_program(bits, s),
+        "scaled_add": lambda s: scaled_add_program(bits, s),
+        "eq_scalar": lambda s: eq_scalar_program(bits, s),
+        "sat_add_scalar": lambda s: sat_add_scalar_program(bits, s),
+        "and_scalar": lambda s: and_scalar_program(bits, s),
+        "or_scalar": lambda s: or_scalar_program(bits, s),
+        "xor_scalar": lambda s: xor_scalar_program(bits, s),
+        "broadcast": lambda s: broadcast_program(bits, s),
+        "lt": lambda s: lt_program(bits, signed=bool(s)),
+        "gt": lambda s: gt_program(bits, signed=bool(s)),
+        "min": lambda s: min_program(bits, signed=bool(s)),
+        "max": lambda s: max_program(bits, signed=bool(s)),
+        "shift_left": lambda s: shift_program(bits, s, left=True),
+        "shift_right": lambda s: shift_program(bits, s, left=False),
+        "shift_right_arith": lambda s: shift_program(bits, s, left=False, arithmetic=True),
+    }
+    if name in builders:
+        return builders[name]()
+    if name in extras:
+        if extra is None:
+            raise ValueError(f"microprogram {name!r} requires a parameter")
+        return extras[name](extra[0])
+    raise KeyError(f"no microprogram named {name!r}")
+
+
+def get_program(name: str, bits: int, param: "int | None" = None) -> MicroProgram:
+    """Fetch (and cache) the microprogram for an op at a bit width.
+
+    ``param`` carries the immediate for scalar-parameterized programs, the
+    shift amount for shifts, or signedness (as 0/1) for comparisons.
+    """
+    extra = None if param is None else (param,)
+    return _cached(name, bits, extra)

@@ -1,0 +1,33 @@
+"""Per-architecture performance models."""
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.perf.analog import AnalogBitSerialPerfModel
+from repro.perf.banklevel import BankLevelPerfModel
+from repro.perf.base import CmdCost, CommandArgs, PerfModel
+from repro.perf.bitserial import BitSerialPerfModel
+from repro.perf.datamovement import DataMovementModel
+from repro.perf.fulcrum import FulcrumPerfModel
+
+
+def make_perf_model(config: DeviceConfig) -> PerfModel:
+    """Instantiate the performance model matching a device configuration."""
+    if config.device_type is PimDeviceType.BITSIMD_V_AP:
+        return BitSerialPerfModel(config)
+    if config.device_type is PimDeviceType.FULCRUM:
+        return FulcrumPerfModel(config)
+    if config.device_type is PimDeviceType.ANALOG_BITSIMD_V:
+        return AnalogBitSerialPerfModel(config)
+    return BankLevelPerfModel(config)
+
+
+__all__ = [
+    "AnalogBitSerialPerfModel",
+    "BankLevelPerfModel",
+    "BitSerialPerfModel",
+    "CmdCost",
+    "CommandArgs",
+    "DataMovementModel",
+    "FulcrumPerfModel",
+    "PerfModel",
+    "make_perf_model",
+]

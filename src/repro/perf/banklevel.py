@@ -1,0 +1,83 @@
+"""Performance model of the bank-level bit-parallel device.
+
+One processing element per bank: a 64-bit Fulcrum-style ALPU behind the
+bank's global row buffer.  Unlike the subarray-level devices, every row's
+data must additionally cross the narrow global data lines (128 bits per
+tCCD beat), which serializes row movement and is the architecture's
+bottleneck for streaming kernels (Section IV "Bank-level PIM").  The
+single-cycle hardware popcount gives it an edge for popcount workloads
+(Section VII).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.perf.base import CmdCost, CommandArgs
+
+
+class BankLevelPerfModel:
+    """Cost model for ``PimDeviceType.BANK_LEVEL``."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        if config.device_type is not PimDeviceType.BANK_LEVEL:
+            raise PimTypeError(
+                f"BankLevelPerfModel requires a bank-level config, got "
+                f"{config.device_type}"
+            )
+        self.config = config
+
+    def _alu_cycles_per_element(self, kind: PimCmdKind) -> int:
+        # Bank-level PIM performs popcount in one cycle via a dedicated
+        # unit (the RISC-V B-extension argument of Section VII).
+        return kind.spec.bank_alu_cycles
+
+    def gdl_beats_per_row(self) -> int:
+        geometry = self.config.dram.geometry
+        return math.ceil(geometry.cols_per_subarray / geometry.gdl_width_bits)
+
+    def cost_of(self, args: CommandArgs) -> CmdCost:
+        timing = self.config.dram.timing
+        arch = self.config.arch
+        geometry = self.config.dram.geometry
+        row_bits = geometry.cols_per_subarray
+
+        rows_read = sum(layout.groups_per_core for layout in args.inputs)
+        rows_written = args.dest.groups_per_core if args.dest is not None else 0
+        gdl_ns_per_row = self.gdl_beats_per_row() * timing.tccd_ns
+
+        driving = args.driving_layout
+        cores = driving.num_cores_used
+        simd = max(1, arch.bank_alu_bits // args.bits)
+        words_per_group = math.ceil(driving.elements_per_group / simd)
+        alu_cycles = (
+            driving.groups_per_core
+            * words_per_group
+            * self._alu_cycles_per_element(args.kind)
+        )
+        if args.kind is PimCmdKind.BROADCAST:
+            alu_cycles = 0
+
+        rows_moved = rows_read + rows_written
+        latency = (
+            rows_read * timing.row_read_ns
+            + rows_written * timing.row_write_ns
+            + rows_moved * gdl_ns_per_row
+            + alu_cycles * arch.bank_cycle_ns
+        )
+
+        if args.kind is PimCmdKind.REDSUM:
+            partial_bytes = cores * max(4, args.bits // 8)
+            latency += partial_bytes / self.config.dram.transfer_bandwidth_bytes_per_ns
+
+        return CmdCost(
+            latency_ns=latency,
+            row_activations=rows_moved * cores,
+            alu_word_ops=alu_cycles * cores,
+            walker_bits=rows_moved * row_bits * cores,
+            gdl_bits=rows_moved * row_bits * cores,
+            cores_active=cores,
+        )

@@ -1,0 +1,102 @@
+"""Performance model of the subarray-level bit-serial device (DRAM-AP).
+
+Latency comes from the actual microprogram each command lowers to
+(Section V-C: "all high-level PIM APIs are mapped to low-level bit-serial
+microprograms"): row reads and writes cost a full row access, register
+logic costs one tCCD, and the row-wide popcount used for reductions costs
+a row read plus a log2(row-width) reduction-tree delay.  One microprogram
+pass covers one row-wide group of elements; partially-filled groups cost
+the same as full ones, matching PIMeval's documented behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.microcode.isa import MicroProgramCost
+from repro.microcode.programs import get_program
+from repro.perf.base import CmdCost, CommandArgs
+
+#: Reduction-tree depth factor for POPCOUNT_ROW: log2(8192) = 13 stages.
+POPCOUNT_TREE_STAGES = 13
+
+
+def resolve_program(args: CommandArgs):
+    """Resolve the microprogram for one command invocation."""
+    kind = args.kind
+    bits = args.bits
+    name = kind.spec.microprogram
+    scalar_needed = kind.spec.has_scalar
+    param: "int | None" = None
+    if kind in (PimCmdKind.LT, PimCmdKind.GT, PimCmdKind.MIN, PimCmdKind.MAX,
+                PimCmdKind.LT_SCALAR, PimCmdKind.GT_SCALAR,
+                PimCmdKind.MIN_SCALAR, PimCmdKind.MAX_SCALAR):
+        param = int(args.signed)
+    elif scalar_needed:
+        if args.scalar is None:
+            raise PimTypeError(f"{kind.name} requires a scalar operand")
+        param = int(args.scalar) & ((1 << bits) - 1)
+        if kind is PimCmdKind.SUB_SCALAR:
+            param = (-int(args.scalar)) & ((1 << bits) - 1)
+        if kind in (PimCmdKind.SHIFT_LEFT, PimCmdKind.SHIFT_RIGHT):
+            param = int(args.scalar)
+    return get_program(name, bits, param)
+
+
+def microprogram_for(args: CommandArgs) -> MicroProgramCost:
+    """Resolve the microprogram cost for one command invocation."""
+    return resolve_program(args).cost
+
+
+class BitSerialPerfModel:
+    """Cost model for ``PimDeviceType.BITSIMD_V_AP``."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        if config.device_type is not PimDeviceType.BITSIMD_V_AP:
+            raise PimTypeError(
+                f"BitSerialPerfModel requires a bit-serial config, got "
+                f"{config.device_type}"
+            )
+        self.config = config
+
+    def cost_of(self, args: CommandArgs) -> CmdCost:
+        timing = self.config.dram.timing
+        driving = args.driving_layout
+        groups = driving.groups_per_core
+        cores = driving.num_cores_used
+        lanes = self.config.cols_per_core
+
+        per_pass = microprogram_for(args)
+        total = per_pass.scaled(groups)
+
+        popcount_ns = timing.row_read_ns + POPCOUNT_TREE_STAGES * timing.tccd_ns
+        latency = (
+            total.num_row_reads * timing.row_read_ns
+            + total.num_row_writes * timing.row_write_ns
+            + total.num_logic_ops * timing.tccd_ns
+            + total.num_popcount_rows * popcount_ns
+        )
+        if args.kind is PimCmdKind.REDSUM:
+            # Per-core partial counts return to the controller over the
+            # memory channel before the final weighted accumulation.
+            partial_bytes = cores * max(4, args.bits // 8)
+            latency += (
+                partial_bytes / self.config.dram.transfer_bandwidth_bytes_per_ns
+            )
+
+        # Each lane executes every logic micro-op; the popcount tree adds
+        # log-depth lane-level switching on top of its row read.
+        lane_logic = (
+            total.num_logic_ops + POPCOUNT_TREE_STAGES * total.num_popcount_rows
+        ) * lanes * cores
+        row_activations = (
+            total.num_row_ops + total.num_popcount_rows
+        ) * cores
+
+        return CmdCost(
+            latency_ns=latency,
+            row_activations=row_activations,
+            lane_logic_ops=lane_logic,
+            cores_active=cores,
+        )

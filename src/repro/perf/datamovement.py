@@ -1,0 +1,55 @@
+"""Data-movement latency between host and PIM device.
+
+Section V-C(i): latency is bytes transferred divided by available
+bandwidth, with every rank treated as an independent channel (PIMeval's
+stated simplification pending DRAMsim3 integration).  Device-to-device
+movement (re-layout between kernels) moves rows through the subarray or
+bank interface instead of over the channel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config.device import DeviceConfig, PimDeviceType
+
+
+class DataMovementModel:
+    """Transfer-latency model shared by all device types."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self.config = config
+
+    def host_transfer_ns(self, num_bytes: int) -> float:
+        """Host->device or device->host latency over the memory channels."""
+        return self.config.dram.data_transfer_ns(num_bytes)
+
+    def device_transfer_ns(self, num_bytes: int) -> float:
+        """Device-internal copy (re-layout) latency.
+
+        Moves whole rows through the row buffer: one read plus one write
+        per row's worth of data, serialized over the GDL for bank-level
+        devices, executed in parallel across active cores.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        timing = self.config.dram.timing
+        geometry = self.config.dram.geometry
+        row_bytes = geometry.cols_per_subarray // 8
+        rows = math.ceil(num_bytes / row_bytes)
+        rows_per_core = math.ceil(rows / self.config.num_cores)
+        per_row = timing.row_read_ns + timing.row_write_ns
+        if self.config.device_type is PimDeviceType.BANK_LEVEL:
+            beats = math.ceil(geometry.cols_per_subarray / geometry.gdl_width_bits)
+            per_row += 2 * beats * timing.tccd_ns
+        return rows_per_core * per_row
+
+    def device_gather_ns(self, num_bytes: int) -> float:
+        """Random gather/scatter re-layout inside the device.
+
+        Data crossing between arbitrary subarrays or banks cannot use the
+        parallel in-subarray row copy; it is serialized over the module's
+        internal bus, which we bound by the aggregate channel bandwidth
+        (the same simplification Section V-C applies to host transfers).
+        """
+        return self.config.dram.data_transfer_ns(num_bytes)

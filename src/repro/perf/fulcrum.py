@@ -1,0 +1,80 @@
+"""Performance model of the subarray-level bit-parallel device (Fulcrum).
+
+Each core (one ALPU shared between two subarrays) streams rows through its
+walkers: every source row costs a full row read, every destination row a
+full row write, and the ALU processes the row's elements sequentially at
+one word per cycle (SIMD-packing narrower types).  The model is
+row-granular -- a partially-filled row costs as much as a full one --
+reproducing PIMeval's documented allocation behaviour, and is validated
+against the Listing 3 anchor (vector add over one row pair = 1.660 us).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.perf.base import CmdCost, CommandArgs
+
+#: Cycles of the SWAR per-element popcount on a word ALU (Section VII).
+SWAR_POPCOUNT_CYCLES = 12
+
+
+class FulcrumPerfModel:
+    """Cost model for ``PimDeviceType.FULCRUM``."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        if config.device_type is not PimDeviceType.FULCRUM:
+            raise PimTypeError(
+                f"FulcrumPerfModel requires a Fulcrum config, got "
+                f"{config.device_type}"
+            )
+        self.config = config
+
+    def _alu_cycles_per_element(self, kind: PimCmdKind) -> int:
+        if kind is PimCmdKind.POPCOUNT:
+            return SWAR_POPCOUNT_CYCLES
+        return kind.spec.alu_cycles
+
+    def cost_of(self, args: CommandArgs) -> CmdCost:
+        timing = self.config.dram.timing
+        arch = self.config.arch
+        row_bits = self.config.cols_per_core
+
+        rows_read = sum(layout.groups_per_core for layout in args.inputs)
+        rows_written = args.dest.groups_per_core if args.dest is not None else 0
+
+        driving = args.driving_layout
+        cores = driving.num_cores_used
+        simd = max(1, arch.fulcrum_alu_bits // args.bits)
+        words_per_group = math.ceil(driving.elements_per_group / simd)
+        alu_cycles = (
+            driving.groups_per_core
+            * words_per_group
+            * self._alu_cycles_per_element(args.kind)
+        )
+        if args.kind is PimCmdKind.BROADCAST:
+            alu_cycles = 0  # the value is latched once and written row-wide
+
+        latency = (
+            rows_read * timing.row_read_ns
+            + rows_written * timing.row_write_ns
+            + alu_cycles * arch.fulcrum_cycle_ns
+        )
+
+        if args.kind is PimCmdKind.REDSUM:
+            # Per-core partial sums return to the controller over the
+            # memory channel before the final accumulation.
+            partial_bytes = cores * max(4, args.bits // 8)
+            latency += partial_bytes / self.config.dram.transfer_bandwidth_bytes_per_ns
+
+        walker_bits = (rows_read + rows_written) * row_bits * cores
+        return CmdCost(
+            latency_ns=latency,
+            row_activations=(rows_read + rows_written) * cores,
+            alu_word_ops=alu_cycles * cores,
+            walker_bits=walker_bits,
+            cores_active=cores,
+        )

@@ -1,0 +1,203 @@
+"""Command-trace recording, export, and cross-architecture replay.
+
+The PIM API doubles as an intermediate representation (the paper's
+Section II suggests "targeting this API ... with a compiler" as future
+work).  This module records the exact command/copy trace a program issues
+against one device, serializes it to JSON, and replays it on any other
+simulation target -- giving an apples-to-apples cost comparison of one
+program across architectures without re-running the program logic.
+
+Replay is analytic (costs only): traces capture shapes and scalars, not
+payload data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from repro.config.device import PimAllocType, PimDataType
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.core.errors import PimError
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded API action.
+
+    ``action`` is "alloc", "free", "execute", "h2d", "d2h", or "d2d";
+    object references use the recorded object ids.
+    """
+
+    action: str
+    obj_ids: "tuple[int, ...]" = ()
+    kind: "str | None" = None
+    scalar: "int | None" = None
+    repeat: int = 1
+    num_elements: "int | None" = None
+    dtype: "str | None" = None
+    layout: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in dataclasses.asdict(self).items()
+                if v not in (None, ())}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        data = dict(data)
+        if "obj_ids" in data:
+            data["obj_ids"] = tuple(data["obj_ids"])
+        return cls(**data)
+
+
+class TraceRecorder:
+    """Wraps a device, recording every API action it performs.
+
+    Use as the device handle inside the program under trace; all calls
+    forward to the wrapped device.
+    """
+
+    def __init__(self, device: PimDevice) -> None:
+        self.device = device
+        self.events: "list[TraceEvent]" = []
+
+    # -- forwarded API ------------------------------------------------------
+
+    @property
+    def functional(self) -> bool:
+        return self.device.functional
+
+    @property
+    def config(self):
+        return self.device.config
+
+    @property
+    def stats(self):
+        return self.device.stats
+
+    def alloc(self, num_elements, dtype=PimDataType.INT32,
+              layout=PimAllocType.AUTO):
+        obj = self.device.alloc(num_elements, dtype, layout)
+        # Record the *requested* layout so a cross-architecture replay
+        # resolves AUTO to the target's native layout.
+        self.events.append(TraceEvent(
+            action="alloc", obj_ids=(obj.obj_id,), num_elements=num_elements,
+            dtype=dtype.name, layout=layout.name,
+        ))
+        return obj
+
+    def alloc_associated(self, ref, dtype=None):
+        obj = self.device.alloc_associated(ref, dtype)
+        self.events.append(TraceEvent(
+            action="alloc_assoc", obj_ids=(obj.obj_id, ref.obj_id),
+            dtype=obj.dtype.name,
+        ))
+        return obj
+
+    def free(self, obj):
+        self.events.append(TraceEvent(action="free", obj_ids=(obj.obj_id,)))
+        self.device.free(obj)
+
+    def copy_host_to_device(self, values, obj, repeat: int = 1):
+        self.events.append(TraceEvent(
+            action="h2d", obj_ids=(obj.obj_id,), repeat=repeat,
+        ))
+        self.device.copy_host_to_device(values, obj, repeat)
+
+    def copy_device_to_host(self, obj, repeat: int = 1):
+        self.events.append(TraceEvent(
+            action="d2h", obj_ids=(obj.obj_id,), repeat=repeat,
+        ))
+        return self.device.copy_device_to_host(obj, repeat)
+
+    def copy_device_to_device(self, src, dst, shift_elements=0,
+                              pattern="local"):
+        self.events.append(TraceEvent(
+            action="d2d", obj_ids=(src.obj_id, dst.obj_id),
+            scalar=shift_elements, kind=pattern,
+        ))
+        self.device.copy_device_to_device(src, dst, shift_elements, pattern)
+
+    def model_gather(self, dst, values=None, num_bytes=None):
+        self.events.append(TraceEvent(
+            action="d2d", obj_ids=(dst.obj_id,), kind="gather",
+        ))
+        self.device.model_gather(dst, values, num_bytes)
+
+    def execute(self, kind, inputs=(), dest=None, scalar=None, repeat=1):
+        obj_ids = tuple(obj.obj_id for obj in inputs)
+        if dest is not None:
+            obj_ids = obj_ids + (dest.obj_id,)
+        self.events.append(TraceEvent(
+            action="execute", obj_ids=obj_ids, kind=kind.name,
+            scalar=scalar, repeat=repeat,
+        ))
+        return self.device.execute(kind, inputs, dest, scalar, repeat)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([event.to_dict() for event in self.events],
+                          indent=2)
+
+
+def load_trace(text: str) -> "list[TraceEvent]":
+    return [TraceEvent.from_dict(item) for item in json.loads(text)]
+
+
+def replay_trace(
+    events: "typing.Iterable[TraceEvent]", device: PimDevice
+) -> PimDevice:
+    """Re-issue a recorded trace against another device (analytic).
+
+    The device must be in analytic mode: traces carry no payload data.
+    Returns the device so its stats can be inspected.
+    """
+    if device.functional:
+        raise PimError("trace replay requires an analytic-mode device")
+    objects: "dict[int, typing.Any]" = {}
+    for event in events:
+        if event.action == "alloc":
+            obj = device.alloc(
+                event.num_elements,
+                PimDataType[event.dtype],
+                PimAllocType[event.layout],
+            )
+            objects[event.obj_ids[0]] = obj
+        elif event.action == "alloc_assoc":
+            obj = device.alloc_associated(
+                objects[event.obj_ids[1]], PimDataType[event.dtype]
+            )
+            objects[event.obj_ids[0]] = obj
+        elif event.action == "free":
+            device.free(objects.pop(event.obj_ids[0]))
+        elif event.action == "h2d":
+            device.copy_host_to_device(
+                None, objects[event.obj_ids[0]], event.repeat
+            )
+        elif event.action == "d2h":
+            device.copy_device_to_host(objects[event.obj_ids[0]], event.repeat)
+        elif event.action == "d2d":
+            if len(event.obj_ids) == 1:
+                device.model_gather(objects[event.obj_ids[0]])
+            else:
+                device.copy_device_to_device(
+                    objects[event.obj_ids[0]], objects[event.obj_ids[1]],
+                    event.scalar or 0, event.kind or "local",
+                )
+        elif event.action == "execute":
+            kind = PimCmdKind[event.kind]
+            obj_ids = event.obj_ids
+            dest = None
+            if not kind.spec.produces_scalar:
+                dest = objects[obj_ids[-1]]
+                obj_ids = obj_ids[:-1]
+            device.execute(
+                kind, tuple(objects[i] for i in obj_ids), dest,
+                scalar=event.scalar, repeat=event.repeat,
+            )
+        else:
+            raise PimError(f"unknown trace action {event.action!r}")
+    return device

@@ -1,0 +1,27 @@
+"""Toy UPMEM model for the Section V-E validation."""
+
+from repro.upmem.model import (
+    GEMV,
+    VECTOR_ADD,
+    UpmemConfig,
+    UpmemKernel,
+    UpmemToyModel,
+)
+from repro.upmem.validation import (
+    PAPER_SLOWDOWNS,
+    ValidationRow,
+    format_validation_table,
+    upmem_validation_table,
+)
+
+__all__ = [
+    "GEMV",
+    "VECTOR_ADD",
+    "UpmemConfig",
+    "UpmemKernel",
+    "UpmemToyModel",
+    "PAPER_SLOWDOWNS",
+    "ValidationRow",
+    "format_validation_table",
+    "upmem_validation_table",
+]

@@ -1,0 +1,39 @@
+"""Synthetic 24-bit bitmap images for the image-processing benchmarks.
+
+The paper's histogram/brightness/downsampling benchmarks read 24-bit .bmp
+files (~1.4 GB); this generator produces an equivalent random RGB raster
+directly, preserving the per-channel value distribution the kernels see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def synthetic_image(width: int, height: int, seed: int = 0) -> np.ndarray:
+    """Random RGB image of shape (height, width, 3), dtype uint8."""
+    if width <= 0 or height <= 0:
+        raise ValueError("image dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+
+
+def channel_planes(image: np.ndarray) -> "list[np.ndarray]":
+    """Split an (H, W, 3) image into three flat channel vectors."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) image, got shape {image.shape}")
+    return [image[:, :, c].reshape(-1).copy() for c in range(3)]
+
+
+def box_downsample_reference(image: np.ndarray) -> np.ndarray:
+    """Host reference 2x2 box filter: output is half size, averaged."""
+    height, width = image.shape[:2]
+    if height % 2 or width % 2:
+        raise ValueError("reference downsampling requires even dimensions")
+    blocks = (
+        image[0::2, 0::2].astype(np.uint16)
+        + image[0::2, 1::2]
+        + image[1::2, 0::2]
+        + image[1::2, 1::2]
+    )
+    return (blocks >> 2).astype(np.uint8)

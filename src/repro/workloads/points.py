@@ -1,0 +1,44 @@
+"""2-D point sets for the KNN, k-means, and linear-regression benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clustered_points(
+    num_points: int, num_clusters: int, seed: int = 0, spread: int = 50,
+    span: int = 10_000,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Integer 2-D points around random cluster centers.
+
+    Returns ``(points, labels)`` where points has shape (n, 2) int32 and
+    labels gives the generating cluster of each point.
+    """
+    if num_points <= 0 or num_clusters <= 0:
+        raise ValueError("num_points and num_clusters must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(-span, span, size=(num_clusters, 2))
+    labels = rng.integers(0, num_clusters, size=num_points)
+    noise = rng.integers(-spread, spread + 1, size=(num_points, 2))
+    points = (centers[labels] + noise).astype(np.int32)
+    return points, labels.astype(np.int32)
+
+
+def linear_points(
+    num_points: int, slope: float = 3.0, intercept: float = 40.0,
+    noise: int = 10, seed: int = 0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Integer (x, y) samples from a noisy line, for linear regression."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 1000, size=num_points).astype(np.int32)
+    eps = rng.integers(-noise, noise + 1, size=num_points)
+    y = (slope * x + intercept + eps).astype(np.int32)
+    return x, y
+
+
+def labeled_points_2d(
+    num_points: int, num_classes: int, seed: int = 0
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Classified 2-D points for KNN (cluster id doubles as the label)."""
+    points, labels = clustered_points(num_points, num_classes, seed=seed)
+    return points, labels % num_classes

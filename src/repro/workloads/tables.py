@@ -1,0 +1,34 @@
+"""Key-value tables for the filter-by-key database benchmark.
+
+The paper scans 2^30 key-value pairs selecting ~1% of records.  The
+generator controls the selectivity of a less-than predicate precisely so
+that host-gather cost modeling is stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class FilterWorkload:
+    """A column of keys plus the predicate threshold hitting the target
+    selectivity."""
+
+    keys: np.ndarray
+    threshold: int
+    selectivity: float
+
+
+def key_value_table(
+    num_records: int, selectivity: float = 0.01, seed: int = 0, key_range: int = 1 << 20
+) -> FilterWorkload:
+    """Uniform keys with a threshold selecting ~``selectivity`` of them."""
+    if not 0 < selectivity < 1:
+        raise ValueError(f"selectivity must be in (0, 1), got {selectivity}")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, key_range, size=num_records).astype(np.int32)
+    threshold = int(selectivity * key_range)
+    return FilterWorkload(keys=keys, threshold=threshold, selectivity=selectivity)

@@ -1,0 +1,34 @@
+"""Synthetic vector and matrix inputs for the linear-algebra benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_int_vector(
+    num_elements: int,
+    seed: int = 0,
+    low: int = -1000,
+    high: int = 1000,
+    dtype: str = "int32",
+) -> np.ndarray:
+    """Uniform random integer vector (the Table I 32-bit INT inputs)."""
+    if num_elements <= 0:
+        raise ValueError(f"num_elements must be positive, got {num_elements}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=num_elements).astype(dtype)
+
+
+def random_int_matrix(
+    num_rows: int,
+    num_cols: int,
+    seed: int = 0,
+    low: int = -100,
+    high: int = 100,
+    dtype: str = "int32",
+) -> np.ndarray:
+    """Uniform random integer matrix, row-major."""
+    if num_rows <= 0 or num_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=(num_rows, num_cols)).astype(dtype)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.analysis.charts import render_log_bars, render_stacked_bars
+
+
+class TestLogBars:
+    def test_renders_all_labels_and_values(self):
+        text = render_log_bars([("alpha", 10.0), ("beta", 0.5)])
+        assert "alpha" in text and "beta" in text
+        assert "10.000x" in text and "0.500x" in text
+
+    def test_reference_marker_present(self):
+        text = render_log_bars([("a", 4.0)], reference=1.0)
+        assert "|" in text
+        assert "<- 1.0x" in text
+
+    def test_larger_value_longer_bar(self):
+        text = render_log_bars([("big", 100.0), ("small", 2.0)], width=40)
+        big_line, small_line = text.splitlines()[:2]
+        assert big_line.count("=") > small_line.count("=")
+
+    def test_below_reference_bar_extends_left(self):
+        text = render_log_bars([("slow", 0.1), ("fast", 10.0)], width=20)
+        slow_line = text.splitlines()[0]
+        # The slowdown bar sits before the reference mark.
+        assert slow_line.index("#") < slow_line.index("|")
+
+    def test_empty_and_nonpositive(self):
+        assert render_log_bars([]) == "(no data)"
+        assert "no positive" in render_log_bars([("x", 0.0)])
+
+    def test_custom_unit(self):
+        assert "ms" in render_log_bars([("a", 2.0)], unit="ms")
+
+
+class TestStackedBars:
+    def test_segments_proportional(self):
+        text = render_stacked_bars(
+            [("row", {"kernel": 50.0, "host": 50.0})], width=40
+        )
+        line = text.splitlines()[0]
+        assert line.count("K") == 20
+        assert line.count("H") == 20
+
+    def test_legend(self):
+        text = render_stacked_bars([("r", {"kernel": 100.0})])
+        assert "K=kernel" in text
+
+    def test_custom_symbols(self):
+        text = render_stacked_bars(
+            [("r", {"kernel": 100.0})], symbols={"kernel": "*"}
+        )
+        assert "*" in text
+
+    def test_empty(self):
+        assert render_stacked_bars([]) == "(no data)"

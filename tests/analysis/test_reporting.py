@@ -1,0 +1,67 @@
+"""Tests for the Listing-3 style report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_command_stats,
+    format_copy_stats,
+    format_params,
+    format_report,
+)
+from repro.config.device import PimDeviceType
+from repro.core.commands import PimCmdKind
+
+from tests.conftest import make_device
+
+
+@pytest.fixture
+def ran_device(rng):
+    device = make_device(PimDeviceType.FULCRUM)
+    obj_a = device.alloc(2048)
+    obj_b = device.alloc_associated(obj_a)
+    dest = device.alloc_associated(obj_a)
+    device.copy_host_to_device(rng.integers(0, 9, 2048).astype(np.int32), obj_a)
+    device.copy_host_to_device(rng.integers(0, 9, 2048).astype(np.int32), obj_b)
+    device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+    device.copy_device_to_host(dest)
+    return device
+
+
+class TestParamsBlock:
+    def test_contains_listing3_fields(self, ran_device):
+        text = format_params(ran_device)
+        assert "PIM_DEVICE" not in text  # our enum names differ; check values
+        assert "4, 128, 32, 1024, 8192" in text
+        assert "Number of PIM Cores" in text
+        assert "8192" in text
+        assert "25.600000 GB/s" in text
+        assert "28.500000" in text
+
+
+class TestCopyBlock:
+    def test_byte_totals(self, ran_device):
+        text = format_copy_stats(ran_device)
+        assert "Host to Device   : 16384 bytes" in text
+        assert "Device to Host   : 8192 bytes" in text
+        assert "24576 bytes" in text
+
+
+class TestCommandBlock:
+    def test_lists_signature_and_total(self, ran_device):
+        text = format_command_stats(ran_device)
+        assert "add.int32.h" in text
+        assert "TOTAL" in text
+
+    def test_runtime_matches_stats(self, ran_device):
+        text = format_command_stats(ran_device)
+        expected = f"{ran_device.stats.kernel_time_ns / 1e6:.6f}"
+        assert expected in text
+
+
+def test_full_report_has_all_blocks(ran_device):
+    text = format_report(ran_device, title="Vector Add")
+    assert "Vector Add" in text
+    assert "PIM Params:" in text
+    assert "Data Copy Stats:" in text
+    assert "PIM Command Stats:" in text

@@ -1,0 +1,143 @@
+"""Tests for the C-style PIM API (Listing 1 call shapes)."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.config.device import PimDataType, PimDeviceType
+from repro.core.errors import PimError
+
+
+@pytest.fixture(autouse=True)
+def clean_device():
+    api.pim_delete_device()
+    yield
+    api.pim_delete_device()
+
+
+class TestLifecycle:
+    def test_create_and_get(self):
+        device = api.pim_create_device(PimDeviceType.FULCRUM, num_ranks=4)
+        assert api.pim_get_device() is device
+        assert device.config.num_cores == 8192
+
+    def test_no_device_error(self):
+        with pytest.raises(PimError):
+            api.pim_get_device()
+
+    def test_delete_frees_objects(self):
+        api.pim_create_device(PimDeviceType.FULCRUM, num_ranks=4)
+        obj = api.pim_alloc(100)
+        api.pim_delete_device()
+        assert obj.freed
+
+    def test_context_manager(self):
+        with api.pim_device(PimDeviceType.BITSIMD_V_AP, num_ranks=4) as device:
+            assert api.pim_get_device() is device
+        with pytest.raises(PimError):
+            api.pim_get_device()
+
+
+class TestListing1Axpy:
+    """The paper's Listing 1 AXPY, line for line."""
+
+    def test_axpy(self, rng):
+        api.pim_create_device(PimDeviceType.FULCRUM, num_ranks=4)
+        length = 4096
+        x = rng.integers(-100, 100, length).astype(np.int32)
+        y = rng.integers(-100, 100, length).astype(np.int32)
+        a = 7
+
+        obj_x = api.pim_alloc(length, PimDataType.INT32, api.PIM_ALLOC_AUTO)
+        obj_y = api.pim_alloc_associated(obj_x, PimDataType.INT32)
+        api.pim_copy_host_to_device(x, obj_x)
+        api.pim_copy_host_to_device(y, obj_y)
+        api.pim_scaled_add(obj_x, obj_y, obj_y, a)
+        result = api.pim_copy_device_to_host(obj_y)
+        api.pim_free(obj_x)
+        api.pim_free(obj_y)
+
+        assert np.array_equal(result, a * x + y)
+
+
+class TestOperationWrappers:
+    @pytest.fixture(autouse=True)
+    def device(self):
+        return api.pim_create_device(PimDeviceType.BITSIMD_V_AP, num_ranks=4)
+
+    def test_elementwise_ops(self, rng):
+        a = rng.integers(-50, 50, 128).astype(np.int32)
+        b = rng.integers(-50, 50, 128).astype(np.int32)
+        obj_a = api.pim_alloc(128)
+        obj_b = api.pim_alloc_associated(obj_a)
+        dest = api.pim_alloc_associated(obj_a)
+        api.pim_copy_host_to_device(a, obj_a)
+        api.pim_copy_host_to_device(b, obj_b)
+        for func, expected in [
+            (api.pim_add, a + b), (api.pim_sub, a - b), (api.pim_mul, a * b),
+            (api.pim_min, np.minimum(a, b)), (api.pim_max, np.maximum(a, b)),
+            (api.pim_and, a & b), (api.pim_or, a | b), (api.pim_xor, a ^ b),
+            (api.pim_xnor, ~(a ^ b)),
+        ]:
+            func(obj_a, obj_b, dest)
+            assert np.array_equal(api.pim_copy_device_to_host(dest), expected)
+
+    def test_comparison_ops(self, rng):
+        a = rng.integers(-5, 5, 128).astype(np.int32)
+        b = rng.integers(-5, 5, 128).astype(np.int32)
+        obj_a = api.pim_alloc(128)
+        obj_b = api.pim_alloc_associated(obj_a)
+        mask = api.pim_alloc_associated(obj_a, PimDataType.BOOL)
+        api.pim_copy_host_to_device(a, obj_a)
+        api.pim_copy_host_to_device(b, obj_b)
+        for func, expected in [
+            (api.pim_lt, a < b), (api.pim_gt, a > b),
+            (api.pim_eq, a == b), (api.pim_ne, a != b),
+        ]:
+            func(obj_a, obj_b, mask)
+            assert np.array_equal(api.pim_copy_device_to_host(mask), expected)
+
+    def test_reduction_and_broadcast(self, rng):
+        a = rng.integers(-100, 100, 256).astype(np.int32)
+        obj = api.pim_alloc(256)
+        api.pim_copy_host_to_device(a, obj)
+        assert api.pim_redsum(obj) == int(a.sum())
+        api.pim_broadcast(obj, 9)
+        assert api.pim_redsum(obj) == 9 * 256
+
+    def test_select(self, rng):
+        a = rng.integers(0, 10, 64).astype(np.int32)
+        b = rng.integers(0, 10, 64).astype(np.int32)
+        obj_a = api.pim_alloc(64)
+        obj_b = api.pim_alloc_associated(obj_a)
+        cond = api.pim_alloc_associated(obj_a, PimDataType.BOOL)
+        dest = api.pim_alloc_associated(obj_a)
+        api.pim_copy_host_to_device(a, obj_a)
+        api.pim_copy_host_to_device(b, obj_b)
+        api.pim_lt(obj_a, obj_b, cond)
+        api.pim_select(cond, obj_a, obj_b, dest)
+        assert np.array_equal(
+            api.pim_copy_device_to_host(dest), np.minimum(a, b)
+        )
+
+    def test_scalar_wrappers(self, rng):
+        a = rng.integers(0, 100, 64).astype(np.int32)
+        obj = api.pim_alloc(64)
+        dest = api.pim_alloc_associated(obj)
+        api.pim_copy_host_to_device(a, obj)
+        api.pim_add_scalar(obj, 5, dest)
+        assert np.array_equal(api.pim_copy_device_to_host(dest), a + 5)
+        api.pim_and_scalar(obj, 0x0F, dest)
+        assert np.array_equal(api.pim_copy_device_to_host(dest), a & 0x0F)
+        api.pim_shift_right(obj, 1, dest)
+        assert np.array_equal(api.pim_copy_device_to_host(dest), a >> 1)
+
+    def test_stats_visible_after_run(self, rng):
+        obj = api.pim_alloc(64)
+        api.pim_copy_host_to_device(
+            rng.integers(0, 10, 64).astype(np.int32), obj
+        )
+        api.pim_abs(obj, obj)
+        device = api.pim_get_device()
+        assert device.stats.total_command_count == 1
+        assert device.stats.kernel_time_ns > 0

@@ -1,0 +1,82 @@
+"""Tests for the roofline baseline models."""
+
+import pytest
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.baselines.roofline import KernelProfile, roofline_time_ns
+
+
+class TestKernelProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelProfile("x", bytes_accessed=-1, compute_ops=0)
+        with pytest.raises(ValueError):
+            KernelProfile("x", bytes_accessed=1, compute_ops=1, mem_efficiency=0)
+        with pytest.raises(ValueError):
+            KernelProfile("x", bytes_accessed=1, compute_ops=1,
+                          compute_efficiency=1.5)
+
+    def test_scaled(self):
+        profile = KernelProfile("x", bytes_accessed=100, compute_ops=10)
+        doubled = profile.scaled(2)
+        assert doubled.bytes_accessed == 200
+        assert doubled.compute_ops == 20
+        assert doubled.mem_efficiency == profile.mem_efficiency
+
+    def test_composition_adds_work(self):
+        a = KernelProfile("a", bytes_accessed=100, compute_ops=10)
+        b = KernelProfile("b", bytes_accessed=300, compute_ops=30)
+        total = a + b
+        assert total.bytes_accessed == 400
+        assert total.compute_ops == 40
+
+    def test_composition_blends_time_true(self):
+        """The blended efficiency preserves the summed per-part time."""
+        fast = KernelProfile("f", bytes_accessed=100, compute_ops=0.001,
+                             mem_efficiency=1.0)
+        slow = KernelProfile("s", bytes_accessed=100, compute_ops=0.001,
+                             mem_efficiency=0.1)
+        combined = fast + slow
+        time = roofline_time_ns(combined, 1.0, 1.0)
+        separate = roofline_time_ns(fast, 1.0, 1.0) + roofline_time_ns(slow, 1.0, 1.0)
+        assert time == pytest.approx(separate)
+
+
+class TestRoofline:
+    def test_memory_bound(self):
+        profile = KernelProfile("x", bytes_accessed=1e9, compute_ops=1,
+                                mem_efficiency=0.5)
+        assert roofline_time_ns(profile, 100.0, 1000.0) == pytest.approx(
+            1e9 / 50.0
+        )
+
+    def test_compute_bound(self):
+        profile = KernelProfile("x", bytes_accessed=1, compute_ops=1e9,
+                                compute_efficiency=0.5)
+        assert roofline_time_ns(profile, 1000.0, 100.0) == pytest.approx(
+            1e9 / 50.0
+        )
+
+
+class TestBaselineModels:
+    def test_cpu_stream_kernel(self):
+        """A 12-byte/element streaming kernel runs near memory bandwidth."""
+        n = 1_000_000_000
+        profile = KernelProfile("vecadd", bytes_accessed=12.0 * n,
+                                compute_ops=float(n), mem_efficiency=0.85)
+        time_ns = CpuModel().time_ns(profile)
+        assert time_ns == pytest.approx(12.0 * n / (460.8 * 0.85))
+
+    def test_gpu_faster_than_cpu_for_streaming(self):
+        profile = KernelProfile("x", bytes_accessed=1e10, compute_ops=1e9)
+        assert GpuModel().time_ns(profile) < CpuModel().time_ns(profile)
+
+    def test_energy_at_tdp(self):
+        profile = KernelProfile("x", bytes_accessed=1e9, compute_ops=1)
+        cpu = CpuModel()
+        time, energy = cpu.run(profile)
+        assert energy == pytest.approx(time * 200.0)
+        gpu = GpuModel()
+        time, energy = gpu.run(profile)
+        assert energy == pytest.approx(time * 300.0)

@@ -1,0 +1,70 @@
+"""Tests for the extension kernels (prefix sum, string match)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.extensions import (
+    EXTENSION_BENCHMARKS,
+    PrefixSumBenchmark,
+    StringMatchBenchmark,
+)
+
+from tests.conftest import make_device
+
+
+class TestPrefixSum:
+    def test_verifies_on_every_architecture(self, device_type):
+        device = make_device(device_type)
+        result = PrefixSumBenchmark().run(device)
+        assert result.verified is True
+
+    def test_log_steps(self, device_type):
+        from repro.core.commands import PimCmdKind
+        device = make_device(device_type)
+        PrefixSumBenchmark(num_elements=1024).run(device)
+        # Hillis-Steele: exactly log2(1024) = 10 ADD commands.
+        assert device.stats.op_counts[PimCmdKind.ADD] == 10
+
+    def test_non_power_of_two(self, device_type):
+        device = make_device(device_type)
+        result = PrefixSumBenchmark(num_elements=1000).run(device)
+        assert result.verified is True
+
+
+class TestStringMatch:
+    def test_verifies_on_every_architecture(self, device_type):
+        device = make_device(device_type)
+        result = StringMatchBenchmark().run(device)
+        assert result.verified is True
+        assert result.stats.host_time_ns > 0
+
+    def test_finds_planted_occurrences(self, device_type):
+        device = make_device(device_type)
+        bench = StringMatchBenchmark(text_length=4096, pattern_length=5)
+        from repro.host.model import HostModel
+        outputs = bench.run_pim(device, HostModel(device))
+        assert outputs["count"] >= 1  # the generator plants matches
+        text = outputs["text"].tobytes()
+        pattern = outputs["pattern"].tobytes()
+        for pos in outputs["positions"]:
+            assert text[pos:pos + len(pattern)] == pattern
+
+    def test_no_tail_false_positives(self, device_type):
+        device = make_device(device_type)
+        bench = StringMatchBenchmark(text_length=512, pattern_length=8)
+        from repro.host.model import HostModel
+        outputs = bench.run_pim(device, HostModel(device))
+        assert all(p <= 512 - 8 for p in outputs["positions"])
+
+
+def test_extensions_not_in_table1():
+    from repro.bench.registry import BENCHMARKS_BY_KEY
+    for cls in EXTENSION_BENCHMARKS:
+        assert cls.key not in BENCHMARKS_BY_KEY
+
+
+def test_extension_analytic_mode(device_type):
+    device = make_device(device_type, functional=False)
+    result = PrefixSumBenchmark(num_elements=1_000_000).run(device)
+    assert result.verified is None
+    assert result.stats.kernel_time_ns > 0

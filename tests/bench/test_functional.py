@@ -1,0 +1,68 @@
+"""Functional verification of the whole PIMbench suite.
+
+Every Table I benchmark runs at its small functional parameters on every
+architecture, and its PIM output is checked against the host reference --
+the Section V-E verification methodology, as an automated test matrix.
+"""
+
+import pytest
+
+from repro.bench.registry import BENCHMARK_CLASSES, make_benchmark
+
+from tests.conftest import make_device
+
+FAST_KEYS = [
+    cls.key for cls in BENCHMARK_CLASSES
+    if cls.key not in ("aes-enc", "aes-dec", "vgg-13", "vgg-16", "vgg-19")
+]
+
+
+@pytest.mark.parametrize("key", FAST_KEYS)
+def test_benchmark_verifies(key, device_type):
+    device = make_device(device_type)
+    result = make_benchmark(key).run(device)
+    assert result.verified is True
+    assert result.stats.kernel_time_ns > 0
+    assert result.cpu_time_ns > 0
+    assert result.gpu_time_ns > 0
+
+
+@pytest.mark.parametrize("key", ["aes-enc", "aes-dec"])
+def test_aes_verifies(key, device_type):
+    device = make_device(device_type)
+    result = make_benchmark(key, num_bytes=256).run(device)
+    assert result.verified is True
+
+
+def test_vgg_verifies(device_type):
+    device = make_device(device_type)
+    result = make_benchmark("vgg-16").run(device)
+    assert result.verified is True
+    assert result.stats.host_time_ns > 0  # PIM + Host benchmark
+
+
+def test_functional_result_is_architecture_independent(rng):
+    """The PIM API portability claim: same outputs on every target."""
+    outputs = {}
+    for device_type in ("bit-serial", "fulcrum", "bank-level"):
+        from repro.config.device import PimDeviceType
+        dtype = next(d for d in PimDeviceType if d.value == device_type)
+        device = make_device(dtype)
+        bench = make_benchmark("vecadd", num_elements=1024)
+        outputs[device_type] = bench.run_pim(device, _host(device))["result"]
+    import numpy as np
+    assert np.array_equal(outputs["bit-serial"], outputs["fulcrum"])
+    assert np.array_equal(outputs["fulcrum"], outputs["bank-level"])
+
+
+def _host(device):
+    from repro.host.model import HostModel
+    return HostModel(device)
+
+
+def test_leaves_no_objects_behind(device_type):
+    """Benchmarks free everything they allocate."""
+    device = make_device(device_type)
+    make_benchmark("kmeans").run(device)
+    assert device.resources.num_live_objects == 0
+    assert device.resources.rows_in_use == 0

@@ -1,0 +1,83 @@
+"""Functional verification across varied benchmark parameters.
+
+The main functional matrix runs each benchmark at its default small
+parameters; these cases stress the less-common shapes: non-square images,
+single-cluster k-means, tall/skinny and skinny/tall matrices, multi-chunk
+graphs, tiny and unaligned sizes.
+"""
+
+import pytest
+
+from repro.bench.registry import make_benchmark
+from repro.config.device import PimDeviceType
+
+from tests.conftest import make_device
+
+CASES = [
+    ("vecadd", {"num_elements": 1}),
+    ("vecadd", {"num_elements": 8191}),  # just under one row group
+    ("vecadd", {"num_elements": 8193}),  # just over
+    ("axpy", {"num_elements": 1000, "scale": -7}),
+    ("axpy", {"num_elements": 1000, "scale": 0}),
+    ("gemv", {"num_rows": 1, "num_cols": 64}),
+    ("gemv", {"num_rows": 300, "num_cols": 3}),
+    ("gemm", {"m": 1, "k": 17, "n": 9}),
+    ("gemm", {"m": 33, "k": 2, "n": 1}),
+    ("radixsort", {"num_elements": 257}),
+    ("tricount", {"num_nodes": 33, "num_edges": 80, "num_chunks": 3}),
+    ("tricount", {"num_nodes": 20, "num_edges": 0, "num_chunks": 1}),
+    ("filter", {"num_records": 5000, "selectivity": 0.5}),
+    ("filter", {"num_records": 5000, "selectivity": 0.001}),
+    ("histogram", {"width": 10, "height": 7}),
+    ("brightness", {"delta": 0}),
+    ("brightness", {"delta": 255}),
+    ("downsample", {"width": 2, "height": 2}),
+    ("downsample", {"width": 30, "height": 4}),
+    ("knn", {"num_points": 300, "num_queries": 1, "k": 1}),
+    ("knn", {"num_points": 100, "num_queries": 3, "k": 25}),
+    ("linreg", {"num_points": 100}),
+    ("kmeans", {"num_points": 500, "k": 1, "iterations": 2}),
+    ("kmeans", {"num_points": 500, "k": 7, "iterations": 1}),
+    ("vgg-16", {"batch": 1, "image_size": 4, "conv_plan": [2, "M"],
+                "dense_plan": [3]}),
+    ("vgg-16", {"batch": 3, "image_size": 8,
+                "conv_plan": [4, 4, "M", 6, "M"], "dense_plan": [5, 4]}),
+]
+
+
+@pytest.mark.parametrize("key,overrides", CASES,
+                         ids=[f"{k}-{i}" for i, (k, _) in enumerate(CASES)])
+def test_parameter_variation_verifies(key, overrides):
+    """Every variation verifies on the bit-serial device."""
+    device = make_device(PimDeviceType.BITSIMD_V_AP)
+    result = make_benchmark(key, **overrides).run(device)
+    assert result.verified is True
+
+
+@pytest.mark.parametrize("key,overrides", [
+    ("gemm", {"m": 19, "k": 5, "n": 4}),
+    ("downsample", {"width": 14, "height": 6}),
+    ("kmeans", {"num_points": 300, "k": 3, "iterations": 2}),
+], ids=["gemm", "downsample", "kmeans"])
+def test_variations_on_bit_parallel_devices(key, overrides):
+    for device_type in (PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL):
+        device = make_device(device_type)
+        result = make_benchmark(key, **overrides).run(device)
+        assert result.verified is True, device_type
+
+
+class TestDegenerateInputs:
+    def test_downsample_rejects_odd_dimensions(self):
+        device = make_device(PimDeviceType.FULCRUM)
+        with pytest.raises(ValueError):
+            make_benchmark("downsample", width=7, height=8).run(device)
+
+    def test_brightness_rejects_out_of_range_delta(self):
+        device = make_device(PimDeviceType.FULCRUM)
+        with pytest.raises(ValueError):
+            make_benchmark("brightness", delta=300).run(device)
+
+    def test_aes_rejects_sub_block_input(self):
+        device = make_device(PimDeviceType.FULCRUM)
+        with pytest.raises(ValueError):
+            make_benchmark("aes-enc", num_bytes=8).run(device)

@@ -1,0 +1,74 @@
+"""Tests for the benchmark registry and metadata (Table I)."""
+
+import pytest
+
+from repro.bench.registry import (
+    BENCHMARK_CLASSES,
+    BENCHMARKS_BY_KEY,
+    all_benchmarks,
+    make_benchmark,
+)
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(BENCHMARK_CLASSES) == 18
+
+    def test_keys_unique(self):
+        keys = [cls.key for cls in BENCHMARK_CLASSES]
+        assert len(set(keys)) == len(keys)
+
+    def test_names_unique(self):
+        names = [cls.name for cls in BENCHMARK_CLASSES]
+        assert len(set(names)) == len(names)
+
+    def test_table1_domains_present(self):
+        domains = {cls.domain for cls in BENCHMARK_CLASSES}
+        assert domains == {
+            "Linear Algebra", "Sort", "Cryptography", "Graph", "Database",
+            "Image Processing", "Supervised Learning", "Unsupervised Learning",
+            "Neural Network",
+        }
+
+    def test_pim_host_benchmarks(self):
+        """Table I marks these as PIM + Host."""
+        pim_host = {
+            cls.key for cls in BENCHMARK_CLASSES
+            if cls.execution_type == "PIM + Host"
+        }
+        assert pim_host == {
+            "radixsort", "filter", "knn", "vgg-13", "vgg-16", "vgg-19",
+        }
+
+    def test_every_benchmark_has_paper_params(self):
+        for cls in BENCHMARK_CLASSES:
+            params = cls.paper_params()
+            assert params, cls.key
+            assert set(params) == set(cls.default_params()), cls.key
+
+
+class TestMakeBenchmark:
+    def test_default_scale(self):
+        bench = make_benchmark("vecadd")
+        assert bench.params["num_elements"] == 4096
+
+    def test_paper_scale(self):
+        bench = make_benchmark("vecadd", paper_scale=True)
+        assert bench.params["num_elements"] == 2_035_544_320
+
+    def test_overrides(self):
+        bench = make_benchmark("vecadd", num_elements=99)
+        assert bench.params["num_elements"] == 99
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            make_benchmark("bogus")
+
+    def test_unknown_param(self):
+        with pytest.raises(TypeError):
+            make_benchmark("vecadd", bogus_param=1)
+
+    def test_all_benchmarks_instantiates_suite(self):
+        suite = all_benchmarks()
+        assert len(suite) == 18
+        assert BENCHMARKS_BY_KEY["vecadd"] is type(suite[0])

@@ -1,0 +1,79 @@
+"""Tests for the BenchmarkResult comparison metrics.
+
+These pin the artifact's stated accounting: CPU comparisons sum kernel +
+host + data copy; GPU comparisons use kernel + host only (Appendix D).
+"""
+
+import pytest
+
+from repro.bench.common import BenchmarkResult
+from repro.config.device import PimDeviceType
+from repro.core.stats import StatsSnapshot
+
+
+def make_result(**stats_kwargs):
+    defaults = dict(
+        kernel_time_ns=100.0, kernel_energy_nj=10.0, copy_time_ns=50.0,
+        copy_energy_nj=5.0, copy_bytes=1000, background_energy_nj=2.0,
+        host_time_ns=25.0, host_energy_nj=3.0,
+    )
+    defaults.update(stats_kwargs)
+    return BenchmarkResult(
+        benchmark="test",
+        device_type=PimDeviceType.FULCRUM,
+        stats=StatsSnapshot(**defaults),
+        op_counts={},
+        cpu_time_ns=700.0,
+        cpu_energy_nj=140.0,
+        gpu_time_ns=250.0,
+        gpu_energy_nj=75.0,
+        verified=True,
+    )
+
+
+class TestTimeAccounting:
+    def test_cpu_total_includes_all_three(self):
+        result = make_result()
+        assert result.pim_total_time_ns == pytest.approx(175.0)
+        assert result.speedup_cpu_total == pytest.approx(700.0 / 175.0)
+
+    def test_cpu_kernel_excludes_copies(self):
+        result = make_result()
+        assert result.pim_kernel_host_time_ns == pytest.approx(125.0)
+        assert result.speedup_cpu_kernel == pytest.approx(700.0 / 125.0)
+
+    def test_gpu_comparison_excludes_copies(self):
+        result = make_result()
+        assert result.speedup_gpu == pytest.approx(250.0 / 125.0)
+
+
+class TestEnergyAccounting:
+    def test_cpu_energy_includes_everything(self):
+        result = make_result()
+        assert result.pim_total_energy_nj == pytest.approx(20.0)
+        assert result.energy_reduction_cpu == pytest.approx(140.0 / 20.0)
+
+    def test_gpu_energy_excludes_copies(self):
+        result = make_result()
+        assert result.pim_kernel_host_energy_nj == pytest.approx(15.0)
+        assert result.energy_reduction_gpu == pytest.approx(75.0 / 15.0)
+
+
+class TestBreakdown:
+    def test_percentages_sum_to_100(self):
+        shares = make_result().breakdown
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares["kernel"] == pytest.approx(100.0 * 100.0 / 175.0)
+
+    def test_empty_run(self):
+        result = make_result(kernel_time_ns=0.0, copy_time_ns=0.0,
+                             host_time_ns=0.0)
+        assert result.breakdown == {
+            "data_movement": 0.0, "host": 0.0, "kernel": 0.0,
+        }
+
+
+def test_unknown_params_rejected():
+    from repro.bench.vecadd import VectorAddBenchmark
+    with pytest.raises(TypeError):
+        VectorAddBenchmark(nonsense=5)

@@ -1,0 +1,98 @@
+"""Tests for device configuration and data types."""
+
+import pytest
+
+from repro.config.device import (
+    DeviceConfig,
+    PimAllocType,
+    PimArchParams,
+    PimDataType,
+    PimDeviceType,
+)
+from repro.config.presets import make_device_config
+
+
+class TestPimDeviceType:
+    def test_display_names(self):
+        assert PimDeviceType.BITSIMD_V_AP.display_name == "Bit-Serial"
+        assert PimDeviceType.FULCRUM.display_name == "Fulcrum"
+        assert PimDeviceType.BANK_LEVEL.display_name == "Bank-level"
+
+    def test_classification(self):
+        assert PimDeviceType.BITSIMD_V_AP.is_bit_serial
+        assert not PimDeviceType.FULCRUM.is_bit_serial
+        assert PimDeviceType.FULCRUM.is_subarray_level
+        assert not PimDeviceType.BANK_LEVEL.is_subarray_level
+
+
+class TestPimDataType:
+    @pytest.mark.parametrize("dtype,bits,nbytes", [
+        (PimDataType.INT8, 8, 1),
+        (PimDataType.INT32, 32, 4),
+        (PimDataType.UINT64, 64, 8),
+        (PimDataType.BOOL, 1, 1),
+    ])
+    def test_widths(self, dtype, bits, nbytes):
+        assert dtype.bits == bits
+        assert dtype.bytes == nbytes
+
+    def test_from_bits(self):
+        assert PimDataType.from_bits(32) is PimDataType.INT32
+        assert PimDataType.from_bits(16, signed=False) is PimDataType.UINT16
+        assert PimDataType.from_bits(1) is PimDataType.BOOL
+
+    def test_from_bits_unknown(self):
+        with pytest.raises(ValueError):
+            PimDataType.from_bits(24)
+
+
+class TestCoreCounts:
+    """Listing 3: 4 ranks give 8192 Fulcrum cores of 2048 x 8192."""
+
+    def test_fulcrum_cores(self):
+        config = make_device_config(PimDeviceType.FULCRUM, 4)
+        assert config.num_cores == 8192
+        assert config.rows_per_core == 2048
+        assert config.cols_per_core == 8192
+
+    def test_bitserial_cores_one_per_subarray(self):
+        config = make_device_config(PimDeviceType.BITSIMD_V_AP, 4)
+        assert config.num_cores == 4 * 128 * 32
+        assert config.rows_per_core == 1024
+
+    def test_bank_level_cores_one_per_bank(self):
+        config = make_device_config(PimDeviceType.BANK_LEVEL, 4)
+        assert config.num_cores == 4 * 128
+        assert config.rows_per_core == 1024 * 32
+
+    def test_native_layouts(self):
+        assert (
+            make_device_config(PimDeviceType.BITSIMD_V_AP, 1).native_layout
+            is PimAllocType.VERTICAL
+        )
+        assert (
+            make_device_config(PimDeviceType.FULCRUM, 1).native_layout
+            is PimAllocType.HORIZONTAL
+        )
+
+    def test_with_geometry_override(self):
+        config = make_device_config(PimDeviceType.FULCRUM, 4)
+        narrow = config.with_geometry(cols_per_subarray=1024)
+        assert narrow.cols_per_core == 1024
+        assert config.cols_per_core == 8192
+
+
+class TestPimArchParams:
+    def test_cycle_times(self):
+        params = PimArchParams()
+        assert params.fulcrum_cycle_ns == pytest.approx(1e3 / 164.0)
+        assert params.bank_cycle_ns == pytest.approx(1e3 / 164.0)
+
+    def test_rejects_bad_alu_width(self):
+        with pytest.raises(ValueError):
+            PimArchParams(fulcrum_alu_bits=48)
+        with pytest.raises(ValueError):
+            PimArchParams(bank_alu_bits=7)
+
+    def test_default_config_is_bitserial(self):
+        assert DeviceConfig().device_type is PimDeviceType.BITSIMD_V_AP

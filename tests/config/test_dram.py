@@ -1,0 +1,79 @@
+"""Tests for DRAM geometry and timing."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.dram import DramGeometry, DramSpec, DramTiming
+
+
+class TestDramTiming:
+    def test_defaults_match_listing3(self):
+        timing = DramTiming()
+        assert timing.row_read_ns == 28.5
+        assert timing.row_write_ns == 43.5
+        assert timing.tccd_ns == 3.0
+        assert timing.rank_bandwidth_gbps == 25.6
+
+    def test_bandwidth_units(self):
+        # 1 GB/s is exactly 1 byte per nanosecond.
+        assert DramTiming().rank_bandwidth_bytes_per_ns == pytest.approx(25.6)
+
+    @pytest.mark.parametrize("field", [f.name for f in dataclasses.fields(DramTiming)])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError):
+            DramTiming(**{field: 0})
+        with pytest.raises(ValueError):
+            DramTiming(**{field: -1.0})
+
+
+class TestDramGeometry:
+    def test_paper_counts(self):
+        geometry = DramGeometry(num_ranks=32)
+        assert geometry.num_banks == 32 * 128
+        assert geometry.num_subarrays == 32 * 128 * 32
+        assert geometry.subarray_bits == 1024 * 8192
+
+    def test_total_capacity(self):
+        geometry = DramGeometry(num_ranks=1)
+        # 128 banks x 32 subarrays x 1 MiB per subarray = 4 GiB per rank.
+        assert geometry.total_capacity_bytes == 4 * 2**30
+
+    def test_aggregate_bandwidth_scales_with_ranks(self):
+        assert DramGeometry(num_ranks=2).aggregate_bandwidth_gbps == pytest.approx(
+            2 * DramGeometry(num_ranks=1).aggregate_bandwidth_gbps
+        )
+
+    def test_scaled_returns_modified_copy(self):
+        base = DramGeometry()
+        wide = base.scaled(cols_per_subarray=4096)
+        assert wide.cols_per_subarray == 4096
+        assert base.cols_per_subarray == 8192
+
+    def test_rejects_bad_chip_multiple(self):
+        with pytest.raises(ValueError):
+            DramGeometry(banks_per_rank=100, chips_per_rank=8)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DramGeometry(num_ranks=0)
+
+
+class TestDramSpec:
+    def test_transfer_time_linear_in_bytes(self):
+        spec = DramSpec(geometry=DramGeometry(num_ranks=4))
+        one = spec.data_transfer_ns(1024)
+        two = spec.data_transfer_ns(2048)
+        assert two == pytest.approx(2 * one)
+
+    def test_transfer_time_anchor(self):
+        # Listing 3: 24576 bytes over 4 ranks ~ 0.00024 ms.
+        spec = DramSpec(geometry=DramGeometry(num_ranks=4))
+        assert spec.data_transfer_ns(24576) / 1e6 == pytest.approx(0.00024, rel=0.01)
+
+    def test_zero_bytes_zero_time(self):
+        assert DramSpec().data_transfer_ns(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DramSpec().data_transfer_ns(-1)

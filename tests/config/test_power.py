@@ -1,0 +1,64 @@
+"""Tests for the power-model parameters."""
+
+import pytest
+
+from repro.config.power import (
+    ComputeEnergyParams,
+    HostPowerParams,
+    MicronPowerParams,
+    PowerConfig,
+)
+
+
+class TestMicronPowerParams:
+    def test_read_power_equation1(self):
+        params = MicronPowerParams()
+        expected = params.vdd * (params.idd4r - params.idd3n)
+        assert params.read_power_w() == pytest.approx(expected)
+        assert params.read_power_w() > 0
+
+    def test_write_power_below_read(self):
+        params = MicronPowerParams()
+        assert 0 < params.write_power_w() < params.read_power_w()
+
+    def test_activate_precharge_energy_equation2(self):
+        params = MicronPowerParams()
+        energy = params.activate_precharge_energy_nj(tras_ns=32.0, trp_ns=14.0)
+        # Calibrated against the paper's published anchors (DESIGN.md):
+        # one subarray activate-precharge costs ~0.4 nJ.
+        assert energy == pytest.approx(0.40, abs=0.05)
+
+    def test_background_power_is_standby_difference(self):
+        params = MicronPowerParams()
+        expected = params.vdd * (params.idd3n - params.idd2n)
+        assert params.background_power_w() == pytest.approx(expected)
+
+    def test_rejects_inverted_currents(self):
+        with pytest.raises(ValueError):
+            MicronPowerParams(idd4r=0.01)
+
+
+class TestComputeEnergyParams:
+    def test_bit_serial_lane_energy_tiny(self):
+        params = ComputeEnergyParams()
+        # A lane gate event must be orders of magnitude below a word ALU op.
+        assert params.bitserial_logic_pj < params.fulcrum_alu_op_pj / 10
+
+    def test_bank_alpu_costs_more_than_fulcrum(self):
+        params = ComputeEnergyParams()
+        assert params.bank_alu_op_pj > params.fulcrum_alu_op_pj
+
+
+class TestHostPowerParams:
+    def test_table2_values(self):
+        host = HostPowerParams()
+        assert host.cpu_tdp_w == 200.0
+        assert host.gpu_tdp_w == 300.0
+        assert host.cpu_idle_w == 10.0
+
+
+def test_power_config_bundles_defaults():
+    config = PowerConfig()
+    assert isinstance(config.micron, MicronPowerParams)
+    assert isinstance(config.compute, ComputeEnergyParams)
+    assert isinstance(config.host, HostPowerParams)

@@ -1,0 +1,55 @@
+"""Tests for the Table II presets."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.config.presets import (
+    CPU_BASELINE,
+    GPU_BASELINE,
+    all_pim_configs,
+    bank_level_config,
+    bitserial_config,
+    fulcrum_config,
+    paper_geometry,
+)
+
+
+def test_cpu_baseline_table2():
+    assert CPU_BASELINE.num_cores == 16
+    assert CPU_BASELINE.freq_ghz == 3.71
+    assert CPU_BASELINE.tdp_w == 200.0
+    assert CPU_BASELINE.mem_bandwidth_gbps == 460.8
+
+
+def test_gpu_baseline_table2():
+    assert GPU_BASELINE.tdp_w == 300.0
+    assert GPU_BASELINE.mem_bandwidth_gbps == 1935.0
+    assert GPU_BASELINE.peak_fp32_tflops == 19.5
+    assert GPU_BASELINE.peak_ops_per_ns == pytest.approx(19500.0)
+
+
+def test_cpu_peak_throughput():
+    # 16 cores x 3.71 GHz x 8 int32 lanes.
+    assert CPU_BASELINE.peak_int32_ops_per_ns == pytest.approx(16 * 3.71 * 8)
+
+
+def test_paper_geometry_table2():
+    geometry = paper_geometry(32)
+    assert geometry.num_ranks == 32
+    assert geometry.banks_per_rank == 128
+    assert geometry.subarrays_per_bank == 32
+    assert geometry.cols_per_subarray == 8192
+
+
+def test_factories_pick_device_types():
+    assert bitserial_config().device_type is PimDeviceType.BITSIMD_V_AP
+    assert fulcrum_config().device_type is PimDeviceType.FULCRUM
+    assert bank_level_config().device_type is PimDeviceType.BANK_LEVEL
+
+
+def test_all_pim_configs_covers_the_paper_variants():
+    from repro.config.presets import PAPER_DEVICE_TYPES
+    configs = all_pim_configs(8)
+    assert set(configs) == set(PAPER_DEVICE_TYPES)
+    assert PimDeviceType.ANALOG_BITSIMD_V not in configs
+    assert all(c.dram.geometry.num_ranks == 8 for c in configs.values())

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    PimDeviceType,
+    analog_bitserial_config,
+    bank_level_config,
+    bitserial_config,
+    fulcrum_config,
+)
+from repro.core.device import PimDevice
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=list(PimDeviceType), ids=lambda d: d.value)
+def device_type(request):
+    return request.param
+
+
+def make_device(device_type: PimDeviceType, num_ranks: int = 4,
+                functional: bool = True) -> PimDevice:
+    factory = {
+        PimDeviceType.BITSIMD_V_AP: bitserial_config,
+        PimDeviceType.FULCRUM: fulcrum_config,
+        PimDeviceType.BANK_LEVEL: bank_level_config,
+        PimDeviceType.ANALOG_BITSIMD_V: analog_bitserial_config,
+    }[device_type]
+    return PimDevice(factory(num_ranks), functional=functional)
+
+
+@pytest.fixture
+def device(device_type):
+    """A small functional device of each architecture."""
+    return make_device(device_type)
+
+
+@pytest.fixture
+def fulcrum_device():
+    return make_device(PimDeviceType.FULCRUM)
+
+
+@pytest.fixture
+def bitserial_device():
+    return make_device(PimDeviceType.BITSIMD_V_AP)
+
+
+@pytest.fixture
+def bank_device():
+    return make_device(PimDeviceType.BANK_LEVEL)

@@ -1,0 +1,265 @@
+"""Functional-engine tests: every command vs its numpy semantics.
+
+Runs on all three architectures (the functional result must be identical
+regardless of the simulation target -- the portability claim of the PIM
+API).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.device import PimDataType
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+
+
+def setup_pair(device, rng, n=257, lo=-1000, hi=1000, dtype=PimDataType.INT32):
+    a = rng.integers(lo, hi, n).astype(dtype.numpy_name)
+    b = rng.integers(lo, hi, n).astype(dtype.numpy_name)
+    obj_a = device.alloc(n, dtype)
+    obj_b = device.alloc_associated(obj_a)
+    device.copy_host_to_device(a, obj_a)
+    device.copy_host_to_device(b, obj_b)
+    return a, b, obj_a, obj_b
+
+
+BINARY_CASES = [
+    (PimCmdKind.ADD, lambda a, b: a + b),
+    (PimCmdKind.SUB, lambda a, b: a - b),
+    (PimCmdKind.MUL, lambda a, b: a * b),
+    (PimCmdKind.AND, np.bitwise_and),
+    (PimCmdKind.OR, np.bitwise_or),
+    (PimCmdKind.XOR, np.bitwise_xor),
+    (PimCmdKind.XNOR, lambda a, b: ~(a ^ b)),
+    (PimCmdKind.MIN, np.minimum),
+    (PimCmdKind.MAX, np.maximum),
+]
+
+COMPARE_CASES = [
+    (PimCmdKind.LT, np.less),
+    (PimCmdKind.GT, np.greater),
+    (PimCmdKind.EQ, np.equal),
+    (PimCmdKind.NE, np.not_equal),
+]
+
+
+class TestBinaryCommands:
+    @pytest.mark.parametrize("kind,func", BINARY_CASES,
+                             ids=[k.name for k, _ in BINARY_CASES])
+    def test_matches_numpy(self, device, rng, kind, func):
+        a, b, obj_a, obj_b = setup_pair(device, rng)
+        dest = device.alloc_associated(obj_a)
+        device.execute(kind, (obj_a, obj_b), dest)
+        with np.errstate(over="ignore"):
+            expected = func(a, b)
+        assert np.array_equal(device.copy_device_to_host(dest), expected)
+
+    @pytest.mark.parametrize("kind,func", COMPARE_CASES,
+                             ids=[k.name for k, _ in COMPARE_CASES])
+    def test_comparisons_produce_bool(self, device, rng, kind, func):
+        a, b, obj_a, obj_b = setup_pair(device, rng, lo=-3, hi=3)
+        dest = device.alloc_associated(obj_a, PimDataType.BOOL)
+        device.execute(kind, (obj_a, obj_b), dest)
+        assert np.array_equal(device.copy_device_to_host(dest), func(a, b))
+
+    def test_int32_multiplication_wraps(self, device):
+        a = np.array([2**30, -(2**30)], dtype=np.int32)
+        obj_a = device.alloc(2)
+        obj_b = device.alloc_associated(obj_a)
+        dest = device.alloc_associated(obj_a)
+        device.copy_host_to_device(a, obj_a)
+        device.copy_host_to_device(a, obj_b)
+        device.execute(PimCmdKind.MUL, (obj_a, obj_b), dest)
+        with np.errstate(over="ignore"):
+            expected = a * a
+        assert np.array_equal(device.copy_device_to_host(dest), expected)
+
+
+class TestScalarCommands:
+    @pytest.mark.parametrize("kind,func,scalar", [
+        (PimCmdKind.ADD_SCALAR, np.add, 37),
+        (PimCmdKind.SUB_SCALAR, np.subtract, 11),
+        (PimCmdKind.MUL_SCALAR, np.multiply, -3),
+        (PimCmdKind.MIN_SCALAR, np.minimum, 12),
+        (PimCmdKind.MAX_SCALAR, np.maximum, -5),
+        (PimCmdKind.AND_SCALAR, np.bitwise_and, 0xFF),
+        (PimCmdKind.OR_SCALAR, np.bitwise_or, 0x0F),
+        (PimCmdKind.XOR_SCALAR, np.bitwise_xor, 0x55),
+    ], ids=lambda x: x.name if isinstance(x, PimCmdKind) else "")
+    def test_matches_numpy(self, device, rng, kind, func, scalar):
+        a, _, obj_a, _ = setup_pair(device, rng, lo=-100, hi=100)
+        dest = device.alloc_associated(obj_a)
+        device.execute(kind, (obj_a,), dest, scalar=scalar)
+        expected = func(a, np.int32(scalar))
+        assert np.array_equal(device.copy_device_to_host(dest), expected)
+
+    def test_eq_scalar(self, device, rng):
+        a, _, obj_a, _ = setup_pair(device, rng, lo=0, hi=4)
+        dest = device.alloc_associated(obj_a, PimDataType.BOOL)
+        device.execute(PimCmdKind.EQ_SCALAR, (obj_a,), dest, scalar=2)
+        assert np.array_equal(device.copy_device_to_host(dest), a == 2)
+
+    def test_shifts(self, device, rng):
+        a, _, obj_a, _ = setup_pair(device, rng, lo=0, hi=1 << 20)
+        dest = device.alloc_associated(obj_a)
+        device.execute(PimCmdKind.SHIFT_LEFT, (obj_a,), dest, scalar=3)
+        assert np.array_equal(device.copy_device_to_host(dest), a << 3)
+        device.execute(PimCmdKind.SHIFT_RIGHT, (obj_a,), dest, scalar=2)
+        assert np.array_equal(device.copy_device_to_host(dest), a >> 2)
+
+    def test_scalar_wraps_into_dtype(self, device, rng):
+        a = rng.integers(0, 100, 16).astype(np.uint8)
+        obj = device.alloc(16, PimDataType.UINT8)
+        device.copy_host_to_device(a, obj)
+        dest = device.alloc_associated(obj)
+        device.execute(PimCmdKind.ADD_SCALAR, (obj,), dest, scalar=300)
+        assert np.array_equal(
+            device.copy_device_to_host(dest), (a + np.uint8(300 % 256))
+        )
+
+
+class TestSpecialCommands:
+    def test_scaled_add(self, device, rng):
+        a, b, obj_a, obj_b = setup_pair(device, rng, lo=-100, hi=100)
+        dest = device.alloc_associated(obj_a)
+        device.execute(PimCmdKind.SCALED_ADD, (obj_a, obj_b), dest, scalar=7)
+        assert np.array_equal(device.copy_device_to_host(dest), a * 7 + b)
+
+    def test_select(self, device, rng):
+        a, b, obj_a, obj_b = setup_pair(device, rng)
+        cond = device.alloc_associated(obj_a, PimDataType.BOOL)
+        device.execute(PimCmdKind.GT, (obj_a, obj_b), cond)
+        dest = device.alloc_associated(obj_a)
+        device.execute(PimCmdKind.SELECT, (cond, obj_a, obj_b), dest)
+        assert np.array_equal(
+            device.copy_device_to_host(dest), np.maximum(a, b)
+        )
+
+    def test_broadcast(self, device):
+        obj = device.alloc(100)
+        device.execute(PimCmdKind.BROADCAST, (), obj, scalar=-42)
+        assert np.array_equal(
+            device.copy_device_to_host(obj), np.full(100, -42, dtype=np.int32)
+        )
+
+    def test_redsum_returns_int64_sum(self, device, rng):
+        a = rng.integers(-(2**30), 2**30, 1000).astype(np.int32)
+        obj = device.alloc(1000)
+        device.copy_host_to_device(a, obj)
+        total = device.execute(PimCmdKind.REDSUM, (obj,))
+        assert total == int(a.sum(dtype=np.int64))
+
+    def test_redsum_over_bool_counts(self, device, rng):
+        flags = rng.integers(0, 2, 500).astype(bool)
+        obj = device.alloc(500, PimDataType.BOOL)
+        device.copy_host_to_device(flags, obj)
+        assert device.execute(PimCmdKind.REDSUM, (obj,)) == int(flags.sum())
+
+    def test_popcount(self, device, rng):
+        a = rng.integers(0, 2**31, 64).astype(np.int32)
+        obj = device.alloc(64)
+        dest = device.alloc_associated(obj)
+        device.copy_host_to_device(a, obj)
+        device.execute(PimCmdKind.POPCOUNT, (obj,), dest)
+        expected = [bin(int(x) & 0xFFFFFFFF).count("1") for x in a]
+        assert np.array_equal(device.copy_device_to_host(dest), expected)
+
+    def test_copy_and_not_and_abs(self, device, rng):
+        a, _, obj_a, _ = setup_pair(device, rng)
+        dest = device.alloc_associated(obj_a)
+        device.execute(PimCmdKind.COPY, (obj_a,), dest)
+        assert np.array_equal(device.copy_device_to_host(dest), a)
+        device.execute(PimCmdKind.NOT, (obj_a,), dest)
+        assert np.array_equal(device.copy_device_to_host(dest), ~a)
+        device.execute(PimCmdKind.ABS, (obj_a,), dest)
+        assert np.array_equal(device.copy_device_to_host(dest), np.abs(a))
+
+
+class TestDataMovement:
+    def test_roundtrip(self, device, rng):
+        a = rng.integers(-100, 100, 64).astype(np.int32)
+        obj = device.alloc(64)
+        device.copy_host_to_device(a, obj)
+        assert np.array_equal(device.copy_device_to_host(obj), a)
+
+    def test_d2d_copy_and_shift(self, device, rng):
+        a = rng.integers(-100, 100, 64).astype(np.int32)
+        src = device.alloc(64)
+        dst = device.alloc_associated(src)
+        device.copy_host_to_device(a, src)
+        device.copy_device_to_device(src, dst, shift_elements=3)
+        assert np.array_equal(device.copy_device_to_host(dst), np.roll(a, -3))
+
+    def test_d2d_size_mismatch(self, device):
+        src = device.alloc(10)
+        dst = device.alloc(20)
+        with pytest.raises(PimTypeError):
+            device.copy_device_to_device(src, dst)
+
+    def test_copy_stats_recorded(self, device, rng):
+        a = rng.integers(0, 10, 100).astype(np.int32)
+        obj = device.alloc(100)
+        device.copy_host_to_device(a, obj)
+        device.copy_device_to_host(obj)
+        assert device.stats.host_to_device.num_bytes == 400
+        assert device.stats.device_to_host.num_bytes == 400
+
+
+class TestErrors:
+    def test_wrong_arity(self, device):
+        obj = device.alloc(10)
+        with pytest.raises(PimTypeError):
+            device.execute(PimCmdKind.ADD, (obj,), obj)
+
+    def test_missing_scalar(self, device):
+        obj = device.alloc(10)
+        with pytest.raises(PimTypeError):
+            device.execute(PimCmdKind.ADD_SCALAR, (obj,), obj)
+
+    def test_missing_dest(self, device):
+        obj = device.alloc(10)
+        with pytest.raises(PimTypeError):
+            device.execute(PimCmdKind.ADD, (obj, obj))
+
+    def test_bad_repeat(self, device):
+        obj = device.alloc(10)
+        with pytest.raises(PimTypeError):
+            device.execute(PimCmdKind.NOT, (obj,), obj, repeat=0)
+
+    def test_mismatched_operand_sizes(self, device, rng):
+        a = device.alloc(10)
+        b = device.alloc(20)
+        dest = device.alloc(10)
+        with pytest.raises(PimTypeError):
+            device.execute(PimCmdKind.ADD, (a, b), dest)
+
+
+class TestAnalyticMode:
+    def test_no_data_needed(self, device_type):
+        from tests.conftest import make_device
+        device = make_device(device_type, functional=False)
+        obj_a = device.alloc(10_000)
+        obj_b = device.alloc_associated(obj_a)
+        dest = device.alloc_associated(obj_a)
+        device.copy_host_to_device(None, obj_a)
+        device.copy_host_to_device(None, obj_b)
+        device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+        assert device.copy_device_to_host(dest) is None
+        assert device.stats.kernel_time_ns > 0
+        assert device.stats.copy_bytes == 3 * 40_000
+
+    def test_repeat_scales_stats_linearly(self, device_type):
+        from tests.conftest import make_device
+        one = make_device(device_type, functional=False)
+        many = make_device(device_type, functional=False)
+        for dev, repeat in ((one, 1), (many, 10)):
+            obj_a = dev.alloc(10_000)
+            obj_b = dev.alloc_associated(obj_a)
+            dest = dev.alloc_associated(obj_a)
+            dev.execute(PimCmdKind.ADD, (obj_a, obj_b), dest, repeat=repeat)
+        assert many.stats.kernel_time_ns == pytest.approx(
+            10 * one.stats.kernel_time_ns
+        )
+        assert many.stats.kernel_energy_nj == pytest.approx(
+            10 * one.stats.kernel_energy_nj
+        )

@@ -1,0 +1,127 @@
+"""Performance-model validation: the paper's published anchors.
+
+Mirrors Section V-E(ii): the model is validated against the quantitative
+anchors the paper publishes -- the Listing 3 Fulcrum vector-add run and
+the Section V-D bit-serial vector-add energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.config.presets import bitserial_config, fulcrum_config, make_device_config
+
+from tests.conftest import make_device
+
+
+def run_vecadd(device, n):
+    obj_x = device.alloc(n)
+    obj_y = device.alloc_associated(obj_x)
+    obj_z = device.alloc_associated(obj_x)
+    if device.functional:
+        device.copy_host_to_device(np.arange(n, dtype=np.int32), obj_x)
+        device.copy_host_to_device(np.arange(n, dtype=np.int32), obj_y)
+    else:
+        device.copy_host_to_device(None, obj_x)
+        device.copy_host_to_device(None, obj_y)
+    device.execute(PimCmdKind.ADD, (obj_x, obj_y), obj_z)
+    device.copy_device_to_host(obj_z)
+    return device.stats
+
+
+class TestListing3Anchors:
+    """Fulcrum, 4 ranks, 2048-element int32 vector add (Listing 3)."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        device = PimDevice(fulcrum_config(4), functional=True)
+        return run_vecadd(device, 2048)
+
+    def test_kernel_time(self, stats):
+        assert stats.kernel_time_ns / 1e6 == pytest.approx(0.001660, rel=0.02)
+
+    def test_kernel_energy(self, stats):
+        assert stats.kernel_energy_nj / 1e6 == pytest.approx(0.004197, rel=0.05)
+
+    def test_copy_bytes(self, stats):
+        assert stats.copy_bytes == 24576
+
+    def test_copy_time(self, stats):
+        assert stats.copy_time_ns / 1e6 == pytest.approx(0.000224, rel=0.1)
+
+    def test_copy_energy(self, stats):
+        assert stats.copy_energy_nj / 1e6 == pytest.approx(0.001602, rel=0.1)
+
+    def test_command_signature(self, stats):
+        assert "add.int32.h" in stats.commands
+        assert stats.commands["add.int32.h"].count == 1
+
+
+class TestBitSerialEnergyAnchor:
+    """Section V-D: 13.26 mJ for the Table I bit-serial vector add."""
+
+    def test_vecadd_energy(self):
+        device = PimDevice(bitserial_config(32), functional=False)
+        stats = run_vecadd(device, 2_035_544_320)
+        assert stats.kernel_energy_nj / 1e6 == pytest.approx(13.26, rel=0.05)
+
+    def test_cpu_idle_energy_share_is_small(self):
+        # The paper reports CPU idle energy at ~1% of total for vector add.
+        device = PimDevice(bitserial_config(32), functional=False)
+        stats = run_vecadd(device, 2_035_544_320)
+        idle = device.energy.cpu_idle_energy_nj(stats.kernel_time_ns)
+        assert idle < 0.05 * stats.kernel_energy_nj
+
+
+class TestModelMonotonicity:
+    def test_more_elements_never_faster(self, device_type):
+        small = make_device(device_type, functional=False)
+        large = make_device(device_type, functional=False)
+        run_vecadd(small, 10_000)
+        run_vecadd(large, 50_000_000)
+        assert large.stats.kernel_time_ns >= small.stats.kernel_time_ns
+
+    def test_more_ranks_never_slower(self, device_type):
+        few = PimDevice(
+            make_device_config(device_type, 4), functional=False
+        )
+        many = PimDevice(
+            make_device_config(device_type, 32), functional=False
+        )
+        run_vecadd(few, 50_000_000)
+        run_vecadd(many, 50_000_000)
+        assert many.stats.kernel_time_ns <= few.stats.kernel_time_ns
+
+    def test_architecture_ordering_for_streaming_add(self):
+        """Paper Section VII: bit-serial wins addition at scale."""
+        times = {}
+        for device_type in PimDeviceType:
+            device = PimDevice(
+                make_device_config(device_type, 32), functional=False
+            )
+            run_vecadd(device, 2_035_544_320)
+            times[device_type] = device.stats.kernel_time_ns
+        assert times[PimDeviceType.BITSIMD_V_AP] < times[PimDeviceType.FULCRUM]
+        assert times[PimDeviceType.FULCRUM] < times[PimDeviceType.BANK_LEVEL]
+
+    def test_mul_favors_fulcrum_at_scale(self):
+        """Paper Section VII: Fulcrum wins multiplication."""
+        times = {}
+        for device_type in PimDeviceType:
+            device = PimDevice(
+                make_device_config(device_type, 32), functional=False
+            )
+            obj_a = device.alloc(2_035_544_320)
+            obj_b = device.alloc_associated(obj_a)
+            dest = device.alloc_associated(obj_a)
+            device.execute(PimCmdKind.MUL, (obj_a, obj_b), dest)
+            times[device_type] = device.stats.kernel_time_ns
+        assert times[PimDeviceType.FULCRUM] < times[PimDeviceType.BITSIMD_V_AP]
+        assert times[PimDeviceType.BITSIMD_V_AP] < times[PimDeviceType.BANK_LEVEL]
+
+    def test_background_energy_positive(self, device_type):
+        device = make_device(device_type, functional=False)
+        run_vecadd(device, 1_000_000)
+        assert device.stats.background_energy_nj > 0

@@ -1,0 +1,141 @@
+"""Stateful property testing of the device (hypothesis state machine).
+
+Drives random interleavings of allocation, data movement, command
+execution, and freeing against a live device, asserting the global
+invariants after every step: allocator bookkeeping stays consistent,
+modeled time/energy never decrease or go negative, functional shadows
+always match an independently maintained numpy model, and freed objects
+are really gone.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.core.errors import PimError
+
+N = 64  # element count of every object in the machine
+
+BINARY_KINDS = [
+    (PimCmdKind.ADD, np.add),
+    (PimCmdKind.SUB, np.subtract),
+    (PimCmdKind.MUL, np.multiply),
+    (PimCmdKind.AND, np.bitwise_and),
+    (PimCmdKind.XOR, np.bitwise_xor),
+    (PimCmdKind.MIN, np.minimum),
+    (PimCmdKind.MAX, np.maximum),
+]
+
+
+class DeviceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.device = PimDevice(
+            make_device_config(PimDeviceType.BITSIMD_V_AP, 4), functional=True
+        )
+        self.live = {}  # obj_id -> (object, numpy shadow model)
+        self.last_time = 0.0
+        self.last_energy = 0.0
+        self.rng = np.random.default_rng(0)
+
+    # -- rules -----------------------------------------------------------
+
+    @rule(seed=st.integers(0, 2**31))
+    def allocate_and_fill(self, seed):
+        if len(self.live) >= 12:
+            return
+        values = np.random.default_rng(seed).integers(
+            -1000, 1000, N
+        ).astype(np.int32)
+        obj = self.device.alloc(N)
+        self.device.copy_host_to_device(values, obj)
+        self.live[obj.obj_id] = (obj, values.copy())
+
+    @precondition(lambda self: len(self.live) >= 3)
+    @rule(pick=st.randoms(use_true_random=False),
+          case=st.sampled_from(BINARY_KINDS))
+    def run_binary_command(self, pick, case):
+        kind, func = case
+        ka, kb, kd = pick.sample(list(self.live), 3)
+        (a, va), (b, vb), (dest, _) = self.live[ka], self.live[kb], self.live[kd]
+        self.device.execute(kind, (a, b), dest)
+        with np.errstate(over="ignore"):
+            self.live[kd] = (dest, func(va, vb))
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False),
+          scalar=st.integers(-100, 100))
+    def run_scalar_command(self, pick, scalar):
+        key = pick.choice(list(self.live))
+        obj, values = self.live[key]
+        self.device.execute(PimCmdKind.ADD_SCALAR, (obj,), obj, scalar=scalar)
+        with np.errstate(over="ignore"):
+            self.live[key] = (obj, values + np.int32(scalar))
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def reduce(self, pick):
+        key = pick.choice(list(self.live))
+        obj, values = self.live[key]
+        total = self.device.execute(PimCmdKind.REDSUM, (obj,))
+        assert total == int(values.sum(dtype=np.int64))
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def readback_matches_model(self, pick):
+        key = pick.choice(list(self.live))
+        obj, values = self.live[key]
+        assert np.array_equal(self.device.copy_device_to_host(obj), values)
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def free_object(self, pick):
+        key = pick.choice(list(self.live))
+        obj, _ = self.live[key]
+        self.device.free(obj)
+        del self.live[key]
+        try:
+            self.device.copy_device_to_host(obj)
+            raise AssertionError("freed object still usable")
+        except PimError:
+            pass
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def allocator_bookkeeping_consistent(self):
+        assert self.device.resources.num_live_objects == len(self.live)
+        expected_rows = sum(obj.layout.rows_per_core for obj, _ in self.live.values())
+        assert self.device.resources.rows_in_use == expected_rows
+
+    @invariant()
+    def modeled_costs_monotone(self):
+        stats = self.device.stats
+        time = stats.kernel_time_ns + stats.copy_time_ns
+        energy = (stats.kernel_energy_nj + stats.copy_energy_nj
+                  + stats.background_energy_nj)
+        assert time >= self.last_time
+        assert energy >= self.last_energy
+        self.last_time = time
+        self.last_energy = energy
+
+    @invariant()
+    def counts_match_commands(self):
+        stats = self.device.stats
+        assert sum(stats.op_counts.values()) == stats.total_command_count
+
+
+DeviceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestDeviceStateMachine = DeviceMachine.TestCase

@@ -1,0 +1,136 @@
+"""Tests for layout planning and the row allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.device import PimAllocType, PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.errors import PimAllocationError
+from repro.core.layout import RowAllocator, plan_layout
+
+
+@pytest.fixture
+def bitserial():
+    return make_device_config(PimDeviceType.BITSIMD_V_AP, 4)
+
+
+@pytest.fixture
+def fulcrum():
+    return make_device_config(PimDeviceType.FULCRUM, 4)
+
+
+class TestPlanLayout:
+    def test_vertical_small_object(self, bitserial):
+        plan = plan_layout(bitserial, 100, 32, PimAllocType.AUTO)
+        assert plan.layout is PimAllocType.VERTICAL
+        assert plan.elements_per_core == 1
+        assert plan.num_cores_used == 100
+        assert plan.groups_per_core == 1
+        assert plan.rows_per_core == 32
+
+    def test_vertical_multi_group(self, bitserial):
+        num_cores = bitserial.num_cores  # 16384
+        n = num_cores * 8192 * 2 + 1  # forces a third row group
+        plan = plan_layout(bitserial, n, 32, PimAllocType.VERTICAL)
+        assert plan.groups_per_core == 3
+        assert plan.rows_per_core == 96
+
+    def test_horizontal_elements_per_row(self, fulcrum):
+        plan = plan_layout(fulcrum, 1000, 32, PimAllocType.AUTO)
+        assert plan.layout is PimAllocType.HORIZONTAL
+        assert plan.elements_per_group == 8192 // 32
+
+    def test_horizontal_row_count(self, fulcrum):
+        n = fulcrum.num_cores * 256 * 3  # exactly three full rows per core
+        plan = plan_layout(fulcrum, n, 32, PimAllocType.HORIZONTAL)
+        assert plan.groups_per_core == 3
+        assert plan.rows_per_core == 3
+
+    def test_spreads_across_all_cores(self, fulcrum):
+        n = fulcrum.num_cores * 10
+        plan = plan_layout(fulcrum, n, 32, PimAllocType.HORIZONTAL)
+        assert plan.num_cores_used == fulcrum.num_cores
+        assert plan.elements_per_core == 10
+
+    def test_capacity_exceeded(self, bitserial):
+        too_big = bitserial.num_cores * 8192 * 33  # needs 33 groups of 32 rows
+        with pytest.raises(PimAllocationError):
+            plan_layout(bitserial, too_big, 32, PimAllocType.VERTICAL)
+
+    def test_rejects_degenerate_inputs(self, bitserial):
+        with pytest.raises(PimAllocationError):
+            plan_layout(bitserial, 0, 32, PimAllocType.AUTO)
+        with pytest.raises(PimAllocationError):
+            plan_layout(bitserial, 10, 0, PimAllocType.AUTO)
+
+    def test_total_bytes_packs_bits(self, bitserial):
+        plan = plan_layout(bitserial, 100, 1, PimAllocType.VERTICAL)
+        assert plan.total_bytes == 100  # bool elements: one byte floor each
+
+
+class TestRowAllocator:
+    def test_first_fit(self):
+        allocator = RowAllocator(100)
+        assert allocator.allocate(1, 30) == 0
+        assert allocator.allocate(2, 30) == 30
+        assert allocator.allocate(3, 40) == 60
+
+    def test_free_and_reuse_gap(self):
+        allocator = RowAllocator(100)
+        allocator.allocate(1, 30)
+        allocator.allocate(2, 30)
+        allocator.allocate(3, 30)
+        allocator.free(2)
+        assert allocator.allocate(4, 20) == 30  # fits in the freed gap
+
+    def test_exhaustion(self):
+        allocator = RowAllocator(64)
+        allocator.allocate(1, 64)
+        with pytest.raises(PimAllocationError):
+            allocator.allocate(2, 1)
+
+    def test_double_allocate_same_id(self):
+        allocator = RowAllocator(64)
+        allocator.allocate(1, 8)
+        with pytest.raises(PimAllocationError):
+            allocator.allocate(1, 8)
+
+    def test_free_unknown(self):
+        with pytest.raises(PimAllocationError):
+            RowAllocator(64).free(7)
+
+    def test_rows_in_use(self):
+        allocator = RowAllocator(64)
+        allocator.allocate(1, 10)
+        allocator.allocate(2, 20)
+        assert allocator.rows_in_use == 30
+        allocator.free(1)
+        assert allocator.rows_in_use == 20
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.booleans(), st.integers(1, 20)),
+        max_size=40,
+    ))
+    def test_never_overlaps(self, actions):
+        """Property: live allocations never overlap and stay in bounds."""
+        allocator = RowAllocator(200)
+        live = {}
+        next_id = 0
+        for is_alloc, count in actions:
+            if is_alloc or not live:
+                next_id += 1
+                try:
+                    start = allocator.allocate(next_id, count)
+                except PimAllocationError:
+                    continue
+                live[next_id] = (start, count)
+            else:
+                victim = next(iter(live))
+                allocator.free(victim)
+                del live[victim]
+            intervals = sorted(live.values())
+            for (s1, c1), (s2, c2) in zip(intervals, intervals[1:]):
+                assert s1 + c1 <= s2
+            assert all(s + c <= 200 for s, c in intervals)

@@ -1,0 +1,112 @@
+"""Tests for the resource manager and PIM objects."""
+
+import numpy as np
+import pytest
+
+from repro.config.device import PimDataType, PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.errors import (
+    PimAllocationError,
+    PimInvalidObjectError,
+    PimTypeError,
+)
+from repro.core.resource import ResourceManager
+
+
+@pytest.fixture
+def manager():
+    return ResourceManager(make_device_config(PimDeviceType.BITSIMD_V_AP, 4))
+
+
+class TestAllocation:
+    def test_ids_increment(self, manager):
+        first = manager.alloc(100)
+        second = manager.alloc(100)
+        assert second.obj_id == first.obj_id + 1
+
+    def test_lookup_by_id(self, manager):
+        obj = manager.alloc(100)
+        assert manager.get(obj.obj_id) is obj
+
+    def test_lookup_unknown(self, manager):
+        with pytest.raises(PimInvalidObjectError):
+            manager.get(999)
+
+    def test_free_releases_rows(self, manager):
+        obj = manager.alloc(100)
+        used = manager.rows_in_use
+        manager.free(obj)
+        assert manager.rows_in_use == used - 32
+        assert manager.num_live_objects == 0
+
+    def test_use_after_free(self, manager):
+        obj = manager.alloc(100)
+        manager.free(obj)
+        with pytest.raises(PimInvalidObjectError):
+            obj.require_live()
+
+    def test_free_all(self, manager):
+        for _ in range(5):
+            manager.alloc(10)
+        manager.free_all()
+        assert manager.num_live_objects == 0
+        assert manager.rows_in_use == 0
+
+    def test_row_exhaustion(self, manager):
+        # 1024 rows per core; 32-bit vertical objects take 32 rows each.
+        for _ in range(32):
+            manager.alloc(100)
+        with pytest.raises(PimAllocationError):
+            manager.alloc(100)
+
+
+class TestAssociation:
+    def test_associated_matches_placement(self, manager):
+        ref = manager.alloc(5000)
+        buddy = manager.alloc_associated(ref)
+        assert buddy.layout.num_cores_used == ref.layout.num_cores_used
+        assert buddy.layout.elements_per_core == ref.layout.elements_per_core
+        assert buddy.row_start != ref.row_start
+
+    def test_associated_with_other_dtype(self, manager):
+        ref = manager.alloc(5000, PimDataType.INT32)
+        mask = manager.alloc_associated(ref, PimDataType.BOOL)
+        assert mask.dtype is PimDataType.BOOL
+        assert mask.num_elements == ref.num_elements
+        assert mask.layout.rows_per_core == 1  # one bit row per group
+
+    def test_compat_check_rejects_mismatched_sizes(self, manager):
+        a = manager.alloc(100)
+        b = manager.alloc(200)
+        with pytest.raises(PimTypeError):
+            manager.check_layout_compatible(a, b)
+
+    def test_compat_check_rejects_mixed_layouts(self, manager):
+        from repro.config.device import PimAllocType
+        a = manager.alloc(100, layout=PimAllocType.VERTICAL)
+        b = manager.alloc(100, layout=PimAllocType.HORIZONTAL)
+        with pytest.raises(PimTypeError):
+            manager.check_layout_compatible(a, b)
+
+
+class TestObjectData:
+    def test_set_data_casts_dtype(self, manager):
+        obj = manager.alloc(4, PimDataType.INT16)
+        obj.set_data(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert obj.data.dtype == np.int16
+
+    def test_set_data_shape_checked(self, manager):
+        obj = manager.alloc(4)
+        with pytest.raises(PimTypeError):
+            obj.set_data(np.zeros(5))
+
+    def test_require_data_before_copy(self, manager):
+        obj = manager.alloc(4)
+        with pytest.raises(PimTypeError):
+            obj.require_data()
+
+    def test_nbytes_bit_packing(self, manager):
+        ints = manager.alloc(100, PimDataType.INT32)
+        bools = manager.alloc_associated(ints, PimDataType.BOOL)
+        assert ints.nbytes == 400
+        assert bools.nbytes == 13  # ceil(100 / 8)

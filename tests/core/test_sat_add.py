@@ -1,0 +1,73 @@
+"""Tests for the fused saturating-add operation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.device import PimDataType
+from repro.core.commands import PimCmdKind
+from repro.microcode.programs import get_program
+from repro.microcode.simulator import run_unary_op
+
+from tests.conftest import make_device
+
+
+class TestMicroprogram:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8),
+           st.integers(0, 255))
+    def test_matches_saturating_semantics(self, values, scalar):
+        out = run_unary_op(
+            get_program("sat_add_scalar", 8, scalar),
+            np.array(values), 8, signed_result=False,
+        )
+        expected = np.minimum(255, np.array(values) + scalar)
+        assert np.array_equal(out, expected)
+
+    def test_cheaper_than_min_plus_add(self):
+        fused = get_program("sat_add_scalar", 8, 40).cost
+        portable = (
+            get_program("min", 8, 0).cost.num_row_ops
+            + get_program("add_scalar", 8, 40).cost.num_row_ops
+        )
+        assert fused.num_row_ops < portable
+
+
+class TestDeviceCommand:
+    def test_functional_saturation(self, device_type, rng):
+        device = make_device(device_type)
+        values = rng.integers(0, 256, 256).astype(np.uint8)
+        obj = device.alloc(256, PimDataType.UINT8)
+        dest = device.alloc_associated(obj)
+        device.copy_host_to_device(values, obj)
+        device.execute(PimCmdKind.SAT_ADD_SCALAR, (obj,), dest, scalar=40)
+        expected = np.minimum(255, values.astype(np.int64) + 40).astype(np.uint8)
+        assert np.array_equal(device.copy_device_to_host(dest), expected)
+
+    def test_equivalent_to_brightness_pair(self, device_type, rng):
+        """The fused op computes exactly what min+add does."""
+        device = make_device(device_type)
+        values = rng.integers(0, 256, 128).astype(np.uint8)
+        obj = device.alloc(128, PimDataType.UINT8)
+        fused = device.alloc_associated(obj)
+        pair = device.alloc_associated(obj)
+        device.copy_host_to_device(values, obj)
+        device.execute(PimCmdKind.SAT_ADD_SCALAR, (obj,), fused, scalar=35)
+        device.execute(PimCmdKind.MIN_SCALAR, (obj,), pair, scalar=255 - 35)
+        device.execute(PimCmdKind.ADD_SCALAR, (pair,), pair, scalar=35)
+        assert np.array_equal(
+            device.copy_device_to_host(fused), device.copy_device_to_host(pair)
+        )
+
+    def test_api_wrapper(self, rng):
+        from repro import api
+        from repro.config.device import PimDeviceType
+        with api.pim_device(PimDeviceType.BITSIMD_V_AP, num_ranks=4):
+            values = rng.integers(0, 256, 64).astype(np.uint8)
+            obj = api.pim_alloc(64, PimDataType.UINT8)
+            dest = api.pim_alloc_associated(obj)
+            api.pim_copy_host_to_device(values, obj)
+            api.pim_sat_add_scalar(obj, 100, dest)
+            expected = np.minimum(255, values.astype(int) + 100)
+            assert np.array_equal(api.pim_copy_device_to_host(dest), expected)

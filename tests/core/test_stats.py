@@ -1,0 +1,94 @@
+"""Tests for statistics tracking."""
+
+import pytest
+
+from repro.core.commands import PimCmdKind
+from repro.core.stats import StatsSnapshot, StatsTracker
+
+
+@pytest.fixture
+def tracker():
+    return StatsTracker()
+
+
+class TestCommandRecording:
+    def test_aggregates_by_signature(self, tracker):
+        tracker.record_command(PimCmdKind.ADD, "add.int32.v", 100.0, 5.0)
+        tracker.record_command(PimCmdKind.ADD, "add.int32.v", 200.0, 7.0)
+        stats = tracker.commands["add.int32.v"]
+        assert stats.count == 2
+        assert stats.latency_ns == pytest.approx(300.0)
+        assert stats.energy_nj == pytest.approx(12.0)
+
+    def test_repeat_counts(self, tracker):
+        tracker.record_command(PimCmdKind.MUL, "mul.int32.h", 50.0, 1.0, count=10)
+        assert tracker.commands["mul.int32.h"].count == 10
+        assert tracker.op_counts[PimCmdKind.MUL] == 10
+
+    def test_background_energy_accumulates(self, tracker):
+        tracker.record_command(PimCmdKind.ADD, "a", 1.0, 1.0, background_energy_nj=3.0)
+        tracker.record_command(PimCmdKind.ADD, "a", 1.0, 1.0, background_energy_nj=4.0)
+        assert tracker.background_energy_nj == pytest.approx(7.0)
+
+    def test_kernel_totals(self, tracker):
+        tracker.record_command(PimCmdKind.ADD, "a", 10.0, 1.0)
+        tracker.record_command(PimCmdKind.MUL, "b", 20.0, 2.0)
+        assert tracker.kernel_time_ns == pytest.approx(30.0)
+        assert tracker.kernel_energy_nj == pytest.approx(3.0)
+        assert tracker.total_command_count == 2
+
+
+class TestCopyRecording:
+    def test_directions(self, tracker):
+        tracker.record_copy("h2d", 100, 1.0, 2.0)
+        tracker.record_copy("d2h", 50, 0.5, 1.0)
+        tracker.record_copy("d2d", 10, 0.1, 0.2)
+        assert tracker.host_to_device.num_bytes == 100
+        assert tracker.device_to_host.num_bytes == 50
+        assert tracker.device_to_device.num_bytes == 10
+        assert tracker.copy_bytes == 160
+        assert tracker.copy_time_ns == pytest.approx(1.6)
+        assert tracker.copy_energy_nj == pytest.approx(3.2)
+
+    def test_unknown_direction(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.record_copy("sideways", 1, 1.0, 1.0)
+
+
+class TestHostRecording:
+    def test_accumulates(self, tracker):
+        tracker.record_host(100.0, 5.0)
+        tracker.record_host(50.0, 2.0)
+        assert tracker.host_time_ns == pytest.approx(150.0)
+        assert tracker.host_energy_nj == pytest.approx(7.0)
+
+
+class TestSnapshots:
+    def test_delta_isolates_interval(self, tracker):
+        tracker.record_command(PimCmdKind.ADD, "a", 10.0, 1.0)
+        before = tracker.snapshot()
+        tracker.record_command(PimCmdKind.ADD, "a", 25.0, 2.0)
+        tracker.record_copy("h2d", 64, 3.0, 0.5)
+        tracker.record_host(7.0, 0.1)
+        delta = tracker.snapshot() - before
+        assert delta.kernel_time_ns == pytest.approx(25.0)
+        assert delta.copy_time_ns == pytest.approx(3.0)
+        assert delta.copy_bytes == 64
+        assert delta.host_time_ns == pytest.approx(7.0)
+
+    def test_totals(self):
+        snap = StatsSnapshot(
+            kernel_time_ns=1.0, kernel_energy_nj=2.0, copy_time_ns=3.0,
+            copy_energy_nj=4.0, copy_bytes=5, background_energy_nj=6.0,
+            host_time_ns=7.0, host_energy_nj=8.0,
+        )
+        assert snap.total_time_ns == pytest.approx(11.0)
+        assert snap.total_energy_nj == pytest.approx(20.0)
+
+    def test_reset_clears_everything(self, tracker):
+        tracker.record_command(PimCmdKind.ADD, "a", 1.0, 1.0)
+        tracker.record_copy("h2d", 1, 1.0, 1.0)
+        tracker.reset()
+        assert tracker.kernel_time_ns == 0.0
+        assert tracker.copy_bytes == 0
+        assert not tracker.commands

@@ -1,0 +1,124 @@
+"""Tests for trace recording, serialization, and cross-target replay."""
+
+import numpy as np
+import pytest
+
+from repro.config.device import PimDataType, PimDeviceType
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimError
+from repro.trace import TraceEvent, TraceRecorder, load_trace, replay_trace
+
+from tests.conftest import make_device
+
+
+def record_axpy(recorder, n=2048, scale=5):
+    x = np.arange(n, dtype=np.int32) if recorder.functional else None
+    y = np.ones(n, dtype=np.int32) if recorder.functional else None
+    obj_x = recorder.alloc(n)
+    obj_y = recorder.alloc_associated(obj_x)
+    recorder.copy_host_to_device(x, obj_x)
+    recorder.copy_host_to_device(y, obj_y)
+    recorder.execute(PimCmdKind.SCALED_ADD, (obj_x, obj_y), obj_y, scalar=scale)
+    result = recorder.copy_device_to_host(obj_y)
+    recorder.free(obj_x)
+    recorder.free(obj_y)
+    return result
+
+
+class TestRecording:
+    def test_captures_event_sequence(self):
+        recorder = TraceRecorder(make_device(PimDeviceType.FULCRUM))
+        record_axpy(recorder)
+        actions = [event.action for event in recorder.events]
+        assert actions == [
+            "alloc", "alloc_assoc", "h2d", "h2d", "execute", "d2h",
+            "free", "free",
+        ]
+
+    def test_forwarding_preserves_function(self):
+        recorder = TraceRecorder(make_device(PimDeviceType.FULCRUM))
+        result = record_axpy(recorder, n=128, scale=3)
+        assert np.array_equal(result, 3 * np.arange(128) + 1)
+
+    def test_stats_accumulate_on_wrapped_device(self):
+        recorder = TraceRecorder(make_device(PimDeviceType.FULCRUM))
+        record_axpy(recorder)
+        assert recorder.stats.total_command_count == 1
+        assert recorder.stats.copy_bytes > 0
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        recorder = TraceRecorder(make_device(PimDeviceType.FULCRUM))
+        record_axpy(recorder)
+        events = load_trace(recorder.to_json())
+        assert events == recorder.events
+
+    def test_event_dict_drops_empty_fields(self):
+        event = TraceEvent(action="free", obj_ids=(3,))
+        data = event.to_dict()
+        assert "kind" not in data
+        assert data["obj_ids"] == [3] or data["obj_ids"] == (3,)
+
+
+class TestReplay:
+    def test_replay_reproduces_costs_on_same_target(self):
+        recorder = TraceRecorder(
+            make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        record_axpy(recorder)
+        replayed = replay_trace(
+            recorder.events, make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        assert replayed.stats.kernel_time_ns == pytest.approx(
+            recorder.stats.kernel_time_ns
+        )
+        assert replayed.stats.copy_bytes == recorder.stats.copy_bytes
+
+    @pytest.mark.parametrize("target", list(PimDeviceType),
+                             ids=lambda d: d.value)
+    def test_cross_architecture_replay(self, target):
+        """One recorded program costs out on every simulation target."""
+        recorder = TraceRecorder(
+            make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        record_axpy(recorder, n=100_000)
+        replayed = replay_trace(recorder.events, make_device(target,
+                                                             functional=False))
+        assert replayed.stats.kernel_time_ns > 0
+        assert replayed.resources.num_live_objects == 0
+
+    def test_replay_resolves_auto_layout_per_target(self):
+        recorder = TraceRecorder(
+            make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        obj = recorder.alloc(1000)
+        recorder.execute(PimCmdKind.BROADCAST, (), obj, scalar=1)
+        recorder.free(obj)
+        bitserial = make_device(PimDeviceType.BITSIMD_V_AP, functional=False)
+        replay_trace(recorder.events, bitserial)
+        # The bit-serial device must have used its native vertical layout:
+        # a 32-bit broadcast writes 32 rows, not one.
+        assert "broadcast.int32.v" in bitserial.stats.commands
+
+    def test_replay_requires_analytic_device(self):
+        recorder = TraceRecorder(
+            make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        record_axpy(recorder)
+        with pytest.raises(PimError):
+            replay_trace(recorder.events, make_device(PimDeviceType.FULCRUM))
+
+    def test_gather_and_shift_events_replay(self):
+        source = TraceRecorder(
+            make_device(PimDeviceType.BITSIMD_V_AP, functional=False)
+        )
+        a = source.alloc(4096)
+        b = source.alloc_associated(a)
+        source.copy_device_to_device(a, b, shift_elements=4)
+        source.model_gather(b)
+        replayed = replay_trace(
+            source.events, make_device(PimDeviceType.BANK_LEVEL,
+                                       functional=False)
+        )
+        assert replayed.stats.device_to_device.num_bytes > 0

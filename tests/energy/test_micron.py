@@ -1,0 +1,57 @@
+"""Tests for the Micron-derived energy primitives."""
+
+import pytest
+
+from repro.config.dram import DramSpec
+from repro.config.power import MicronPowerParams
+from repro.energy.micron import MicronEnergyModel
+
+
+@pytest.fixture
+def model():
+    return MicronEnergyModel(MicronPowerParams(), DramSpec())
+
+
+class TestTransferEnergy:
+    def test_read_costs_more_than_write(self, model):
+        assert model.transfer_pj_per_byte("d2h") > model.transfer_pj_per_byte("h2d")
+
+    def test_d2d_burns_both_bursts(self, model):
+        d2d = model.transfer_pj_per_byte("d2d")
+        assert d2d > model.transfer_pj_per_byte("d2h")
+        assert d2d > model.transfer_pj_per_byte("h2d")
+
+    def test_listing3_anchor(self, model):
+        """24576 bytes (16K h2d + 8K d2h) ~ 1.6 uJ."""
+        energy = (
+            model.transfer_energy_nj(16384, "h2d")
+            + model.transfer_energy_nj(8192, "d2h")
+        )
+        assert energy / 1e6 == pytest.approx(0.001602, rel=0.1)
+
+    def test_energy_linear_in_bytes(self, model):
+        assert model.transfer_energy_nj(2000, "h2d") == pytest.approx(
+            2 * model.transfer_energy_nj(1000, "h2d")
+        )
+
+
+class TestRowActivation:
+    def test_anchor_value(self, model):
+        assert model.row_activation_energy_nj() == pytest.approx(0.40, abs=0.05)
+
+    def test_uses_configured_timing(self):
+        from repro.config.dram import DramTiming
+        import dataclasses
+        slow = MicronEnergyModel(
+            MicronPowerParams(),
+            dataclasses.replace(DramSpec(), timing=DramTiming(tras_ns=64.0)),
+        )
+        fast = MicronEnergyModel(MicronPowerParams(), DramSpec())
+        assert slow.row_activation_energy_nj() > fast.row_activation_energy_nj()
+
+
+def test_background_power_matches_params(model):
+    params = MicronPowerParams()
+    assert model.background_power_w_per_subarray() == pytest.approx(
+        params.background_power_w()
+    )

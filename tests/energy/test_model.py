@@ -1,0 +1,78 @@
+"""Tests for the per-device energy model."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.config.power import PowerConfig
+from repro.config.presets import (
+    bank_level_config,
+    bitserial_config,
+    fulcrum_config,
+)
+from repro.energy.model import EnergyModel
+from repro.perf.base import CmdCost
+
+
+def cost(**kwargs):
+    defaults = dict(latency_ns=1000.0, cores_active=100)
+    defaults.update(kwargs)
+    return CmdCost(**defaults)
+
+
+class TestCommandEnergy:
+    def test_row_activation_pricing(self):
+        model = EnergyModel(bitserial_config(4))
+        energy = model.command_energy(cost(row_activations=1000))
+        per_row = model.micron.row_activation_energy_nj()
+        expected = 1000 * per_row
+        assert energy.execution_nj == pytest.approx(expected)
+
+    def test_alu_pricing_differs_by_device(self):
+        fulcrum = EnergyModel(fulcrum_config(4))
+        bank = EnergyModel(bank_level_config(4))
+        f = fulcrum.command_energy(cost(alu_word_ops=1e6)).execution_nj
+        b = bank.command_energy(cost(alu_word_ops=1e6)).execution_nj
+        assert b > f
+
+    def test_lane_logic_pricing(self):
+        model = EnergyModel(bitserial_config(4))
+        power = PowerConfig()
+        energy = model.command_energy(cost(lane_logic_ops=1e9))
+        assert energy.execution_nj == pytest.approx(
+            1e9 * power.compute.bitserial_logic_pj * 1e-3
+        )
+
+    def test_background_scales_with_time(self):
+        model = EnergyModel(bitserial_config(4))
+        short = model.command_energy(cost(latency_ns=100.0))
+        long = model.command_energy(cost(latency_ns=200.0))
+        assert long.background_nj == pytest.approx(2 * short.background_nj)
+
+    def test_background_scales_with_module_chips(self):
+        small = EnergyModel(bitserial_config(4))
+        large = EnergyModel(bitserial_config(32))
+        s = small.command_energy(cost()).background_nj
+        l = large.command_energy(cost()).background_nj
+        assert l == pytest.approx(8 * s)
+
+    def test_background_power_watt_scale(self):
+        """32 ranks x 8 chips x the ~8 mW standby delta: a few watts."""
+        model = EnergyModel(bitserial_config(32))
+        assert 0.5 < model.background_power_w() < 10.0
+
+    def test_total_combines_parts(self):
+        model = EnergyModel(bitserial_config(4))
+        energy = model.command_energy(cost(row_activations=10))
+        assert energy.total_nj == pytest.approx(
+            energy.execution_nj + energy.background_nj
+        )
+
+
+class TestHostEnergy:
+    def test_host_kernel_at_tdp(self):
+        model = EnergyModel(bitserial_config(4))
+        assert model.host_energy_nj(1e6) == pytest.approx(200.0 * 1e6)
+
+    def test_idle_at_idle_power(self):
+        model = EnergyModel(bitserial_config(4))
+        assert model.cpu_idle_energy_nj(1e6) == pytest.approx(10.0 * 1e6)

@@ -1,0 +1,65 @@
+"""Tests for the physical-activity census."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.core.stats import EventCounts
+from repro.experiments import activity_table, format_activity_table, run_suite
+
+
+@pytest.fixture(scope="module")
+def rows():
+    suite = run_suite(num_ranks=32, paper_scale=True,
+                      keys=("vecadd", "gemv", "histogram"))
+    return activity_table(suite)
+
+
+def row(rows, name, device_type):
+    return next(r for r in rows
+                if r.benchmark == name and r.device_type is device_type)
+
+
+class TestEventCounts:
+    def test_arithmetic(self):
+        a = EventCounts(row_activations=10, gdl_bits=100)
+        b = EventCounts(row_activations=3, alu_word_ops=5)
+        total = a + b
+        assert total.row_activations == 13
+        assert total.alu_word_ops == 5
+        delta = total - b
+        assert delta.row_activations == 10
+        assert (a.scaled(2)).gdl_bits == 200
+
+
+class TestCensus:
+    def test_bitserial_does_lane_ops_not_alu(self, rows):
+        r = row(rows, "Vector Addition", PimDeviceType.BITSIMD_V_AP)
+        assert r.events.lane_logic_ops > 0
+        assert r.events.alu_word_ops == 0
+        assert r.events.gdl_bits == 0
+
+    def test_bank_level_moves_gdl_bits(self, rows):
+        r = row(rows, "Vector Addition", PimDeviceType.BANK_LEVEL)
+        assert r.events.gdl_bits > 0
+        assert r.events.alu_word_ops > 0
+
+    def test_fulcrum_uses_walkers_and_alu(self, rows):
+        r = row(rows, "Vector Addition", PimDeviceType.FULCRUM)
+        assert r.events.walker_bits > 0
+        assert r.events.alu_word_ops > 0
+        assert r.events.gdl_bits == 0  # subarray-level: no GDL crossing
+
+    def test_gemv_row_activations_explain_bitserial_energy(self, rows):
+        """GEMV's full-device row traffic is orders beyond vector add's --
+        the reason its Figure 11 energy bar collapses."""
+        gemv = row(rows, "GEMV", PimDeviceType.BITSIMD_V_AP)
+        vecadd = row(rows, "Vector Addition", PimDeviceType.BITSIMD_V_AP)
+        assert gemv.events.row_activations > 1000 * vecadd.events.row_activations
+
+    def test_activation_rate_positive(self, rows):
+        for r in rows:
+            assert r.activations_per_us > 0
+
+    def test_format(self, rows):
+        text = format_activity_table(rows)
+        assert "row acts" in text and "GDL Gbit" in text

@@ -1,0 +1,64 @@
+"""Tests for the channel-sharing refinement."""
+
+import pytest
+
+from repro.config.dram import DramGeometry, DramSpec
+from repro.experiments.channels import channel_sensitivity, format_channel_table
+
+
+class TestGeometryChannels:
+    def test_default_is_rank_independent(self):
+        geometry = DramGeometry(num_ranks=32)
+        assert geometry.transfer_parallelism == 32
+
+    def test_channel_cap_applies(self):
+        geometry = DramGeometry(num_ranks=32, num_channels=12)
+        assert geometry.transfer_parallelism == 12
+
+    def test_more_channels_than_ranks_is_rank_bound(self):
+        geometry = DramGeometry(num_ranks=4, num_channels=12)
+        assert geometry.transfer_parallelism == 4
+
+    def test_transfer_time_scales_with_cap(self):
+        free = DramSpec(geometry=DramGeometry(num_ranks=32))
+        capped = DramSpec(geometry=DramGeometry(num_ranks=32, num_channels=8))
+        assert capped.data_transfer_ns(1 << 30) == pytest.approx(
+            4 * free.data_transfer_ns(1 << 30)
+        )
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            DramGeometry(num_channels=0)
+
+
+class TestChannelSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return channel_sensitivity(keys=("vecadd", "brightness"))
+
+    def test_fewer_channels_never_help(self, points):
+        def speedup(name, channels):
+            return next(p.speedup_cpu_total for p in points
+                        if p.benchmark == name and p.num_channels == channels)
+        for name in ("Vector Addition", "Brightness"):
+            assert speedup(name, None) > speedup(name, 12) > speedup(name, 4)
+
+    def test_transfer_time_grows_inversely(self, points):
+        def copy_ms(name, channels):
+            return next(p.copy_ms for p in points
+                        if p.benchmark == name and p.num_channels == channels)
+        assert copy_ms("Vector Addition", 4) == pytest.approx(
+            8 * copy_ms("Vector Addition", None), rel=0.01
+        )
+
+    def test_realistic_channels_erase_streaming_wins(self, points):
+        """The Section V-C warning quantified: at the EPYC's 12 channels,
+        the transfer-bound vector-add win over the CPU disappears."""
+        vecadd_12 = next(p.speedup_cpu_total for p in points
+                         if p.benchmark == "Vector Addition"
+                         and p.num_channels == 12)
+        assert vecadd_12 < 1.0
+
+    def test_format(self, points):
+        text = format_channel_table(points)
+        assert "ch=rank" in text and "ch=  12" in text

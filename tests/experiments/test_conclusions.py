@@ -1,0 +1,38 @@
+"""Tests for the computed Conclusions (Section X headline numbers)."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments import compute_conclusions, format_conclusions, run_suite
+
+
+@pytest.fixture(scope="module")
+def conclusions():
+    return compute_conclusions(run_suite(num_ranks=32, paper_scale=True))
+
+
+class TestHeadlineNumbers:
+    def test_fulcrum_gmean_matches_paper(self, conclusions):
+        """Paper: ~5.2x over the CPU."""
+        assert conclusions.fulcrum_cpu_gmean == pytest.approx(5.2, rel=0.2)
+
+    def test_fulcrum_is_the_best_balance(self, conclusions):
+        assert conclusions.best_performance_variant is PimDeviceType.FULCRUM
+
+    def test_gpu_not_consistently_beaten(self, conclusions):
+        assert conclusions.fraction_of_gpu_wins < 0.5
+
+    def test_most_benchmarks_reduce_cpu_energy_on_fulcrum(self, conclusions):
+        assert conclusions.fulcrum_energy_winners > \
+            conclusions.num_benchmarks / 2
+
+    def test_energy_gmeans(self, conclusions):
+        assert conclusions.fulcrum_energy_gmean_vs_gpu == pytest.approx(
+            2.0, rel=0.25
+        )
+        assert conclusions.bank_energy_gmean_vs_gpu < 1.0
+
+    def test_summary_format(self, conclusions):
+        text = format_conclusions(conclusions)
+        assert "paper: ~5.2x" in text
+        assert "Fulcrum" in text

@@ -1,0 +1,76 @@
+"""Tests for the data-type sensitivity sweep."""
+
+import pytest
+
+from repro.config.device import PimDataType, PimDeviceType
+from repro.experiments.dtypes import (
+    dtype_sensitivity,
+    format_dtype_table,
+)
+
+N = 16 * 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def points():
+    return dtype_sensitivity(num_elements=N)
+
+
+def latency(points, device_type, operation, dtype):
+    return next(
+        p.latency_ms for p in points
+        if p.device_type is device_type and p.operation == operation
+        and p.dtype is dtype
+    )
+
+
+class TestBitSerialScaling:
+    def test_add_linear_in_width(self, points):
+        narrow = latency(points, PimDeviceType.BITSIMD_V_AP, "add",
+                         PimDataType.INT8)
+        wide = latency(points, PimDeviceType.BITSIMD_V_AP, "add",
+                       PimDataType.INT32)
+        assert wide / narrow == pytest.approx(4.0, rel=0.15)
+
+    def test_mul_quadratic_in_width(self, points):
+        narrow = latency(points, PimDeviceType.BITSIMD_V_AP, "mul",
+                         PimDataType.INT8)
+        wide = latency(points, PimDeviceType.BITSIMD_V_AP, "mul",
+                       PimDataType.INT32)
+        assert 10 < wide / narrow < 20  # ~16x
+
+
+class TestBitParallelPacking:
+    def test_fulcrum_width_insensitive(self, points):
+        """SIMD packing: narrower elements pack more per cycle."""
+        int8 = latency(points, PimDeviceType.FULCRUM, "add", PimDataType.INT8)
+        int32 = latency(points, PimDeviceType.FULCRUM, "add", PimDataType.INT32)
+        assert int8 == pytest.approx(int32, rel=0.2)
+
+    def test_bank_level_scales_with_row_traffic(self, points):
+        """Narrow types halve the rows (and GDL beats) per element."""
+        int8 = latency(points, PimDeviceType.BANK_LEVEL, "add", PimDataType.INT8)
+        int32 = latency(points, PimDeviceType.BANK_LEVEL, "add",
+                        PimDataType.INT32)
+        assert int32 / int8 == pytest.approx(4.0, rel=0.2)
+
+
+class TestCrossover:
+    def test_int8_add_favors_bitserial(self, points):
+        bitserial = latency(points, PimDeviceType.BITSIMD_V_AP, "add",
+                            PimDataType.INT8)
+        fulcrum = latency(points, PimDeviceType.FULCRUM, "add",
+                          PimDataType.INT8)
+        assert bitserial < fulcrum
+
+    def test_mul_always_favors_fulcrum(self, points):
+        for dtype in (PimDataType.INT8, PimDataType.INT32, PimDataType.INT64):
+            bitserial = latency(points, PimDeviceType.BITSIMD_V_AP, "mul", dtype)
+            fulcrum = latency(points, PimDeviceType.FULCRUM, "mul", dtype)
+            assert fulcrum < bitserial, dtype
+
+
+def test_format(points):
+    text = format_dtype_table(points)
+    assert "-- add --" in text and "-- mul --" in text
+    assert "int64" in text

@@ -1,0 +1,132 @@
+"""Tests for the figure-regeneration drivers (small-scale runs)."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments import (
+    breakdown_table,
+    energy_table,
+    format_breakdown_table,
+    format_energy_table,
+    format_opmix_table,
+    format_speedup_table,
+    format_table1,
+    format_table2,
+    geometric_mean,
+    gmean_summary,
+    opmix_table,
+    run_suite,
+    speedup_table,
+)
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    """One small-scale suite pass shared by all driver tests."""
+    return run_suite(num_ranks=4, paper_scale=False)
+
+
+class TestRunner:
+    def test_covers_full_matrix(self, small_suite):
+        assert len(small_suite.results) == 18 * 3
+        assert len(small_suite.benchmark_keys()) == 18
+
+    def test_cache_returns_same_object(self, small_suite):
+        again = run_suite(num_ranks=4, paper_scale=False)
+        assert again is small_suite
+
+    def test_subset_of_keys(self):
+        suite = run_suite(num_ranks=4, paper_scale=False,
+                          keys=("vecadd", "axpy"))
+        assert len(suite.results) == 2 * 3
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+
+class TestSpeedupDriver:
+    def test_row_count(self, small_suite):
+        rows = speedup_table(small_suite)
+        assert len(rows) == 18 * 3
+
+    def test_all_speedups_positive(self, small_suite):
+        for row in speedup_table(small_suite):
+            assert row.speedup_total > 0
+            assert row.speedup_kernel >= row.speedup_total * 0.99
+
+    def test_gmean_per_device(self, small_suite):
+        summary = gmean_summary(speedup_table(small_suite))
+        from repro.experiments import DEVICE_ORDER
+        assert set(summary) == set(DEVICE_ORDER)
+        for means in summary.values():
+            assert means["kernel"] > 0
+
+    def test_format_contains_gmean(self, small_suite):
+        text = format_speedup_table(speedup_table(small_suite))
+        assert "Gmean" in text
+        assert "Vector Addition" in text
+
+
+class TestEnergyDriver:
+    def test_rows_positive(self, small_suite):
+        for row in energy_table(small_suite):
+            assert row.reduction_cpu > 0
+            assert row.reduction_gpu > 0
+            assert row.pim_energy_mj > 0
+
+    def test_format(self, small_suite):
+        assert "vs CPU" in format_energy_table(energy_table(small_suite))
+
+
+class TestBreakdownDriver:
+    def test_sums_to_100(self, small_suite):
+        for row in breakdown_table(small_suite):
+            total = row.data_movement_pct + row.host_pct + row.kernel_pct
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_pim_host_benchmarks_show_host_time(self, small_suite):
+        rows = breakdown_table(small_suite)
+        knn = [r for r in rows if r.benchmark == "KNN"]
+        assert all(r.host_pct > 0 for r in knn)
+
+    def test_pure_pim_benchmarks_show_no_host(self, small_suite):
+        rows = breakdown_table(small_suite)
+        vecadd = [r for r in rows if r.benchmark == "Vector Addition"]
+        assert all(r.host_pct == 0 for r in vecadd)
+
+    def test_format(self, small_suite):
+        assert "DataMove%" in format_breakdown_table(breakdown_table(small_suite))
+
+
+class TestOpMixDriver:
+    def test_percentages_sum_to_100(self, small_suite):
+        for row in opmix_table(small_suite):
+            assert sum(row.percentages.values()) == pytest.approx(100.0)
+
+    def test_dominant_ops_match_paper(self, small_suite):
+        from repro.core.commands import OpCategory
+        rows = {row.benchmark: row for row in opmix_table(small_suite)}
+        assert rows["Vector Addition"].dominant() is OpCategory.ADD
+        assert rows["Histogram"].percentages[OpCategory.EQ] > 30
+        assert rows["AES-Encryption"].percentages[OpCategory.XOR] > 30
+
+    def test_format(self, small_suite):
+        text = format_opmix_table(opmix_table(small_suite))
+        assert "reduction" in text
+
+
+class TestTables:
+    def test_table1_lists_all_benchmarks(self):
+        text = format_table1()
+        assert "Vector Addition" in text
+        assert "VGG-19" in text
+        assert "PIM + Host" in text
+
+    def test_table2_lists_all_architectures(self):
+        text = format_table2()
+        assert "AMD EPYC 9124" in text
+        assert "NVIDIA A100" in text
+        assert "Bit-Serial" in text
+        assert "Bank-level" in text

@@ -1,0 +1,43 @@
+"""Tests for suite-result serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import export_suite_json, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(num_ranks=4, paper_scale=False, keys=("vecadd", "knn"),
+                     functional=True)
+
+
+class TestResultDict:
+    def test_fields_present(self, suite):
+        from repro.config.device import PimDeviceType
+        record = suite.result("vecadd", PimDeviceType.FULCRUM).to_dict()
+        assert record["benchmark"] == "Vector Addition"
+        assert record["device"] == "fulcrum"
+        assert record["verified"] is True
+        assert record["kernel_time_ms"] > 0
+        assert record["op_counts"] == {"add": 1}
+        assert record["events"]["row_activations"] > 0
+
+    def test_breakdown_sums(self, suite):
+        from repro.config.device import PimDeviceType
+        record = suite.result("knn", PimDeviceType.BANK_LEVEL).to_dict()
+        assert sum(record["breakdown"].values()) == pytest.approx(100.0)
+
+
+class TestExportJson:
+    def test_roundtrips_through_json(self, suite):
+        payload = json.loads(export_suite_json(suite))
+        assert payload["num_ranks"] == 4
+        assert payload["paper_scale"] is False
+        assert len(payload["results"]) == 2 * 3
+
+    def test_records_sorted_by_figure_order(self, suite):
+        payload = json.loads(export_suite_json(suite))
+        names = [r["benchmark"] for r in payload["results"][:3]]
+        assert names == ["Vector Addition"] * 3

@@ -1,0 +1,112 @@
+"""Tests for the DDR4-vs-HBM and problem-size experiments."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.config.hbm import hbm_device_config, hbm_geometry
+from repro.experiments import (
+    batching_comparison,
+    format_memory_tech_table,
+    format_problem_size_table,
+    memory_technology_comparison,
+    problem_size_sweep,
+    utilization_knee,
+)
+
+
+class TestHbmConfig:
+    def test_pseudo_channels(self):
+        geometry = hbm_geometry(num_stacks=2)
+        assert geometry.num_ranks == 32
+        assert geometry.gdl_width_bits == 256
+
+    def test_aggregate_bandwidth_per_stack(self):
+        geometry = hbm_geometry(num_stacks=1)
+        # 16 pseudo-channels x 25.6 GB/s ~ 410 GB/s per stack.
+        assert geometry.aggregate_bandwidth_gbps == pytest.approx(409.6)
+
+    def test_device_config(self):
+        config = hbm_device_config(PimDeviceType.BANK_LEVEL, 4)
+        assert config.cols_per_core == 4096
+        assert config.dram.timing.tccd_ns == 2.0
+
+
+class TestMemoryTechComparison:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return memory_technology_comparison()
+
+    def test_transfers_always_faster_on_hbm(self, points):
+        for device_type in (PimDeviceType.BITSIMD_V_AP,
+                            PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL):
+            ddr = next(p for p in points if p.device_type is device_type
+                       and p.technology == "ddr4" and p.operation == "add")
+            hbm = next(p for p in points if p.device_type is device_type
+                       and p.technology == "hbm" and p.operation == "add")
+            assert hbm.transfer_ms < ddr.transfer_ms
+
+    def test_bank_level_kernel_gains_from_wider_gdl(self, points):
+        ddr = next(p for p in points
+                   if p.device_type is PimDeviceType.BANK_LEVEL
+                   and p.technology == "ddr4" and p.operation == "add")
+        hbm = next(p for p in points
+                   if p.device_type is PimDeviceType.BANK_LEVEL
+                   and p.technology == "hbm" and p.operation == "add")
+        assert hbm.latency_ms < ddr.latency_ms
+
+    def test_tradeoffs_do_change(self, points):
+        """Section IX's prediction: the best architecture can change.
+
+        Fulcrum loses kernel performance on this HBM configuration
+        (fewer, narrower subarrays) while bank-level gains -- the ranking
+        moves exactly as the paper anticipates it might.
+        """
+        fulcrum_ddr = next(p for p in points
+                           if p.device_type is PimDeviceType.FULCRUM
+                           and p.technology == "ddr4" and p.operation == "add")
+        fulcrum_hbm = next(p for p in points
+                           if p.device_type is PimDeviceType.FULCRUM
+                           and p.technology == "hbm" and p.operation == "add")
+        assert fulcrum_hbm.latency_ms > fulcrum_ddr.latency_ms
+
+    def test_format(self, points):
+        text = format_memory_tech_table(points)
+        assert "ddr4" in text and "hbm" in text
+
+
+class TestProblemSizeSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return problem_size_sweep()
+
+    def test_latency_flat_below_the_knee(self, points):
+        for device_type in (PimDeviceType.BITSIMD_V_AP,
+                            PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL):
+            series = sorted(
+                (p for p in points if p.device_type is device_type),
+                key=lambda p: p.num_elements,
+            )
+            assert series[0].latency_ms == pytest.approx(series[1].latency_ms)
+
+    def test_knee_ordering_follows_parallelism(self, points):
+        """More processing elements -> larger problems are still free."""
+        knees = {
+            d: utilization_knee(points, d)
+            for d in (PimDeviceType.BITSIMD_V_AP, PimDeviceType.FULCRUM,
+                      PimDeviceType.BANK_LEVEL)
+        }
+        assert knees[PimDeviceType.BITSIMD_V_AP] > knees[PimDeviceType.FULCRUM]
+        assert knees[PimDeviceType.FULCRUM] > knees[PimDeviceType.BANK_LEVEL]
+
+    def test_format(self, points):
+        assert "Bit-Serial" in format_problem_size_table(points)
+
+
+class TestBatching:
+    def test_batching_never_hurts(self):
+        for point in batching_comparison():
+            assert point.batching_gain >= 1.0
+
+    def test_underutilized_devices_gain_most(self):
+        gains = {p.device_type: p.batching_gain for p in batching_comparison()}
+        assert gains[PimDeviceType.BITSIMD_V_AP] > gains[PimDeviceType.BANK_LEVEL]

@@ -1,0 +1,48 @@
+"""Tests for the copy/compute overlap analysis."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments import format_overlap_table, overlap_table, run_suite
+
+
+@pytest.fixture(scope="module")
+def rows():
+    suite = run_suite(num_ranks=32, paper_scale=True,
+                      keys=("vecadd", "gemm", "filter"))
+    return overlap_table(suite)
+
+
+def row(rows, name, device_type):
+    return next(r for r in rows
+                if r.benchmark == name and r.device_type is device_type)
+
+
+class TestOverlapBound:
+    def test_overlapped_never_slower(self, rows):
+        for r in rows:
+            assert r.overlapped_ms <= r.sequential_ms + 1e-9
+            assert r.overlap_gain >= 1.0
+
+    def test_gain_bounded_by_two_for_two_phases(self, rows):
+        # Pure-PIM benchmarks have only copy + kernel: gain <= 2.
+        for r in rows:
+            if r.benchmark in ("Vector Addition", "GEMM"):
+                assert r.overlap_gain <= 2.0 + 1e-9
+
+    def test_balanced_phases_gain_most(self, rows):
+        """GEMM splits between streaming operands and computing: it gains
+        more from overlap than copy-dominated vector addition."""
+        gemm = row(rows, "GEMM", PimDeviceType.FULCRUM)
+        vecadd = row(rows, "Vector Addition", PimDeviceType.BIT_SERIAL
+                     if hasattr(PimDeviceType, "BIT_SERIAL")
+                     else PimDeviceType.BITSIMD_V_AP)
+        assert gemm.overlap_gain > vecadd.overlap_gain
+
+    def test_speedups_consistent(self, rows):
+        for r in rows:
+            assert r.speedup_cpu_overlapped >= r.speedup_cpu_sequential
+
+    def test_format(self, rows):
+        text = format_overlap_table(rows)
+        assert "gain" in text and "vsCPU ovl" in text

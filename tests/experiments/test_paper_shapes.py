@@ -1,0 +1,233 @@
+"""Paper-shape regression tests: Section VIII's per-benchmark findings.
+
+Each test pins one qualitative claim of the evaluation -- who wins, by
+roughly what factor, where the crossovers fall -- against the paper-scale
+modeled results.  EXPERIMENTS.md documents the quantitative comparison and
+the known deviations (VGG on bit-serial, bank-level histogram).
+"""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import DEVICE_ORDER, run_suite
+
+BIT_SERIAL = PimDeviceType.BITSIMD_V_AP
+FULCRUM = PimDeviceType.FULCRUM
+BANK = PimDeviceType.BANK_LEVEL
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(num_ranks=32, paper_scale=True)
+
+
+def by_device(suite, key, metric):
+    return {
+        device_type: getattr(suite.result(key, device_type), metric)
+        for device_type in DEVICE_ORDER
+    }
+
+
+class TestVectorAdd:
+    def test_bitserial_highest_speedup(self, suite):
+        kernels = by_device(suite, "vecadd", "speedup_cpu_kernel")
+        assert kernels[BIT_SERIAL] > kernels[FULCRUM] > kernels[BANK]
+
+    def test_all_beat_cpu(self, suite):
+        totals = by_device(suite, "vecadd", "speedup_cpu_total")
+        assert all(v > 1 for v in totals.values())
+
+    def test_bitserial_beats_gpu(self, suite):
+        assert suite.result("vecadd", BIT_SERIAL).speedup_gpu > 10
+
+
+class TestAxpy:
+    def test_fulcrum_highest(self, suite):
+        kernels = by_device(suite, "axpy", "speedup_cpu_kernel")
+        assert kernels[FULCRUM] == max(kernels.values())
+        gpus = by_device(suite, "axpy", "speedup_gpu")
+        assert gpus[FULCRUM] == max(gpus.values())
+
+
+class TestGemv:
+    def test_fulcrum_wins(self, suite):
+        kernels = by_device(suite, "gemv", "speedup_cpu_kernel")
+        assert kernels[FULCRUM] == max(kernels.values())
+
+    def test_bitserial_slower_than_gpu(self, suite):
+        assert suite.result("gemv", BIT_SERIAL).speedup_gpu < 1
+
+    def test_bank_slight_slowdown_vs_gpu(self, suite):
+        assert 0.3 < suite.result("gemv", BANK).speedup_gpu < 1.1
+
+
+class TestGemm:
+    def test_poor_for_all_with_data_movement(self, suite):
+        totals = by_device(suite, "gemm", "speedup_cpu_total")
+        assert all(v < 1 for v in totals.values())
+
+    def test_fulcrum_beats_cpu_kernel_only(self, suite):
+        assert suite.result("gemm", FULCRUM).speedup_cpu_kernel > 1
+
+    def test_no_meaningful_energy_savings(self, suite):
+        # Bit-serial clearly loses on energy; the bit-parallel variants
+        # land near break-even in this model (EXPERIMENTS.md discusses why
+        # the paper's "no savings" cannot be exactly reproduced jointly
+        # with its kernel-only speedup claim at watt-scale device power).
+        gpu_energy = by_device(suite, "gemm", "energy_reduction_gpu")
+        assert gpu_energy[BIT_SERIAL] < 0.1
+        assert all(v < 3 for v in gpu_energy.values())
+
+
+class TestRadixSort:
+    def test_host_bound(self, suite):
+        result = suite.result("radixsort", BIT_SERIAL)
+        assert result.breakdown["host"] > 50
+
+    def test_only_slight_speedup_over_cpu(self, suite):
+        totals = by_device(suite, "radixsort", "speedup_cpu_total")
+        assert all(0.2 < v < 2.0 for v in totals.values())
+
+    def test_big_slowdown_vs_gpu(self, suite):
+        gpus = by_device(suite, "radixsort", "speedup_gpu")
+        assert all(v < 0.2 for v in gpus.values())
+
+
+class TestAes:
+    def test_bitserial_fastest_pim(self, suite):
+        for key in ("aes-enc", "aes-dec"):
+            kernels = by_device(suite, key, "speedup_cpu_kernel")
+            assert kernels[BIT_SERIAL] > kernels[FULCRUM] > kernels[BANK]
+
+    def test_bitserial_beats_cpu(self, suite):
+        assert suite.result("aes-enc", BIT_SERIAL).speedup_cpu_total > 1
+
+    def test_gpu_beats_all_pim(self, suite):
+        for key in ("aes-enc", "aes-dec"):
+            gpus = by_device(suite, key, "speedup_gpu")
+            assert all(v < 1 for v in gpus.values())
+
+
+class TestTriangleCount:
+    def test_bitserial_kernel_only_speedup(self, suite):
+        result = suite.result("tricount", BIT_SERIAL)
+        assert result.speedup_cpu_kernel > 1
+        assert result.speedup_gpu < 2  # only slight
+
+    def test_data_movement_destroys_it(self, suite):
+        totals = by_device(suite, "tricount", "speedup_cpu_total")
+        assert all(v < 0.1 for v in totals.values())
+
+    def test_fulcrum_and_bank_fall_short(self, suite):
+        kernels = by_device(suite, "tricount", "speedup_cpu_kernel")
+        assert kernels[FULCRUM] < 1
+        assert kernels[BANK] < 1
+
+
+class TestFilterByKey:
+    def test_host_gather_dominates(self, suite):
+        result = suite.result("filter", BIT_SERIAL)
+        assert result.breakdown["host"] > 90  # paper: 99%
+
+    def test_small_speedup_over_cpu(self, suite):
+        totals = by_device(suite, "filter", "speedup_cpu_total")
+        assert all(1 < v < 10 for v in totals.values())
+
+    def test_no_speedup_over_gpu(self, suite):
+        gpus = by_device(suite, "filter", "speedup_gpu")
+        assert all(v < 1 for v in gpus.values())
+
+
+class TestHistogram:
+    def test_bitserial_and_fulcrum_beat_cpu(self, suite):
+        totals = by_device(suite, "histogram", "speedup_cpu_total")
+        assert totals[BIT_SERIAL] > 1
+        assert totals[FULCRUM] > 1
+
+
+class TestBrightness:
+    def test_beats_cpu_with_and_without_movement(self, suite):
+        for metric in ("speedup_cpu_total", "speedup_cpu_kernel"):
+            values = by_device(suite, "brightness", metric)
+            assert all(v > 1 for v in values.values()), metric
+
+    def test_beats_gpu(self, suite):
+        gpus = by_device(suite, "brightness", "speedup_gpu")
+        assert all(v > 1 for v in gpus.values())
+
+    def test_energy_efficient(self, suite):
+        energies = by_device(suite, "brightness", "energy_reduction_cpu")
+        assert all(v > 1 for v in energies.values())
+
+
+class TestDownsampling:
+    def test_subarray_variants_beat_cpu_and_gpu(self, suite):
+        for device_type in (BIT_SERIAL, FULCRUM):
+            result = suite.result("downsample", device_type)
+            assert result.speedup_cpu_total > 1
+            assert result.speedup_gpu > 1
+
+
+class TestKnn:
+    def test_modest_speedups(self, suite):
+        totals = by_device(suite, "knn", "speedup_cpu_total")
+        assert all(1 < v < 5 for v in totals.values())
+
+    def test_host_selection_significant(self, suite):
+        result = suite.result("knn", FULCRUM)
+        assert result.breakdown["host"] > 20
+
+
+class TestLinearRegression:
+    def test_all_beat_cpu(self, suite):
+        totals = by_device(suite, "linreg", "speedup_cpu_total")
+        assert all(v > 1 for v in totals.values())
+
+    def test_bitserial_and_fulcrum_comparable(self, suite):
+        kernels = by_device(suite, "linreg", "speedup_cpu_kernel")
+        ratio = kernels[BIT_SERIAL] / kernels[FULCRUM]
+        assert 0.3 < ratio < 10
+
+
+class TestKmeans:
+    def test_significant_gains_over_cpu(self, suite):
+        totals = by_device(suite, "kmeans", "speedup_cpu_total")
+        assert totals[BIT_SERIAL] > 10
+        assert totals[FULCRUM] > 10
+        assert totals[BANK] > 1
+
+    def test_subarray_variants_beat_gpu(self, suite):
+        gpus = by_device(suite, "kmeans", "speedup_gpu")
+        assert gpus[BIT_SERIAL] > 1
+        assert gpus[FULCRUM] > 1
+
+
+class TestVgg:
+    @pytest.mark.parametrize("key", ["vgg-13", "vgg-16", "vgg-19"])
+    def test_gpu_far_ahead(self, suite, key):
+        gpus = by_device(suite, key, "speedup_gpu")
+        assert all(v < 0.1 for v in gpus.values())
+
+    @pytest.mark.parametrize("key", ["vgg-13", "vgg-16", "vgg-19"])
+    def test_bit_parallel_roughly_match_cpu(self, suite, key):
+        """Moderate outcomes for Fulcrum/bank-level; the bit-serial
+        deviation is documented in EXPERIMENTS.md."""
+        totals = by_device(suite, key, "speedup_cpu_total")
+        assert 0.5 < totals[FULCRUM] < 5
+        assert 0.5 < totals[BANK] < 5
+
+
+class TestConclusions:
+    def test_fulcrum_best_overall_balance(self, suite):
+        """Conclusion: Fulcrum has the best Gmean among the variants."""
+        from repro.experiments import gmean_summary, speedup_table
+        summary = gmean_summary(speedup_table(suite))
+        assert (
+            summary[FULCRUM]["kernel"] > summary[BANK]["kernel"]
+        )
+
+    def test_energy_mostly_reduced_vs_cpu_for_subarray_pim(self, suite):
+        from repro.experiments import energy_table
+        rows = [r for r in energy_table(suite) if r.device_type is FULCRUM]
+        winners = sum(1 for r in rows if r.reduction_cpu > 1)
+        assert winners >= len(rows) / 2

@@ -1,0 +1,74 @@
+"""Tests for the Figure 12/13 rank-scaling experiments.
+
+Run on a reduced benchmark set to keep the four-configuration sweep fast;
+the full-figure regeneration lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments.rankscaling import (
+    RankScalingRow,
+    format_rank_table,
+)
+from repro.experiments.runner import run_suite
+
+KEYS = ("vecadd", "axpy", "gemv")
+
+
+def kernel_host(result):
+    return result.stats.kernel_time_ns + result.stats.host_time_ns
+
+
+@pytest.fixture(scope="module")
+def suites():
+    return {
+        ranks: run_suite(num_ranks=ranks, paper_scale=True, keys=KEYS,
+                         enforce_capacity=False)
+        for ranks in (4, 32)
+    }
+
+
+class TestFigure12Behaviour:
+    def test_bit_parallel_gains_from_ranks(self, suites):
+        """Section IX: rank count strongly helps Fulcrum and bank-level."""
+        for device_type in (PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL):
+            slow = kernel_host(suites[4].result("vecadd", device_type))
+            fast = kernel_host(suites[32].result("vecadd", device_type))
+            assert slow / fast > 4.0
+
+    def test_bitserial_gains_less_for_small_problems(self, suites):
+        """GEMV's vectors are too short to fill the added subarrays."""
+        slow = kernel_host(suites[4].result("gemv", PimDeviceType.BITSIMD_V_AP))
+        fast = kernel_host(suites[32].result("gemv", PimDeviceType.BITSIMD_V_AP))
+        assert slow / fast < 2.0  # paper: no rank scaling for bit-serial GEMV
+
+    def test_fulcrum_gemv_saturates(self, suites):
+        """Paper: Fulcrum GEMV does not scale beyond 8 ranks (56% util)."""
+        slow = kernel_host(suites[4].result("gemv", PimDeviceType.FULCRUM))
+        fast = kernel_host(suites[32].result("gemv", PimDeviceType.FULCRUM))
+        assert slow / fast < 8.0  # far below the 8x rank increase
+
+
+class TestFigure13Behaviour:
+    def test_capacity_matched_single_rank_slower(self):
+        single = run_suite(
+            num_ranks=1, paper_scale=True, keys=("vecadd",),
+            geometry_overrides={"rows_per_subarray": 1024 * 32},
+        )
+        full = run_suite(num_ranks=32, paper_scale=True, keys=("vecadd",))
+        from repro.experiments.runner import DEVICE_ORDER
+        for device_type in DEVICE_ORDER:
+            slow = kernel_host(single.result("vecadd", device_type))
+            fast = kernel_host(full.result("vecadd", device_type))
+            assert slow / fast > 8.0  # 32x fewer processing elements
+
+
+def test_format_rank_table():
+    rows = [
+        RankScalingRow("Vector Addition", PimDeviceType.FULCRUM, 8, 2.0),
+        RankScalingRow("Vector Addition", PimDeviceType.FULCRUM, 16, 4.0),
+    ]
+    text = format_rank_table(rows)
+    assert "r=8" in text and "r=16" in text
+    assert "2.00" in text and "4.00" in text

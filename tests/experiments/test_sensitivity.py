@@ -1,0 +1,92 @@
+"""Tests for the Figure 6 sensitivity sweeps."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.experiments.runner import DEVICE_ORDER
+from repro.experiments.sensitivity import (
+    bank_sensitivity,
+    column_sensitivity,
+    format_sensitivity_table,
+)
+
+
+@pytest.fixture(scope="module")
+def column_points():
+    return column_sensitivity()
+
+
+@pytest.fixture(scope="module")
+def bank_points():
+    return bank_sensitivity()
+
+
+def latency(points, device_type, operation, value):
+    return next(
+        p.latency_ms for p in points
+        if p.device_type is device_type and p.operation == operation
+        and p.value == value
+    )
+
+
+class TestColumnSweep:
+    def test_bitserial_scales_inversely_with_columns(self, column_points):
+        narrow = latency(column_points, PimDeviceType.BITSIMD_V_AP, "add", 1024)
+        wide = latency(column_points, PimDeviceType.BITSIMD_V_AP, "add", 8192)
+        assert narrow == pytest.approx(8 * wide, rel=0.05)
+
+    def test_bitserial_most_sensitive(self, column_points):
+        """Section VII: bit-serial is most sensitive to these parameters."""
+        def ratio(device_type):
+            return (
+                latency(column_points, device_type, "add", 1024)
+                / latency(column_points, device_type, "add", 8192)
+            )
+        assert ratio(PimDeviceType.BITSIMD_V_AP) > ratio(PimDeviceType.FULCRUM)
+        assert ratio(PimDeviceType.BITSIMD_V_AP) > ratio(PimDeviceType.BANK_LEVEL)
+
+
+class TestSectionVIIOrderings:
+    def test_addition_bitserial_wins(self, column_points):
+        values = {
+            d: latency(column_points, d, "add", 8192) for d in DEVICE_ORDER
+        }
+        assert values[PimDeviceType.BITSIMD_V_AP] == min(values.values())
+
+    def test_multiplication_fulcrum_wins_bitserial_beats_bank(self, column_points):
+        values = {
+            d: latency(column_points, d, "mul", 8192) for d in DEVICE_ORDER
+        }
+        assert values[PimDeviceType.FULCRUM] == min(values.values())
+        assert values[PimDeviceType.BITSIMD_V_AP] < values[PimDeviceType.BANK_LEVEL]
+
+    def test_reduction_bitserial_wins(self, column_points):
+        values = {
+            d: latency(column_points, d, "reduction", 8192)
+            for d in DEVICE_ORDER
+        }
+        assert values[PimDeviceType.BITSIMD_V_AP] == min(values.values())
+
+    def test_popcount_fulcrum_loses_to_bitserial(self, column_points):
+        """Section VII: SWAR popcount makes Fulcrum slow."""
+        fulcrum = latency(column_points, PimDeviceType.FULCRUM, "popcount", 8192)
+        bitserial = latency(
+            column_points, PimDeviceType.BITSIMD_V_AP, "popcount", 8192
+        )
+        assert bitserial < fulcrum
+
+
+class TestBankSweep:
+    @pytest.mark.parametrize("device_type", list(DEVICE_ORDER),
+                             ids=lambda d: d.value)
+    def test_all_devices_gain_from_banks(self, bank_points, device_type):
+        few = latency(bank_points, device_type, "add", 16)
+        many = latency(bank_points, device_type, "add", 128)
+        assert few == pytest.approx(8 * many, rel=0.05)
+
+
+def test_format_table(column_points):
+    text = format_sensitivity_table(column_points)
+    assert "cols=1024" in text
+    assert "Bit-Serial" in text
+    assert format_sensitivity_table([]) == "(no data)"

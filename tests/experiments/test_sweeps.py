@@ -1,0 +1,111 @@
+"""Tests for the selectivity and radix-digit sweeps and energy breakdown."""
+
+import pytest
+
+from repro.analysis import energy_breakdown, format_energy_breakdown
+from repro.config.device import PimDeviceType
+from repro.experiments import (
+    digit_width_sweep,
+    format_digit_table,
+    format_selectivity_table,
+    selectivity_sweep,
+)
+
+
+class TestSelectivitySweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return selectivity_sweep(num_records=1 << 24)
+
+    def test_wider_records_help_pim(self, points):
+        """The paper's prediction: more fields per record, more speedup."""
+        def speedup(width, selectivity):
+            return next(p.speedup for p in points
+                        if p.record_bytes == width
+                        and p.selectivity == selectivity)
+        assert speedup(128, 0.001) > speedup(8, 0.001)
+
+    def test_lower_selectivity_helps_pim(self, points):
+        def speedup(width, selectivity):
+            return next(p.speedup for p in points
+                        if p.record_bytes == width
+                        and p.selectivity == selectivity)
+        assert speedup(32, 0.001) > speedup(32, 0.1)
+
+    def test_format(self, points):
+        text = format_selectivity_table(points)
+        assert "sel=0.001" in text and "128" in text
+
+
+class TestRadixDigitSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # The Table I problem size: at small N the fixed per-pass counting
+        # cost shifts the optimum toward narrower digits.
+        return digit_width_sweep()
+
+    def test_paper_choice_of_8_bits_is_optimal(self, points):
+        """PIMbench fixed 8-bit digits; the sweep confirms the optimum."""
+        for device_type in (PimDeviceType.BITSIMD_V_AP, PimDeviceType.FULCRUM):
+            by_width = {
+                p.digit_bits: p.total_ms for p in points
+                if p.device_type is device_type
+            }
+            assert by_width[8] == min(by_width.values()), device_type
+
+    def test_wide_digits_explode_pim_counting(self, points):
+        narrow = next(p for p in points
+                      if p.device_type is PimDeviceType.BITSIMD_V_AP
+                      and p.digit_bits == 8)
+        wide = next(p for p in points
+                    if p.device_type is PimDeviceType.BITSIMD_V_AP
+                    and p.digit_bits == 16)
+        assert wide.pim_count_ms > 20 * narrow.pim_count_ms
+
+    def test_scatter_halves_per_doubled_digit(self, points):
+        p4 = next(p for p in points
+                  if p.device_type is PimDeviceType.FULCRUM and p.digit_bits == 4)
+        p8 = next(p for p in points
+                  if p.device_type is PimDeviceType.FULCRUM and p.digit_bits == 8)
+        assert p4.host_scatter_ms == pytest.approx(2 * p8.host_scatter_ms)
+
+    def test_format(self, points):
+        assert "passes" in format_digit_table(points)
+
+
+class TestEnergyBreakdown:
+    @pytest.fixture(scope="class")
+    def bitserial_run(self):
+        from repro.bench import make_benchmark
+        from repro.config import bitserial_config
+        from repro.core.device import PimDevice
+        device = PimDevice(bitserial_config(4), functional=True)
+        make_benchmark("histogram").run(device)
+        return device
+
+    def test_components_sum_to_total(self, bitserial_run):
+        breakdown = energy_breakdown(bitserial_run)
+        parts = (breakdown.kernel_mj + breakdown.transfer_mj
+                 + breakdown.background_mj + breakdown.host_mj)
+        assert parts == pytest.approx(breakdown.total_mj)
+
+    def test_kernel_components_match_stats(self, bitserial_run):
+        breakdown = energy_breakdown(bitserial_run)
+        assert breakdown.kernel_mj == pytest.approx(
+            bitserial_run.stats.kernel_energy_nj / 1e6, rel=1e-6
+        )
+
+    def test_bitserial_has_no_alu_or_gdl_energy(self, bitserial_run):
+        breakdown = energy_breakdown(bitserial_run)
+        assert breakdown.alu_mj == 0.0
+        assert breakdown.gdl_mj == 0.0
+        assert breakdown.row_activation_mj > 0
+        assert breakdown.lane_logic_mj > 0
+
+    def test_shares_sum_to_100(self, bitserial_run):
+        shares = energy_breakdown(bitserial_run).shares()
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_format(self, bitserial_run):
+        text = format_energy_breakdown(energy_breakdown(bitserial_run))
+        assert "row activation" in text and "TOTAL" in text

@@ -1,0 +1,144 @@
+"""Tests for the analog (TRA) bit-serial substrate."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.microcode.analog import (
+    AnalogCost,
+    AnalogTiming,
+    TraSimulator,
+    translate_program,
+)
+from repro.microcode.programs import get_program
+
+
+class TestPrimitives:
+    def test_aap_copies(self):
+        sim = TraSimulator(num_rows=4, num_lanes=8)
+        sim.rows[0] = np.array([1, 0, 1, 0, 1, 1, 0, 0], dtype=bool)
+        sim.aap(0, 2)
+        assert np.array_equal(sim.rows[2], sim.rows[0])
+        assert sim.num_aaps == 1
+
+    def test_tra_computes_majority_into_all_rows(self):
+        sim = TraSimulator(num_rows=3, num_lanes=4)
+        sim.rows[0] = np.array([1, 1, 0, 0], dtype=bool)
+        sim.rows[1] = np.array([1, 0, 1, 0], dtype=bool)
+        sim.rows[2] = np.array([0, 1, 1, 0], dtype=bool)
+        sim.tra(0, 1, 2)
+        expected = np.array([1, 1, 1, 0], dtype=bool)
+        for row in range(3):
+            assert np.array_equal(sim.rows[row], expected)
+        assert sim.num_tras == 1
+
+    def test_dcc_not(self):
+        sim = TraSimulator(num_rows=2, num_lanes=4)
+        sim.rows[0] = np.array([1, 0, 1, 0], dtype=bool)
+        sim.dcc_not(0, 1)
+        assert np.array_equal(sim.rows[1], ~sim.rows[0])
+        assert sim.num_aaps == 2  # two row cycles through the DCC
+
+
+class TestMajConstructions:
+    def test_and_via_majority(self, rng):
+        sim = TraSimulator(num_rows=8, num_lanes=32)
+        sim.rows[0] = rng.integers(0, 2, 32).astype(bool)
+        sim.rows[1] = rng.integers(0, 2, 32).astype(bool)
+        sim.and_rows(0, 1, 4, 5, 6)
+        assert np.array_equal(sim.rows[4], sim.rows[0] & sim.rows[1])
+
+    def test_or_via_majority(self, rng):
+        sim = TraSimulator(num_rows=8, num_lanes=32)
+        sim.rows[0] = rng.integers(0, 2, 32).astype(bool)
+        sim.rows[1] = rng.integers(0, 2, 32).astype(bool)
+        sim.or_rows(0, 1, 4, 5, 6)
+        assert np.array_equal(sim.rows[4], sim.rows[0] | sim.rows[1])
+
+    @pytest.mark.parametrize("a,b,c", list(itertools.product([0, 1], repeat=3)))
+    def test_full_adder_identity(self, a, b, c):
+        """The MAJ-based full adder is exact for every bit combination."""
+        sim = TraSimulator(num_rows=10, num_lanes=1)
+        sim.rows[0][0] = bool(a)
+        sim.rows[1][0] = bool(b)
+        sim.rows[2][0] = bool(c)  # carry
+        sim.full_adder_rows(0, 1, 2, scratch=(3, 4, 5, 6, 7, 8))
+        total = a + b + c
+        assert sim.rows[3][0] == bool(total & 1)  # sum in scratch[0]
+        assert sim.rows[2][0] == bool(total >> 1)  # new carry
+
+
+class TestTranslation:
+    def test_cost_arithmetic(self):
+        a = AnalogCost(num_aaps=2, num_tras=1)
+        b = AnalogCost(num_aaps=3, num_popcount_rows=1)
+        total = (a + b).scaled(2)
+        assert total.num_aaps == 10
+        assert total.num_tras == 2
+        assert total.num_popcount_rows == 2
+
+    def test_copy_translates_to_aaps_only(self):
+        cost = translate_program(get_program("copy", 8))
+        assert cost.num_tras == 0
+        assert cost.num_aaps == 16  # 8 reads + 8 writes
+
+    def test_and_needs_tras(self):
+        cost = translate_program(get_program("and", 8))
+        assert cost.num_tras == 8  # one TRA per bit slice
+        assert cost.num_aaps > 16  # staging copies on top of the row I/O
+
+    def test_add_much_costlier_than_digital(self):
+        digital = get_program("add", 32).cost
+        analog = translate_program(get_program("add", 32))
+        digital_ns = (
+            digital.num_row_reads * 28.5
+            + digital.num_row_writes * 43.5
+            + digital.num_logic_ops * 3.0
+        )
+        analog_ns = analog.latency_ns(AnalogTiming())
+        # Section IV's motivation: analog TRA compute pays copy overheads.
+        assert analog_ns > 5 * digital_ns
+
+    def test_latency_formula(self):
+        cost = AnalogCost(num_aaps=10, num_tras=4)
+        timing = AnalogTiming(aap_ns=100.0, tra_ns=50.0)
+        assert cost.latency_ns(timing) == pytest.approx(1200.0)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            AnalogTiming(aap_ns=0)
+
+
+class TestAnalogDevice:
+    def test_functional_results_identical_to_digital(self, rng):
+        """Portability: the analog target computes the same results."""
+        from repro.config.device import PimDeviceType
+        from repro.core.commands import PimCmdKind
+        from tests.conftest import make_device
+        device = make_device(PimDeviceType.ANALOG_BITSIMD_V)
+        a = rng.integers(-100, 100, 256).astype(np.int32)
+        b = rng.integers(-100, 100, 256).astype(np.int32)
+        obj_a = device.alloc(256)
+        obj_b = device.alloc_associated(obj_a)
+        dest = device.alloc_associated(obj_a)
+        device.copy_host_to_device(a, obj_a)
+        device.copy_host_to_device(b, obj_b)
+        device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+        assert np.array_equal(device.copy_device_to_host(dest), a + b)
+
+    def test_analog_slower_than_digital(self):
+        from repro.config.device import PimDeviceType
+        from repro.core.commands import PimCmdKind
+        from tests.conftest import make_device
+        times = {}
+        for device_type in (PimDeviceType.BITSIMD_V_AP,
+                            PimDeviceType.ANALOG_BITSIMD_V):
+            device = make_device(device_type, functional=False)
+            obj_a = device.alloc(100_000)
+            obj_b = device.alloc_associated(obj_a)
+            dest = device.alloc_associated(obj_a)
+            device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+            times[device_type] = device.stats.kernel_time_ns
+        assert times[PimDeviceType.ANALOG_BITSIMD_V] > \
+            5 * times[PimDeviceType.BITSIMD_V_AP]

@@ -1,0 +1,61 @@
+"""Tests for the microprogram assembler."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.microcode.assembler import Assembler, Operand
+from repro.microcode.simulator import BitSliceSimulator
+
+
+class TestOperand:
+    def test_row_addressing(self):
+        operand = Operand(base=10, bits=8)
+        assert operand.row(0) == 10
+        assert operand.row(7) == 17
+        assert operand.msb_row == 17
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(IndexError):
+            Operand(base=0, bits=4).row(4)
+
+
+class TestAssembler:
+    def test_emits_in_order(self):
+        asm = Assembler("t")
+        asm.read("SA", 0).not_("SA", "SA").write("SA", 1)
+        program = asm.done()
+        assert [op.kind.value for op in program.ops] == [
+            "read_row", "not", "write_row",
+        ]
+        assert program.name == "t"
+
+    def test_popcount_counts_results(self):
+        asm = Assembler("t")
+        asm.set("SA", 1).popcount_row("SA").popcount_row("SA")
+        assert asm.done().num_popcount_results == 2
+
+    def test_cost_property(self):
+        asm = Assembler("t")
+        asm.read("R0", 0).read("R1", 1).xor("R0", "R0", "R1").write("R0", 2)
+        cost = asm.done().cost
+        assert cost.num_row_reads == 2
+        assert cost.num_row_writes == 1
+        assert cost.num_logic_ops == 1
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a,b,carry", list(itertools.product([0, 1], repeat=3)))
+    def test_all_input_combinations(self, a, b, carry):
+        """The SEL-based full adder is exact for every bit combination."""
+        sim = BitSliceSimulator(num_rows=1, num_lanes=1)
+        sim.registers["R0"] = np.array([bool(a)])
+        sim.registers["R1"] = np.array([bool(b)])
+        sim.registers["R2"] = np.array([bool(carry)])
+        asm = Assembler("fa")
+        asm.full_adder("R0", "R1", "R2", "R3")
+        sim.execute(asm.done())
+        total = a + b + carry
+        assert sim.registers["R3"][0] == bool(total & 1)
+        assert sim.registers["R2"][0] == bool(total >> 1)

@@ -1,0 +1,46 @@
+"""Tests for the microprogram disassembler."""
+
+from repro.microcode.disasm import cost_table, disassemble, format_micro_op
+from repro.microcode.isa import MicroOp, MicroOpKind
+from repro.microcode.programs import get_program
+
+
+class TestFormatMicroOp:
+    def test_row_ops(self):
+        read = MicroOp(MicroOpKind.READ_ROW, dst="SA", row=5)
+        write = MicroOp(MicroOpKind.WRITE_ROW, srcs=("R0",), row=9)
+        assert format_micro_op(read) == "read   SA, row[5]"
+        assert format_micro_op(write) == "write  row[9], R0"
+
+    def test_logic_ops(self):
+        op = MicroOp(MicroOpKind.XOR, dst="R0", srcs=("R1", "R2"))
+        assert format_micro_op(op) == "xor    R0, R1, R2"
+        sel = MicroOp(MicroOpKind.SEL, dst="SA", srcs=("R0", "R1", "R2"))
+        assert "sel" in format_micro_op(sel)
+
+    def test_set_and_popcount(self):
+        assert format_micro_op(
+            MicroOp(MicroOpKind.SET, dst="R3", value=1)
+        ) == "set    R3, #1"
+        assert format_micro_op(
+            MicroOp(MicroOpKind.POPCOUNT_ROW, srcs=("SA",))
+        ) == "popcnt SA"
+
+
+class TestDisassemble:
+    def test_full_listing(self):
+        text = disassemble(get_program("add", 4))
+        assert ".program add.4" in text
+        assert ".cost" in text
+        assert "read" in text and "write" in text
+
+    def test_truncation(self):
+        text = disassemble(get_program("mul", 8), max_ops=10)
+        assert "more)" in text
+        assert text.count("\n") < 20
+
+
+def test_cost_table_lists_ops_and_widths():
+    text = cost_table()
+    assert "mul" in text and "redsum" in text
+    assert "rows@32" in text

@@ -1,0 +1,69 @@
+"""Tests for the bit-serial micro-op ISA."""
+
+import pytest
+
+from repro.microcode.isa import MicroOp, MicroOpKind, MicroProgramCost, cost_of
+
+
+class TestMicroOp:
+    def test_read_requires_row(self):
+        with pytest.raises(ValueError):
+            MicroOp(MicroOpKind.READ_ROW, dst="SA")
+
+    def test_source_arity_enforced(self):
+        with pytest.raises(ValueError):
+            MicroOp(MicroOpKind.AND, dst="R0", srcs=("R1",))
+        with pytest.raises(ValueError):
+            MicroOp(MicroOpKind.NOT, dst="R0", srcs=("R1", "R2"))
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp(MicroOpKind.MOVE, dst="R9", srcs=("R0",))
+
+    def test_set_immediate_validated(self):
+        with pytest.raises(ValueError):
+            MicroOp(MicroOpKind.SET, dst="R0", value=2)
+
+    def test_classification(self):
+        assert MicroOpKind.READ_ROW.is_row_op
+        assert MicroOpKind.WRITE_ROW.is_row_op
+        assert MicroOpKind.XOR.is_logic_op
+        assert not MicroOpKind.POPCOUNT_ROW.is_logic_op
+        assert not MicroOpKind.POPCOUNT_ROW.is_row_op
+
+    def test_sel_takes_three_sources(self):
+        op = MicroOp(MicroOpKind.SEL, dst="R0", srcs=("R1", "R2", "R3"))
+        assert op.kind.num_sources == 3
+
+
+class TestMicroProgramCost:
+    def test_addition(self):
+        a = MicroProgramCost(num_row_reads=1, num_logic_ops=2)
+        b = MicroProgramCost(num_row_writes=3, num_popcount_rows=1)
+        total = a + b
+        assert total.num_row_reads == 1
+        assert total.num_row_writes == 3
+        assert total.num_logic_ops == 2
+        assert total.num_popcount_rows == 1
+        assert total.num_row_ops == 4
+        assert total.total_ops == 7
+
+    def test_scaled(self):
+        cost = MicroProgramCost(num_row_reads=2, num_row_writes=1, num_logic_ops=5)
+        tripled = cost.scaled(3)
+        assert tripled.num_row_reads == 6
+        assert tripled.num_row_writes == 3
+        assert tripled.num_logic_ops == 15
+
+    def test_cost_of_tallies_kinds(self):
+        ops = [
+            MicroOp(MicroOpKind.READ_ROW, dst="SA", row=0),
+            MicroOp(MicroOpKind.NOT, dst="SA", srcs=("SA",)),
+            MicroOp(MicroOpKind.WRITE_ROW, srcs=("SA",), row=1),
+            MicroOp(MicroOpKind.POPCOUNT_ROW, srcs=("SA",)),
+        ]
+        cost = cost_of(ops)
+        assert cost.num_row_reads == 1
+        assert cost.num_row_writes == 1
+        assert cost.num_logic_ops == 1
+        assert cost.num_popcount_rows == 1

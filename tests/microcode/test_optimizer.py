@@ -1,0 +1,124 @@
+"""Tests for the microprogram peephole optimizer.
+
+Every optimized program is equivalence-checked against the original on
+the functional simulator across random inputs -- the optimizer must never
+change semantics, only remove work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.microcode.assembler import Assembler
+from repro.microcode.isa import MicroOpKind
+from repro.microcode.optimizer import optimize, report
+from repro.microcode.programs import get_program
+from repro.microcode.simulator import BitSliceSimulator
+
+PROGRAMS = [
+    ("copy", 8, None), ("not", 8, None), ("and", 8, None), ("xor", 8, None),
+    ("add", 8, None), ("sub", 8, None), ("mul", 4, None), ("eq", 8, None),
+    ("abs", 8, None), ("popcount", 8, None),
+    ("min", 8, 1), ("max", 8, 1), ("lt", 8, 1),
+    ("add_scalar", 8, 37), ("mul_scalar", 8, 5), ("scaled_add", 8, 3),
+    ("select", 8, None), ("and_scalar", 8, 0x5A), ("shift_left", 8, 2),
+]
+
+
+def run_program(program, seed=0, num_rows=64, num_lanes=16):
+    """Execute a program on a randomized memory image; return the image."""
+    rng = np.random.default_rng(seed)
+    sim = BitSliceSimulator(num_rows=num_rows, num_lanes=num_lanes)
+    sim.rows = rng.integers(0, 2, (num_rows, num_lanes)).astype(bool)
+    baseline = sim.rows.copy()
+    popcounts = sim.execute(program)
+    return sim.rows, popcounts, baseline
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,bits,param", PROGRAMS,
+                             ids=[p[0] for p in PROGRAMS])
+    def test_optimized_program_is_equivalent(self, name, bits, param):
+        original = get_program(name, bits, param)
+        optimized = optimize(original)
+        for seed in range(3):
+            rows_a, pc_a, _ = run_program(original, seed)
+            rows_b, pc_b, _ = run_program(optimized, seed)
+            assert np.array_equal(rows_a, rows_b), (name, seed)
+            assert pc_a == pc_b, (name, seed)
+
+    def test_redsum_popcounts_preserved(self):
+        program = get_program("redsum", 8)
+        optimized = optimize(program)
+        _, pc_a, _ = run_program(program, 7)
+        _, pc_b, _ = run_program(optimized, 7)
+        assert pc_a == pc_b
+        assert optimized.num_popcount_results == program.num_popcount_results
+
+
+class TestPasses:
+    def test_store_to_load_forwarding(self):
+        asm = Assembler("t")
+        asm.read("R0", 0).write("R0", 5).read("R1", 5).write("R1", 6)
+        optimized = optimize(asm.done())
+        kinds = [op.kind for op in optimized.ops]
+        # The read of row 5 becomes a register move.
+        assert kinds.count(MicroOpKind.READ_ROW) == 1
+        assert MicroOpKind.MOVE in kinds
+
+    def test_read_after_write_same_register_vanishes(self):
+        asm = Assembler("t")
+        asm.read("R0", 0).write("R0", 5).read("R0", 5).write("R0", 6)
+        optimized = optimize(asm.done())
+        assert optimized.cost.num_row_reads == 1
+        assert optimized.cost.num_logic_ops == 0
+
+    def test_forwarding_respects_clobbers(self):
+        asm = Assembler("t")
+        asm.read("R0", 0).write("R0", 5)
+        asm.not_("R0", "R0")  # clobbers the mirror
+        asm.read("R1", 5).write("R1", 6)
+        optimized = optimize(asm.done())
+        assert optimized.cost.num_row_reads == 2  # both reads must stay
+
+    def test_dead_write_elimination(self):
+        asm = Assembler("t")
+        asm.set("R0", 0).write("R0", 3)
+        asm.set("R1", 1).write("R1", 3)  # overwrites row 3 unread
+        optimized = optimize(asm.done())
+        assert optimized.cost.num_row_writes == 1
+
+    def test_observed_write_forwards_then_dies(self):
+        asm = Assembler("t")
+        asm.set("R0", 0).write("R0", 3)
+        asm.read("R2", 3)
+        asm.set("R1", 1).write("R1", 3)
+        optimized = optimize(asm.done())
+        # The read of row 3 forwards from R0, after which the first write
+        # is dead: one write survives and no reads remain.
+        assert optimized.cost.num_row_writes == 1
+        assert optimized.cost.num_row_reads == 0
+
+    def test_redundant_set_dropped(self):
+        asm = Assembler("t")
+        asm.set("R0", 1).set("R0", 1).write("R0", 2)
+        optimized = optimize(asm.done())
+        assert optimized.cost.num_logic_ops == 1
+
+
+class TestSavings:
+    def test_accumulator_programs_save_row_ops(self):
+        """mul re-reads its accumulator right after writing it: the
+        optimizer forwards those stores."""
+        saving = report(get_program("mul", 8))
+        assert saving.row_ops_saved > 0
+
+    def test_report_fields(self):
+        saving = report(get_program("add", 8))
+        assert saving.program == "add.8"
+        assert saving.ops_after <= saving.ops_before
+        assert saving.row_ops_after <= saving.row_ops_before
+
+    def test_optimizer_is_idempotent(self):
+        once = optimize(get_program("mul", 8))
+        twice = optimize(once)
+        assert len(twice.ops) == len(once.ops)

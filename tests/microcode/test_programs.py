@@ -1,0 +1,223 @@
+"""Functional and complexity tests for the microprogram library."""
+
+import numpy as np
+import pytest
+
+from repro.microcode.programs import get_program
+from repro.microcode.simulator import run_binary_op, run_reduction, run_unary_op
+
+WIDTHS = (4, 8, 16)
+
+
+def wrap_signed(values, bits):
+    values = np.asarray(values, dtype=np.int64) & ((1 << bits) - 1)
+    return np.where(values >= 1 << (bits - 1), values - (1 << bits), values)
+
+
+@pytest.fixture
+def operands(rng):
+    def make(bits, n=24):
+        lo, hi = -(1 << (bits - 1)), 1 << (bits - 1)
+        return rng.integers(lo, hi, n), rng.integers(lo, hi, n)
+    return make
+
+
+class TestBinaryPrograms:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_add(self, operands, bits):
+        a, b = operands(bits)
+        out = run_binary_op(get_program("add", bits), a, b, bits)
+        assert np.array_equal(out, wrap_signed(a + b, bits))
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_sub(self, operands, bits):
+        a, b = operands(bits)
+        out = run_binary_op(get_program("sub", bits), a, b, bits)
+        assert np.array_equal(out, wrap_signed(a - b, bits))
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_mul_full_product(self, operands, bits):
+        a, b = operands(bits)
+        mask = (1 << bits) - 1
+        out = run_binary_op(
+            get_program("mul", bits), a, b, bits,
+            result_bits=2 * bits, signed_result=False,
+        )
+        assert np.array_equal(out, (a & mask) * (b & mask))
+        # The low half equals the wrapped signed product (C semantics).
+        assert np.array_equal(
+            wrap_signed(out & mask, bits), wrap_signed(a * b, bits)
+        )
+
+    @pytest.mark.parametrize("name,func", [
+        ("and", np.bitwise_and), ("or", np.bitwise_or),
+        ("xor", np.bitwise_xor),
+    ])
+    def test_bitwise(self, operands, name, func):
+        a, b = operands(8)
+        out = run_binary_op(get_program(name, 8), a, b, 8)
+        assert np.array_equal(out, func(a, b))
+
+    def test_xnor(self, operands):
+        a, b = operands(8)
+        out = run_binary_op(get_program("xnor", 8), a, b, 8)
+        assert np.array_equal(out, wrap_signed(~(a ^ b), 8))
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_comparisons(self, operands, bits):
+        a, b = operands(bits)
+        for name, expected in (
+            ("lt", a < b), ("gt", a > b),
+        ):
+            out = run_binary_op(
+                get_program(name, bits, 1), a, b, bits,
+                result_bits=1, signed_result=False,
+            )
+            assert np.array_equal(out.astype(bool), expected), name
+
+    def test_eq_and_ne(self, rng):
+        a = rng.integers(-8, 8, 64)
+        b = a.copy()
+        b[::3] = rng.integers(-8, 8, len(b[::3]))
+        eq = run_binary_op(get_program("eq", 8), a, b, 8, result_bits=1,
+                           signed_result=False)
+        ne = run_binary_op(get_program("ne", 8), a, b, 8, result_bits=1,
+                           signed_result=False)
+        assert np.array_equal(eq.astype(bool), a == b)
+        assert np.array_equal(ne.astype(bool), a != b)
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_min_max(self, operands, bits):
+        a, b = operands(bits)
+        out_min = run_binary_op(get_program("min", bits, 1), a, b, bits)
+        out_max = run_binary_op(get_program("max", bits, 1), a, b, bits)
+        assert np.array_equal(out_min, np.minimum(a, b))
+        assert np.array_equal(out_max, np.maximum(a, b))
+
+    def test_unsigned_comparison(self, rng):
+        bits = 8
+        a = rng.integers(0, 256, 32)
+        b = rng.integers(0, 256, 32)
+        out = run_binary_op(
+            get_program("lt", bits, 0), a, b, bits,
+            result_bits=1, signed_result=False,
+        )
+        assert np.array_equal(out.astype(bool), a < b)
+
+
+class TestScalarPrograms:
+    def test_add_scalar(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("add_scalar", 8, 37), a, 8)
+        assert np.array_equal(out, wrap_signed(a + 37, 8))
+
+    def test_mul_scalar(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("mul_scalar", 8, 5), a, 8)
+        assert np.array_equal(out, wrap_signed(a * 5, 8))
+
+    def test_scaled_add(self, operands):
+        a, b = operands(8)
+        out = run_binary_op(get_program("scaled_add", 8, 3), a, b, 8)
+        assert np.array_equal(out, wrap_signed(a * 3 + b, 8))
+
+    def test_eq_scalar(self, rng):
+        a = rng.integers(0, 4, 64)
+        out = run_unary_op(get_program("eq_scalar", 8, 2), a, 8,
+                           result_bits=1, signed_result=False)
+        assert np.array_equal(out.astype(bool), a == 2)
+
+    @pytest.mark.parametrize("name,func", [
+        ("and_scalar", np.bitwise_and),
+        ("or_scalar", np.bitwise_or),
+        ("xor_scalar", np.bitwise_xor),
+    ])
+    def test_logic_scalar(self, operands, name, func):
+        a, _ = operands(8)
+        out = run_unary_op(get_program(name, 8, 0x5A), a, 8)
+        assert np.array_equal(out, wrap_signed(func(a & 0xFF, 0x5A), 8))
+
+    def test_shift_left(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("shift_left", 8, 2), a, 8)
+        assert np.array_equal(out, wrap_signed((a & 0xFF) << 2, 8))
+
+    def test_shift_right_logical(self, rng):
+        a = rng.integers(0, 256, 32)
+        out = run_unary_op(get_program("shift_right", 8, 3), a, 8,
+                           signed_result=False)
+        assert np.array_equal(out, (a & 0xFF) >> 3)
+
+
+class TestUnaryPrograms:
+    def test_not(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("not", 8), a, 8)
+        assert np.array_equal(out, wrap_signed(~a, 8))
+
+    def test_copy(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("copy", 8), a, 8)
+        assert np.array_equal(out, wrap_signed(a, 8))
+
+    def test_abs(self, operands):
+        a, _ = operands(8)
+        out = run_unary_op(get_program("abs", 8), a, 8)
+        assert np.array_equal(out, wrap_signed(np.abs(a), 8))
+
+    def test_popcount(self, rng):
+        a = rng.integers(-128, 128, 32)
+        out = run_unary_op(get_program("popcount", 8), a, 8,
+                           result_bits=4, signed_result=False)
+        expected = [bin(int(x) & 0xFF).count("1") for x in a]
+        assert np.array_equal(out, expected)
+
+
+class TestReductionAndBroadcast:
+    def test_reduction_signed(self, rng):
+        a = rng.integers(-128, 128, 100)
+        assert run_reduction(get_program("redsum", 8), a, 8) == int(a.sum())
+
+    def test_broadcast(self):
+        from repro.microcode.simulator import BitSliceSimulator
+        sim = BitSliceSimulator(num_rows=8, num_lanes=16)
+        sim.execute(get_program("broadcast", 8, 0x5C))
+        assert np.array_equal(
+            sim.load_vertical(0, 8, signed=False), np.full(16, 0x5C)
+        )
+
+
+class TestComplexities:
+    """The paper's complexity claims (Section IV, VII)."""
+
+    def test_add_linear_in_bits(self):
+        c8 = get_program("add", 8).cost.num_row_ops
+        c32 = get_program("add", 32).cost.num_row_ops
+        assert c32 == pytest.approx(4 * c8, rel=0.1)
+
+    def test_mul_quadratic_in_bits(self):
+        c8 = get_program("mul", 8).cost.num_row_ops
+        c32 = get_program("mul", 32).cost.num_row_ops
+        assert 12 <= c32 / c8 <= 20  # ~16x for a 4x width increase
+
+    def test_popcount_log_linear(self):
+        c8 = get_program("popcount", 8).cost.num_row_ops
+        c32 = get_program("popcount", 32).cost.num_row_ops
+        # n log n: 32*6 / 8*4 = 6x, clearly super-linear but sub-quadratic.
+        assert 4 < c32 / c8 < 10
+
+    def test_reduction_uses_row_popcounts(self):
+        cost = get_program("redsum", 32).cost
+        assert cost.num_popcount_rows == 32
+        assert cost.num_row_writes == 0
+
+    def test_programs_are_cached(self):
+        assert get_program("add", 32) is get_program("add", 32)
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            get_program("divide", 32)
+
+    def test_parameterized_program_requires_param(self):
+        with pytest.raises(ValueError):
+            get_program("add_scalar", 32)

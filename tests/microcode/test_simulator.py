@@ -1,0 +1,74 @@
+"""Tests for the functional bit-slice simulator."""
+
+import numpy as np
+import pytest
+
+from repro.microcode.assembler import Assembler
+from repro.microcode.simulator import BitSliceSimulator
+
+
+class TestVerticalEncoding:
+    def test_roundtrip_signed(self, rng):
+        sim = BitSliceSimulator(num_rows=8, num_lanes=32)
+        values = rng.integers(-128, 128, 32)
+        sim.store_vertical(0, values, 8)
+        assert np.array_equal(sim.load_vertical(0, 8, signed=True), values)
+
+    def test_roundtrip_unsigned(self, rng):
+        sim = BitSliceSimulator(num_rows=8, num_lanes=32)
+        values = rng.integers(0, 256, 32)
+        sim.store_vertical(0, values, 8)
+        assert np.array_equal(sim.load_vertical(0, 8, signed=False), values)
+
+    def test_bit_layout_lsb_first(self):
+        sim = BitSliceSimulator(num_rows=4, num_lanes=1)
+        sim.store_vertical(0, np.array([0b1010]), 4)
+        assert not sim.rows[0, 0]  # bit 0
+        assert sim.rows[1, 0]  # bit 1
+        assert not sim.rows[2, 0]
+        assert sim.rows[3, 0]
+
+    def test_wrong_shape_rejected(self):
+        sim = BitSliceSimulator(num_rows=4, num_lanes=4)
+        with pytest.raises(ValueError):
+            sim.store_vertical(0, np.zeros(5), 4)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BitSliceSimulator(num_rows=0, num_lanes=4)
+
+
+class TestExecution:
+    def test_registers_apply_lane_wide(self):
+        sim = BitSliceSimulator(num_rows=2, num_lanes=8)
+        sim.rows[0] = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=bool)
+        asm = Assembler("t")
+        asm.read("SA", 0).not_("SA", "SA").write("SA", 1)
+        sim.execute(asm.done())
+        assert np.array_equal(sim.rows[1], ~sim.rows[0])
+
+    def test_sel_muxes_per_lane(self):
+        sim = BitSliceSimulator(num_rows=1, num_lanes=4)
+        sim.registers["R0"] = np.array([True, False, True, False])  # cond
+        sim.registers["R1"] = np.array([True] * 4)
+        sim.registers["R2"] = np.array([False] * 4)
+        asm = Assembler("t")
+        asm.sel("R3", "R0", "R1", "R2")
+        sim.execute(asm.done())
+        assert np.array_equal(sim.registers["R3"], sim.registers["R0"])
+
+    def test_popcount_row_counts_set_lanes(self):
+        sim = BitSliceSimulator(num_rows=1, num_lanes=16)
+        sim.rows[0, :5] = True
+        asm = Assembler("t")
+        asm.read("SA", 0).popcount_row("SA")
+        results = sim.execute(asm.done())
+        assert results == [5]
+
+    def test_execute_returns_only_new_popcounts(self):
+        sim = BitSliceSimulator(num_rows=1, num_lanes=4)
+        asm = Assembler("t")
+        asm.set("SA", 1).popcount_row("SA")
+        assert sim.execute(asm.done()) == [4]
+        assert sim.execute(asm.done()) == [4]
+        assert sim.popcount_results == [4, 4]

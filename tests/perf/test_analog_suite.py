@@ -1,0 +1,47 @@
+"""The analog variant across the benchmark suite (analytic)."""
+
+import pytest
+
+from repro.bench.registry import make_benchmark
+from repro.config.device import PimDeviceType
+
+from tests.conftest import make_device
+
+KEYS = ("vecadd", "axpy", "brightness", "kmeans", "linreg")
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_analog_runs_every_benchmark(key):
+    device = make_device(PimDeviceType.ANALOG_BITSIMD_V, functional=False)
+    result = make_benchmark(key).run(device)
+    assert result.stats.kernel_time_ns > 0
+    assert result.stats.kernel_energy_nj > 0
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_analog_slower_than_digital_bitserial(key):
+    times = {}
+    for device_type in (PimDeviceType.BITSIMD_V_AP,
+                        PimDeviceType.ANALOG_BITSIMD_V):
+        device = make_device(device_type, functional=False)
+        make_benchmark(key).run(device)
+        times[device_type] = device.stats.kernel_time_ns
+    assert times[PimDeviceType.ANALOG_BITSIMD_V] > \
+        2 * times[PimDeviceType.BITSIMD_V_AP], key
+
+
+def test_analog_energy_is_activation_dominated():
+    """TRA compute has no per-lane gates: all energy is row cycles."""
+    from repro.analysis import energy_breakdown
+    device = make_device(PimDeviceType.ANALOG_BITSIMD_V, functional=False)
+    make_benchmark("vecadd").run(device)
+    breakdown = energy_breakdown(device)
+    assert breakdown.lane_logic_mj == 0.0
+    assert breakdown.alu_mj == 0.0
+    assert breakdown.row_activation_mj > 0
+
+
+def test_analog_functional_verification_full_benchmark():
+    device = make_device(PimDeviceType.ANALOG_BITSIMD_V)
+    result = make_benchmark("kmeans").run(device)
+    assert result.verified is True

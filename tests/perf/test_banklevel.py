@@ -1,0 +1,79 @@
+"""Tests for the bank-level performance model."""
+
+import pytest
+
+from repro.config.device import PimAllocType, PimDeviceType
+from repro.config.presets import bank_level_config, fulcrum_config, make_device_config
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.core.layout import plan_layout
+from repro.perf.banklevel import BankLevelPerfModel
+
+
+def make_args(model, kind, num_elements, bits=32, scalar=None):
+    from repro.perf.base import CommandArgs
+    plan = plan_layout(model.config, num_elements, bits, PimAllocType.HORIZONTAL)
+    dest = None
+    if not kind.spec.produces_scalar:
+        result_bits = 1 if kind.spec.produces_bool else bits
+        dest = plan_layout(
+            model.config, num_elements, result_bits, PimAllocType.HORIZONTAL
+        )
+    return CommandArgs(
+        kind=kind, bits=bits,
+        inputs=(plan,) * kind.spec.num_vector_inputs, dest=dest, scalar=scalar,
+    )
+
+
+@pytest.fixture
+def model():
+    return BankLevelPerfModel(bank_level_config(4))
+
+
+class TestGdlSerialization:
+    def test_gdl_beats_per_row(self, model):
+        assert model.gdl_beats_per_row() == 8192 // 128
+
+    def test_every_row_pays_gdl(self, model):
+        timing = model.config.dram.timing
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 512))
+        gdl_ns = model.gdl_beats_per_row() * timing.tccd_ns
+        cycle = model.config.arch.bank_cycle_ns
+        simd = model.config.arch.bank_alu_bits // 32
+        expected = (
+            2 * timing.row_read_ns + timing.row_write_ns
+            + 3 * gdl_ns
+            + (256 // simd) * cycle
+        )
+        assert cost.latency_ns == pytest.approx(expected)
+
+    def test_wider_gdl_is_faster(self):
+        narrow = BankLevelPerfModel(
+            make_device_config(PimDeviceType.BANK_LEVEL, 4, gdl_width_bits=64)
+        )
+        wide = BankLevelPerfModel(
+            make_device_config(PimDeviceType.BANK_LEVEL, 4, gdl_width_bits=256)
+        )
+        n = narrow.config.num_cores * 256 * 8
+        slow = narrow.cost_of(make_args(narrow, PimCmdKind.ADD, n))
+        fast = wide.cost_of(make_args(wide, PimCmdKind.ADD, n))
+        assert fast.latency_ns < slow.latency_ns
+
+    def test_gdl_bits_counted_for_energy(self, model):
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 512))
+        assert cost.gdl_bits == 3 * 8192 * 512  # 3 rows x width x cores
+
+    def test_single_cycle_popcount(self, model):
+        """Bank-level popcount is one cycle (Section VII)."""
+        pop = model.cost_of(make_args(model, PimCmdKind.POPCOUNT, 512))
+        notop = model.cost_of(make_args(model, PimCmdKind.NOT, 512))
+        assert pop.latency_ns == pytest.approx(notop.latency_ns)
+
+    def test_fewer_cores_than_fulcrum(self, model):
+        fulcrum = fulcrum_config(4)
+        assert model.config.num_cores < fulcrum.num_cores
+
+
+def test_rejects_wrong_device_type():
+    with pytest.raises(PimTypeError):
+        BankLevelPerfModel(fulcrum_config(4))

@@ -1,0 +1,113 @@
+"""Tests for the bit-serial performance model."""
+
+import pytest
+
+from repro.config.device import PimAllocType, PimDeviceType
+from repro.config.presets import bitserial_config, fulcrum_config
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.core.layout import plan_layout
+from repro.microcode.programs import get_program
+from repro.perf.base import CommandArgs
+from repro.perf.bitserial import BitSerialPerfModel
+
+
+@pytest.fixture
+def model():
+    return BitSerialPerfModel(bitserial_config(4))
+
+
+def make_args(model, kind, num_elements, bits=32, scalar=None, num_inputs=None):
+    config = model.config
+    plan = plan_layout(config, num_elements, bits, PimAllocType.VERTICAL)
+    if num_inputs is None:
+        num_inputs = kind.spec.num_vector_inputs
+    dest = None
+    if not kind.spec.produces_scalar:
+        result_bits = 1 if kind.spec.produces_bool else bits
+        dest = plan_layout(config, num_elements, result_bits, PimAllocType.VERTICAL)
+    return CommandArgs(
+        kind=kind, bits=bits, inputs=(plan,) * num_inputs, dest=dest,
+        scalar=scalar,
+    )
+
+
+class TestCostDerivation:
+    def test_add_latency_from_microprogram(self, model):
+        timing = model.config.dram.timing
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 1000))
+        program = get_program("add", 32).cost
+        expected = (
+            program.num_row_reads * timing.row_read_ns
+            + program.num_row_writes * timing.row_write_ns
+            + program.num_logic_ops * timing.tccd_ns
+        )
+        assert cost.latency_ns == pytest.approx(expected)
+
+    def test_latency_scales_with_groups(self, model):
+        cols = model.config.cols_per_core
+        cores = model.config.num_cores
+        one_group = model.cost_of(make_args(model, PimCmdKind.ADD, cores * cols))
+        two_groups = model.cost_of(
+            make_args(model, PimCmdKind.ADD, cores * cols * 2)
+        )
+        assert two_groups.latency_ns == pytest.approx(2 * one_group.latency_ns)
+
+    def test_partial_group_costs_full_group(self, model):
+        """PIMeval's documented full-row assumption."""
+        tiny = model.cost_of(make_args(model, PimCmdKind.ADD, 1))
+        fuller = model.cost_of(
+            make_args(model, PimCmdKind.ADD, model.config.num_cores * 100)
+        )
+        assert tiny.latency_ns == pytest.approx(fuller.latency_ns)
+
+    def test_row_activation_count(self, model):
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 1000))
+        program = get_program("add", 32).cost
+        assert cost.row_activations == program.num_row_ops * 1000
+
+    def test_lane_logic_counts_all_lanes(self, model):
+        cost = model.cost_of(make_args(model, PimCmdKind.NOT, 10))
+        program = get_program("not", 32).cost
+        assert cost.lane_logic_ops == (
+            program.num_logic_ops * model.config.cols_per_core * 10
+        )
+
+    def test_mul_quadratically_slower_than_add(self, model):
+        add = model.cost_of(make_args(model, PimCmdKind.ADD, 1000))
+        mul = model.cost_of(make_args(model, PimCmdKind.MUL, 1000))
+        assert mul.latency_ns > 15 * add.latency_ns
+
+    def test_redsum_includes_partial_collection(self, model):
+        cost = model.cost_of(make_args(model, PimCmdKind.REDSUM, 1_000_000))
+        timing = model.config.dram.timing
+        program = get_program("redsum", 32).cost
+        popcount_ns = timing.row_read_ns + 13 * timing.tccd_ns
+        pure = (
+            program.num_row_reads * timing.row_read_ns
+            + program.num_popcount_rows * popcount_ns
+        )
+        assert cost.latency_ns > pure  # the partial transfer term
+
+    def test_scalar_command_requires_scalar(self, model):
+        with pytest.raises(PimTypeError):
+            model.cost_of(make_args(model, PimCmdKind.ADD_SCALAR, 10))
+
+    def test_scalar_baked_into_cost(self, model):
+        sparse = model.cost_of(
+            make_args(model, PimCmdKind.MUL_SCALAR, 10, scalar=1)
+        )
+        dense = model.cost_of(
+            make_args(model, PimCmdKind.MUL_SCALAR, 10, scalar=0x7FFFFFFF)
+        )
+        assert dense.latency_ns > sparse.latency_ns
+
+    def test_int8_cheaper_than_int32(self, model):
+        wide = model.cost_of(make_args(model, PimCmdKind.ADD, 1000, bits=32))
+        narrow = model.cost_of(make_args(model, PimCmdKind.ADD, 1000, bits=8))
+        assert narrow.latency_ns == pytest.approx(wide.latency_ns / 4, rel=0.1)
+
+
+def test_rejects_wrong_device_type():
+    with pytest.raises(PimTypeError):
+        BitSerialPerfModel(fulcrum_config(4))

@@ -1,0 +1,63 @@
+"""Golden per-op cost tables: regression pins on the microprogram library.
+
+Any change to a microprogram's row/logic counts shifts every bit-serial
+latency and energy number downstream; these goldens make such changes
+explicit and reviewable.
+"""
+
+import pytest
+
+from repro.microcode.programs import get_program
+
+# (name, bits, param) -> (row_reads, row_writes, logic_ops, popcount_rows)
+GOLDEN_COSTS = {
+    ("copy", 32, None): (32, 32, 0, 0),
+    ("not", 32, None): (32, 32, 32, 0),
+    ("and", 32, None): (64, 32, 32, 0),
+    ("xor", 32, None): (64, 32, 32, 0),
+    ("xnor", 32, None): (64, 32, 32, 0),
+    ("add", 32, None): (64, 32, 193, 0),
+    ("sub", 32, None): (64, 32, 225, 0),
+    ("mul", 32, None): (2112, 1120, 7296, 0),
+    ("eq", 32, None): (64, 1, 65, 0),
+    ("ne", 32, None): (64, 1, 66, 0),
+    ("abs", 32, None): (33, 32, 97, 0),
+    ("popcount", 32, None): (224, 198, 422, 0),
+    ("redsum", 32, None): (32, 0, 0, 32),
+    ("select", 32, None): (65, 32, 32, 0),
+    ("lt", 32, 1): (64, 1, 129, 0),
+    ("min", 32, 1): (128, 32, 161, 0),
+    ("broadcast", 32, 0): (0, 32, 32, 0),
+    ("shift_left", 32, 4): (28, 32, 4, 0),
+    ("shift_right", 32, 4): (28, 32, 1, 0),
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_COSTS, key=str),
+                         ids=lambda k: f"{k[0]}.{k[1]}")
+def test_golden_cost(key):
+    name, bits, param = key
+    cost = get_program(name, bits, param).cost
+    assert (
+        cost.num_row_reads,
+        cost.num_row_writes,
+        cost.num_logic_ops,
+        cost.num_popcount_rows,
+    ) == GOLDEN_COSTS[key], (
+        f"microprogram {name}.{bits} cost changed; update the golden "
+        "table and EXPERIMENTS.md if intentional"
+    )
+
+
+def test_derived_bitserial_add_latency():
+    """The headline bit-serial add.32 latency: ~3.8 us per row group."""
+    cost = get_program("add", 32).cost
+    latency_ns = (cost.num_row_reads * 28.5 + cost.num_row_writes * 43.5
+                  + cost.num_logic_ops * 3.0)
+    assert latency_ns == pytest.approx(3795.0, rel=0.01)
+
+
+def test_scalar_program_cost_depends_on_value():
+    dense = get_program("mul_scalar", 32, (1 << 32) - 1).cost
+    sparse = get_program("mul_scalar", 32, 1).cost
+    assert dense.num_row_ops > 4 * sparse.num_row_ops

@@ -1,0 +1,70 @@
+"""Tests for the data-movement model."""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.perf import make_perf_model
+from repro.perf.banklevel import BankLevelPerfModel
+from repro.perf.bitserial import BitSerialPerfModel
+from repro.perf.datamovement import DataMovementModel
+from repro.perf.fulcrum import FulcrumPerfModel
+
+
+class TestHostTransfers:
+    def test_linear_in_bytes(self):
+        model = DataMovementModel(make_device_config(PimDeviceType.FULCRUM, 4))
+        assert model.host_transfer_ns(2048) == pytest.approx(
+            2 * model.host_transfer_ns(1024)
+        )
+
+    def test_scales_with_ranks(self):
+        few = DataMovementModel(make_device_config(PimDeviceType.FULCRUM, 4))
+        many = DataMovementModel(make_device_config(PimDeviceType.FULCRUM, 32))
+        assert many.host_transfer_ns(1 << 30) == pytest.approx(
+            few.host_transfer_ns(1 << 30) / 8
+        )
+
+
+class TestDeviceTransfers:
+    def test_local_copy_is_parallel(self):
+        """In-subarray row copies run across all cores at once."""
+        model = DataMovementModel(
+            make_device_config(PimDeviceType.BITSIMD_V_AP, 32)
+        )
+        local = model.device_transfer_ns(1 << 30)
+        gather = model.device_gather_ns(1 << 30)
+        assert local < gather / 100
+
+    def test_gather_bounded_by_channel_bandwidth(self):
+        config = make_device_config(PimDeviceType.FULCRUM, 32)
+        model = DataMovementModel(config)
+        assert model.device_gather_ns(1 << 30) == pytest.approx(
+            model.host_transfer_ns(1 << 30)
+        )
+
+    def test_bank_level_pays_gdl_on_local_copy(self):
+        subarray = DataMovementModel(
+            make_device_config(PimDeviceType.BITSIMD_V_AP, 4)
+        )
+        bank = DataMovementModel(
+            make_device_config(PimDeviceType.BANK_LEVEL, 4)
+        )
+        # Per row moved, the bank-level copy adds GDL beats; fewer cores
+        # also means more rows per core.
+        assert bank.device_transfer_ns(1 << 24) > subarray.device_transfer_ns(1 << 24)
+
+    def test_zero_bytes(self):
+        model = DataMovementModel(make_device_config(PimDeviceType.FULCRUM, 4))
+        assert model.device_transfer_ns(0) == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("device_type,expected", [
+        (PimDeviceType.BITSIMD_V_AP, BitSerialPerfModel),
+        (PimDeviceType.FULCRUM, FulcrumPerfModel),
+        (PimDeviceType.BANK_LEVEL, BankLevelPerfModel),
+    ])
+    def test_make_perf_model(self, device_type, expected):
+        model = make_perf_model(make_device_config(device_type, 4))
+        assert isinstance(model, expected)

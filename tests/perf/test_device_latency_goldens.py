@@ -1,0 +1,53 @@
+"""Golden device-level latency table across all four architectures.
+
+Pins the end-to-end modeled kernel latency of each primitive at a fixed
+configuration (32 ranks, 256M int32, one command).  Any model change that
+moves these numbers is intentional or a bug; either way it must be seen.
+"""
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+
+N = 256 * 1024 * 1024
+
+# (device, op) -> modeled kernel microseconds (2% tolerance)
+GOLDEN_US = {
+    (PimDeviceType.BITSIMD_V_AP, PimCmdKind.ADD): 3.795,
+    (PimDeviceType.BITSIMD_V_AP, PimCmdKind.MUL): 130.82,
+    (PimDeviceType.BITSIMD_V_AP, PimCmdKind.REDSUM): 3.692,
+    (PimDeviceType.BITSIMD_V_AP, PimCmdKind.POPCOUNT): 16.31,
+    (PimDeviceType.FULCRUM, PimCmdKind.ADD): 26.58,
+    (PimDeviceType.FULCRUM, PimCmdKind.MUL): 26.58,
+    (PimDeviceType.FULCRUM, PimCmdKind.POPCOUNT): 298.5,
+    (PimDeviceType.BANK_LEVEL, PimCmdKind.ADD): 372.98,
+    (PimDeviceType.BANK_LEVEL, PimCmdKind.REDSUM): 256.33,
+    (PimDeviceType.ANALOG_BITSIMD_V, PimCmdKind.ADD): 150.45,
+}
+
+
+def measure_us(device_type: PimDeviceType, kind: PimCmdKind) -> float:
+    device = PimDevice(make_device_config(device_type, 32), functional=False)
+    obj_a = device.alloc(N)
+    inputs = [obj_a]
+    if kind.spec.num_vector_inputs == 2:
+        inputs.append(device.alloc_associated(obj_a))
+    dest = None if kind.spec.produces_scalar else device.alloc_associated(obj_a)
+    device.execute(kind, tuple(inputs), dest)
+    return device.stats.kernel_time_ns / 1e3
+
+
+@pytest.mark.parametrize(
+    "device_type,kind",
+    sorted(GOLDEN_US, key=lambda k: (k[0].value, k[1].name)),
+    ids=lambda v: v.value if isinstance(v, PimDeviceType) else v.name,
+)
+def test_golden_latency(device_type, kind):
+    measured = measure_us(device_type, kind)
+    assert measured == pytest.approx(GOLDEN_US[(device_type, kind)], rel=0.02), (
+        f"{device_type.value} {kind.name}: modeled latency moved; update the "
+        "golden table and EXPERIMENTS.md if this change is intentional"
+    )

@@ -1,0 +1,91 @@
+"""Tests for the Fulcrum performance model."""
+
+import pytest
+
+from repro.config.device import PimAllocType
+from repro.config.presets import bitserial_config, fulcrum_config
+from repro.core.commands import PimCmdKind
+from repro.core.errors import PimTypeError
+from repro.core.layout import plan_layout
+from repro.perf.base import CommandArgs
+from repro.perf.fulcrum import SWAR_POPCOUNT_CYCLES, FulcrumPerfModel
+
+
+@pytest.fixture
+def model():
+    return FulcrumPerfModel(fulcrum_config(4))
+
+
+def make_args(model, kind, num_elements, bits=32, scalar=None):
+    plan = plan_layout(model.config, num_elements, bits, PimAllocType.HORIZONTAL)
+    dest = None
+    if not kind.spec.produces_scalar:
+        result_bits = 1 if kind.spec.produces_bool else bits
+        dest = plan_layout(
+            model.config, num_elements, result_bits, PimAllocType.HORIZONTAL
+        )
+    return CommandArgs(
+        kind=kind, bits=bits,
+        inputs=(plan,) * kind.spec.num_vector_inputs, dest=dest, scalar=scalar,
+    )
+
+
+class TestRowGranularModel:
+    def test_listing3_single_row_add(self, model):
+        """2 row reads + 1 row write + 256 ALU cycles = 1.661 us."""
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 2048))
+        timing = model.config.dram.timing
+        cycle = model.config.arch.fulcrum_cycle_ns
+        expected = 2 * timing.row_read_ns + timing.row_write_ns + 256 * cycle
+        assert cost.latency_ns == pytest.approx(expected)
+        assert cost.latency_ns / 1e3 == pytest.approx(1.660, rel=0.01)
+
+    def test_rows_assumed_full(self, model):
+        one = model.cost_of(make_args(model, PimCmdKind.ADD, 1))
+        full_row = model.cost_of(
+            make_args(model, PimCmdKind.ADD, model.config.num_cores * 256)
+        )
+        assert one.latency_ns == pytest.approx(full_row.latency_ns)
+
+    def test_latency_scales_with_rows(self, model):
+        per_core_row = model.config.num_cores * 256
+        one = model.cost_of(make_args(model, PimCmdKind.ADD, per_core_row))
+        four = model.cost_of(make_args(model, PimCmdKind.ADD, per_core_row * 4))
+        assert four.latency_ns == pytest.approx(4 * one.latency_ns)
+
+    def test_mul_costs_same_as_add(self, model):
+        """One full scalar multiply per ALU cycle (Section VII)."""
+        add = model.cost_of(make_args(model, PimCmdKind.ADD, 2048))
+        mul = model.cost_of(make_args(model, PimCmdKind.MUL, 2048))
+        assert mul.latency_ns == pytest.approx(add.latency_ns)
+
+    def test_popcount_uses_swar_cycles(self, model):
+        pop = model.cost_of(make_args(model, PimCmdKind.POPCOUNT, 2048))
+        notop = model.cost_of(make_args(model, PimCmdKind.NOT, 2048))
+        cycle = model.config.arch.fulcrum_cycle_ns
+        extra = 256 * (SWAR_POPCOUNT_CYCLES - 1) * cycle
+        assert pop.latency_ns == pytest.approx(notop.latency_ns + extra)
+
+    def test_int8_simd_packs_four_per_cycle(self, model):
+        int32 = model.cost_of(make_args(model, PimCmdKind.NOT, 2048, bits=32))
+        int8 = model.cost_of(make_args(model, PimCmdKind.NOT, 2048, bits=8))
+        # Same single row, but 4x the elements per row at 4x per cycle.
+        assert int8.latency_ns == pytest.approx(int32.latency_ns)
+
+    def test_broadcast_skips_alu(self, model):
+        cost = model.cost_of(make_args(
+            model, PimCmdKind.BROADCAST, 2048, scalar=5,
+        ))
+        assert cost.alu_word_ops == 0
+        assert cost.latency_ns == pytest.approx(
+            model.config.dram.timing.row_write_ns
+        )
+
+    def test_walker_bits_counted(self, model):
+        cost = model.cost_of(make_args(model, PimCmdKind.ADD, 2048))
+        assert cost.walker_bits == 3 * 8192 * 2048  # 3 rows x width x cores
+
+
+def test_rejects_wrong_device_type():
+    with pytest.raises(PimTypeError):
+        FulcrumPerfModel(bitserial_config(4))

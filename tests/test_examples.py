@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example runs successfully.
+
+The fast examples run in-process; the long evaluation runner is checked
+for importability only (benchmarks/ exercises its content).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/database_analytics.py",
+    "examples/image_pipeline.py",
+    "examples/extending_pimbench.py",
+    "examples/trace_replay.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.split("/")[-1])
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "FAILED" not in out
+    assert len(out) > 100  # every example reports something substantial
+
+
+def test_quickstart_verifies(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "PASSED" in out
+    assert "scaled_add.int32.h" in out
+
+
+def test_long_examples_importable():
+    import importlib.util
+    for path in ("examples/full_evaluation.py",
+                 "examples/design_space_exploration.py"):
+        spec = importlib.util.spec_from_file_location("example_mod", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # import only; main() not called
+        assert hasattr(module, "main")

@@ -1,0 +1,51 @@
+"""Tests for the executable validation-anchor table."""
+
+import pytest
+
+from repro.validation import Anchor, format_anchor_table, validation_anchors
+
+
+@pytest.fixture(scope="module")
+def anchors():
+    return validation_anchors()
+
+
+class TestAnchors:
+    def test_every_anchor_within_tolerance(self, anchors):
+        failures = [a for a in anchors if not a.within_tolerance]
+        assert not failures, "\n".join(
+            f"{a.name}: paper {a.paper_value} vs model {a.model_value} "
+            f"({a.relative_error:.1%})" for a in failures
+        )
+
+    def test_covers_the_published_anchors(self, anchors):
+        names = " | ".join(a.name for a in anchors)
+        assert "Listing 3" in names
+        assert "Bit-serial" in names
+        assert "UPMEM" in names
+        assert len(anchors) >= 8
+
+    def test_relative_error_math(self):
+        anchor = Anchor("x", 10.0, 11.0, "ms", 0.2)
+        assert anchor.relative_error == pytest.approx(0.1)
+        assert anchor.within_tolerance
+
+    def test_format(self, anchors):
+        text = format_anchor_table(anchors)
+        assert "paper" in text and "model" in text
+        assert "NO" not in text  # all anchors hold
+
+
+class TestOptimizedVariants:
+    def test_fused_brightness_verifies(self, device_type):
+        from repro.bench.optimized import BrightnessFusedBenchmark
+        from tests.conftest import make_device
+        device = make_device(device_type)
+        result = BrightnessFusedBenchmark().run(device)
+        assert result.verified is True
+
+    def test_optimization_gains_favor_bitserial(self):
+        from repro.bench.optimized import optimization_gains
+        gains = optimization_gains(include_vgg=False)["brightness-fused"]
+        assert gains["bit-serial"] > 1.8
+        assert all(v >= 1.0 for v in gains.values())

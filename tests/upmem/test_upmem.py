@@ -1,0 +1,88 @@
+"""Tests for the toy UPMEM model and the Section V-E validation."""
+
+import pytest
+
+from repro.upmem import (
+    GEMV,
+    VECTOR_ADD,
+    UpmemConfig,
+    UpmemToyModel,
+    format_validation_table,
+    upmem_validation_table,
+)
+
+
+class TestUpmemConfig:
+    def test_prim_defaults(self):
+        config = UpmemConfig()
+        assert config.num_dpus == 2560
+        assert config.dpu_freq_mhz == 350.0
+
+    def test_derived_rates(self):
+        config = UpmemConfig()
+        assert config.cycle_ns == pytest.approx(1e3 / 350.0)
+        assert config.mram_ns_per_byte == pytest.approx(1e3 / 628.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpmemConfig(num_dpus=0)
+        with pytest.raises(ValueError):
+            UpmemConfig(mram_bandwidth_mbps=-1)
+
+
+class TestToyModel:
+    def test_toy_serializes_dma_and_compute(self):
+        model = UpmemToyModel()
+        n = 1 << 20
+        assert model.kernel_time_ns(VECTOR_ADD, n) == pytest.approx(
+            model.dma_ns(VECTOR_ADD, n) + model.compute_ns(VECTOR_ADD, n)
+        )
+
+    def test_hardware_overlaps(self):
+        model = UpmemToyModel()
+        n = 1 << 20
+        assert model.hardware_time_ns(VECTOR_ADD, n) == pytest.approx(
+            max(model.dma_ns(VECTOR_ADD, n), model.compute_ns(VECTOR_ADD, n))
+        )
+
+    def test_time_scales_with_elements(self):
+        model = UpmemToyModel()
+        assert model.kernel_time_ns(GEMV, 2 << 20) == pytest.approx(
+            2 * model.kernel_time_ns(GEMV, 1 << 20)
+        )
+
+    def test_more_dpus_faster(self):
+        small = UpmemToyModel(UpmemConfig(num_dpus=1280))
+        large = UpmemToyModel(UpmemConfig(num_dpus=2560))
+        n = 1 << 24
+        assert large.kernel_time_ns(VECTOR_ADD, n) == pytest.approx(
+            small.kernel_time_ns(VECTOR_ADD, n) / 2
+        )
+
+    def test_vecadd_is_dma_bound(self):
+        model = UpmemToyModel()
+        n = 1 << 20
+        assert model.dma_ns(VECTOR_ADD, n) > model.compute_ns(VECTOR_ADD, n)
+
+    def test_gemv_is_compute_bound(self):
+        model = UpmemToyModel()
+        n = 1 << 20
+        assert model.compute_ns(GEMV, n) > model.dma_ns(GEMV, n)
+
+
+class TestSectionVeValidation:
+    def test_paper_slowdowns_reproduced(self):
+        rows = {row.kernel: row for row in upmem_validation_table()}
+        # Section V-E: 23% (Vector Add) and 35% (GEMV) slowdowns.
+        assert rows["Vector Add"].slowdown == pytest.approx(0.23, abs=0.02)
+        assert rows["GEMV"].slowdown == pytest.approx(0.35, abs=0.02)
+
+    def test_toy_model_is_always_pessimistic(self):
+        for row in upmem_validation_table():
+            assert row.toy_model_ms > row.hardware_ms
+
+    def test_table_format(self):
+        text = format_validation_table(upmem_validation_table())
+        assert "Vector Add" in text
+        assert "GEMV" in text
+        assert "23%" in text and "35%" in text
