@@ -1,0 +1,76 @@
+"""Micro-benchmark: cost of the observability hook when nothing listens.
+
+The contract of the obs layer is "zero overhead unless a sink is
+attached": the stats-tracker hot paths pay one ``bus is None`` check per
+record call and nothing else.  This script measures three configurations
+of the same workload:
+
+1. no bus attached (the default every existing caller gets),
+2. a bus with no sinks (clock advances, no events constructed),
+3. a bus with a ring-buffer sink (full event stream retained).
+
+Run it a few times; configuration 2 should sit within noise of 1 (<2%),
+and even 3 stays modest because events are only built per *record* call
+(benchmark inner loops batch via ``repeat``).
+
+Usage::
+
+    PYTHONPATH=src python examples/obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.registry import make_benchmark
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+from repro.obs import EventBus, RingBufferSink
+
+
+REPEATS = 50   # analytic runs per timed sample
+ROUNDS = 5     # interleaved samples per configuration; best-of wins
+
+
+def run_workload(bus) -> float:
+    """Time ``REPEATS`` analytic GEMV runs against one configuration."""
+    bench = make_benchmark("gemv")
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        device = PimDevice(
+            make_device_config(PimDeviceType.FULCRUM, 4),
+            functional=False, bus=bus,
+        )
+        bench.run(device)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    ring_bus = EventBus()
+    ring_sink = ring_bus.subscribe(RingBufferSink())
+    configs = [
+        ("no bus (default)", lambda: None),
+        ("bus, no sinks", lambda: EventBus()),
+        ("bus + ring buffer sink", lambda: ring_bus),
+    ]
+
+    # Warm up, then interleave rounds so drift hits every config equally;
+    # report each configuration's best round (least-noise estimate).
+    run_workload(None)
+    best = {label: float("inf") for label, _ in configs}
+    for _ in range(ROUNDS):
+        for label, make_bus in configs:
+            best[label] = min(best[label], run_workload(make_bus()))
+
+    baseline = best["no bus (default)"]
+    print(f"{REPEATS} analytic GEMV runs per sample, "
+          f"best of {ROUNDS} rounds\n")
+    for label, _ in configs:
+        delta = 100.0 * (best[label] / baseline - 1.0)
+        print(f"{label:<28s}: {best[label] * 1e3:8.1f} ms  ({delta:+6.2f}%)")
+    print(f"\nevents retained by the sink : {ring_sink.total_seen}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.analysis.features import (
 from repro.analysis.reporting import (
     format_command_stats,
     format_copy_stats,
+    format_hottest_commands,
     format_params,
     format_report,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "op_mix_fractions",
     "format_command_stats",
     "format_copy_stats",
+    "format_hottest_commands",
     "format_params",
     "format_report",
 ]

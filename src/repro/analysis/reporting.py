@@ -7,7 +7,12 @@ totals, and the per-command count/runtime/energy table.
 
 from __future__ import annotations
 
+import typing
+
 from repro.core.device import PimDevice
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 _RULE = "-" * 40
 
@@ -69,6 +74,36 @@ def format_command_stats(device: PimDevice) -> str:
         f"{stats.kernel_time_ns / 1e6:>20.6f} "
         f"{stats.kernel_energy_nj / 1e6:>30.6f}"
     )
+    return "\n".join(lines)
+
+
+def format_hottest_commands(
+    registry: "MetricsRegistry", top_n: int = 10
+) -> str:
+    """Top-N command signatures by modeled latency, from a metrics registry.
+
+    The profiling answer to "where does kernel time go": fed by the
+    :class:`repro.obs.metrics.MetricsSink` aggregation of the event
+    stream, so it works across whole suite runs, not just one device.
+    """
+    from repro.obs.metrics import hottest_commands
+
+    hotspots = hottest_commands(registry, top_n)
+    lines = [
+        f"Hottest command signatures (top {top_n} by modeled runtime):",
+        "  PIM-CMD                 :        CNT "
+        "Runtime(ms)   Share(%)   Energy(mJ)",
+    ]
+    total_ns = sum(h.latency_ns for h in hotspots) or 1.0
+    grand_total = registry.value("commands.latency_ns") or total_ns
+    for h in hotspots:
+        lines.append(
+            f"  {h.signature:<24s}: {int(h.count):>10d} "
+            f"{h.latency_ns / 1e6:>11.6f} {100.0 * h.latency_ns / grand_total:>10.2f} "
+            f"{h.energy_nj / 1e6:>12.6f}"
+        )
+    if not hotspots:
+        lines.append("  (no command events recorded)")
     return "\n".join(lines)
 
 

@@ -25,16 +25,21 @@ def pim_create_device(
     num_ranks: int = 4,
     functional: bool = True,
     config: "DeviceConfig | None" = None,
+    bus=None,
 ) -> PimDevice:
     """Create (and select) a PIM device; mirrors ``pimCreateDevice``.
 
     The 4-rank default matches the artifact's out-of-the-box configuration
-    (Listing 3).  Pass ``config`` to override the geometry entirely.
+    (Listing 3).  Pass ``config`` to override the geometry entirely, and
+    ``bus`` (a :class:`repro.obs.events.EventBus`) to stream the device's
+    activity onto the simulated timeline.
     """
     global _current_device
     if config is None:
         config = make_device_config(device_type, num_ranks)
-    _current_device = PimDevice(config=config, functional=functional)
+    if bus is not None:
+        bus.process = config.label
+    _current_device = PimDevice(config=config, functional=functional, bus=bus)
     return _current_device
 
 
@@ -59,9 +64,10 @@ def pim_device(
     num_ranks: int = 4,
     functional: bool = True,
     config: "DeviceConfig | None" = None,
+    bus=None,
 ):
     """Context manager wrapping create/delete for scoped simulations."""
-    device = pim_create_device(device_type, num_ranks, functional, config)
+    device = pim_create_device(device_type, num_ranks, functional, config, bus)
     try:
         yield device
     finally:

@@ -28,6 +28,7 @@ from repro.core.commands import OpCategory
 from repro.core.device import PimDevice
 from repro.core.stats import StatsSnapshot
 from repro.host.model import HostModel
+from repro.obs.spans import device_bus, span
 
 
 @dataclasses.dataclass(frozen=True)
@@ -182,6 +183,16 @@ class PimBenchmark(abc.ABC):
         """Check functional outputs against the host reference."""
         raise NotImplementedError(f"{type(self).__name__} has no verifier")
 
+    # -- observability -----------------------------------------------------
+
+    def phase(self, device: "PimDevice | typing.Any", name: str):
+        """Span bracketing one phase of this benchmark's execution.
+
+        A no-op context manager when the device carries no event bus, so
+        benchmarks can annotate phases unconditionally.
+        """
+        return span(f"phase:{name}", device_bus(device))
+
     # -- baseline profiles ------------------------------------------------------
 
     @abc.abstractmethod
@@ -206,7 +217,9 @@ class PimBenchmark(abc.ABC):
         host = HostModel(device, cpu)
         before = device.stats.snapshot()
         ops_before = dict(device.stats.op_counts)
-        outputs = self.run_pim(device, host)
+        with span(f"bench:{self.key}", device_bus(device),
+                  {"name": self.name, "execution": self.execution_type}):
+            outputs = self.run_pim(device, host)
         delta = device.stats.snapshot() - before
         op_counts: "dict[OpCategory, int]" = {}
         for kind, count in device.stats.op_counts.items():

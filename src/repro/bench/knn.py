@@ -54,24 +54,27 @@ class KnnBenchmark(PimBenchmark):
         obj_y = device.alloc_associated(obj_x)
         obj_dx = device.alloc_associated(obj_x)
         obj_dy = device.alloc_associated(obj_x)
-        device.copy_host_to_device(
-            points[:, 0] if points is not None else None, obj_x
-        )
-        device.copy_host_to_device(
-            points[:, 1] if points is not None else None, obj_y
-        )
+        with self.phase(device, "load"):
+            device.copy_host_to_device(
+                points[:, 0] if points is not None else None, obj_x
+            )
+            device.copy_host_to_device(
+                points[:, 1] if points is not None else None, obj_y
+            )
         predictions = []
         for q in range(num_queries):
             qx = int(queries[q, 0]) if queries is not None else 123
             qy = int(queries[q, 1]) if queries is not None else 456
-            device.execute(PimCmdKind.SUB_SCALAR, (obj_x,), obj_dx, scalar=qx)
-            device.execute(PimCmdKind.ABS, (obj_dx,), obj_dx)
-            device.execute(PimCmdKind.SUB_SCALAR, (obj_y,), obj_dy, scalar=qy)
-            device.execute(PimCmdKind.ABS, (obj_dy,), obj_dy)
-            device.execute(PimCmdKind.ADD, (obj_dx, obj_dy), obj_dx)
-            distances = device.copy_device_to_host(obj_dx)
+            with self.phase(device, "distance"):
+                device.execute(PimCmdKind.SUB_SCALAR, (obj_x,), obj_dx, scalar=qx)
+                device.execute(PimCmdKind.ABS, (obj_dx,), obj_dx)
+                device.execute(PimCmdKind.SUB_SCALAR, (obj_y,), obj_dy, scalar=qy)
+                device.execute(PimCmdKind.ABS, (obj_dy,), obj_dy)
+                device.execute(PimCmdKind.ADD, (obj_dx, obj_dy), obj_dx)
+                distances = device.copy_device_to_host(obj_dx)
             # Host: top-k partial selection plus majority vote.
-            host.run(self._select_profile(n, k))
+            with self.phase(device, "select"):
+                host.run(self._select_profile(n, k))
             if device.functional:
                 nearest = np.argpartition(distances, k)[:k]
                 votes = np.bincount(labels[nearest],

@@ -65,33 +65,38 @@ class RadixSortBenchmark(PimBenchmark):
         obj_digit = device.alloc_associated(obj_keys)
         obj_mask = device.alloc_associated(obj_keys, PimDataType.BOOL)
         for p in range(num_passes):
-            device.copy_host_to_device(current, obj_keys)
             # PIM counting phase: extract the digit, then histogram it.
-            device.execute(
-                PimCmdKind.SHIFT_RIGHT, (obj_keys,), obj_digit,
-                scalar=p * DIGIT_BITS,
-            )
-            device.execute(
-                PimCmdKind.AND_SCALAR, (obj_digit,), obj_digit,
-                scalar=NUM_BUCKETS - 1,
-            )
-            counts = np.zeros(NUM_BUCKETS, dtype=np.int64)
-            if device.functional:
-                for bucket in range(NUM_BUCKETS):
+            with self.phase(device, f"count:pass{p}"):
+                device.copy_host_to_device(current, obj_keys)
+                device.execute(
+                    PimCmdKind.SHIFT_RIGHT, (obj_keys,), obj_digit,
+                    scalar=p * DIGIT_BITS,
+                )
+                device.execute(
+                    PimCmdKind.AND_SCALAR, (obj_digit,), obj_digit,
+                    scalar=NUM_BUCKETS - 1,
+                )
+                counts = np.zeros(NUM_BUCKETS, dtype=np.int64)
+                if device.functional:
+                    for bucket in range(NUM_BUCKETS):
+                        device.execute(
+                            PimCmdKind.EQ_SCALAR, (obj_digit,), obj_mask,
+                            scalar=bucket,
+                        )
+                        counts[bucket] = device.execute(
+                            PimCmdKind.REDSUM, (obj_mask,)
+                        )
+                else:
                     device.execute(
-                        PimCmdKind.EQ_SCALAR, (obj_digit,), obj_mask, scalar=bucket
+                        PimCmdKind.EQ_SCALAR, (obj_digit,), obj_mask,
+                        scalar=0x55, repeat=NUM_BUCKETS,
                     )
-                    counts[bucket] = device.execute(PimCmdKind.REDSUM, (obj_mask,))
-            else:
-                device.execute(
-                    PimCmdKind.EQ_SCALAR, (obj_digit,), obj_mask,
-                    scalar=0x55, repeat=NUM_BUCKETS,
-                )
-                device.execute(
-                    PimCmdKind.REDSUM, (obj_mask,), repeat=NUM_BUCKETS
-                )
+                    device.execute(
+                        PimCmdKind.REDSUM, (obj_mask,), repeat=NUM_BUCKETS
+                    )
             # Host sorting phase: prefix-sum the counts and scatter.
-            host.run(self._host_scatter_profile(n))
+            with self.phase(device, f"scatter:pass{p}"):
+                host.run(self._host_scatter_profile(n))
             if device.functional:
                 digits = (current >> (p * DIGIT_BITS)) & (NUM_BUCKETS - 1)
                 offsets = np.zeros(NUM_BUCKETS, dtype=np.int64)

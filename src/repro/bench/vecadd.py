@@ -42,10 +42,13 @@ class VectorAddBenchmark(PimBenchmark):
         obj_x = device.alloc(n)
         obj_y = device.alloc_associated(obj_x)
         obj_z = device.alloc_associated(obj_x)
-        device.copy_host_to_device(x, obj_x)
-        device.copy_host_to_device(y, obj_y)
-        device.execute(PimCmdKind.ADD, (obj_x, obj_y), obj_z)
-        result = device.copy_device_to_host(obj_z)
+        with self.phase(device, "load"):
+            device.copy_host_to_device(x, obj_x)
+            device.copy_host_to_device(y, obj_y)
+        with self.phase(device, "kernel"):
+            device.execute(PimCmdKind.ADD, (obj_x, obj_y), obj_z)
+        with self.phase(device, "readback"):
+            result = device.copy_device_to_host(obj_z)
         for obj in (obj_x, obj_y, obj_z):
             device.free(obj)
         if device.functional:

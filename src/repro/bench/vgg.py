@@ -24,7 +24,6 @@ command trace collapsed through ``repeat``.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 import numpy as np
 

@@ -8,6 +8,11 @@ benchmark, read the stats report) without the per-target rebuilds::
     python -m repro suite --ranks 32              # Figure 9/10/11 tables
     python -m repro figure 6a                     # any figure by number
     python -m repro tables                        # Tables I and II
+    python -m repro profile vecadd --trace t.json # Perfetto trace + metrics
+
+``run``, ``suite``, and ``profile`` accept ``--trace out.json`` to dump
+the simulated timeline as a Chrome trace-event file (load it in
+chrome://tracing or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -52,27 +57,50 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_bench(key: str, paper_scale: bool):
+    """Resolve a benchmark key (suite or extension kernel) to an instance."""
+    extension_keys = {cls.key: cls for cls in EXTENSION_BENCHMARKS}
+    if key in BENCHMARKS_BY_KEY:
+        return make_benchmark(key, paper_scale=paper_scale)
+    if key in extension_keys:
+        cls = extension_keys[key]
+        params = cls.paper_params() if paper_scale else cls.default_params()
+        return cls(**params)
+    known = sorted(set(BENCHMARKS_BY_KEY) | set(extension_keys))
+    raise SystemExit(f"unknown benchmark {key!r}; known: {known}")
+
+
+def _make_bus(trace_path: "str | None", with_metrics: bool = False):
+    """Build an event bus with the sinks the flags ask for.
+
+    Returns ``(bus, chrome_sink, metrics_sink)``; all ``None`` when no
+    observability was requested (the zero-overhead default).
+    """
+    if trace_path is None and not with_metrics:
+        return None, None, None
+    from repro.obs import ChromeTraceSink, EventBus, MetricsSink
+
+    bus = EventBus()
+    chrome = bus.subscribe(ChromeTraceSink(trace_path)) if trace_path else None
+    metrics = bus.subscribe(MetricsSink()) if with_metrics else None
+    return bus, chrome, metrics
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     target = _parse_target(args.target)
-    extension_keys = {cls.key: cls for cls in EXTENSION_BENCHMARKS}
-    if args.benchmark in BENCHMARKS_BY_KEY:
-        bench = make_benchmark(args.benchmark, paper_scale=args.paper_scale)
-    elif args.benchmark in extension_keys:
-        cls = extension_keys[args.benchmark]
-        params = cls.paper_params() if args.paper_scale else cls.default_params()
-        bench = cls(**params)
-    else:
-        known = sorted(set(BENCHMARKS_BY_KEY) | set(extension_keys))
-        raise SystemExit(f"unknown benchmark {args.benchmark!r}; known: {known}")
-
-    device = PimDevice(
-        make_device_config(target, args.ranks),
-        functional=not args.paper_scale,
-    )
-    result = bench.run(device)
+    bench = _make_bench(args.benchmark, args.paper_scale)
+    # Announce the run up front: paper-scale simulations take a while and
+    # a silent terminal reads as a hang.
     print(f"Running {bench.name} on {target.display_name} "
           f"({args.ranks} ranks, "
-          f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n")
+          f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n",
+          flush=True)
+    bus, chrome, _ = _make_bus(getattr(args, "trace", None))
+    config = make_device_config(target, args.ranks)
+    if bus is not None:
+        bus.process = config.label
+    device = PimDevice(config, functional=not args.paper_scale, bus=bus)
+    result = bench.run(device)
     if result.verified is not None:
         print(f"Functional verification: "
               f"{'PASSED' if result.verified else 'FAILED'}")
@@ -82,6 +110,42 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"Speedup vs GPU             : {result.speedup_gpu:10.3f}x")
     print(f"Energy reduction vs CPU    : {result.energy_reduction_cpu:10.3f}x")
     print(f"Energy reduction vs GPU    : {result.energy_reduction_gpu:10.3f}x")
+    if chrome is not None:
+        print(f"\nChrome trace written to {chrome.write()} "
+              f"({len(chrome.events)} events); open in chrome://tracing "
+              "or https://ui.perfetto.dev")
+    return 0 if result.verified in (True, None) else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one benchmark: trace + metrics + hottest-command table."""
+    from repro.analysis import format_hottest_commands
+
+    target = _parse_target(args.target)
+    bench = _make_bench(args.benchmark, args.paper_scale)
+    print(f"Profiling {bench.name} on {target.display_name} "
+          f"({args.ranks} ranks)\n", flush=True)
+    bus, chrome, metrics = _make_bus(args.trace, with_metrics=True)
+    config = make_device_config(target, args.ranks)
+    bus.process = config.label
+    device = PimDevice(config, functional=not args.paper_scale, bus=bus)
+    result = bench.run(device)
+    if result.verified is not None:
+        print(f"Functional verification: "
+              f"{'PASSED' if result.verified else 'FAILED'}")
+    registry = metrics.registry
+    print(format_hottest_commands(registry, top_n=args.top))
+    print(f"\nSimulated time : {bus.now_ns / 1e6:.6f} ms "
+          f"(simulator wall overhead {bus.wall_us() / 1e3:.1f} ms)")
+    if chrome is not None:
+        print(f"Chrome trace written to {chrome.write()} "
+              f"({len(chrome.events)} events); open in chrome://tracing "
+              "or https://ui.perfetto.dev")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_jsonl())
+        print(f"Metrics written to {args.metrics} "
+              f"({len(registry.names())} series)")
     return 0 if result.verified in (True, None) else 1
 
 
@@ -96,20 +160,38 @@ def cmd_suite(args: argparse.Namespace) -> int:
         speedup_table,
     )
 
-    suite = run_suite(num_ranks=args.ranks, paper_scale=True)
+    bus, chrome, _ = _make_bus(getattr(args, "trace", None))
+    suite = run_suite(num_ranks=args.ranks, paper_scale=True, bus=bus)
     print(f"=== Speedups (Figures 9 / 10a), {args.ranks} ranks ===")
     print(format_speedup_table(speedup_table(suite)))
     print(f"\n=== Energy (Figures 10b / 11) ===")
     print(format_energy_table(energy_table(suite)))
     print(f"\n=== Breakdown (Figure 7) ===")
     print(format_breakdown_table(breakdown_table(suite)))
+    if chrome is not None:
+        print(f"\nChrome trace written to {chrome.write()} "
+              f"({len(chrome.events)} events)")
     return 0
+
+
+def _normalize_figure(text: str) -> str:
+    """Reduce "Figure 7" / "fig. 6a" / "7" to the bare figure number.
+
+    Uses ``removeprefix``, not ``lstrip``: ``lstrip("fig")`` strips
+    *characters* and would mangle "figure 7" into "ure 7".
+    """
+    return (
+        text.lower()
+        .removeprefix("figure")
+        .removeprefix("fig")
+        .strip(" .")
+    )
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro import experiments as exp
 
-    figure = args.figure.lower().lstrip("fig").strip(".")
+    figure = _normalize_figure(args.figure)
     if figure in ("1",):
         from repro.analysis import (
             build_dendrogram,
@@ -179,10 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ranks", type=int, default=4)
     run.add_argument("--paper-scale", action="store_true",
                      help="Table I input sizes, analytic mode")
+    run.add_argument("--trace", metavar="OUT.json", default=None,
+                     help="write a Chrome/Perfetto trace of the run")
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile", help="profile one benchmark (trace, metrics, hotspots)"
+    )
+    profile.add_argument("benchmark", help="benchmark key (see `list`)")
+    profile.add_argument("--target", default="fulcrum",
+                         help="bitserial | fulcrum | bank (default fulcrum)")
+    profile.add_argument("--ranks", type=int, default=4)
+    profile.add_argument("--paper-scale", action="store_true",
+                         help="Table I input sizes, analytic mode")
+    profile.add_argument("--trace", metavar="OUT.json", default=None,
+                         help="write a Chrome/Perfetto trace of the run")
+    profile.add_argument("--metrics", metavar="OUT.jsonl", default=None,
+                         help="write the metrics registry as JSON Lines")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hottest-command table size (default 10)")
+    profile.set_defaults(func=cmd_profile)
 
     suite = sub.add_parser("suite", help="run the full evaluation")
     suite.add_argument("--ranks", type=int, default=32)
+    suite.add_argument("--trace", metavar="OUT.json", default=None,
+                       help="write a Chrome/Perfetto trace of the whole suite")
     suite.set_defaults(func=cmd_suite)
 
     figure = sub.add_parser("figure", help="regenerate one figure")

@@ -174,6 +174,14 @@ class DeviceConfig:
             return PimAllocType.VERTICAL
         return PimAllocType.HORIZONTAL
 
+    @property
+    def label(self) -> str:
+        """Short human label for this configuration (trace process names)."""
+        return (
+            f"{self.device_type.display_name} "
+            f"x{self.dram.geometry.num_ranks} ranks"
+        )
+
     def with_geometry(self, **overrides: int) -> "DeviceConfig":
         """Copy of this config with modified DRAM geometry (for sweeps)."""
         geometry = self.dram.geometry.scaled(**overrides)

@@ -68,14 +68,22 @@ class PimDevice:
         functional: bool = True,
         power: "PowerConfig | None" = None,
         enforce_capacity: bool = True,
+        bus: "typing.Any | None" = None,
     ) -> None:
         self.config = config or DeviceConfig()
         self.functional = functional
         self.resources = ResourceManager(self.config, enforce_capacity)
-        self.stats = StatsTracker()
+        # ``bus`` is an optional repro.obs EventBus: attaching one makes
+        # every command/copy/host record also stream onto the simulated
+        # timeline (see docs/OBSERVABILITY.md); None costs nothing.
+        self.stats = StatsTracker(bus)
         self.perf = make_perf_model(self.config)
         self.energy = EnergyModel(self.config, power)
         self.data_movement = DataMovementModel(self.config)
+
+    def attach_bus(self, bus) -> None:
+        """Attach (or replace) the observability event bus."""
+        self.stats.bus = bus
 
     # -- allocation -----------------------------------------------------------
 

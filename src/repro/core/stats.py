@@ -10,9 +10,20 @@ reports convert to the paper's ms / mJ units.
 from __future__ import annotations
 
 import dataclasses
+import typing
 from collections import OrderedDict
 
 from repro.core.commands import PimCmdKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus
+
+#: Copy-direction name -> StatsTracker attribute holding its bucket.
+COPY_DIRECTIONS = {
+    "h2d": "host_to_device",
+    "d2h": "device_to_host",
+    "d2d": "device_to_device",
+}
 
 
 @dataclasses.dataclass
@@ -87,9 +98,17 @@ class CopyStats:
 
 
 class StatsTracker:
-    """Mutable statistics store attached to a device."""
+    """Mutable statistics store attached to a device.
 
-    def __init__(self) -> None:
+    ``bus`` is the optional observability hook: when an
+    :class:`repro.obs.events.EventBus` is attached, every recorded
+    command/copy/host kernel is also published as an event on the
+    simulated timeline.  When ``bus`` is ``None`` (the default) the only
+    cost is one attribute check per record call.
+    """
+
+    def __init__(self, bus: "EventBus | None" = None) -> None:
+        self.bus = bus
         self.commands: "OrderedDict[str, CmdStats]" = OrderedDict()
         self.op_counts: "dict[PimCmdKind, int]" = {}
         self.host_to_device = CopyStats()
@@ -119,25 +138,56 @@ class StatsTracker:
         self.background_energy_nj += background_energy_nj
         if events is not None:
             self.events = self.events + events
+        bus = self.bus
+        if bus is not None:
+            args = {"count": count, "energy_nj": energy_nj}
+            if events is not None:
+                args.update(
+                    row_activations=events.row_activations,
+                    lane_logic_ops=events.lane_logic_ops,
+                    alu_word_ops=events.alu_word_ops,
+                    walker_bits=events.walker_bits,
+                    gdl_bits=events.gdl_bits,
+                )
+            bus.emit_complete(signature, "command", latency_ns, args)
 
     def record_copy(
         self, direction: str, num_bytes: int, latency_ns: float, energy_nj: float
     ) -> None:
-        bucket = {
-            "h2d": self.host_to_device,
-            "d2h": self.device_to_host,
-            "d2d": self.device_to_device,
-        }.get(direction)
-        if bucket is None:
+        attr = COPY_DIRECTIONS.get(direction)
+        if attr is None:
             raise ValueError(f"unknown copy direction {direction!r}")
-        bucket.record(num_bytes, latency_ns, energy_nj)
+        getattr(self, attr).record(num_bytes, latency_ns, energy_nj)
+        bus = self.bus
+        if bus is not None:
+            bus.emit_complete(
+                f"copy.{direction}", "copy", latency_ns,
+                {"direction": direction, "bytes": num_bytes,
+                 "energy_nj": energy_nj},
+            )
 
-    def record_host(self, time_ns: float, energy_nj: float) -> None:
+    def record_host(
+        self, time_ns: float, energy_nj: float, label: str = "kernel"
+    ) -> None:
         self.host_time_ns += time_ns
         self.host_energy_nj += energy_nj
+        bus = self.bus
+        if bus is not None:
+            bus.emit_complete(
+                f"host.{label}", "host", time_ns, {"energy_nj": energy_nj}
+            )
 
     def reset(self) -> None:
-        self.__init__()
+        """Zero every accumulator; the attached bus (if any) is kept."""
+        self.commands.clear()
+        self.op_counts.clear()
+        self.host_to_device = CopyStats()
+        self.device_to_host = CopyStats()
+        self.device_to_device = CopyStats()
+        self.background_energy_nj = 0.0
+        self.host_time_ns = 0.0
+        self.host_energy_nj = 0.0
+        self.events = EventCounts()
 
     # -- aggregate views ------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.bench.registry import BENCHMARK_CLASSES, make_benchmark
 from repro.config.device import DeviceConfig, PimDeviceType
 from repro.config.presets import make_device_config
 from repro.core.device import PimDevice
+from repro.obs.spans import span
 
 #: Figure order of the benchmarks (Table I order).
 BENCHMARK_ORDER: "tuple[str, ...]" = tuple(cls.key for cls in BENCHMARK_CLASSES)
@@ -64,18 +65,25 @@ def run_suite(
     geometry_overrides: "dict[str, int] | None" = None,
     use_cache: bool = True,
     enforce_capacity: bool = True,
+    bus=None,
 ) -> SuiteResults:
     """Run (or fetch cached) suite results for one configuration.
 
     ``enforce_capacity=False`` permits over-committed allocations, which
     the Figure 12 rank sweep needs: the paper runs the full Table I
     inputs even at rank counts whose capacity they exceed.
+
+    ``bus`` attaches a :class:`repro.obs.events.EventBus` to every device
+    the sweep creates, wrapping each (benchmark, architecture) cell in a
+    span and labeling its events with the device configuration; profiled
+    runs never touch the cache (events only stream while simulating).
     """
     keys = tuple(keys) if keys is not None else BENCHMARK_ORDER
     cache_key = (
         num_ranks, paper_scale, keys, functional, enforce_capacity,
         tuple(sorted((geometry_overrides or {}).items())),
     )
+    use_cache = use_cache and bus is None
     if use_cache and cache_key in _CACHE:
         return _CACHE[cache_key]
 
@@ -83,16 +91,28 @@ def run_suite(
     gpu = GpuModel()
     benchmarks: "dict[str, PimBenchmark]" = {}
     results: "dict[tuple[str, PimDeviceType], BenchmarkResult]" = {}
-    for key in keys:
-        bench = make_benchmark(key, paper_scale=paper_scale)
-        benchmarks[key] = bench
-        for device_type in DEVICE_ORDER:
-            config = _device_config(device_type, num_ranks, geometry_overrides)
-            device = PimDevice(
-                config, functional=functional,
-                enforce_capacity=enforce_capacity,
-            )
-            results[(key, device_type)] = bench.run(device, cpu, gpu)
+    suite_process = bus.process if bus is not None else None
+    with span(f"suite:{num_ranks}ranks", bus,
+              {"paper_scale": paper_scale, "benchmarks": len(keys)}):
+        for key in keys:
+            bench = make_benchmark(key, paper_scale=paper_scale)
+            benchmarks[key] = bench
+            for device_type in DEVICE_ORDER:
+                config = _device_config(
+                    device_type, num_ranks, geometry_overrides
+                )
+                if bus is not None:
+                    bus.process = config.label
+                device = PimDevice(
+                    config, functional=functional,
+                    enforce_capacity=enforce_capacity,
+                    bus=bus,
+                )
+                results[(key, device_type)] = bench.run(device, cpu, gpu)
+        if bus is not None:
+            # The suite span's end must pair with its begin on the same
+            # process track, so restore the label the span opened under.
+            bus.process = suite_process
     suite = SuiteResults(
         num_ranks=num_ranks,
         paper_scale=paper_scale,

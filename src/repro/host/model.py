@@ -27,5 +27,5 @@ class HostModel:
         """Model one host kernel; returns its time in ns."""
         time_ns = self.cpu.time_ns(profile)
         energy_nj = self.device.energy.host_energy_nj(time_ns)
-        self.device.stats.record_host(time_ns, energy_nj)
+        self.device.stats.record_host(time_ns, energy_nj, label=profile.name)
         return time_ns

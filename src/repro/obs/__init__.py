@@ -1,0 +1,62 @@
+"""repro.obs: observability for the simulation stack.
+
+Simulated-timeline event tracing, hierarchical spans, a metrics
+registry, and pluggable sinks including a Chrome/Perfetto trace-event
+exporter.  See ``docs/OBSERVABILITY.md`` for the tour.
+
+Quick start::
+
+    from repro.obs import EventBus, ChromeTraceSink, MetricsSink, span
+
+    bus = EventBus()
+    trace = bus.subscribe(ChromeTraceSink("out.json"))
+    metrics = bus.subscribe(MetricsSink())
+    device = PimDevice(config, bus=bus)
+    with span("phase:kernel", bus):
+        ...  # issue PIM commands
+    bus.close()  # writes out.json
+"""
+
+from repro.obs.events import DEFAULT_TRACKS, EventBus, ObsEvent, SpanHandle
+from repro.obs.export import (
+    ChromeTraceSink,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    CommandHotspot,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    hottest_commands,
+    record_event_counts,
+)
+from repro.obs.sinks import CallbackSink, JsonlSink, RingBufferSink, Sink
+from repro.obs.spans import device_bus, device_span, span
+
+__all__ = [
+    "DEFAULT_TRACKS",
+    "EventBus",
+    "ObsEvent",
+    "SpanHandle",
+    "ChromeTraceSink",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "CommandHotspot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "hottest_commands",
+    "record_event_counts",
+    "CallbackSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "Sink",
+    "device_bus",
+    "device_span",
+    "span",
+]

@@ -1,0 +1,265 @@
+"""Event model and event bus: the spine of the observability layer.
+
+Every instrumented site in the simulator (command dispatch, copy paths,
+host kernels, spans, trace recording) publishes :class:`ObsEvent` records
+into an :class:`EventBus`.  Events are stamped on the **simulated**
+timeline -- the cumulative modeled nanoseconds the bus has seen so far --
+plus the wall-clock time the simulator itself has spent (``wall_us``), so
+a trace shows both where modeled time goes and where simulation time
+goes.
+
+The bus owns the simulated clock.  The analytic model is serial (kernel,
+copy, and host latencies simply accumulate), so advancing a single cursor
+by each event's duration reproduces the per-run timeline exactly, and
+concatenates naturally across the many device instances of a suite run.
+
+Design constraint: with no bus attached the hot paths must pay only a
+single ``is None`` check (see ``StatsTracker.record_command``); with a
+bus attached but no sinks subscribed, ``emit_*`` still advances the clock
+but constructs no event objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+#: Event phases, mirroring the Chrome trace-event ``ph`` field.
+PH_COMPLETE = "X"
+PH_BEGIN = "B"
+PH_END = "E"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+#: Default track (Chrome ``tid``) per event category, used when no span
+#: is active.  Under a span, events land on the span's own track so the
+#: exported timeline shows one track per phase.
+DEFAULT_TRACKS = {
+    "command": "commands",
+    "copy": "copies",
+    "host": "host",
+    "span": "phases",
+    "trace": "api",
+    "counter": "counters",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsEvent:
+    """One observability event on the simulated timeline.
+
+    ``ts_ns``/``dur_ns`` are simulated (modeled) nanoseconds; ``wall_us``
+    is the wall-clock microseconds the simulator had spent when the event
+    was emitted (simulator overhead, not modeled time).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts_ns: float
+    dur_ns: float = 0.0
+    track: str = "sim"
+    process: str = "repro"
+    wall_us: float = 0.0
+    args: "dict[str, typing.Any] | None" = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record (used by the JSONL sink)."""
+        record = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts_ns": self.ts_ns,
+            "track": self.track,
+            "process": self.process,
+            "wall_us": self.wall_us,
+        }
+        if self.dur_ns:
+            record["dur_ns"] = self.dur_ns
+        if self.args:
+            record["args"] = self.args
+        return record
+
+
+@dataclasses.dataclass
+class SpanHandle:
+    """Bookkeeping for one open span (returned by ``EventBus.begin_span``)."""
+
+    name: str
+    path: str
+    depth: int
+    t0_ns: float
+    wall0_us: float
+
+
+class EventBus:
+    """Publishes events to subscribed sinks; owns the simulated clock.
+
+    ``now_ns`` is the cumulative modeled time of everything emitted so
+    far.  ``process`` labels subsequent events (the suite runner sets it
+    to the device label before each benchmark/architecture run so the
+    exported trace gets one process group per configuration).
+    """
+
+    def __init__(self, process: str = "repro") -> None:
+        self.sinks: "list" = []
+        self.now_ns = 0.0
+        self.process = process
+        self._wall_t0 = time.perf_counter()
+        self._span_stack: "list[SpanHandle]" = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is subscribed."""
+        return bool(self.sinks)
+
+    def subscribe(self, sink):
+        """Attach a sink; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink) -> None:
+        self.sinks.remove(sink)
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed ones)."""
+        for sink in self.sinks:
+            sink.close()
+
+    # -- clocks -------------------------------------------------------------
+
+    def wall_us(self) -> float:
+        """Wall-clock microseconds since the bus was created."""
+        return (time.perf_counter() - self._wall_t0) * 1e6
+
+    def advance(self, dur_ns: float) -> float:
+        """Move the simulated clock forward; returns the interval start."""
+        start = self.now_ns
+        self.now_ns = start + dur_ns
+        return start
+
+    # -- emission -----------------------------------------------------------
+
+    def current_track(self) -> "str | None":
+        """Track of the innermost open span, if any."""
+        if self._span_stack:
+            return self._span_stack[-1].name
+        return None
+
+    def emit(self, event: ObsEvent) -> None:
+        for sink in self.sinks:
+            sink.handle(event)
+
+    def emit_complete(
+        self,
+        name: str,
+        cat: str,
+        dur_ns: float,
+        args: "dict | None" = None,
+        track: "str | None" = None,
+    ) -> None:
+        """Emit a duration event and advance the simulated clock."""
+        start = self.advance(dur_ns)
+        if not self.sinks:
+            return
+        self.emit(ObsEvent(
+            name=name,
+            cat=cat,
+            ph=PH_COMPLETE,
+            ts_ns=start,
+            dur_ns=dur_ns,
+            track=track or self.current_track() or DEFAULT_TRACKS.get(cat, "sim"),
+            process=self.process,
+            wall_us=self.wall_us(),
+            args=args,
+        ))
+
+    def emit_instant(
+        self,
+        name: str,
+        cat: str,
+        args: "dict | None" = None,
+        track: "str | None" = None,
+    ) -> None:
+        """Emit a zero-duration marker at the current simulated time."""
+        if not self.sinks:
+            return
+        self.emit(ObsEvent(
+            name=name,
+            cat=cat,
+            ph=PH_INSTANT,
+            ts_ns=self.now_ns,
+            track=track or self.current_track() or DEFAULT_TRACKS.get(cat, "sim"),
+            process=self.process,
+            wall_us=self.wall_us(),
+            args=args,
+        ))
+
+    def emit_counter(self, name: str, values: "dict[str, float]") -> None:
+        """Emit a counter sample (rendered as a counter track)."""
+        if not self.sinks:
+            return
+        self.emit(ObsEvent(
+            name=name,
+            cat="counter",
+            ph=PH_COUNTER,
+            ts_ns=self.now_ns,
+            track=DEFAULT_TRACKS["counter"],
+            process=self.process,
+            wall_us=self.wall_us(),
+            args=dict(values),
+        ))
+
+    # -- spans --------------------------------------------------------------
+
+    def begin_span(self, name: str, args: "dict | None" = None) -> SpanHandle:
+        """Open a hierarchical span at the current simulated time."""
+        parent = self._span_stack[-1].path if self._span_stack else ""
+        handle = SpanHandle(
+            name=name,
+            path=f"{parent}/{name}" if parent else name,
+            depth=len(self._span_stack),
+            t0_ns=self.now_ns,
+            wall0_us=self.wall_us(),
+        )
+        if self.sinks:
+            self.emit(ObsEvent(
+                name=name,
+                cat="span",
+                ph=PH_BEGIN,
+                ts_ns=handle.t0_ns,
+                track=DEFAULT_TRACKS["span"],
+                process=self.process,
+                wall_us=handle.wall0_us,
+                args=dict(args, path=handle.path) if args else {"path": handle.path},
+            ))
+        self._span_stack.append(handle)
+        return handle
+
+    def end_span(self, handle: SpanHandle) -> None:
+        """Close a span; emits its end with simulated and wall durations."""
+        while self._span_stack and self._span_stack[-1] is not handle:
+            # Tolerate mismatched exits (an inner span leaked): unwind to
+            # the handle rather than corrupting the stack permanently.
+            self._span_stack.pop()
+        if self._span_stack:
+            self._span_stack.pop()
+        if self.sinks:
+            wall = self.wall_us()
+            self.emit(ObsEvent(
+                name=handle.name,
+                cat="span",
+                ph=PH_END,
+                ts_ns=self.now_ns,
+                track=DEFAULT_TRACKS["span"],
+                process=self.process,
+                wall_us=wall,
+                args={
+                    "path": handle.path,
+                    "sim_dur_ns": self.now_ns - handle.t0_ns,
+                    "wall_dur_us": wall - handle.wall0_us,
+                },
+            ))

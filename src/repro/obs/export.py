@@ -1,0 +1,160 @@
+"""Chrome trace-event export: open a suite run in Perfetto.
+
+Converts the event stream into the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: one *process* per
+device configuration (the suite runner labels them), one *thread* track
+per phase/category, ``B``/``E`` pairs for spans, ``X`` complete events
+for commands/copies/host kernels.  Timestamps are the simulated timeline
+converted to microseconds (the format's unit); each event also carries
+the simulator's wall-clock overhead in ``args.wall_us``.
+
+``validate_chrome_trace`` checks the invariants the viewers rely on
+(``ph``/``ts``/``pid``/``tid`` on every event, matched span pairs) and is
+used by the test suite and the CLI before writing a file.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.events import (
+    ObsEvent,
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_END,
+    PH_INSTANT,
+)
+from repro.obs.sinks import Sink
+
+_VALID_PH = {PH_COMPLETE, PH_BEGIN, PH_END, PH_INSTANT, PH_COUNTER, "M"}
+
+
+class _IdAllocator:
+    """Stable small-integer ids for process/track names."""
+
+    def __init__(self, first: int = 1) -> None:
+        self._ids: "dict[str, int]" = {}
+        self._next = first
+
+    def __call__(self, name: str) -> int:
+        ident = self._ids.get(name)
+        if ident is None:
+            ident = self._ids[name] = self._next
+            self._next += 1
+        return ident
+
+    def items(self):
+        return self._ids.items()
+
+
+def to_chrome_trace(events: "typing.Iterable[ObsEvent]") -> dict:
+    """Build a Trace Event Format payload from a stream of events."""
+    pid_of = _IdAllocator()
+    tid_of: "dict[int, _IdAllocator]" = {}
+    trace_events: "list[dict]" = []
+
+    for event in events:
+        pid = pid_of(event.process)
+        tracks = tid_of.setdefault(pid, _IdAllocator())
+        tid = tracks(event.track)
+        record: "dict[str, typing.Any]" = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts_ns / 1e3,  # trace-event timestamps are in us
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(event.args) if event.args else {}
+        if event.ph == PH_COMPLETE:
+            record["dur"] = event.dur_ns / 1e3
+        elif event.ph == PH_INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        if event.ph != PH_COUNTER:
+            args["wall_us"] = event.wall_us
+        record["args"] = args
+        trace_events.append(record)
+
+    metadata: "list[dict]" = []
+    for process, pid in pid_of.items():
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": process},
+        })
+        for track, tid in tid_of[pid].items():
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": track},
+            })
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"timeline": "simulated", "source": "repro.obs"},
+    }
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Check trace-event invariants; returns the payload or raises."""
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace payload must be a dict with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    open_spans: "dict[tuple, list[str]]" = {}
+    for i, event in enumerate(events):
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in event:
+                raise ValueError(f"traceEvents[{i}] missing {field!r}")
+        ph = event["ph"]
+        if ph not in _VALID_PH:
+            raise ValueError(f"traceEvents[{i}] has unknown ph {ph!r}")
+        if ph == PH_COMPLETE and "dur" not in event:
+            raise ValueError(f"traceEvents[{i}] is 'X' but has no dur")
+        key = (event["pid"], event["tid"])
+        if ph == PH_BEGIN:
+            open_spans.setdefault(key, []).append(event["name"])
+        elif ph == PH_END:
+            stack = open_spans.get(key)
+            if not stack:
+                raise ValueError(
+                    f"traceEvents[{i}]: 'E' for {event['name']!r} "
+                    "with no open span on its track"
+                )
+            stack.pop()
+    dangling = {k: v for k, v in open_spans.items() if v}
+    if dangling:
+        raise ValueError(f"unclosed spans at end of trace: {dangling}")
+    return payload
+
+
+class ChromeTraceSink(Sink):
+    """Accumulates events and writes a Chrome/Perfetto trace on close."""
+
+    def __init__(self, path: "str | None" = None) -> None:
+        self.path = path
+        self.events: "list[ObsEvent]" = []
+
+    def handle(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+    def to_payload(self) -> dict:
+        return to_chrome_trace(self.events)
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_payload())
+
+    def write(self, path: "str | None" = None) -> str:
+        """Validate and write the trace; returns the path written."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no output path given for Chrome trace")
+        payload = validate_chrome_trace(self.to_payload())
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return target
+
+    def close(self) -> None:
+        if self.path is not None and self.events:
+            self.write()

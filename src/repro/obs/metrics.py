@@ -1,0 +1,260 @@
+"""Counters, gauges, histograms, and the registry that holds them.
+
+The metrics layer aggregates the event stream into named scalars the way
+the paper's activity analysis aggregates :class:`EventCounts`: row
+activations, GDL bits, ALU word ops, copy traffic, per-command-signature
+cost.  :class:`MetricsSink` subscribes a registry to an event bus so the
+aggregation happens online, one pass, no event retention.
+
+Naming convention (dotted, Prometheus-ish):
+
+* ``commands.issued`` / ``commands.latency_ns`` / ``commands.energy_nj``
+* ``cmd.<signature>.count`` / ``.latency_ns`` / ``.energy_nj``
+* ``events.row_activations`` etc. (the EventCounts census)
+* ``copy.<dir>.bytes`` / ``copy.<dir>.latency_ns``
+* ``host.time_ns`` / ``host.energy_nj``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import typing
+from collections import OrderedDict
+
+from repro.obs.events import ObsEvent
+from repro.obs.sinks import Sink
+
+#: EventCounts fields forwarded from command events into counters.
+EVENT_COUNT_FIELDS = (
+    "row_activations",
+    "lane_logic_ops",
+    "alu_word_ops",
+    "walker_bits",
+    "gdl_bits",
+)
+
+
+class Counter:
+    """Monotonically increasing scalar."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def to_record(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_record(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Log2-bucketed distribution (count / sum / min / max / buckets).
+
+    Bucket ``b`` counts observations in ``[2**b, 2**(b+1))``; bucket
+    ``None`` counts non-positive observations.
+    """
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: "dict[int | None, int]" = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        bucket = int(math.floor(math.log2(value))) if value > 0 else None
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_record(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                str(b) if b is not None else "nonpos": n
+                for b, n in sorted(
+                    self.buckets.items(),
+                    key=lambda item: (item[0] is None, item[0] or 0),
+                )
+            },
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics, in creation order."""
+
+    def __init__(self) -> None:
+        self._metrics: "OrderedDict[str, Counter | Gauge | Histogram]" = (
+            OrderedDict()
+        )
+
+    def _get(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {factory.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> "list[str]":
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (default when absent)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        return metric.value
+
+    def snapshot(self) -> "dict[str, dict]":
+        """All metrics as JSON-friendly records."""
+        return {
+            name: dict(metric.to_record(), kind=metric.kind)
+            for name, metric in self._metrics.items()
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per metric, newline separated."""
+        lines = [
+            json.dumps(dict(record, name=name))
+            for name, record in self.snapshot().items()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsSink(Sink):
+    """Feeds a registry from the event stream (commands, copies, host)."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry or MetricsRegistry()
+
+    def handle(self, event: ObsEvent) -> None:
+        registry = self.registry
+        args = event.args or {}
+        if event.cat == "command":
+            count = args.get("count", 1)
+            energy = args.get("energy_nj", 0.0)
+            registry.counter("commands.issued").inc(count)
+            registry.counter("commands.latency_ns").inc(event.dur_ns)
+            registry.counter("commands.energy_nj").inc(energy)
+            prefix = f"cmd.{event.name}"
+            registry.counter(f"{prefix}.count").inc(count)
+            registry.counter(f"{prefix}.latency_ns").inc(event.dur_ns)
+            registry.counter(f"{prefix}.energy_nj").inc(energy)
+            registry.histogram("command.latency_ns").observe(event.dur_ns)
+            for field in EVENT_COUNT_FIELDS:
+                amount = args.get(field, 0.0)
+                if amount:
+                    registry.counter(f"events.{field}").inc(amount)
+        elif event.cat == "copy":
+            direction = args.get("direction", "unknown")
+            registry.counter(f"copy.{direction}.bytes").inc(
+                args.get("bytes", 0)
+            )
+            registry.counter(f"copy.{direction}.latency_ns").inc(event.dur_ns)
+            registry.counter("copy.total_bytes").inc(args.get("bytes", 0))
+        elif event.cat == "host":
+            registry.counter("host.time_ns").inc(event.dur_ns)
+            registry.counter("host.energy_nj").inc(args.get("energy_nj", 0.0))
+        registry.gauge("sim.now_ns").set(event.ts_ns + event.dur_ns)
+
+
+@dataclasses.dataclass(frozen=True)
+class CommandHotspot:
+    """Aggregate cost of one command signature (for the top-N table)."""
+
+    signature: str
+    count: float
+    latency_ns: float
+    energy_nj: float
+
+
+def hottest_commands(
+    registry: MetricsRegistry, top_n: int = 10
+) -> "list[CommandHotspot]":
+    """Top-N command signatures by accumulated modeled latency."""
+    signatures: "dict[str, dict[str, float]]" = {}
+    for name in registry.names():
+        if not name.startswith("cmd."):
+            continue
+        base, _, field = name.rpartition(".")
+        signature = base[len("cmd."):]
+        if field not in ("count", "latency_ns", "energy_nj"):
+            continue
+        signatures.setdefault(signature, {})[field] = registry.value(name)
+    hotspots = [
+        CommandHotspot(
+            signature=sig,
+            count=fields.get("count", 0.0),
+            latency_ns=fields.get("latency_ns", 0.0),
+            energy_nj=fields.get("energy_nj", 0.0),
+        )
+        for sig, fields in signatures.items()
+    ]
+    hotspots.sort(key=lambda h: h.latency_ns, reverse=True)
+    return hotspots[:top_n]
+
+
+def record_event_counts(
+    registry: MetricsRegistry, events: typing.Any, prefix: str = "events"
+) -> None:
+    """Fold an :class:`EventCounts` census directly into counters.
+
+    Used when stats were accumulated without a bus attached (e.g. a
+    finished run) but a metrics view is still wanted.
+    """
+    for field in EVENT_COUNT_FIELDS:
+        amount = getattr(events, field, 0.0)
+        if amount:
+            registry.counter(f"{prefix}.{field}").inc(amount)

@@ -1,0 +1,95 @@
+"""Pluggable event sinks: where the event stream goes.
+
+Three built-ins cover the common cases:
+
+* :class:`RingBufferSink` -- bounded in-memory buffer, for tests and for
+  interactive "what just happened" inspection without unbounded growth;
+* :class:`JsonlSink` -- streams one JSON object per event to a file or
+  file-like, the machine-readable feed for external analysis;
+* :class:`CallbackSink` -- adapts any callable, for ad-hoc wiring.
+
+The Chrome-trace exporter (:mod:`repro.obs.export`) and the metrics
+aggregator (:mod:`repro.obs.metrics`) are sinks too.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import typing
+
+from repro.obs.events import ObsEvent
+
+
+class Sink:
+    """Base class: receives every event published on a bus."""
+
+    def handle(self, event: ObsEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; default is a no-op."""
+
+
+class RingBufferSink(Sink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: "collections.deque[ObsEvent]" = collections.deque(
+            maxlen=capacity
+        )
+        self.total_seen = 0
+
+    def handle(self, event: ObsEvent) -> None:
+        self._buffer.append(event)
+        self.total_seen += 1
+
+    @property
+    def events(self) -> "list[ObsEvent]":
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink(Sink):
+    """Streams events as JSON Lines to ``path`` or an open file-like.
+
+    When constructed with a path the file is owned (opened lazily,
+    closed by :meth:`close`); a file-like passed in is left open.
+    """
+
+    def __init__(self, target: "str | typing.IO[str]") -> None:
+        if isinstance(target, str):
+            self._path: "str | None" = target
+            self._file: "typing.IO[str] | None" = None
+        else:
+            self._path = None
+            self._file = target
+        self.num_events = 0
+
+    def handle(self, event: ObsEvent) -> None:
+        if self._file is None:
+            self._file = open(self._path, "w", encoding="utf-8")
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.num_events += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self._path is not None:
+                self._file.close()
+                self._file = None
+
+
+class CallbackSink(Sink):
+    """Forwards each event to an arbitrary callable."""
+
+    def __init__(self, callback: "typing.Callable[[ObsEvent], None]") -> None:
+        self.callback = callback
+
+    def handle(self, event: ObsEvent) -> None:
+        self.callback(event)

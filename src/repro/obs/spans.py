@@ -1,0 +1,63 @@
+"""Hierarchical spans over the simulated timeline.
+
+A span brackets a region of simulated work (a benchmark, a phase inside
+it, one suite cell).  Because the event bus owns the simulated clock, a
+span's duration is simply "everything the bus saw between enter and
+exit" -- commands, copies, host kernels, and nested spans alike -- which
+is exactly the phase accounting the benchmarks already do with
+``StatsSnapshot`` deltas, but streamed instead of aggregated.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("phase:training", bus):
+        ...  # every command issued here lands on the "phase:training" track
+
+``span`` is a no-op (and allocation-free) when ``bus`` is ``None`` or has
+no sinks, so instrumented code costs nothing un-observed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.obs.events import EventBus, SpanHandle  # noqa: F401  (re-export)
+
+
+def device_bus(device) -> "EventBus | None":
+    """The bus attached to a device's stats tracker, if any.
+
+    Works for ``PimDevice`` and anything forwarding ``.stats`` to one
+    (``TraceRecorder`` does).
+    """
+    stats = getattr(device, "stats", None)
+    if stats is None:
+        return None
+    return getattr(stats, "bus", None)
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    bus: "EventBus | None",
+    args: "dict[str, typing.Any] | None" = None,
+) -> "typing.Iterator[SpanHandle | None]":
+    """Context manager opening a hierarchical span on ``bus``.
+
+    Yields the :class:`SpanHandle` (or ``None`` when unobserved).
+    """
+    if bus is None or not bus.active:
+        yield None
+        return
+    handle = bus.begin_span(name, args)
+    try:
+        yield handle
+    finally:
+        bus.end_span(handle)
+
+
+def device_span(device, name: str, args: "dict | None" = None):
+    """``span`` resolved against whatever bus the device carries."""
+    return span(name, device_bus(device), args)

@@ -63,6 +63,13 @@ class TraceRecorder:
         self.device = device
         self.events: "list[TraceEvent]" = []
 
+    def _publish(self, action: str, **args) -> None:
+        # Allocation-lifecycle markers on the simulated timeline; the
+        # execute/copy costs are already published by the stats tracker.
+        bus = self.device.stats.bus
+        if bus is not None:
+            bus.emit_instant(f"trace.{action}", "trace", args or None)
+
     # -- forwarded API ------------------------------------------------------
 
     @property
@@ -86,6 +93,10 @@ class TraceRecorder:
             action="alloc", obj_ids=(obj.obj_id,), num_elements=num_elements,
             dtype=dtype.name, layout=layout.name,
         ))
+        self._publish(
+            "alloc", obj_id=obj.obj_id, num_elements=num_elements,
+            dtype=dtype.name,
+        )
         return obj
 
     def alloc_associated(self, ref, dtype=None):
@@ -94,10 +105,12 @@ class TraceRecorder:
             action="alloc_assoc", obj_ids=(obj.obj_id, ref.obj_id),
             dtype=obj.dtype.name,
         ))
+        self._publish("alloc_assoc", obj_id=obj.obj_id, ref=ref.obj_id)
         return obj
 
     def free(self, obj):
         self.events.append(TraceEvent(action="free", obj_ids=(obj.obj_id,)))
+        self._publish("free", obj_id=obj.obj_id)
         self.device.free(obj)
 
     def copy_host_to_device(self, values, obj, repeat: int = 1):

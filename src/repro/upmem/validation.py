@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.upmem.model import GEMV, VECTOR_ADD, UpmemKernel, UpmemToyModel
+from repro.upmem.model import GEMV, VECTOR_ADD, UpmemToyModel
 
 #: Element counts used for the validation runs (PrIM-scale streaming).
 VALIDATION_ELEMENTS = 160 * 1024 * 1024

@@ -12,7 +12,6 @@ import dataclasses
 
 import numpy as np
 
-from repro.config.device import PimDeviceType
 from repro.config.presets import bitserial_config, fulcrum_config
 from repro.core.commands import PimCmdKind
 from repro.core.device import PimDevice

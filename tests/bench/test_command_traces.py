@@ -5,7 +5,6 @@ implementation that alters its trace shows up here before it silently
 moves every figure.
 """
 
-import pytest
 
 from repro.bench.registry import make_benchmark
 from repro.config.device import PimDeviceType

@@ -1,8 +1,5 @@
 """Tests for the extension kernels (prefix sum, string match)."""
 
-import numpy as np
-import pytest
-
 from repro.bench.extensions import (
     EXTENSION_BENCHMARKS,
     PrefixSumBenchmark,

@@ -1,7 +1,6 @@
 """Tests for the channel-batched VGG conv mapping."""
 
 import numpy as np
-import pytest
 
 from repro.bench.optimized import VggChannelBatchedBenchmark
 from repro.config.device import PimDeviceType

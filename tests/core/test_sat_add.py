@@ -1,7 +1,6 @@
 """Tests for the fused saturating-add operation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,16 @@
 """Tests for statistics tracking."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.commands import PimCmdKind
-from repro.core.stats import StatsSnapshot, StatsTracker
+from repro.core.stats import (
+    COPY_DIRECTIONS,
+    EventCounts,
+    StatsSnapshot,
+    StatsTracker,
+)
 
 
 @pytest.fixture
@@ -54,6 +61,11 @@ class TestCopyRecording:
         with pytest.raises(ValueError):
             tracker.record_copy("sideways", 1, 1.0, 1.0)
 
+    def test_direction_table_covers_all_buckets(self, tracker):
+        for direction, attr in COPY_DIRECTIONS.items():
+            tracker.record_copy(direction, 8, 1.0, 1.0)
+            assert getattr(tracker, attr).num_bytes == 8
+
 
 class TestHostRecording:
     def test_accumulates(self, tracker):
@@ -92,3 +104,81 @@ class TestSnapshots:
         assert tracker.kernel_time_ns == 0.0
         assert tracker.copy_bytes == 0
         assert not tracker.commands
+
+    def test_reset_clears_every_accumulator(self, tracker):
+        tracker.record_command(
+            PimCmdKind.ADD, "a", 1.0, 1.0, background_energy_nj=2.0,
+            events=EventCounts(row_activations=4.0),
+        )
+        tracker.record_host(3.0, 0.5)
+        tracker.reset()
+        assert tracker.op_counts == {}
+        assert tracker.background_energy_nj == 0.0
+        assert tracker.host_time_ns == 0.0
+        assert tracker.host_energy_nj == 0.0
+        assert tracker.events == EventCounts()
+        assert tracker.snapshot() == StatsSnapshot()
+
+    def test_reset_preserves_attached_bus(self, tracker):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        tracker.bus = bus
+        tracker.record_command(PimCmdKind.ADD, "a", 1.0, 1.0)
+        tracker.reset()
+        assert tracker.bus is bus
+
+
+class TestDeltaArithmetic:
+    def test_event_counts_sub_fieldwise(self):
+        a = EventCounts(row_activations=10.0, lane_logic_ops=8.0,
+                        alu_word_ops=6.0, walker_bits=4.0, gdl_bits=2.0)
+        b = EventCounts(row_activations=1.0, lane_logic_ops=2.0,
+                        alu_word_ops=3.0, walker_bits=4.0, gdl_bits=5.0)
+        delta = a - b
+        assert delta == EventCounts(row_activations=9.0, lane_logic_ops=6.0,
+                                    alu_word_ops=3.0, walker_bits=0.0,
+                                    gdl_bits=-3.0)
+
+    def test_event_counts_add_sub_roundtrip(self):
+        a = EventCounts(row_activations=5.0, gdl_bits=7.0)
+        b = EventCounts(lane_logic_ops=2.0, walker_bits=1.0)
+        assert (a + b) - b == a
+
+    def test_event_counts_scaled_every_field(self):
+        counts = EventCounts(row_activations=1.0, lane_logic_ops=2.0,
+                             alu_word_ops=3.0, walker_bits=4.0, gdl_bits=5.0)
+        scaled = counts.scaled(2.5)
+        for field in dataclasses.fields(EventCounts):
+            assert getattr(scaled, field.name) == pytest.approx(
+                2.5 * getattr(counts, field.name)
+            )
+
+    def test_snapshot_sub_covers_every_field(self):
+        a = StatsSnapshot(
+            kernel_time_ns=10.0, kernel_energy_nj=9.0, copy_time_ns=8.0,
+            copy_energy_nj=7.0, copy_bytes=6, background_energy_nj=5.0,
+            host_time_ns=4.0, host_energy_nj=3.0,
+            events=EventCounts(row_activations=2.0),
+        )
+        b = StatsSnapshot(
+            kernel_time_ns=1.0, kernel_energy_nj=1.0, copy_time_ns=1.0,
+            copy_energy_nj=1.0, copy_bytes=1, background_energy_nj=1.0,
+            host_time_ns=1.0, host_energy_nj=1.0,
+            events=EventCounts(row_activations=1.0),
+        )
+        delta = a - b
+        assert delta.kernel_time_ns == pytest.approx(9.0)
+        assert delta.kernel_energy_nj == pytest.approx(8.0)
+        assert delta.copy_time_ns == pytest.approx(7.0)
+        assert delta.copy_energy_nj == pytest.approx(6.0)
+        assert delta.copy_bytes == 5
+        assert delta.background_energy_nj == pytest.approx(4.0)
+        assert delta.host_time_ns == pytest.approx(3.0)
+        assert delta.host_energy_nj == pytest.approx(2.0)
+        assert delta.events.row_activations == pytest.approx(1.0)
+
+    def test_snapshot_sub_of_itself_is_zero(self):
+        snap = StatsSnapshot(kernel_time_ns=3.0, copy_bytes=2,
+                             events=EventCounts(gdl_bits=1.0))
+        assert snap - snap == StatsSnapshot()

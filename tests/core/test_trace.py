@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config.device import PimDataType, PimDeviceType
+from repro.config.device import PimDeviceType
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimError
 from repro.trace import TraceEvent, TraceRecorder, load_trace, replay_trace
@@ -59,6 +59,17 @@ class TestSerialization:
         data = event.to_dict()
         assert "kind" not in data
         assert data["obj_ids"] == [3] or data["obj_ids"] == (3,)
+
+    def test_roundtrip_replays_to_identical_costs(self):
+        # JSON round-trip must preserve enough to reproduce the model
+        # exactly: record, serialize, parse, replay, compare stats.
+        recorder = TraceRecorder(make_device(PimDeviceType.FULCRUM))
+        record_axpy(recorder)
+        events = load_trace(recorder.to_json())
+        replayed = replay_trace(
+            events, make_device(PimDeviceType.FULCRUM, functional=False)
+        )
+        assert replayed.stats.snapshot() == recorder.stats.snapshot()
 
 
 class TestReplay:

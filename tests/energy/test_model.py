@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config.device import PimDeviceType
 from repro.config.power import PowerConfig
 from repro.config.presets import (
     bank_level_config,

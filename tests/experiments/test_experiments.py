@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config.device import PimDeviceType
 from repro.experiments import (
     breakdown_table,
     energy_table,

@@ -1,0 +1,154 @@
+"""Chrome trace export: schema validity and end-to-end device coverage."""
+
+import json
+
+import pytest
+
+from repro.bench.registry import make_benchmark
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+from repro.obs import (
+    ChromeTraceSink,
+    EventBus,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def traced_run(key="vecadd", target=PimDeviceType.FULCRUM):
+    """Run one functional benchmark with a Chrome trace sink attached."""
+    bus = EventBus()
+    sink = bus.subscribe(ChromeTraceSink())
+    config = make_device_config(target, 4)
+    bus.process = config.label
+    device = PimDevice(config, functional=True, bus=bus)
+    bench = make_benchmark(key)
+    result = bench.run(device)
+    return sink, device, result
+
+
+class TestSchema:
+    def test_every_event_has_required_fields(self):
+        sink, _, _ = traced_run()
+        payload = validate_chrome_trace(sink.to_payload())
+        for event in payload["traceEvents"]:
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+
+    def test_complete_events_carry_dur(self):
+        sink, _, _ = traced_run()
+        payload = sink.to_payload()
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert xs and all("dur" in e for e in xs)
+
+    def test_metadata_names_processes_and_tracks(self):
+        sink, device, _ = traced_run()
+        payload = sink.to_payload()
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert device.config.label in process_names
+        assert "phases" in thread_names
+
+    def test_timestamps_are_microseconds(self):
+        sink, device, result = traced_run()
+        payload = sink.to_payload()
+        last = max(
+            e["ts"] + e.get("dur", 0.0)
+            for e in payload["traceEvents"]
+            if e["ph"] != "M"
+        )
+        assert last == pytest.approx(result.stats.total_time_ns / 1e3)
+
+
+class TestCoverage:
+    def test_span_per_phase_and_event_per_command(self):
+        sink, device, _ = traced_run()
+        payload = sink.to_payload()
+        begins = [e["name"] for e in payload["traceEvents"] if e["ph"] == "B"]
+        assert "bench:vecadd" in begins
+        for phase in ("phase:load", "phase:kernel", "phase:readback"):
+            assert phase in begins
+        command_events = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "command"
+        ]
+        assert len(command_events) >= device.stats.total_command_count
+
+    def test_pim_plus_host_benchmark_has_host_track(self):
+        sink, _, _ = traced_run("radixsort")
+        payload = validate_chrome_trace(sink.to_payload())
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert {"command", "copy", "host", "span"} <= cats
+
+    def test_wall_overhead_recorded(self):
+        sink, _, _ = traced_run()
+        xs = [e for e in sink.to_payload()["traceEvents"] if e["ph"] == "X"]
+        assert all(e["args"]["wall_us"] >= 0.0 for e in xs)
+
+
+class TestValidator:
+    def test_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="missing 'tid'"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "name": "x", "dur": 1}
+            ]})
+
+    def test_rejects_x_without_dur(self):
+        with pytest.raises(ValueError, match="no dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "x"}
+            ]})
+
+    def test_rejects_unbalanced_spans(self):
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "s"}
+            ]})
+        with pytest.raises(ValueError, match="no open span"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "E", "ts": 0, "pid": 1, "tid": 1, "name": "s"}
+            ]})
+
+    def test_rejects_non_dict_payload(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+
+class TestFileOutput:
+    def test_write_validates_and_persists(self, tmp_path):
+        sink, _, _ = traced_run()
+        path = str(tmp_path / "trace.json")
+        assert sink.write(path) == path
+        payload = json.load(open(path))
+        validate_chrome_trace(payload)
+
+    def test_close_writes_configured_path(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        bus = EventBus()
+        bus.subscribe(ChromeTraceSink(path))
+        bus.emit_complete("cmd", "command", 5.0)
+        bus.close()
+        assert json.load(open(path))["traceEvents"]
+
+    def test_write_without_path_raises(self):
+        with pytest.raises(ValueError):
+            ChromeTraceSink().write()
+
+
+class TestMultiProcess:
+    def test_process_switch_allocates_new_pid(self):
+        bus = EventBus(process="first")
+        sink = bus.subscribe(ChromeTraceSink())
+        bus.emit_complete("a", "command", 1.0)
+        bus.process = "second"
+        bus.emit_complete("b", "command", 1.0)
+        payload = to_chrome_trace(sink.events)
+        pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert len(pids) == 2

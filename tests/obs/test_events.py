@@ -1,0 +1,123 @@
+"""Event bus: simulated clock, emission guards, span hierarchy."""
+
+import pytest
+
+from repro.obs import EventBus, RingBufferSink, span
+
+
+@pytest.fixture
+def bus():
+    return EventBus(process="test")
+
+
+@pytest.fixture
+def observed(bus):
+    """Bus with a ring buffer attached; returns (bus, sink)."""
+    return bus, bus.subscribe(RingBufferSink())
+
+
+class TestClock:
+    def test_advance_returns_interval_start(self, bus):
+        assert bus.advance(100.0) == 0.0
+        assert bus.advance(50.0) == 100.0
+        assert bus.now_ns == 150.0
+
+    def test_emit_complete_advances_even_without_sinks(self, bus):
+        bus.emit_complete("cmd", "command", 42.0)
+        assert bus.now_ns == 42.0
+        assert not bus.active
+
+    def test_wall_clock_is_monotonic(self, bus):
+        first = bus.wall_us()
+        second = bus.wall_us()
+        assert second >= first >= 0.0
+
+
+class TestEmission:
+    def test_no_sink_no_events(self, bus):
+        bus.emit_complete("cmd", "command", 10.0)
+        bus.emit_instant("marker", "trace")
+        sink = bus.subscribe(RingBufferSink())
+        assert sink.events == []  # nothing retroactive
+
+    def test_complete_event_fields(self, observed):
+        bus, sink = observed
+        bus.emit_complete("add.int32.v", "command", 25.0, {"count": 3})
+        (event,) = sink.events
+        assert event.ph == "X"
+        assert event.ts_ns == 0.0
+        assert event.dur_ns == 25.0
+        assert event.track == "commands"  # category default, no span open
+        assert event.process == "test"
+        assert event.args["count"] == 3
+
+    def test_instant_event_at_current_time(self, observed):
+        bus, sink = observed
+        bus.emit_complete("cmd", "command", 30.0)
+        bus.emit_instant("trace.alloc", "trace")
+        assert sink.events[-1].ph == "i"
+        assert sink.events[-1].ts_ns == 30.0
+
+    def test_counter_event(self, observed):
+        bus, sink = observed
+        bus.emit_counter("activity", {"row_activations": 7.0})
+        (event,) = sink.events
+        assert event.ph == "C"
+        assert event.args == {"row_activations": 7.0}
+
+    def test_unsubscribe_stops_delivery(self, observed):
+        bus, sink = observed
+        bus.unsubscribe(sink)
+        bus.emit_complete("cmd", "command", 1.0)
+        assert sink.events == []
+
+    def test_event_to_dict_omits_empty(self, observed):
+        bus, sink = observed
+        bus.emit_instant("m", "trace")
+        record = sink.events[0].to_dict()
+        assert "dur_ns" not in record
+        assert "args" not in record
+        assert record["name"] == "m"
+
+
+class TestSpans:
+    def test_span_emits_begin_end_pair(self, observed):
+        bus, sink = observed
+        with span("phase:kernel", bus):
+            bus.emit_complete("add", "command", 100.0)
+        phases = [e for e in sink.events if e.cat == "span"]
+        assert [e.ph for e in phases] == ["B", "E"]
+        assert phases[0].ts_ns == 0.0
+        assert phases[1].ts_ns == 100.0
+        assert phases[1].args["sim_dur_ns"] == 100.0
+
+    def test_events_inside_span_use_its_track(self, observed):
+        bus, sink = observed
+        with span("phase:load", bus):
+            bus.emit_complete("copy.h2d", "copy", 10.0)
+        copy_event = [e for e in sink.events if e.cat == "copy"][0]
+        assert copy_event.track == "phase:load"
+
+    def test_nested_spans_record_paths(self, observed):
+        bus, sink = observed
+        with span("bench:vecadd", bus):
+            with span("phase:kernel", bus) as inner:
+                assert inner.depth == 1
+                assert inner.path == "bench:vecadd/phase:kernel"
+        ends = [e for e in sink.events if e.ph == "E"]
+        assert [e.name for e in ends] == ["phase:kernel", "bench:vecadd"]
+
+    def test_span_without_bus_is_noop(self):
+        with span("anything", None) as handle:
+            assert handle is None
+
+    def test_span_on_inactive_bus_is_noop(self, bus):
+        with span("anything", bus) as handle:
+            assert handle is None
+
+    def test_mismatched_exit_unwinds(self, observed):
+        bus, _ = observed
+        outer = bus.begin_span("outer")
+        bus.begin_span("leaked")
+        bus.end_span(outer)  # inner never closed explicitly
+        assert bus.current_track() is None

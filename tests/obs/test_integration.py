@@ -1,0 +1,112 @@
+"""Cross-stack wiring: devices, trace recorder, API runtime, suite runner."""
+
+import numpy as np
+
+from repro.api.runtime import pim_device
+from repro.bench.registry import make_benchmark
+from repro.config.device import PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+from repro.experiments.runner import run_suite
+from repro.obs import (
+    ChromeTraceSink,
+    EventBus,
+    MetricsSink,
+    RingBufferSink,
+    validate_chrome_trace,
+)
+from repro.trace import TraceRecorder
+
+
+def fulcrum(bus=None):
+    return PimDevice(
+        make_device_config(PimDeviceType.FULCRUM, 4), functional=True, bus=bus
+    )
+
+
+class TestZeroOverheadDefault:
+    def test_device_has_no_bus_by_default(self):
+        assert fulcrum().stats.bus is None
+
+    def test_observed_and_unobserved_runs_model_identically(self):
+        bench = make_benchmark("vecadd")
+        plain = bench.run(fulcrum())
+        bus = EventBus()
+        bus.subscribe(RingBufferSink())
+        observed = bench.run(fulcrum(bus))
+        assert observed.stats == plain.stats
+
+    def test_bus_clock_matches_stats_totals(self):
+        bus = EventBus()
+        bus.subscribe(RingBufferSink())
+        result = make_benchmark("vecadd").run(fulcrum(bus))
+        assert bus.now_ns == result.stats.total_time_ns
+
+
+class TestTraceRecorderPublishing:
+    def test_alloc_free_become_instant_events(self):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink())
+        recorder = TraceRecorder(fulcrum(bus))
+        obj = recorder.alloc(64)
+        assoc = recorder.alloc_associated(obj)
+        recorder.free(assoc)
+        recorder.free(obj)
+        names = [e.name for e in sink.events if e.cat == "trace"]
+        assert names == [
+            "trace.alloc", "trace.alloc_assoc", "trace.free", "trace.free",
+        ]
+
+    def test_no_bus_recorder_still_records(self):
+        recorder = TraceRecorder(fulcrum())
+        obj = recorder.alloc(64)
+        recorder.free(obj)
+        assert [e.action for e in recorder.events] == ["alloc", "free"]
+
+
+class TestApiRuntime:
+    def test_pim_device_context_attaches_bus(self):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink())
+        with pim_device(PimDeviceType.FULCRUM, bus=bus) as device:
+            assert device.stats.bus is bus
+            assert bus.process == device.config.label
+            obj = device.alloc(16)
+            device.copy_host_to_device(np.arange(16, dtype=np.int32), obj)
+        assert bus.process != "repro"  # labeled by the device config
+        assert [e.cat for e in sink.events] == ["copy"]
+
+
+class TestSuiteRunner:
+    def test_traced_suite_labels_processes_and_validates(self):
+        bus = EventBus()
+        sink = bus.subscribe(ChromeTraceSink())
+        metrics = bus.subscribe(MetricsSink())
+        run_suite(
+            num_ranks=4, paper_scale=False, functional=True,
+            keys=("vecadd",), bus=bus,
+        )
+        payload = validate_chrome_trace(sink.to_payload())
+        process_names = {
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        # One process per architecture plus the suite-level "repro".
+        assert len(process_names) == 4
+        begins = [e["name"] for e in payload["traceEvents"] if e["ph"] == "B"]
+        assert begins.count("bench:vecadd") == 3  # one per architecture
+        assert any(name.startswith("suite:") for name in begins)
+        assert metrics.registry.value("commands.issued") > 0
+
+    def test_traced_suite_bypasses_cache(self):
+        first = run_suite(
+            num_ranks=4, paper_scale=False, functional=True, keys=("vecadd",),
+        )
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink())
+        second = run_suite(
+            num_ranks=4, paper_scale=False, functional=True, keys=("vecadd",),
+            bus=bus,
+        )
+        assert second is not first
+        assert sink.total_seen > 0

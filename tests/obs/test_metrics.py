@@ -1,0 +1,135 @@
+"""Metrics: primitives, registry, event-stream aggregation, hotspots."""
+
+import json
+
+import pytest
+
+from repro.core.stats import EventCounts
+from repro.obs import (
+    Counter,
+    EventBus,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    hottest_commands,
+    record_event_counts,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_stats_and_buckets(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 1024.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 1030.0
+        assert h.min == 1.0
+        assert h.max == 1024.0
+        assert h.mean == pytest.approx(257.5)
+        assert h.buckets[0] == 1   # [1, 2)
+        assert h.buckets[1] == 2   # [2, 4)
+        assert h.buckets[10] == 1  # [1024, 2048)
+
+    def test_histogram_nonpositive_bucket(self):
+        h = Histogram()
+        h.observe(0.0)
+        assert h.buckets[None] == 1
+        assert "nonpos" in h.to_record()["buckets"]
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_and_jsonl(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(2)
+        reg.gauge("y").set(7)
+        snap = reg.snapshot()
+        assert snap["x"] == {"value": 2.0, "kind": "counter"}
+        records = [json.loads(line) for line in reg.to_jsonl().splitlines()]
+        assert {r["name"] for r in records} == {"x", "y"}
+
+    def test_value_with_default(self):
+        reg = MetricsRegistry()
+        assert reg.value("missing", default=3.0) == 3.0
+
+
+class TestAggregation:
+    def make_stream(self):
+        bus = EventBus()
+        sink = bus.subscribe(MetricsSink())
+        bus.emit_complete(
+            "add.int32.v", "command", 200.0,
+            {"count": 2, "energy_nj": 8.0, "row_activations": 64.0},
+        )
+        bus.emit_complete(
+            "mul.int32.v", "command", 900.0,
+            {"count": 1, "energy_nj": 40.0},
+        )
+        bus.emit_complete(
+            "copy.h2d", "copy", 50.0,
+            {"direction": "h2d", "bytes": 4096, "energy_nj": 1.0},
+        )
+        bus.emit_complete("host.topk", "host", 30.0, {"energy_nj": 2.0})
+        return sink.registry
+
+    def test_command_and_copy_counters(self):
+        reg = self.make_stream()
+        assert reg.value("commands.issued") == 3.0
+        assert reg.value("commands.latency_ns") == 1100.0
+        assert reg.value("events.row_activations") == 64.0
+        assert reg.value("copy.h2d.bytes") == 4096.0
+        assert reg.value("copy.total_bytes") == 4096.0
+        assert reg.value("host.time_ns") == 30.0
+        assert reg["command.latency_ns"].count == 2
+
+    def test_sim_clock_gauge_tracks_timeline(self):
+        reg = self.make_stream()
+        assert reg.value("sim.now_ns") == 1180.0
+
+    def test_hottest_commands_sorted_by_latency(self):
+        reg = self.make_stream()
+        hot = hottest_commands(reg, top_n=5)
+        assert [h.signature for h in hot] == ["mul.int32.v", "add.int32.v"]
+        assert hot[0].latency_ns == 900.0
+        assert hot[1].count == 2.0
+        assert hot[1].energy_nj == 8.0
+
+    def test_hottest_commands_respects_top_n(self):
+        reg = self.make_stream()
+        assert len(hottest_commands(reg, top_n=1)) == 1
+
+
+class TestEventCountsBridge:
+    def test_record_event_counts(self):
+        reg = MetricsRegistry()
+        counts = EventCounts(row_activations=10.0, gdl_bits=256.0)
+        record_event_counts(reg, counts)
+        assert reg.value("events.row_activations") == 10.0
+        assert reg.value("events.gdl_bits") == 256.0
+        assert "events.alu_word_ops" not in reg  # zero fields skipped

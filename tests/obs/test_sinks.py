@@ -1,0 +1,70 @@
+"""Sinks: ring buffer semantics and JSONL streaming."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import CallbackSink, EventBus, JsonlSink, RingBufferSink
+
+
+def pump(bus, n=5):
+    for i in range(n):
+        bus.emit_complete(f"cmd{i}", "command", 10.0, {"count": i})
+
+
+class TestRingBuffer:
+    def test_keeps_most_recent(self):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink(capacity=3))
+        pump(bus, 5)
+        assert [e.name for e in sink.events] == ["cmd2", "cmd3", "cmd4"]
+        assert sink.total_seen == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_clear(self):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink())
+        pump(bus, 2)
+        sink.clear()
+        assert sink.events == []
+
+
+class TestJsonl:
+    def test_lines_parse_and_carry_fields(self):
+        bus = EventBus(process="jsonl-test")
+        buffer = io.StringIO()
+        sink = bus.subscribe(JsonlSink(buffer))
+        pump(bus, 3)
+        bus.emit_instant("trace.alloc", "trace", {"obj_id": 1})
+        sink.close()
+        lines = buffer.getvalue().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4
+        assert records[0]["name"] == "cmd0"
+        assert records[0]["ts_ns"] == 0.0
+        assert records[1]["ts_ns"] == 10.0  # simulated timeline advances
+        assert all(r["process"] == "jsonl-test" for r in records)
+        assert records[-1]["args"] == {"obj_id": 1}
+
+    def test_path_target_owns_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        sink = bus.subscribe(JsonlSink(path))
+        pump(bus, 2)
+        bus.close()  # closes (and flushes) the owned file
+        records = [json.loads(line) for line in open(path)]
+        assert len(records) == 2
+        assert sink.num_events == 2
+
+
+class TestCallback:
+    def test_forwards_events(self):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(CallbackSink(seen.append))
+        pump(bus, 2)
+        assert [e.name for e in seen] == ["cmd0", "cmd1"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config.device import PimAllocType, PimDeviceType
+from repro.config.device import PimAllocType
 from repro.config.presets import bitserial_config, fulcrum_config
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimTypeError

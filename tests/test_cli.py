@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _normalize_figure, build_parser, main
+from repro.obs import validate_chrome_trace
 
 
 class TestParser:
@@ -16,6 +19,30 @@ class TestParser:
         assert args.target == "fulcrum"
         assert args.ranks == 4
         assert not args.paper_scale
+        assert args.trace is None
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "vecadd"])
+        assert args.benchmark == "vecadd"
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.top == 10
+
+
+class TestFigureNormalization:
+    # Regression: lstrip("fig") strips characters, so "figure 7" became
+    # "ure 7" and "Figure 6a" was unrecognized.
+    @pytest.mark.parametrize("raw,expected", [
+        ("7", "7"),
+        ("fig7", "7"),
+        ("fig. 7", "7"),
+        ("Fig. 6a", "6a"),
+        ("figure 7", "7"),
+        ("Figure 10b", "10b"),
+        ("FIGURE 12", "12"),
+    ])
+    def test_prefix_stripping(self, raw, expected):
+        assert _normalize_figure(raw) == expected
 
 
 class TestCommands:
@@ -31,6 +58,50 @@ class TestCommands:
         assert "Functional verification: PASSED" in out
         assert "PIM Command Stats" in out
         assert "Speedup vs CPU" in out
+
+    def test_run_announces_before_report(self, capsys):
+        # The header must precede the stats so long runs don't look hung.
+        assert main(["run", "vecadd"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("Running Vector Addition") < out.index(
+            "PIM Command Stats"
+        )
+
+    def test_run_with_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        assert main(["run", "vecadd", "--trace", path]) == 0
+        assert "Chrome trace written" in capsys.readouterr().out
+        validate_chrome_trace(json.load(open(path)))
+
+    def test_profile_writes_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "t.json")
+        metrics_path = str(tmp_path / "m.jsonl")
+        assert main([
+            "profile", "vecadd", "--target", "fulcrum",
+            "--trace", trace_path, "--metrics", metrics_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest command signatures" in out
+        assert "add.int32.h" in out
+        payload = validate_chrome_trace(json.load(open(trace_path)))
+        begins = [e["name"] for e in payload["traceEvents"] if e["ph"] == "B"]
+        for phase in ("phase:load", "phase:kernel", "phase:readback"):
+            assert phase in begins
+        commands = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "command"
+        ]
+        assert len(commands) >= 1
+        records = [json.loads(line) for line in open(metrics_path)]
+        names = {r["name"] for r in records}
+        assert "commands.issued" in names
+        assert "cmd.add.int32.h.latency_ns" in names
+
+    def test_profile_without_trace_still_reports(self, capsys):
+        assert main(["profile", "vecadd", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest command signatures (top 3" in out
+        assert "Simulated time" in out
 
     def test_run_extension_kernel(self, capsys):
         assert main(["run", "stringmatch", "--target", "bank"]) == 0

@@ -15,6 +15,8 @@ EXAMPLES = [
     "examples/image_pipeline.py",
     "examples/extending_pimbench.py",
     "examples/trace_replay.py",
+    "examples/profile_suite.py",
+    "examples/obs_overhead.py",
 ]
 
 
