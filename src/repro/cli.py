@@ -5,14 +5,18 @@ benchmark, read the stats report) without the per-target rebuilds::
 
     python -m repro list                          # the Table I suite
     python -m repro run vecadd --target fulcrum   # one benchmark + report
-    python -m repro suite --ranks 32              # Figure 9/10/11 tables
+    python -m repro suite --ranks 32 --jobs 4     # Figure 9/10/11 tables
     python -m repro figure 6a                     # any figure by number
     python -m repro tables                        # Tables I and II
     python -m repro profile vecadd --trace t.json # Perfetto trace + metrics
+    python -m repro cache info                    # persistent result cache
 
 ``run``, ``suite``, and ``profile`` accept ``--trace out.json`` to dump
 the simulated timeline as a Chrome trace-event file (load it in
-chrome://tracing or https://ui.perfetto.dev).
+chrome://tracing or https://ui.perfetto.dev), plus ``--jobs N`` to fan
+simulations out across worker processes and ``--cache-dir`` /
+``--no-cache`` to steer the persistent result cache (see
+docs/PERFORMANCE.md for the caching contract).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.bench.registry import BENCHMARK_CLASSES, BENCHMARKS_BY_KEY, make_benc
 from repro.config.device import PimDeviceType
 from repro.config.presets import make_device_config
 from repro.core.device import PimDevice
+from repro.engine import CellSpec, run_cells
 
 _TARGETS = {
     "bitserial": PimDeviceType.BITSIMD_V_AP,
@@ -96,14 +101,32 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n",
           flush=True)
     bus, chrome, _ = _make_bus(getattr(args, "trace", None))
-    config = make_device_config(target, args.ranks)
-    if bus is not None:
-        bus.process = config.label
-    device = PimDevice(config, functional=not args.paper_scale, bus=bus)
-    result = bench.run(device)
+    spec = CellSpec(
+        benchmark_key=args.benchmark,
+        device_type=target,
+        num_ranks=args.ranks,
+        paper_scale=args.paper_scale,
+        functional=not args.paper_scale,
+    )
+    execution = run_cells(
+        [spec], jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir, bus=bus,
+    )
+    outcome = execution.outcome(spec)
+    result = outcome.result
+    if execution.hits:
+        print("Result served from the persistent cache "
+              "(re-simulate with --no-cache).\n")
     if result.verified is not None:
         print(f"Functional verification: "
               f"{'PASSED' if result.verified else 'FAILED'}")
+    # Re-render the Listing-3 report from the outcome's stats tracker;
+    # on a cache hit no device ever ran in this process.
+    device = PimDevice(
+        make_device_config(target, args.ranks),
+        functional=not args.paper_scale,
+    )
+    device.stats = outcome.tracker
     print(format_report(device, title=bench.name))
     print(f"Speedup vs CPU (kernel+DM) : {result.speedup_cpu_total:10.3f}x")
     print(f"Speedup vs CPU (kernel)    : {result.speedup_cpu_kernel:10.3f}x")
@@ -126,10 +149,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"Profiling {bench.name} on {target.display_name} "
           f"({args.ranks} ranks)\n", flush=True)
     bus, chrome, metrics = _make_bus(args.trace, with_metrics=True)
-    config = make_device_config(target, args.ranks)
-    bus.process = config.label
-    device = PimDevice(config, functional=not args.paper_scale, bus=bus)
-    result = bench.run(device)
+    spec = CellSpec(
+        benchmark_key=args.benchmark,
+        device_type=target,
+        num_ranks=args.ranks,
+        paper_scale=args.paper_scale,
+        functional=not args.paper_scale,
+    )
+    # Observed runs bypass the cache by design: events only stream while
+    # simulating.  With --jobs > 1 the worker records events and the
+    # parent replays them, so the registry sees the identical stream.
+    execution = run_cells([spec], jobs=args.jobs, bus=bus)
+    result = execution.outcome(spec).result
     if result.verified is not None:
         print(f"Functional verification: "
               f"{'PASSED' if result.verified else 'FAILED'}")
@@ -161,7 +192,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
     )
 
     bus, chrome, _ = _make_bus(getattr(args, "trace", None))
-    suite = run_suite(num_ranks=args.ranks, paper_scale=True, bus=bus)
+    suite = run_suite(
+        num_ranks=args.ranks, paper_scale=True, bus=bus,
+        jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     print(f"=== Speedups (Figures 9 / 10a), {args.ranks} ranks ===")
     print(format_speedup_table(speedup_table(suite)))
     print(f"\n=== Energy (Figures 10b / 11) ===")
@@ -198,7 +233,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
             extract_features,
             render_text_dendrogram,
         )
-        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
+                              jobs=args.jobs)
         features = [
             extract_features(
                 suite.benchmarks[key],
@@ -212,21 +248,25 @@ def cmd_figure(args: argparse.Namespace) -> int:
     elif figure == "6b":
         print(exp.format_sensitivity_table(exp.bank_sensitivity()))
     elif figure == "7":
-        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
+                              jobs=args.jobs)
         print(exp.format_breakdown_table(exp.breakdown_table(suite)))
     elif figure == "8":
-        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
+                              jobs=args.jobs)
         print(exp.format_opmix_table(exp.opmix_table(suite)))
     elif figure in ("9", "10", "10a"):
-        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
+                              jobs=args.jobs)
         print(exp.format_speedup_table(exp.speedup_table(suite)))
     elif figure in ("10b", "11"):
-        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True)
+        suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
+                              jobs=args.jobs)
         print(exp.format_energy_table(exp.energy_table(suite)))
     elif figure == "12":
-        print(exp.format_rank_table(exp.rank_scaling_table()))
+        print(exp.format_rank_table(exp.rank_scaling_table(jobs=args.jobs)))
     elif figure == "13":
-        print(exp.format_rank_table(exp.capacity_matched_table()))
+        print(exp.format_rank_table(exp.capacity_matched_table(jobs=args.jobs)))
     else:
         raise SystemExit(f"unknown figure {args.figure!r}; know 1, 6a, 6b, "
                          "7, 8, 9, 10a, 10b, 11, 12, 13")
@@ -241,6 +281,46 @@ def cmd_tables(_args: argparse.Namespace) -> int:
     print("\n=== Table II: Evaluated Architectures ===")
     print(format_table2())
     return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.engine import DiskCache
+    from repro.experiments import clear_cache
+
+    cache = DiskCache(args.cache_dir)
+    removed = clear_cache(args.cache_dir)
+    print(f"Removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def cmd_cache_info(args: argparse.Namespace) -> int:
+    from repro.engine import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    entries, size = cache.stats()
+    print(f"Cache directory : {cache.root}")
+    print(f"Entries         : {entries}")
+    print(f"Size            : {size / 1024:.1f} KiB")
+    return 0
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine flags shared by run/profile/suite/figure."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulate cells across N worker processes "
+             "(default: $REPRO_JOBS or serial); results are identical "
+             "for any N",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore cached results and do not write new ones",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Table I input sizes, analytic mode")
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome/Perfetto trace of the run")
+    _add_engine_flags(run)
     run.set_defaults(func=cmd_run)
 
     profile = sub.add_parser(
@@ -280,22 +361,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the metrics registry as JSON Lines")
     profile.add_argument("--top", type=int, default=10,
                          help="hottest-command table size (default 10)")
+    _add_engine_flags(profile)
     profile.set_defaults(func=cmd_profile)
 
     suite = sub.add_parser("suite", help="run the full evaluation")
     suite.add_argument("--ranks", type=int, default=32)
     suite.add_argument("--trace", metavar="OUT.json", default=None,
                        help="write a Chrome/Perfetto trace of the whole suite")
+    _add_engine_flags(suite)
     suite.set_defaults(func=cmd_suite)
 
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("figure", help="1, 6a, 6b, 7, 8, 9, 10a, 10b, 11, 12, 13")
     figure.add_argument("--ranks", type=int, default=32)
+    figure.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for suite-backed figures "
+             "(default: $REPRO_JOBS or serial)",
+    )
     figure.set_defaults(func=cmd_figure)
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables
     )
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached result (memory + disk)"
+    )
+    cache_clear.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_clear.set_defaults(func=cmd_cache_clear)
+    cache_info = cache_sub.add_parser(
+        "info", help="show the cache location, entry count, and size"
+    )
+    cache_info.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_info.set_defaults(func=cmd_cache_info)
     return parser
 
 

@@ -1,0 +1,58 @@
+"""repro.engine: parallel experiment execution with persistent caching.
+
+The layer between the figure/table drivers and the simulator: it fans
+suite cells out across worker processes, memoizes every cell result in
+a content-addressed on-disk store keyed by the device
+configuration, benchmark parameters, and a model-version stamp, and
+keeps observed runs' event streams correct by replaying worker-recorded
+events onto the parent bus in simulated-time order.
+
+See ``docs/PERFORMANCE.md`` for the caching contract and the measured
+speedups.
+
+Quick start::
+
+    from repro.engine import CellSpec, run_cells
+    from repro.config.device import PimDeviceType
+
+    specs = [CellSpec("vecadd", PimDeviceType.FULCRUM, num_ranks=32)]
+    execution = run_cells(specs, jobs=4)
+    result = execution.outcome(specs[0]).result
+"""
+
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    DiskCache,
+    cell_cache_key,
+    default_cache_dir,
+)
+from repro.engine.cells import (
+    CellOutcome,
+    CellSpec,
+    resolve_benchmark_class,
+    run_cell,
+)
+from repro.engine.engine import (
+    JOBS_ENV,
+    ExecutionResult,
+    resolve_jobs,
+    run_cells,
+)
+from repro.engine.version import CACHE_SCHEMA, model_version
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CellOutcome",
+    "CellSpec",
+    "DiskCache",
+    "ExecutionResult",
+    "JOBS_ENV",
+    "cell_cache_key",
+    "default_cache_dir",
+    "model_version",
+    "resolve_benchmark_class",
+    "resolve_jobs",
+    "run_cell",
+    "run_cells",
+]

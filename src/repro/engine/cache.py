@@ -1,0 +1,165 @@
+"""Persistent, content-addressed result store for experiment cells.
+
+Each entry is one :class:`~repro.engine.cells.CellOutcome`, stored under
+a SHA-256 key derived from *everything that determines the numbers*:
+
+* the resolved device configuration (every DRAM geometry/timing field
+  and architecture parameter, not just the preset name),
+* the benchmark key plus its fully-merged parameter dict (so paper-scale
+  and functional-scale runs are distinct entries),
+* the execution mode flags (functional, enforce_capacity),
+* the :func:`repro.engine.version.model_version` stamp, which hashes
+  the model source files the cell depends on.
+
+Because the key is content-addressed there is no invalidation protocol:
+editing a perf model changes the stamp, which changes the key, and the
+stale entry is simply never looked up again (``repro cache clear``
+reclaims the space).  A corrupted or truncated entry is treated as a
+miss: the engine warns, deletes the file, and re-simulates.
+
+The store root resolves, in order: an explicit ``cache_dir`` argument,
+the ``REPRO_CACHE_DIR`` environment variable, then
+``$XDG_CACHE_HOME/repro`` (default ``~/.cache/repro``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import typing
+import warnings
+
+from repro.engine.cells import CellOutcome, CellSpec
+from repro.engine.version import model_version
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(value: typing.Any) -> typing.Any:
+    """JSON-stable form of key material (enums by value, dicts sorted)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return value.value
+    return repr(value)
+
+
+def cell_cache_key(spec: CellSpec) -> str:
+    """Content hash identifying one cell's result on disk.
+
+    The documented cache-key contract (docs/PERFORMANCE.md) is exactly
+    the ``material`` dict below.
+    """
+    config = spec.device_config()
+    bench = spec.make_benchmark()
+    material = {
+        "model_version": model_version(spec.device_type, spec.benchmark_key),
+        "benchmark": spec.benchmark_key,
+        "params": _canonical(bench.params),
+        "device_config": _canonical(config),
+        "functional": spec.functional,
+        "enforce_capacity": spec.enforce_capacity,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class DiskCache:
+    """File-per-entry pickle store under a cache root.
+
+    Entries live at ``<root>/cells/<key[:2]>/<key>.pkl`` (the two-char
+    fan-out keeps directories small on full-sweep workloads).  Writes
+    are atomic (temp file + rename) so a crashed or parallel run never
+    leaves a half-written entry behind for the next reader.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        self.root = pathlib.Path(root).expanduser() if root else default_cache_dir()
+
+    @property
+    def cells_dir(self) -> pathlib.Path:
+        return self.root / "cells"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.cells_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> "CellOutcome | None":
+        """Load an entry; a corrupted one warns, is deleted, and misses."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                outcome = pickle.load(fh)
+            if not isinstance(outcome, CellOutcome):
+                raise pickle.UnpicklingError(
+                    f"expected CellOutcome, found {type(outcome).__name__}"
+                )
+            return outcome
+        except Exception as exc:  # noqa: BLE001 - any corruption degrades to a miss
+            warnings.warn(
+                f"corrupted cache entry {path} ({exc!r}); re-simulating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, outcome: CellOutcome) -> None:
+        """Atomically persist an entry (event streams are stripped)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(outcome.without_events(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.cells_dir.exists():
+            return removed
+        for path in sorted(self.cells_dir.rglob("*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> "tuple[int, int]":
+        """(entry count, total bytes) currently stored."""
+        count = size = 0
+        if not self.cells_dir.exists():
+            return count, size
+        for path in self.cells_dir.rglob("*.pkl"):
+            count += 1
+            size += path.stat().st_size
+        return count, size

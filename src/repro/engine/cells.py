@@ -1,0 +1,142 @@
+"""Experiment cells: the unit of work the engine schedules and caches.
+
+A *cell* is one (benchmark, device configuration) simulation -- one bar
+of one figure.  :class:`CellSpec` pins down everything that determines a
+cell's numbers (benchmark key and parameter scale, device type, DRAM
+geometry, capacity enforcement, functional vs analytic mode), which
+makes it both the fan-out unit for the process pool and the identity the
+disk cache is keyed on.  :class:`CellOutcome` is everything a run
+produces: the :class:`~repro.bench.common.BenchmarkResult` the figure
+harnesses consume, the full per-command stats table (so ``repro run``
+can re-render a Listing-3 report from a cache hit), and -- when the run
+was observed -- the recorded event stream for parent-side replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.bench.common import BenchmarkResult, PimBenchmark
+from repro.bench.registry import BENCHMARKS_BY_KEY
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.presets import make_device_config
+from repro.core.device import PimDevice
+from repro.core.stats import StatsTracker
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus, ObsEvent
+
+
+def resolve_benchmark_class(key: str) -> "type[PimBenchmark]":
+    """Benchmark class for a key, searching Table I then the extensions."""
+    cls = BENCHMARKS_BY_KEY.get(key)
+    if cls is not None:
+        return cls
+    from repro.bench.extensions import EXTENSION_BENCHMARKS
+
+    for ext in EXTENSION_BENCHMARKS:
+        if ext.key == key:
+            return ext
+    known = sorted(BENCHMARKS_BY_KEY) + sorted(e.key for e in EXTENSION_BENCHMARKS)
+    raise KeyError(f"unknown benchmark {key!r}; known: {known}")
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Immutable identity of one suite cell.
+
+    ``geometry_overrides`` is a sorted tuple of (field, value) pairs so
+    the spec stays hashable and order-insensitive.
+    """
+
+    benchmark_key: str
+    device_type: PimDeviceType
+    num_ranks: int = 32
+    paper_scale: bool = True
+    functional: bool = False
+    enforce_capacity: bool = True
+    geometry_overrides: "tuple[tuple[str, int], ...]" = ()
+
+    @staticmethod
+    def normalize_overrides(
+        overrides: "dict[str, int] | None",
+    ) -> "tuple[tuple[str, int], ...]":
+        return tuple(sorted((overrides or {}).items()))
+
+    def device_config(self) -> DeviceConfig:
+        return make_device_config(
+            self.device_type, self.num_ranks, **dict(self.geometry_overrides)
+        )
+
+    def make_benchmark(self) -> PimBenchmark:
+        cls = resolve_benchmark_class(self.benchmark_key)
+        params = cls.paper_params() if self.paper_scale else cls.default_params()
+        return cls(**params)
+
+
+@dataclasses.dataclass
+class CellOutcome:
+    """Everything one cell run produced.
+
+    ``tracker`` is the device's full :class:`StatsTracker` (bus
+    detached): richer than ``result.stats`` because it keeps the
+    per-command-signature table and per-direction copy stats that the
+    Listing-3 report renders.  ``events`` is only populated when the
+    cell ran in a worker under observation; it is never written to the
+    disk cache (profiled runs bypass it).
+    """
+
+    result: BenchmarkResult
+    tracker: StatsTracker
+    sim_dur_ns: float
+    events: "tuple[ObsEvent, ...] | None" = None
+
+    def without_events(self) -> "CellOutcome":
+        if self.events is None:
+            return self
+        return dataclasses.replace(self, events=None)
+
+
+def run_cell(
+    spec: CellSpec,
+    bus: "EventBus | None" = None,
+    record_events: bool = False,
+) -> CellOutcome:
+    """Simulate one cell from scratch.
+
+    ``bus`` streams events live onto an existing parent bus (the serial
+    path).  ``record_events`` instead builds a private bus whose events
+    are captured into the outcome for later replay (the worker path).
+    The two are mutually exclusive.
+    """
+    if record_events:
+        if bus is not None:
+            raise ValueError("record_events and a live bus are exclusive")
+        from repro.obs import EventBus, RecordingSink
+
+        config = spec.device_config()
+        bus = EventBus(process=config.label)
+        recorder = bus.subscribe(RecordingSink())
+    else:
+        config = spec.device_config()
+        recorder = None
+
+    bench = spec.make_benchmark()
+    device = PimDevice(
+        config,
+        functional=spec.functional,
+        enforce_capacity=spec.enforce_capacity,
+        bus=bus,
+    )
+    result = bench.run(device, CpuModel(), GpuModel())
+    tracker = device.stats
+    tracker.bus = None  # the tracker outlives the run; never the bus
+    return CellOutcome(
+        result=result,
+        tracker=tracker,
+        sim_dur_ns=result.stats.total_time_ns,
+        events=tuple(recorder.events) if recorder is not None else None,
+    )

@@ -1,0 +1,167 @@
+"""The experiment engine: parallel cell execution with persistent caching.
+
+:func:`run_cells` is the single entry point every suite/figure driver
+funnels through.  Given an ordered list of
+:class:`~repro.engine.cells.CellSpec`, it
+
+1. looks each cell up in the disk cache (unless caching is off or the
+   run is observed),
+2. fans the misses out across a :class:`ProcessPoolExecutor` when
+   ``jobs > 1`` (or simulates them inline when serial),
+3. merges everything back **in spec order**, so the caller sees the
+   same deterministic ordering regardless of worker scheduling, and
+4. writes fresh results back to the cache.
+
+Observability contract: when a bus is attached, caching is bypassed
+entirely (events only stream while simulating, so a cache hit would
+produce a silent hole in the trace).  Serial observed runs stream onto
+the parent bus live, exactly as before the engine existed.  Parallel
+observed runs give each worker a private bus with a
+:class:`~repro.obs.sinks.RecordingSink`; the parent then replays each
+cell's events in spec order, shifting simulated timestamps onto its own
+clock, so ``bus.now_ns`` still ends at the sum of every cell's
+``stats.total_time_ns`` -- the invariant the Perfetto export and the
+metrics registry rely on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import typing
+
+from repro.engine.cache import DiskCache, cell_cache_key
+from repro.engine.cells import CellOutcome, CellSpec, run_cell
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus
+
+#: Environment variable supplying the default worker count (CLI ``--jobs``
+#: overrides it; unset means serial).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a jobs request: explicit value, else $REPRO_JOBS, else 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """What one :func:`run_cells` call did, for reporting and tests."""
+
+    outcomes: "dict[CellSpec, CellOutcome]"
+    hits: int = 0
+    misses: int = 0
+    jobs: int = 1
+    cache_dir: "str | None" = None
+
+    def outcome(self, spec: CellSpec) -> CellOutcome:
+        return self.outcomes[spec]
+
+    def summary(self) -> str:
+        where = f" ({self.cache_dir})" if self.cache_dir else ""
+        return (
+            f"{self.hits} cached, {self.misses} simulated "
+            f"with {self.jobs} job(s){where}"
+        )
+
+
+def _worker(spec: CellSpec, record_events: bool) -> CellOutcome:
+    """Top-level so it pickles under every multiprocessing start method."""
+    return run_cell(spec, record_events=record_events)
+
+
+def _replay(bus: "EventBus", outcome: CellOutcome) -> None:
+    """Replay one worker-recorded cell onto the parent bus.
+
+    Simulated timestamps shift by the parent clock's current position
+    (cells concatenate, exactly as a serial run would have emitted
+    them); wall timestamps shift by the parent's wall clock at replay so
+    they stay monotonic in the merged stream.  The clock advance comes
+    last and uses the cell's modeled total, preserving
+    ``bus.now_ns == sum(stats.total_time_ns)``.
+    """
+    offset_ns = bus.now_ns
+    offset_wall = bus.wall_us()
+    if bus.active and outcome.events:
+        for event in outcome.events:
+            bus.emit(dataclasses.replace(
+                event,
+                ts_ns=event.ts_ns + offset_ns,
+                wall_us=event.wall_us + offset_wall,
+            ))
+    bus.advance(outcome.sim_dur_ns)
+
+
+def run_cells(
+    specs: "typing.Sequence[CellSpec]",
+    jobs: "int | None" = None,
+    use_cache: bool = True,
+    cache_dir: "str | os.PathLike | None" = None,
+    bus: "EventBus | None" = None,
+) -> ExecutionResult:
+    """Execute (or fetch) every cell; see the module docstring for rules."""
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    observed = bus is not None
+    caching = use_cache and not observed
+    cache = DiskCache(cache_dir) if caching else None
+
+    outcomes: "dict[CellSpec, CellOutcome]" = {}
+    keys: "dict[CellSpec, str]" = {}
+    hits = 0
+    if cache is not None:
+        for spec in specs:
+            key = keys[spec] = cell_cache_key(spec)
+            cached = cache.get(key)
+            if cached is not None:
+                outcomes[spec] = cached
+                hits += 1
+
+    misses = [spec for spec in specs if spec not in outcomes]
+    if misses:
+        if jobs > 1:
+            record = observed
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(misses))
+            ) as pool:
+                for spec, outcome in zip(
+                    misses, pool.map(_worker, misses, [record] * len(misses))
+                ):
+                    outcomes[spec] = outcome
+        else:
+            for spec in misses:
+                if observed:
+                    bus.process = spec.device_config().label
+                outcomes[spec] = run_cell(spec, bus=bus)
+
+    if observed and jobs > 1:
+        # Deterministic merge of the recorded streams: replay follows
+        # spec order, not worker completion order.
+        for spec in specs:
+            _replay(bus, outcomes[spec])
+
+    if cache is not None:
+        for spec in misses:
+            cache.put(keys[spec], outcomes[spec])
+
+    return ExecutionResult(
+        outcomes={spec: outcomes[spec] for spec in specs},
+        hits=hits,
+        misses=len(misses),
+        jobs=jobs,
+        cache_dir=str(cache.root) if cache is not None else None,
+    )

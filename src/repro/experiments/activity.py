@@ -34,8 +34,10 @@ class ActivityRow:
         return self.events.row_activations / (self.kernel_time_ns / 1e3)
 
 
-def activity_table(suite: "SuiteResults | None" = None) -> "list[ActivityRow]":
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def activity_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[ActivityRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():

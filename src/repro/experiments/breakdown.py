@@ -30,8 +30,10 @@ class BreakdownRow:
             raise ValueError(f"breakdown does not sum to 100%: {total}")
 
 
-def breakdown_table(suite: "SuiteResults | None" = None) -> "list[BreakdownRow]":
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def breakdown_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[BreakdownRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():

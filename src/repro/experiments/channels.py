@@ -38,6 +38,7 @@ def channel_sensitivity(
     keys: "tuple[str, ...]" = TRANSFER_BOUND_KEYS,
     channels: "tuple[int | None, ...]" = CHANNEL_SWEEP,
     device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    jobs: "int | None" = None,
 ) -> "list[ChannelPoint]":
     """Sweep the channel cap; kernel+DM speedups shrink as it tightens."""
     points = []
@@ -47,7 +48,7 @@ def channel_sensitivity(
         }
         suite = run_suite(
             num_ranks=32, paper_scale=True, keys=keys,
-            geometry_overrides=overrides or None,
+            geometry_overrides=overrides or None, jobs=jobs,
         )
         for key in keys:
             result = suite.result(key, device_type)

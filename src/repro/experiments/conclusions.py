@@ -54,8 +54,10 @@ class Conclusions:
         ]
 
 
-def compute_conclusions(suite: "SuiteResults | None" = None) -> Conclusions:
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def compute_conclusions(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> Conclusions:
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     speed_rows = speedup_table(suite)
     speed_means = speedup_gmeans(speed_rows)
     energy_rows = energy_table(suite)

@@ -30,8 +30,10 @@ class EnergyRow:
     pim_energy_mj: float
 
 
-def energy_table(suite: "SuiteResults | None" = None) -> "list[EnergyRow]":
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def energy_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[EnergyRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():

@@ -28,8 +28,10 @@ class OpMixRow:
         return max(self.percentages, key=self.percentages.get)
 
 
-def opmix_table(suite: "SuiteResults | None" = None) -> "list[OpMixRow]":
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def opmix_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[OpMixRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for key in suite.benchmark_keys():
         result = suite.result(key, PimDeviceType.BITSIMD_V_AP)

@@ -37,8 +37,10 @@ class OverlapRow:
         return self.sequential_ms / self.overlapped_ms
 
 
-def overlap_table(suite: "SuiteResults | None" = None) -> "list[OverlapRow]":
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+def overlap_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[OverlapRow]":
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():

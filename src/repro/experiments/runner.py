@@ -4,6 +4,16 @@ Runs every PIMbench benchmark on every PIM variant at a given rank count
 and caches the results, so the per-figure drivers (speedup, energy,
 breakdown, op-mix, rank scaling) reuse one simulation pass per
 configuration instead of re-simulating.
+
+Execution is delegated to :mod:`repro.engine`: each (benchmark,
+architecture) cell can fan out across worker processes (``jobs``) and is
+memoized in a persistent on-disk store keyed by the full device
+configuration, benchmark parameters, and a model-version stamp, so a
+re-run after a process restart is free and an edit to one perf model
+invalidates only that architecture's entries.  The in-memory ``_CACHE``
+here is a second, faster tier holding fully-assembled
+:class:`SuiteResults` for the current process.  See
+``docs/PERFORMANCE.md`` for the complete contract.
 """
 
 from __future__ import annotations
@@ -11,13 +21,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.baselines.cpu import CpuModel
-from repro.baselines.gpu import GpuModel
 from repro.bench.common import BenchmarkResult, PimBenchmark
 from repro.bench.registry import BENCHMARK_CLASSES, make_benchmark
-from repro.config.device import DeviceConfig, PimDeviceType
-from repro.config.presets import make_device_config
-from repro.core.device import PimDevice
+from repro.config.device import PimDeviceType
+from repro.engine import CellSpec, DiskCache, run_cells
 from repro.obs.spans import span
 
 #: Figure order of the benchmarks (Table I order).
@@ -49,12 +56,29 @@ class SuiteResults:
 _CACHE: "dict[tuple, SuiteResults]" = {}
 
 
-def _device_config(
-    device_type: PimDeviceType, num_ranks: int,
+def suite_cell_specs(
+    num_ranks: int,
+    paper_scale: bool,
+    keys: "typing.Sequence[str]",
+    functional: bool,
+    enforce_capacity: bool,
     geometry_overrides: "dict[str, int] | None",
-) -> DeviceConfig:
-    overrides = geometry_overrides or {}
-    return make_device_config(device_type, num_ranks, **overrides)
+) -> "list[CellSpec]":
+    """The suite's cells in deterministic (figure) order."""
+    overrides = CellSpec.normalize_overrides(geometry_overrides)
+    return [
+        CellSpec(
+            benchmark_key=key,
+            device_type=device_type,
+            num_ranks=num_ranks,
+            paper_scale=paper_scale,
+            functional=functional,
+            enforce_capacity=enforce_capacity,
+            geometry_overrides=overrides,
+        )
+        for key in keys
+        for device_type in DEVICE_ORDER
+    ]
 
 
 def run_suite(
@@ -66,6 +90,8 @@ def run_suite(
     use_cache: bool = True,
     enforce_capacity: bool = True,
     bus=None,
+    jobs: "int | None" = None,
+    cache_dir=None,
 ) -> SuiteResults:
     """Run (or fetch cached) suite results for one configuration.
 
@@ -77,6 +103,13 @@ def run_suite(
     the sweep creates, wrapping each (benchmark, architecture) cell in a
     span and labeling its events with the device configuration; profiled
     runs never touch the cache (events only stream while simulating).
+
+    ``jobs`` fans the cells out across that many worker processes
+    (default: ``$REPRO_JOBS`` or serial); results are merged in figure
+    order, so any job count produces identical output.  ``cache_dir``
+    overrides the persistent result store's location (default:
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``use_cache=False``
+    bypasses both the in-memory and the on-disk tier.
     """
     keys = tuple(keys) if keys is not None else BENCHMARK_ORDER
     cache_key = (
@@ -87,32 +120,28 @@ def run_suite(
     if use_cache and cache_key in _CACHE:
         return _CACHE[cache_key]
 
-    cpu = CpuModel()
-    gpu = GpuModel()
-    benchmarks: "dict[str, PimBenchmark]" = {}
-    results: "dict[tuple[str, PimDeviceType], BenchmarkResult]" = {}
+    specs = suite_cell_specs(
+        num_ranks, paper_scale, keys, functional, enforce_capacity,
+        geometry_overrides,
+    )
     suite_process = bus.process if bus is not None else None
     with span(f"suite:{num_ranks}ranks", bus,
               {"paper_scale": paper_scale, "benchmarks": len(keys)}):
-        for key in keys:
-            bench = make_benchmark(key, paper_scale=paper_scale)
-            benchmarks[key] = bench
-            for device_type in DEVICE_ORDER:
-                config = _device_config(
-                    device_type, num_ranks, geometry_overrides
-                )
-                if bus is not None:
-                    bus.process = config.label
-                device = PimDevice(
-                    config, functional=functional,
-                    enforce_capacity=enforce_capacity,
-                    bus=bus,
-                )
-                results[(key, device_type)] = bench.run(device, cpu, gpu)
+        execution = run_cells(
+            specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+            bus=bus,
+        )
         if bus is not None:
             # The suite span's end must pair with its begin on the same
             # process track, so restore the label the span opened under.
             bus.process = suite_process
+    benchmarks = {
+        key: make_benchmark(key, paper_scale=paper_scale) for key in keys
+    }
+    results = {
+        (spec.benchmark_key, spec.device_type): execution.outcome(spec).result
+        for spec in specs
+    }
     suite = SuiteResults(
         num_ranks=num_ranks,
         paper_scale=paper_scale,
@@ -124,8 +153,18 @@ def run_suite(
     return suite
 
 
-def clear_cache() -> None:
+def clear_cache(cache_dir=None, disk: bool = True) -> int:
+    """Drop cached suite results.
+
+    Always clears the in-process tier; with ``disk=True`` (the default)
+    also deletes every entry of the persistent store at ``cache_dir``
+    (resolved like :func:`repro.engine.default_cache_dir`).  Returns the
+    number of disk entries removed.
+    """
     _CACHE.clear()
+    if not disk:
+        return 0
+    return DiskCache(cache_dir).clear()
 
 
 def export_suite_json(suite: SuiteResults) -> str:

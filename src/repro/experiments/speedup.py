@@ -30,9 +30,11 @@ class SpeedupRow:
     speedup_gpu: float
 
 
-def speedup_table(suite: "SuiteResults | None" = None) -> "list[SpeedupRow]":
+def speedup_table(
+    suite: "SuiteResults | None" = None, jobs: "int | None" = None,
+) -> "list[SpeedupRow]":
     """All Figure 9 / 10a bars, in figure order."""
-    suite = suite or run_suite(num_ranks=32, paper_scale=True)
+    suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():

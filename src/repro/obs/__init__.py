@@ -33,7 +33,13 @@ from repro.obs.metrics import (
     hottest_commands,
     record_event_counts,
 )
-from repro.obs.sinks import CallbackSink, JsonlSink, RingBufferSink, Sink
+from repro.obs.sinks import (
+    CallbackSink,
+    JsonlSink,
+    RecordingSink,
+    RingBufferSink,
+    Sink,
+)
 from repro.obs.spans import device_bus, device_span, span
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "record_event_counts",
     "CallbackSink",
     "JsonlSink",
+    "RecordingSink",
     "RingBufferSink",
     "Sink",
     "device_bus",

@@ -55,6 +55,24 @@ class RingBufferSink(Sink):
         self._buffer.clear()
 
 
+class RecordingSink(Sink):
+    """Unbounded in-order event recorder.
+
+    The experiment engine attaches one to each worker process's local
+    bus: the worker simulates against a fresh clock, and the parent
+    replays the recorded events onto its own bus in simulated-time
+    order (see :mod:`repro.engine.engine`).  Unlike
+    :class:`RingBufferSink` nothing is ever dropped, because a replay
+    with missing events would break the simulated-clock bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self.events: "list[ObsEvent]" = []
+
+    def handle(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+
 class JsonlSink(Sink):
     """Streams events as JSON Lines to ``path`` or an open file-like.
 

@@ -2,8 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp dir.
+
+    Tests must not read results cached by earlier runs of a different
+    checkout, nor litter ``~/.cache/repro``.  A session-scoped directory
+    still exercises the warm path *within* one test session, which is
+    what the engine tests rely on.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 from repro.config import (
     PimDeviceType,

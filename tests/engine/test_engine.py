@@ -1,0 +1,190 @@
+"""Tests for the parallel experiment engine: determinism, warm cache,
+invalidation, corruption recovery, and observability replay."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.device import PimDeviceType
+from repro.engine import CellSpec, DiskCache, cell_cache_key, run_cells
+from repro.engine import engine as engine_mod
+from repro.experiments.runner import (
+    clear_cache,
+    export_suite_json,
+    run_suite,
+)
+from repro.obs import EventBus, RingBufferSink
+
+#: Small functional cells: fast, and data generation is seeded, so every
+#: process computes bit-identical results.
+KEYS = ("vecadd", "axpy")
+
+
+def specs_for(keys=KEYS, **overrides):
+    base = dict(num_ranks=4, paper_scale=False, functional=True)
+    base.update(overrides)
+    return [
+        CellSpec(key, device_type, **base)
+        for key in keys
+        for device_type in (PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL)
+    ]
+
+
+def result_dicts(execution, specs):
+    return [execution.outcome(spec).result.to_dict() for spec in specs]
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self, tmp_path):
+        specs = specs_for()
+        serial = run_cells(specs, jobs=1, use_cache=False)
+        parallel = run_cells(specs, jobs=2, use_cache=False)
+        assert serial.jobs == 1 and parallel.jobs == 2
+        assert result_dicts(serial, specs) == result_dicts(parallel, specs)
+
+    def test_suite_export_byte_identical(self):
+        serial = run_suite(num_ranks=4, paper_scale=False, keys=KEYS,
+                           functional=True, use_cache=False)
+        parallel = run_suite(num_ranks=4, paper_scale=False, keys=KEYS,
+                             functional=True, use_cache=False, jobs=2)
+        assert export_suite_json(serial) == export_suite_json(parallel)
+
+    def test_merge_preserves_spec_order(self, tmp_path):
+        specs = specs_for()
+        execution = run_cells(specs, jobs=2, use_cache=False)
+        assert list(execution.outcomes) == specs
+
+
+class TestWarmCache:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        specs = specs_for()
+        cold = run_cells(specs, cache_dir=tmp_path)
+        assert (cold.hits, cold.misses) == (0, len(specs))
+        warm = run_cells(specs, cache_dir=tmp_path)
+        assert (warm.hits, warm.misses) == (len(specs), 0)
+        assert result_dicts(cold, specs) == result_dicts(warm, specs)
+
+    def test_warm_hit_survives_process_restart(self, tmp_path, monkeypatch):
+        # A fresh DiskCache over the same directory models a restart; to
+        # prove the warm run simulates nothing, make simulating fatal.
+        specs = specs_for()
+        run_cells(specs, cache_dir=tmp_path)
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm run re-simulated a cached cell")
+
+        monkeypatch.setattr(engine_mod, "run_cell", boom)
+        warm = run_cells(specs, cache_dir=tmp_path)
+        assert warm.misses == 0
+
+    def test_warm_suite_after_memory_cache_clear(self, tmp_path, monkeypatch):
+        run_suite(num_ranks=4, paper_scale=False, keys=KEYS,
+                  functional=True, cache_dir=tmp_path)
+        clear_cache(disk=False)  # forget the assembled suite, keep disk
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm suite re-simulated a cached cell")
+
+        monkeypatch.setattr(engine_mod, "run_cell", boom)
+        suite = run_suite(num_ranks=4, paper_scale=False, keys=KEYS,
+                          functional=True, cache_dir=tmp_path)
+        assert suite.result("vecadd", PimDeviceType.FULCRUM).verified is True
+
+    def test_no_cache_never_writes(self, tmp_path):
+        specs = specs_for()
+        run_cells(specs, use_cache=False, cache_dir=tmp_path)
+        assert DiskCache(tmp_path).stats() == (0, 0)
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, tmp_path):
+        specs = specs_for()
+        run_cells(specs, cache_dir=tmp_path)
+        wider = [dataclasses.replace(s, num_ranks=8) for s in specs]
+        execution = run_cells(wider, cache_dir=tmp_path)
+        assert execution.misses == len(wider)
+
+    def test_model_version_change_misses(self, tmp_path, monkeypatch):
+        from repro.engine import version
+
+        specs = specs_for()
+        run_cells(specs, cache_dir=tmp_path)
+        monkeypatch.setattr(version, "CACHE_SCHEMA", version.CACHE_SCHEMA + 1)
+        execution = run_cells(specs, cache_dir=tmp_path)
+        assert execution.misses == len(specs)
+
+    def test_corruption_degrades_to_rerun(self, tmp_path):
+        specs = specs_for()
+        cold = run_cells(specs, cache_dir=tmp_path)
+        victim = specs[0]
+        path = DiskCache(tmp_path).path_for(cell_cache_key(victim))
+        path.write_bytes(b"\x80garbage")
+        with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+            recovered = run_cells(specs, cache_dir=tmp_path)
+        assert (recovered.hits, recovered.misses) == (len(specs) - 1, 1)
+        assert recovered.outcome(victim).result.to_dict() == (
+            cold.outcome(victim).result.to_dict()
+        )
+        # the re-run healed the entry
+        healed = run_cells(specs, cache_dir=tmp_path)
+        assert healed.misses == 0
+
+
+class TestObservabilityReplay:
+    def run_observed(self, specs, jobs):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink(capacity=1 << 16))
+        execution = run_cells(specs, jobs=jobs, bus=bus)
+        return bus, sink, execution
+
+    def test_clock_invariant_parallel(self):
+        specs = specs_for()
+        bus, _, execution = self.run_observed(specs, jobs=2)
+        modeled = sum(
+            execution.outcome(spec).result.stats.total_time_ns
+            for spec in specs
+        )
+        assert bus.now_ns == pytest.approx(modeled)
+
+    def test_replay_stream_matches_serial_stream(self):
+        specs = specs_for()
+        serial_bus, serial_sink, _ = self.run_observed(specs, jobs=1)
+        parallel_bus, parallel_sink, _ = self.run_observed(specs, jobs=2)
+        assert parallel_bus.now_ns == pytest.approx(serial_bus.now_ns)
+
+        def shape(events):
+            # Everything except wall_us, which is honest wall time and
+            # legitimately differs between live and replayed streams.
+            return [
+                (e.name, e.cat, e.ph, e.ts_ns, e.dur_ns, e.track, e.process)
+                for e in events
+            ]
+
+        assert shape(parallel_sink.events) == shape(serial_sink.events)
+
+    def test_observed_runs_bypass_cache(self, tmp_path):
+        specs = specs_for()
+        bus = EventBus()
+        bus.subscribe(RingBufferSink())
+        run_cells(specs, bus=bus, cache_dir=tmp_path)
+        assert DiskCache(tmp_path).stats() == (0, 0)
+
+
+class TestJobsResolution:
+    def test_env_default(self, monkeypatch):
+        from repro.engine import resolve_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2  # explicit beats env
+
+    def test_rejects_bad_values(self, monkeypatch):
+        from repro.engine import resolve_jobs
+
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)

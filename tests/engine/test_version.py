@@ -1,0 +1,48 @@
+"""Tests for the model-version stamps behind cache invalidation."""
+
+from repro.config.device import PimDeviceType
+from repro.engine import version
+from repro.engine.version import model_version
+
+
+class TestModelVersion:
+    def test_stable_across_calls(self):
+        a = model_version(PimDeviceType.FULCRUM, "vecadd")
+        b = model_version(PimDeviceType.FULCRUM, "vecadd")
+        assert a == b
+
+    def test_schema_prefix(self):
+        stamp = model_version(PimDeviceType.FULCRUM, "vecadd")
+        assert stamp.startswith(f"{version.CACHE_SCHEMA}-")
+        # schema + three 12-hex-digit group digests
+        assert len(stamp.split("-")) == 4
+
+    def test_differs_per_device_type(self):
+        stamps = {
+            model_version(device_type, "vecadd")
+            for device_type in PimDeviceType
+        }
+        # Analog shares the bit-serial sources plus its own, so all four
+        # must still be distinct.
+        assert len(stamps) == 4
+
+    def test_differs_per_benchmark(self):
+        assert model_version(PimDeviceType.FULCRUM, "vecadd") != model_version(
+            PimDeviceType.FULCRUM, "gemm"
+        )
+
+    def test_same_module_benchmarks_share_stamp(self):
+        # VGG-13/16/19 live in one module: an edit there invalidates all
+        # three, and only those.
+        assert model_version(PimDeviceType.FULCRUM, "vgg-13") == model_version(
+            PimDeviceType.FULCRUM, "vgg-16"
+        )
+
+    def test_schema_bump_changes_stamp(self, monkeypatch):
+        before = model_version(PimDeviceType.BANK_LEVEL, "vecadd")
+        monkeypatch.setattr(version, "CACHE_SCHEMA", version.CACHE_SCHEMA + 1)
+        assert model_version(PimDeviceType.BANK_LEVEL, "vecadd") != before
+
+    def test_extension_kernels_resolve(self):
+        stamp = model_version(PimDeviceType.FULCRUM, "stringmatch")
+        assert stamp != model_version(PimDeviceType.FULCRUM, "vecadd")

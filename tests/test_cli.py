@@ -130,3 +130,63 @@ class TestCommands:
         # equivalence is covered elsewhere; here check the parse/dispatch.
         args = build_parser().parse_args(["figure", "6a"])
         assert args.figure == "6a"
+
+
+class TestEngineFlags:
+    def test_run_engine_defaults(self):
+        args = build_parser().parse_args(["run", "vecadd"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_suite_engine_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+
+    def test_figure_takes_jobs(self):
+        args = build_parser().parse_args(["figure", "7", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_warm_run_announces_cache_hit(self, capsys, tmp_path):
+        cmd = ["run", "vecadd", "--cache-dir", str(tmp_path)]
+        assert main(cmd) == 0
+        cold = capsys.readouterr().out
+        assert "persistent cache" not in cold
+        assert main(cmd) == 0
+        warm = capsys.readouterr().out
+        assert "Result served from the persistent cache" in warm
+        # The warm report is the same report, not a degraded summary.
+        assert "PIM Command Stats" in warm
+
+    def test_no_cache_suppresses_hit(self, capsys, tmp_path):
+        cmd = ["run", "vecadd", "--cache-dir", str(tmp_path)]
+        assert main(cmd) == 0
+        capsys.readouterr()
+        assert main(cmd + ["--no-cache"]) == 0
+        assert "persistent cache" not in capsys.readouterr().out
+
+
+class TestCacheSubcommand:
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_info_empty(self, capsys, tmp_path):
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "Entries         : 0" in out
+
+    def test_clear_removes_entries(self, capsys, tmp_path):
+        assert main(["run", "vecadd", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "Entries         : 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "Removed 1 cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "Entries         : 0" in capsys.readouterr().out
