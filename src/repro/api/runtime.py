@@ -14,7 +14,7 @@ import contextlib
 from repro.config.device import DeviceConfig, PimDeviceType
 from repro.config.presets import make_device_config
 from repro.core.device import PimDevice
-from repro.core.errors import PimError
+from repro.core.errors import PimStateError
 
 
 _current_device: "PimDevice | None" = None
@@ -46,15 +46,25 @@ def pim_create_device(
 def pim_get_device() -> PimDevice:
     """The device commands are currently issued against."""
     if _current_device is None:
-        raise PimError("no PIM device exists; call pim_create_device() first")
+        raise PimStateError(
+            "no PIM device exists; call pim_create_device() first"
+        )
     return _current_device
 
 
 def pim_delete_device() -> None:
-    """Tear down the current device; mirrors ``pimDeleteDevice``."""
+    """Tear down the current device; mirrors ``pimDeleteDevice``.
+
+    Also clears the device's label from its bus (if one is attached), so
+    a bus reused across device lifetimes doesn't stamp later events with
+    a stale process name.
+    """
     global _current_device
     if _current_device is not None:
         _current_device.resources.free_all()
+        bus = _current_device.stats.bus
+        if bus is not None and bus.process == _current_device.config.label:
+            bus.process = "repro"  # the EventBus default label
     _current_device = None
 
 

@@ -17,6 +17,15 @@ chrome://tracing or https://ui.perfetto.dev), plus ``--jobs N`` to fan
 simulations out across worker processes and ``--cache-dir`` /
 ``--no-cache`` to steer the persistent result cache (see
 docs/PERFORMANCE.md for the caching contract).
+
+Resilience flags (docs/RESILIENCE.md): ``--cell-timeout S`` bounds each
+cell's wall-clock time, ``--max-retries N`` re-runs transiently failing
+cells with exponential backoff, ``--fail-fast`` stops scheduling after
+the first ultimate failure.  A failing cell never aborts the run: the
+remaining cells complete, failed ones render as explicit gaps, a
+failure-summary table prints at the end, and the exit code is
+non-zero.  ``repro campaign`` sweeps seeded device-fault models across
+benchmarks and grades which ones functional verification detects.
 """
 
 from __future__ import annotations
@@ -75,6 +84,27 @@ def _make_bench(key: str, paper_scale: bool):
     raise SystemExit(f"unknown benchmark {key!r}; known: {known}")
 
 
+def _make_policy(args: argparse.Namespace):
+    """The resilience policy the engine flags (or environment) ask for."""
+    from repro.resilience import RetryPolicy
+
+    try:
+        return RetryPolicy.from_env(
+            max_retries=getattr(args, "max_retries", None),
+            cell_timeout_s=getattr(args, "cell_timeout", None),
+            fail_fast=getattr(args, "fail_fast", False),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _report_failures(failures) -> None:
+    """Print the end-of-run failure table to stderr."""
+    from repro.resilience import format_failure_summary
+
+    print(f"\n{format_failure_summary(failures)}", file=sys.stderr)
+
+
 def _make_bus(trace_path: "str | None", with_metrics: bool = False):
     """Build an event bus with the sinks the flags ask for.
 
@@ -110,9 +140,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     execution = run_cells(
         [spec], jobs=args.jobs, use_cache=not args.no_cache,
-        cache_dir=args.cache_dir, bus=bus,
+        cache_dir=args.cache_dir, bus=bus, policy=_make_policy(args),
     )
     outcome = execution.outcome(spec)
+    if not outcome.ok:
+        _report_failures(execution.failures)
+        return 1
     result = outcome.result
     if execution.hits:
         print("Result served from the persistent cache "
@@ -159,8 +192,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     # Observed runs bypass the cache by design: events only stream while
     # simulating.  With --jobs > 1 the worker records events and the
     # parent replays them, so the registry sees the identical stream.
-    execution = run_cells([spec], jobs=args.jobs, bus=bus)
-    result = execution.outcome(spec).result
+    execution = run_cells(
+        [spec], jobs=args.jobs, bus=bus, policy=_make_policy(args)
+    )
+    outcome = execution.outcome(spec)
+    if not outcome.ok:
+        _report_failures(execution.failures)
+        return 1
+    result = outcome.result
     if result.verified is not None:
         print(f"Functional verification: "
               f"{'PASSED' if result.verified else 'FAILED'}")
@@ -195,7 +234,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     suite = run_suite(
         num_ranks=args.ranks, paper_scale=True, bus=bus,
         jobs=args.jobs, use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, policy=_make_policy(args), strict=False,
     )
     print(f"=== Speedups (Figures 9 / 10a), {args.ranks} ranks ===")
     print(format_speedup_table(speedup_table(suite)))
@@ -206,6 +245,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
     if chrome is not None:
         print(f"\nChrome trace written to {chrome.write()} "
               f"({len(chrome.events)} events)")
+    if suite.failures:
+        _report_failures(suite.failures)
+        return 1
     return 0
 
 
@@ -273,6 +315,24 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Sweep fault models across benchmarks; grade detection vs masking."""
+    from repro.faults import FaultCampaign
+    from repro.faults.campaign import DEFAULT_BENCHMARKS
+
+    campaign = FaultCampaign(
+        benchmarks=tuple(args.benchmarks) or DEFAULT_BENCHMARKS,
+        seed=args.seed,
+    )
+    report = campaign.run(jobs=args.jobs, policy=_make_policy(args))
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"\nCampaign report written to {args.json}")
+    return 1 if report.grades()["crashed"] else 0
+
+
 def cmd_tables(_args: argparse.Namespace) -> int:
     from repro.experiments import format_table1, format_table2
 
@@ -320,6 +380,23 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore cached results and do not write new ones",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per cell in seconds; a cell that "
+             "exceeds it is killed and reported as a timeout "
+             "(default: $REPRO_CELL_TIMEOUT or unlimited)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-run a failing cell up to N times with exponential "
+             "backoff before recording the failure "
+             "(default: $REPRO_MAX_RETRIES or 0)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop scheduling new cells after the first ultimate "
+             "failure; unstarted cells are reported as skipped",
     )
 
 
@@ -380,6 +457,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_JOBS or serial)",
     )
     figure.set_defaults(func=cmd_figure)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign: which faults does verification catch?",
+    )
+    campaign.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark keys to sweep (default: vecadd axpy gemv)",
+    )
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default 0); same seed, "
+                               "same report, byte for byte")
+    campaign.add_argument("--json", metavar="OUT.json", default=None,
+                          help="write the deterministic campaign report")
+    _add_engine_flags(campaign)
+    campaign.set_defaults(func=cmd_campaign)
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables

@@ -69,6 +69,7 @@ class PimDevice:
         power: "PowerConfig | None" = None,
         enforce_capacity: bool = True,
         bus: "typing.Any | None" = None,
+        faults: "typing.Any | None" = None,
     ) -> None:
         self.config = config or DeviceConfig()
         self.functional = functional
@@ -80,6 +81,15 @@ class PimDevice:
         self.perf = make_perf_model(self.config)
         self.energy = EnergyModel(self.config, power)
         self.data_movement = DataMovementModel(self.config)
+        # ``faults`` is an optional repro.faults FaultInjector (or a
+        # FaultPlan, wrapped here): seeded, deterministic corruption of
+        # the functional data path (see docs/RESILIENCE.md); None costs
+        # a single attribute check per hook site.
+        if faults is not None and not hasattr(faults, "on_command_dest"):
+            from repro.faults.injector import FaultInjector
+
+            faults = FaultInjector(faults)
+        self.faults = faults
 
     def attach_bus(self, bus) -> None:
         """Attach (or replace) the observability event bus."""
@@ -117,6 +127,8 @@ class PimDevice:
             if values is None:
                 raise PimTypeError("functional mode requires host data")
             obj.set_data(values)
+            if self.faults is not None:
+                self.faults.on_data_install(obj, self.stats.bus)
         num_bytes = obj.nbytes
         latency = self.data_movement.host_transfer_ns(num_bytes)
         energy = self.energy.transfer_energy_nj(num_bytes, "h2d")
@@ -165,6 +177,8 @@ class PimDevice:
             if shift_elements:
                 data = np.roll(data, -shift_elements)
             dst.set_data(data.astype(dst.numpy_dtype()))
+            if self.faults is not None:
+                self.faults.on_data_install(dst, self.stats.bus)
         num_bytes = src.nbytes
         if pattern == "gather":
             latency = self.data_movement.device_gather_ns(num_bytes)
@@ -191,6 +205,8 @@ class PimDevice:
             if values is None:
                 raise PimTypeError("functional mode requires gathered values")
             dst.set_data(values)
+            if self.faults is not None:
+                self.faults.on_data_install(dst, self.stats.bus)
         moved = dst.nbytes if num_bytes is None else num_bytes
         latency = self.data_movement.device_gather_ns(moved)
         energy = self.energy.transfer_energy_nj(moved, "d2d")
@@ -264,6 +280,18 @@ class PimDevice:
         )
 
         if self.functional:
+            faults = self.faults
+            if faults is not None:
+                bus = self.stats.bus
+                if faults.drops_command(kind.api_name, bus):
+                    # The command was billed but never committed: the
+                    # destination keeps its stale contents, and a
+                    # scalar-producing command reports garbage (0).
+                    return 0 if spec.produces_scalar else None
+                value = self._compute(kind, inputs, dest, scalar)
+                if dest is not None:
+                    faults.on_command_dest(dest, cost.row_activations, bus)
+                return value
             return self._compute(kind, inputs, dest, scalar)
         if spec.produces_scalar:
             return 0

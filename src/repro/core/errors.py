@@ -1,23 +1,201 @@
-"""Exception hierarchy of the PIMeval reproduction."""
+"""Coded exception hierarchy and failure taxonomy of the PIMeval reproduction.
+
+Every simulator error carries a :class:`PimStatus` code (mirroring the
+``PimStatus`` return codes of the PIMeval C API) plus a machine-readable
+``context`` dict with the facts a caller needs to act on the failure --
+the offending object id, bytes requested vs. available, the command that
+was being executed.  ``str(exc)`` stays a plain human-readable message;
+``exc.to_dict()`` is the structured form the resilience layer persists in
+failure reports.
+
+The module also defines the *failure taxonomy* the experiment engine
+uses to classify why a suite cell died (:class:`FailureKind`) and the
+:func:`classify_exception` helper that maps an arbitrary exception onto
+it.  See ``docs/RESILIENCE.md`` for the full contract.
+"""
 
 from __future__ import annotations
 
+import enum
+import typing
+
+
+class PimStatus(enum.Enum):
+    """Machine-readable status codes, PimStatus-style.
+
+    ``OK`` exists so APIs can report success and failure uniformly; every
+    exception class below pins one of the error codes.
+    """
+
+    OK = "ok"
+    ERR_ALLOC = "err_alloc"
+    ERR_INVALID_OBJECT = "err_invalid_object"
+    ERR_TYPE = "err_type"
+    ERR_CONFIG = "err_config"
+    ERR_STATE = "err_state"
+    ERR_TIMEOUT = "err_timeout"
+    ERR_WORKER_CRASH = "err_worker_crash"
+    ERR_FAULT_INJECTED = "err_fault_injected"
+    ERR_RUNTIME = "err_runtime"
+
+
+class FailureKind(enum.Enum):
+    """Why a unit of work (a suite cell, a command) ultimately failed.
+
+    The taxonomy the engine's failure summary and the fault campaign
+    report are bucketed by:
+
+    * ``ERROR`` -- the simulation raised (a bug, a bad configuration, an
+      injected exception); deterministic unless proven otherwise.
+    * ``TIMEOUT`` -- the cell exceeded its wall-clock budget.
+    * ``CRASH`` -- the worker process died without raising (segfault,
+      OOM kill, injected crash).
+    * ``OOM`` -- the simulation raised :class:`MemoryError`.
+    * ``SKIPPED`` -- never attempted because ``--fail-fast`` stopped the
+      run after an earlier failure.
+    """
+
+    ERROR = "error"
+    TIMEOUT = "timeout"
+    CRASH = "crash"
+    OOM = "oom"
+    SKIPPED = "skipped"
+
+    @property
+    def transient(self) -> bool:
+        """Whether a retry has a plausible chance of succeeding.
+
+        Timeouts, crashes, and OOM kills are environment-dependent
+        (machine load, co-tenant memory pressure); plain errors usually
+        reproduce, but the retry policy may still elect to retry them.
+        """
+        return self in (FailureKind.TIMEOUT, FailureKind.CRASH, FailureKind.OOM)
+
 
 class PimError(Exception):
-    """Base class for all simulator errors."""
+    """Base class for all simulator errors.
+
+    ``context`` keyword arguments become the structured payload::
+
+        raise PimAllocationError(
+            "cannot allocate 128 rows",
+            rows_requested=128, rows_available=37,
+        )
+    """
+
+    status: PimStatus = PimStatus.ERR_RUNTIME
+
+    def __init__(self, message: str = "", **context: typing.Any) -> None:
+        super().__init__(message)
+        self.context: "dict[str, typing.Any]" = context
+
+    @property
+    def message(self) -> str:
+        return self.args[0] if self.args else ""
+
+    def __str__(self) -> str:
+        base = self.message
+        if not self.context:
+            return base
+        details = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        return f"{base} [{details}]"
+
+    def to_dict(self) -> "dict[str, typing.Any]":
+        """JSON-friendly structured form (status code + context)."""
+        return {
+            "status": self.status.value,
+            "type": type(self).__name__,
+            "message": self.message,
+            "context": dict(self.context),
+        }
 
 
 class PimAllocationError(PimError):
-    """Device memory could not satisfy an allocation request."""
+    """Device memory could not satisfy an allocation request.
+
+    Context keys (when known): ``num_elements``, ``bits``,
+    ``bytes_requested``, ``bytes_available``, ``rows_requested``,
+    ``rows_in_use``, ``rows_total``, ``obj_id``.
+    """
+
+    status = PimStatus.ERR_ALLOC
 
 
 class PimInvalidObjectError(PimError):
-    """An object id does not name a live PIM data object."""
+    """An object id does not name a live PIM data object.
+
+    Context keys: ``obj_id``.
+    """
+
+    status = PimStatus.ERR_INVALID_OBJECT
 
 
 class PimTypeError(PimError):
-    """Operand data types or shapes are incompatible with a command."""
+    """Operand data types or shapes are incompatible with a command.
+
+    Context keys (when known): ``command``, ``expected``, ``actual``.
+    """
+
+    status = PimStatus.ERR_TYPE
 
 
 class PimConfigError(PimError):
     """A device configuration is internally inconsistent."""
+
+    status = PimStatus.ERR_CONFIG
+
+
+class PimStateError(PimError):
+    """An API call arrived in a state that cannot serve it (e.g. no
+    current device)."""
+
+    status = PimStatus.ERR_STATE
+
+
+class PimTimeoutError(PimError):
+    """A unit of work exceeded its wall-clock budget."""
+
+    status = PimStatus.ERR_TIMEOUT
+
+
+class PimWorkerCrashError(PimError):
+    """A worker process died without raising a Python exception."""
+
+    status = PimStatus.ERR_WORKER_CRASH
+
+
+class PimFaultInjectionError(PimError):
+    """An injected fault model deliberately aborted the work."""
+
+    status = PimStatus.ERR_FAULT_INJECTED
+
+
+def classify_exception(exc: BaseException) -> FailureKind:
+    """Map an exception onto the failure taxonomy.
+
+    Import-cycle-free by design (pure stdlib), so both the engine parent
+    process and worker-side code can use it.
+    """
+    if isinstance(exc, MemoryError):
+        return FailureKind.OOM
+    if isinstance(exc, (TimeoutError, PimTimeoutError)):
+        return FailureKind.TIMEOUT
+    if isinstance(exc, PimWorkerCrashError):
+        return FailureKind.CRASH
+    # concurrent.futures raises BrokenExecutor/BrokenProcessPool when a
+    # worker dies mid-task; recognize them structurally to avoid the
+    # import at module scope.
+    if type(exc).__name__ in ("BrokenProcessPool", "BrokenExecutor"):
+        return FailureKind.CRASH
+    return FailureKind.ERROR
+
+
+def status_of(exc: BaseException) -> PimStatus:
+    """The status code an arbitrary exception maps to."""
+    if isinstance(exc, PimError):
+        return exc.status
+    kind = classify_exception(exc)
+    return {
+        FailureKind.TIMEOUT: PimStatus.ERR_TIMEOUT,
+        FailureKind.CRASH: PimStatus.ERR_WORKER_CRASH,
+    }.get(kind, PimStatus.ERR_RUNTIME)

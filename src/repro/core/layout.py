@@ -87,8 +87,13 @@ def plan_layout(
         capacity = num_cores * rows * cols
         raise PimAllocationError(
             f"object of {num_elements} x {bits}-bit elements needs "
-            f"{rows_per_core} rows per core but only {rows} exist "
-            f"(demand {needed} bits vs capacity {capacity} bits)"
+            f"{rows_per_core} rows per core but only {rows} exist",
+            num_elements=num_elements,
+            bits=bits,
+            rows_needed=rows_per_core,
+            rows_available=rows,
+            bits_requested=needed,
+            bits_capacity=capacity,
         )
 
     return ObjectLayout(
@@ -126,12 +131,17 @@ class RowAllocator:
         if count <= 0:
             raise PimAllocationError(f"row count must be positive, got {count}")
         if obj_id in self._allocated:
-            raise PimAllocationError(f"object {obj_id} already has rows allocated")
+            raise PimAllocationError(
+                f"object {obj_id} already has rows allocated", obj_id=obj_id
+            )
         start = self._find_gap(count)
         if start is None:
             raise PimAllocationError(
                 f"cannot allocate {count} rows: {self.rows_in_use} of "
-                f"{self.num_rows} in use (fragmented or full)"
+                f"{self.num_rows} in use (fragmented or full)",
+                rows_requested=count,
+                rows_in_use=self.rows_in_use,
+                rows_total=self.num_rows,
             )
         self._allocated[obj_id] = (start, count)
         return start

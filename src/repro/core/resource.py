@@ -37,7 +37,11 @@ class ResourceManager:
     def get(self, obj_id: int) -> PimObject:
         obj = self._objects.get(obj_id)
         if obj is None:
-            raise PimInvalidObjectError(f"no live object with id {obj_id}")
+            raise PimInvalidObjectError(
+                f"no live object with id {obj_id}",
+                obj_id=obj_id,
+                num_live_objects=self.num_live_objects,
+            )
         return obj
 
     def alloc(

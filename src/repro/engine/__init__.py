@@ -27,6 +27,7 @@ from repro.engine.cache import (
     default_cache_dir,
 )
 from repro.engine.cells import (
+    CellExecutionError,
     CellOutcome,
     CellSpec,
     resolve_benchmark_class,
@@ -43,6 +44,7 @@ from repro.engine.version import CACHE_SCHEMA, model_version
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
+    "CellExecutionError",
     "CellOutcome",
     "CellSpec",
     "DiskCache",

@@ -84,6 +84,10 @@ def cell_cache_key(spec: CellSpec) -> str:
         "functional": spec.functional,
         "enforce_capacity": spec.enforce_capacity,
     }
+    if spec.fault_plan is not None:
+        # Only present when set, so fault-free keys (the overwhelmingly
+        # common case) are unchanged from the pre-fault-injection format.
+        material["fault_plan"] = _canonical(spec.fault_plan)
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -121,8 +125,12 @@ class DiskCache:
                 )
             return outcome
         except Exception as exc:  # noqa: BLE001 - any corruption degrades to a miss
+            from repro.obs.metrics import global_registry
+
+            global_registry().counter("cache.corrupt_entries").inc()
             warnings.warn(
-                f"corrupted cache entry {path} ({exc!r}); re-simulating",
+                f"corrupted cache entry at {path}: "
+                f"{type(exc).__name__}: {exc}; re-simulating",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -15,6 +15,8 @@ was observed -- the recorded event stream for parent-side replay.
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 import typing
 
 from repro.baselines.cpu import CpuModel
@@ -24,10 +26,18 @@ from repro.bench.registry import BENCHMARKS_BY_KEY
 from repro.config.device import DeviceConfig, PimDeviceType
 from repro.config.presets import make_device_config
 from repro.core.device import PimDevice
+from repro.core.errors import PimFaultInjectionError
 from repro.core.stats import StatsTracker
+from repro.faults.models import (
+    FaultPlan,
+    WorkerCrashFault,
+    WorkerExceptionFault,
+    WorkerHangFault,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.events import EventBus, ObsEvent
+    from repro.resilience.failures import CellFailure
 
 
 def resolve_benchmark_class(key: str) -> "type[PimBenchmark]":
@@ -59,6 +69,11 @@ class CellSpec:
     functional: bool = False
     enforce_capacity: bool = True
     geometry_overrides: "tuple[tuple[str, int], ...]" = ()
+    #: Optional seeded fault plan (see :mod:`repro.faults`): device
+    #: faults corrupt the functional simulation; engine faults attack
+    #: the worker itself (chaos-testing the resilience layer).  Part of
+    #: the cell's cache identity.
+    fault_plan: "FaultPlan | None" = None
 
     @staticmethod
     def normalize_overrides(
@@ -79,7 +94,7 @@ class CellSpec:
 
 @dataclasses.dataclass
 class CellOutcome:
-    """Everything one cell run produced.
+    """Everything one cell run produced -- or why it produced nothing.
 
     ``tracker`` is the device's full :class:`StatsTracker` (bus
     detached): richer than ``result.stats`` because it keeps the
@@ -87,12 +102,37 @@ class CellOutcome:
     Listing-3 report renders.  ``events`` is only populated when the
     cell ran in a worker under observation; it is never written to the
     disk cache (profiled runs bypass it).
+
+    A cell that raised, hung past its timeout, or whose worker died
+    becomes ``CellOutcome.failure(error)``: ``result``/``tracker`` are
+    ``None`` and ``error`` holds the structured
+    :class:`~repro.resilience.failures.CellFailure`.  Failed outcomes
+    are never cached.  ``faults_injected`` tallies deliberate
+    corruptions when the cell ran under a fault plan.
     """
 
-    result: BenchmarkResult
-    tracker: StatsTracker
-    sim_dur_ns: float
+    result: "BenchmarkResult | None"
+    tracker: "StatsTracker | None"
+    sim_dur_ns: float = 0.0
     events: "tuple[ObsEvent, ...] | None" = None
+    error: "CellFailure | None" = None
+    faults_injected: "tuple[tuple[str, int], ...] | None" = None
+
+    @classmethod
+    def failure(cls, error: "CellFailure") -> "CellOutcome":
+        """The outcome of a cell that ultimately failed."""
+        return cls(result=None, tracker=None, error=error)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def require_result(self) -> BenchmarkResult:
+        """The result, or a re-raise of the failure for strict callers."""
+        if self.error is not None:
+            raise CellExecutionError(self.error)
+        assert self.result is not None
+        return self.result
 
     def without_events(self) -> "CellOutcome":
         if self.events is None:
@@ -100,18 +140,62 @@ class CellOutcome:
         return dataclasses.replace(self, events=None)
 
 
+class CellExecutionError(RuntimeError):
+    """Raised by strict callers when a cell's structured failure must
+    surface as an exception (e.g. library use of ``run_suite``)."""
+
+    def __init__(self, error: "CellFailure") -> None:
+        super().__init__(error.brief())
+        self.error = error
+
+
+def _apply_engine_faults(spec: CellSpec, attempt: int, isolated: bool) -> None:
+    """Fire the worker-level chaos faults of a cell's plan, if any.
+
+    Runs before the simulation so a hang/crash models a worker that
+    never produced a result.  ``attempt`` is 1-based; transient faults
+    stop firing once ``attempt`` exceeds their budget.
+    """
+    if spec.fault_plan is None:
+        return
+    for fault in spec.fault_plan.engine_faults:
+        if isinstance(fault, WorkerHangFault):
+            time.sleep(fault.seconds)
+        elif isinstance(fault, WorkerExceptionFault):
+            if attempt <= fault.fail_attempts:
+                raise PimFaultInjectionError(
+                    fault.message,
+                    benchmark=spec.benchmark_key, attempt=attempt,
+                )
+        elif isinstance(fault, WorkerCrashFault):
+            if attempt <= fault.fail_attempts:
+                if not isolated:
+                    raise PimFaultInjectionError(
+                        "WorkerCrashFault requires process isolation "
+                        "(it would kill this process)",
+                        benchmark=spec.benchmark_key,
+                    )
+                os._exit(fault.exit_code)
+
+
 def run_cell(
     spec: CellSpec,
     bus: "EventBus | None" = None,
     record_events: bool = False,
+    attempt: int = 1,
+    isolated: bool = False,
 ) -> CellOutcome:
     """Simulate one cell from scratch.
 
     ``bus`` streams events live onto an existing parent bus (the serial
     path).  ``record_events`` instead builds a private bus whose events
     are captured into the outcome for later replay (the worker path).
-    The two are mutually exclusive.
+    The two are mutually exclusive.  ``attempt`` is the 1-based try
+    number (retries pass 2, 3, ...) -- transient injected faults key off
+    it; ``isolated`` tells the cell it runs in a disposable worker
+    process, which hard-crash faults require.
     """
+    _apply_engine_faults(spec, attempt, isolated)
     if record_events:
         if bus is not None:
             raise ValueError("record_events and a live bus are exclusive")
@@ -124,12 +208,19 @@ def run_cell(
         config = spec.device_config()
         recorder = None
 
+    injector = None
+    if spec.fault_plan is not None and spec.fault_plan.device_faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(spec.fault_plan)
+
     bench = spec.make_benchmark()
     device = PimDevice(
         config,
         functional=spec.functional,
         enforce_capacity=spec.enforce_capacity,
         bus=bus,
+        faults=injector,
     )
     result = bench.run(device, CpuModel(), GpuModel())
     tracker = device.stats
@@ -139,4 +230,5 @@ def run_cell(
         tracker=tracker,
         sim_dur_ns=result.stats.total_time_ns,
         events=tuple(recorder.events) if recorder is not None else None,
+        faults_injected=injector.counts() if injector is not None else None,
     )

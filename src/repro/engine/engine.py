@@ -12,6 +12,17 @@ funnels through.  Given an ordered list of
    same deterministic ordering regardless of worker scheduling, and
 4. writes fresh results back to the cache.
 
+Resilience contract (see ``docs/RESILIENCE.md``): a
+:class:`~repro.resilience.RetryPolicy` governs what happens when a cell
+raises, hangs, or its worker dies.  Failures degrade into structured
+:class:`~repro.engine.cells.CellOutcome` failures carried through
+:class:`ExecutionResult` -- one bad cell never kills ``run_cells``.
+Retries re-run the cell with exponential backoff and deterministic
+jitter; a per-cell wall-clock timeout forces process isolation (even for
+``jobs=1``) so a hung worker can be killed; ``fail_fast`` stops
+scheduling after the first ultimate failure and marks the rest
+``SKIPPED``.  Failed outcomes are never written to the cache.
+
 Observability contract: when a bus is attached, caching is bypassed
 entirely (events only stream while simulating, so a cache hit would
 produce a silent hole in the trace).  Serial observed runs stream onto
@@ -21,21 +32,31 @@ observed runs give each worker a private bus with a
 cell's events in spec order, shifting simulated timestamps onto its own
 clock, so ``bus.now_ns`` still ends at the sum of every cell's
 ``stats.total_time_ns`` -- the invariant the Perfetto export and the
-metrics registry rely on.
+metrics registry rely on.  Retries and failures additionally surface as
+``engine``-category instant events on the parent bus.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import dataclasses
 import os
+import time
 import typing
 
+from repro.core.errors import PimTimeoutError, PimWorkerCrashError
 from repro.engine.cache import DiskCache, cell_cache_key
 from repro.engine.cells import CellOutcome, CellSpec, run_cell
+from repro.resilience.failures import (
+    failure_from_exception,
+    skipped_failure,
+)
+from repro.resilience.policy import RetryPolicy
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.events import EventBus
+    from repro.resilience.failures import CellFailure
 
 #: Environment variable supplying the default worker count (CLI ``--jobs``
 #: overrides it; unset means serial).
@@ -50,7 +71,9 @@ def resolve_jobs(jobs: "int | None") -> int:
             try:
                 jobs = int(env)
             except ValueError:
-                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
         else:
             jobs = 1
     if jobs < 1:
@@ -67,21 +90,57 @@ class ExecutionResult:
     misses: int = 0
     jobs: int = 1
     cache_dir: "str | None" = None
+    retries: int = 0
+    policy: "RetryPolicy | None" = None
 
     def outcome(self, spec: CellSpec) -> CellOutcome:
         return self.outcomes[spec]
 
+    @property
+    def failures(self) -> "dict[CellSpec, CellFailure]":
+        """Every cell that ultimately failed, in spec order."""
+        return {
+            spec: outcome.error
+            for spec, outcome in self.outcomes.items()
+            if outcome.error is not None
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_first_failure(self) -> None:
+        """Strict mode: surface the first failure as an exception."""
+        for outcome in self.outcomes.values():
+            if outcome.error is not None:
+                outcome.require_result()
+
     def summary(self) -> str:
         where = f" ({self.cache_dir})" if self.cache_dir else ""
+        extra = ""
+        if self.retries:
+            extra += f", {self.retries} retried"
+        failed = len(self.failures)
+        if failed:
+            extra += f", {failed} FAILED"
         return (
             f"{self.hits} cached, {self.misses} simulated "
-            f"with {self.jobs} job(s){where}"
+            f"with {self.jobs} job(s){extra}{where}"
         )
 
 
-def _worker(spec: CellSpec, record_events: bool) -> CellOutcome:
+def _worker(
+    spec: CellSpec, record_events: bool, attempt: int, isolated: bool
+) -> CellOutcome:
     """Top-level so it pickles under every multiprocessing start method."""
-    return run_cell(spec, record_events=record_events)
+    return run_cell(
+        spec, record_events=record_events, attempt=attempt, isolated=isolated
+    )
+
+
+def _retry_key(spec: CellSpec) -> str:
+    """Stable identity for backoff jitter (cheaper than the cache key)."""
+    return f"{spec.benchmark_key}:{spec.device_type.value}:{spec.num_ranks}"
 
 
 def _replay(bus: "EventBus", outcome: CellOutcome) -> None:
@@ -106,19 +165,212 @@ def _replay(bus: "EventBus", outcome: CellOutcome) -> None:
     bus.advance(outcome.sim_dur_ns)
 
 
+class _Reporter:
+    """Funnels retry/failure happenings onto the bus and tallies retries."""
+
+    def __init__(self, bus: "EventBus | None") -> None:
+        self.bus = bus
+        self.retries = 0
+
+    def retry(self, spec: CellSpec, attempt: int, exc: BaseException) -> None:
+        self.retries += 1
+        if self.bus is not None:
+            self.bus.emit_instant(
+                f"cell.retry:{spec.benchmark_key}", "engine",
+                {"device": spec.device_type.value, "attempt": attempt,
+                 "error": type(exc).__name__},
+            )
+
+    def failed(self, spec: CellSpec, failure: "CellFailure") -> None:
+        if self.bus is not None:
+            self.bus.emit_instant(
+                f"cell.failed:{spec.benchmark_key}", "engine",
+                {"device": spec.device_type.value,
+                 "kind": failure.kind.value,
+                 "attempts": failure.attempts,
+                 "error": failure.error_type},
+            )
+
+
+def _run_serial(
+    misses: "list[CellSpec]",
+    policy: RetryPolicy,
+    bus: "EventBus | None",
+    reporter: _Reporter,
+) -> "dict[CellSpec, CellOutcome]":
+    """In-process execution: retries inline, no timeout enforcement."""
+    outcomes: "dict[CellSpec, CellOutcome]" = {}
+    fail_fast_hit = False
+    for spec in misses:
+        if fail_fast_hit:
+            outcomes[spec] = CellOutcome.failure(skipped_failure())
+            continue
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if bus is not None:
+                    bus.process = spec.device_config().label
+                outcomes[spec] = run_cell(spec, bus=bus, attempt=attempt)
+                break
+            except Exception as exc:  # noqa: BLE001 - degraded to CellFailure
+                if attempt < policy.max_attempts:
+                    reporter.retry(spec, attempt, exc)
+                    time.sleep(policy.backoff_s(_retry_key(spec), attempt))
+                    continue
+                failure = failure_from_exception(exc, attempt)
+                outcomes[spec] = CellOutcome.failure(failure)
+                reporter.failed(spec, failure)
+                if policy.fail_fast:
+                    fail_fast_hit = True
+                break
+    return outcomes
+
+
+def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear down a pool that holds a hung or dead worker.
+
+    ``shutdown`` alone would wait on the hung process forever, so the
+    worker processes are killed first; the shutdown that follows then
+    only reaps the manager thread (and keeps interpreter exit quiet).
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already-dead processes are fine
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_isolated(
+    misses: "list[CellSpec]",
+    jobs: int,
+    policy: RetryPolicy,
+    record: bool,
+    reporter: _Reporter,
+) -> "dict[CellSpec, CellOutcome]":
+    """Supervised execution: every attempt gets its own worker process.
+
+    Each running cell owns a dedicated single-worker pool (at most
+    ``jobs`` alive at once), so a crash breaks exactly one cell's pool
+    -- attribution is precise, nothing collateral -- and a timeout kills
+    exactly one cell's process.  A shared pool cannot offer either: one
+    dead worker poisons every outstanding future indistinguishably.  The
+    per-attempt process spawn this costs is noise next to a simulation
+    cell's runtime.  Retries re-queue the cell behind a monotonic
+    backoff gate; the per-cell timeout is wall-clock from launch.
+    """
+    outcomes: "dict[CellSpec, CellOutcome]" = {}
+    attempts: "dict[CellSpec, int]" = dict.fromkeys(misses, 0)
+    queue = list(misses)
+    not_before: "dict[CellSpec, float]" = {}
+    running: "dict[concurrent.futures.Future, tuple[CellSpec, concurrent.futures.ProcessPoolExecutor, float | None]]" = {}
+    fail_fast_hit = False
+
+    def settle(spec: CellSpec, exc: BaseException) -> None:
+        """One attempt failed: retry, or record the ultimate failure."""
+        nonlocal fail_fast_hit
+        if attempts[spec] < policy.max_attempts and not fail_fast_hit:
+            reporter.retry(spec, attempts[spec], exc)
+            gate = policy.backoff_s(_retry_key(spec), attempts[spec])
+            not_before[spec] = time.monotonic() + gate
+            queue.append(spec)
+            return
+        failure = failure_from_exception(exc, attempts[spec])
+        outcomes[spec] = CellOutcome.failure(failure)
+        reporter.failed(spec, failure)
+        if policy.fail_fast:
+            fail_fast_hit = True
+
+    def launch(spec: CellSpec) -> None:
+        attempts[spec] += 1
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+        future = pool.submit(_worker, spec, record, attempts[spec], True)
+        deadline = (
+            time.monotonic() + policy.cell_timeout_s
+            if policy.cell_timeout_s is not None
+            else None
+        )
+        running[future] = (spec, pool, deadline)
+
+    while queue or running:
+        now = time.monotonic()
+        if fail_fast_hit:
+            for spec in queue:
+                outcomes[spec] = CellOutcome.failure(skipped_failure())
+            queue = []
+        while queue and len(running) < jobs:
+            index = next(
+                (i for i, s in enumerate(queue)
+                 if not_before.get(s, 0.0) <= now),
+                None,
+            )
+            if index is None:
+                break
+            launch(queue.pop(index))
+        if not running:
+            # Everything left is gated on backoff; sleep to the nearest gate.
+            if queue:
+                gate = min(not_before[s] for s in queue)
+                time.sleep(max(0.0, gate - time.monotonic()))
+            continue
+        deadlines = [d for (_, _, d) in running.values() if d is not None]
+        if deadlines:
+            wait_s = max(0.0, min(deadlines) - time.monotonic())
+        elif queue:
+            wait_s = 0.05  # backoff-gated cells want a slot soon
+        else:
+            wait_s = None
+        done, _ = concurrent.futures.wait(
+            running, timeout=wait_s,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        for future in done:
+            spec, pool, _ = running.pop(future)
+            try:
+                outcomes[spec] = future.result()
+            except concurrent.futures.process.BrokenProcessPool:
+                settle(spec, PimWorkerCrashError(
+                    "worker process died without raising",
+                    benchmark=spec.benchmark_key,
+                    device=spec.device_type.value,
+                    attempt=attempts[spec],
+                ))
+            except Exception as exc:  # noqa: BLE001 - degraded to CellFailure
+                settle(spec, exc)
+            pool.shutdown(wait=False)
+        now = time.monotonic()
+        for future, (spec, pool, deadline) in list(running.items()):
+            if deadline is None or now < deadline or future.done():
+                continue  # done-but-unharvested cells settle next pass
+            del running[future]
+            _kill_pool(pool)
+            settle(spec, PimTimeoutError(
+                f"cell exceeded its {policy.cell_timeout_s}s timeout",
+                timeout_s=policy.cell_timeout_s,
+                benchmark=spec.benchmark_key,
+                device=spec.device_type.value,
+                attempt=attempts[spec],
+            ))
+    return outcomes
+
+
 def run_cells(
     specs: "typing.Sequence[CellSpec]",
     jobs: "int | None" = None,
     use_cache: bool = True,
     cache_dir: "str | os.PathLike | None" = None,
     bus: "EventBus | None" = None,
+    policy: "RetryPolicy | None" = None,
 ) -> ExecutionResult:
     """Execute (or fetch) every cell; see the module docstring for rules."""
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    policy = policy if policy is not None else RetryPolicy.from_env()
     observed = bus is not None
     caching = use_cache and not observed
     cache = DiskCache(cache_dir) if caching else None
+    reporter = _Reporter(bus)
 
     outcomes: "dict[CellSpec, CellOutcome]" = {}
     keys: "dict[CellSpec, str]" = {}
@@ -132,31 +384,29 @@ def run_cells(
                 hits += 1
 
     misses = [spec for spec in specs if spec not in outcomes]
+    # A timeout can only be enforced on a killable worker process, so a
+    # policy carrying one forces isolation even for serial runs.
+    isolated = bool(misses) and (jobs > 1 or policy.needs_isolation)
     if misses:
-        if jobs > 1:
-            record = observed
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(misses))
-            ) as pool:
-                for spec, outcome in zip(
-                    misses, pool.map(_worker, misses, [record] * len(misses))
-                ):
-                    outcomes[spec] = outcome
+        if isolated:
+            outcomes.update(
+                _run_isolated(misses, jobs, policy, observed, reporter)
+            )
         else:
-            for spec in misses:
-                if observed:
-                    bus.process = spec.device_config().label
-                outcomes[spec] = run_cell(spec, bus=bus)
+            outcomes.update(_run_serial(misses, policy, bus, reporter))
 
-    if observed and jobs > 1:
+    if observed and isolated:
         # Deterministic merge of the recorded streams: replay follows
-        # spec order, not worker completion order.
+        # spec order, not worker completion order; failed cells recorded
+        # nothing and contribute no simulated time.
         for spec in specs:
-            _replay(bus, outcomes[spec])
+            if outcomes[spec].ok:
+                _replay(bus, outcomes[spec])
 
     if cache is not None:
         for spec in misses:
-            cache.put(keys[spec], outcomes[spec])
+            if outcomes[spec].ok:
+                cache.put(keys[spec], outcomes[spec])
 
     return ExecutionResult(
         outcomes={spec: outcomes[spec] for spec in specs},
@@ -164,4 +414,6 @@ def run_cells(
         misses=len(misses),
         jobs=jobs,
         cache_dir=str(cache.root) if cache is not None else None,
+        retries=reporter.retries,
+        policy=policy,
     )

@@ -16,15 +16,22 @@ from repro.experiments.runner import DEVICE_ORDER, SuiteResults, run_suite
 
 @dataclasses.dataclass(frozen=True)
 class BreakdownRow:
-    """One stacked bar of Figure 7."""
+    """One stacked bar of Figure 7.
+
+    A *failed* row marks a cell without a result; the shares are NaN,
+    exempt from the sums-to-100 check, and rendered as a gap.
+    """
 
     benchmark: str
     device_type: PimDeviceType
     data_movement_pct: float
     host_pct: float
     kernel_pct: float
+    failed: bool = False
 
     def __post_init__(self) -> None:
+        if self.failed:
+            return
         total = self.data_movement_pct + self.host_pct + self.kernel_pct
         if total and not 99.0 <= total <= 101.0:
             raise ValueError(f"breakdown does not sum to 100%: {total}")
@@ -34,9 +41,18 @@ def breakdown_table(
     suite: "SuiteResults | None" = None, jobs: "int | None" = None,
 ) -> "list[BreakdownRow]":
     suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
+    nan = float("nan")
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():
+            if not suite.has_result(key, device_type):
+                rows.append(BreakdownRow(
+                    benchmark=suite.benchmarks[key].name,
+                    device_type=device_type,
+                    data_movement_pct=nan, host_pct=nan, kernel_pct=nan,
+                    failed=True,
+                ))
+                continue
             result = suite.result(key, device_type)
             shares = result.breakdown
             rows.append(BreakdownRow(
@@ -55,6 +71,12 @@ def format_breakdown_table(rows: "list[BreakdownRow]") -> str:
         f"{'Host%':>8s} {'Kernel%':>8s}"
     ]
     for row in rows:
+        if row.failed:
+            lines.append(
+                f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+                f"{'--':>10s} {'--':>8s} {'--':>8s}  (failed)"
+            )
+            continue
         lines.append(
             f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
             f"{row.data_movement_pct:>10.1f} {row.host_pct:>8.1f} "

@@ -21,22 +21,36 @@ from repro.experiments.runner import (
 
 @dataclasses.dataclass(frozen=True)
 class EnergyRow:
-    """One benchmark's energy-reduction bars for one architecture."""
+    """One benchmark's energy-reduction bars for one architecture.
+
+    A *failed* row marks a cell without a result; values are NaN and
+    the formatter renders a gap.
+    """
 
     benchmark: str
     device_type: PimDeviceType
     reduction_cpu: float  # Figure 11
     reduction_gpu: float  # Figure 10b
     pim_energy_mj: float
+    failed: bool = False
 
 
 def energy_table(
     suite: "SuiteResults | None" = None, jobs: "int | None" = None,
 ) -> "list[EnergyRow]":
     suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
+    nan = float("nan")
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():
+            if not suite.has_result(key, device_type):
+                rows.append(EnergyRow(
+                    benchmark=suite.benchmarks[key].name,
+                    device_type=device_type,
+                    reduction_cpu=nan, reduction_gpu=nan, pim_energy_mj=nan,
+                    failed=True,
+                ))
+                continue
             result = suite.result(key, device_type)
             rows.append(EnergyRow(
                 benchmark=result.benchmark,
@@ -51,7 +65,9 @@ def energy_table(
 def gmean_summary(rows: "list[EnergyRow]") -> "dict[PimDeviceType, dict[str, float]]":
     summary = {}
     for device_type in DEVICE_ORDER:
-        device_rows = [r for r in rows if r.device_type is device_type]
+        device_rows = [
+            r for r in rows if r.device_type is device_type and not r.failed
+        ]
         summary[device_type] = {
             "cpu": geometric_mean(r.reduction_cpu for r in device_rows),
             "gpu": geometric_mean(r.reduction_gpu for r in device_rows),
@@ -65,6 +81,12 @@ def format_energy_table(rows: "list[EnergyRow]") -> str:
         f"{'PIM mJ':>14s}"
     ]
     for row in rows:
+        if row.failed:
+            lines.append(
+                f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+                f"{'--':>10s} {'--':>10s} {'--':>14s}  (failed)"
+            )
+            continue
         lines.append(
             f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
             f"{row.reduction_cpu:>10.3f} {row.reduction_gpu:>10.3f} "

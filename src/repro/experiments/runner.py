@@ -27,6 +27,10 @@ from repro.config.device import PimDeviceType
 from repro.engine import CellSpec, DiskCache, run_cells
 from repro.obs.spans import span
 
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.failures import CellFailure
+    from repro.resilience.policy import RetryPolicy
+
 #: Figure order of the benchmarks (Table I order).
 BENCHMARK_ORDER: "tuple[str, ...]" = tuple(cls.key for cls in BENCHMARK_CLASSES)
 #: Figure order of the architectures.
@@ -39,15 +43,32 @@ DEVICE_ORDER: "tuple[PimDeviceType, ...]" = (
 
 @dataclasses.dataclass
 class SuiteResults:
-    """All (benchmark, architecture) results of one configuration."""
+    """All (benchmark, architecture) results of one configuration.
+
+    ``failures`` carries the cells that ultimately failed (keyed by
+    their :class:`~repro.engine.CellSpec`, ready for
+    :func:`repro.resilience.format_failure_summary`); those cells have
+    no entry in ``results``, and the figure formatters render them as
+    explicit gaps.
+    """
 
     num_ranks: int
     paper_scale: bool
     benchmarks: "dict[str, PimBenchmark]"
     results: "dict[tuple[str, PimDeviceType], BenchmarkResult]"
+    failures: "dict[CellSpec, CellFailure]" = dataclasses.field(
+        default_factory=dict
+    )
 
     def result(self, key: str, device_type: PimDeviceType) -> BenchmarkResult:
         return self.results[(key, device_type)]
+
+    def has_result(self, key: str, device_type: PimDeviceType) -> bool:
+        return (key, device_type) in self.results
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def benchmark_keys(self) -> "tuple[str, ...]":
         return tuple(k for k in BENCHMARK_ORDER if k in self.benchmarks)
@@ -92,6 +113,8 @@ def run_suite(
     bus=None,
     jobs: "int | None" = None,
     cache_dir=None,
+    policy: "RetryPolicy | None" = None,
+    strict: bool = True,
 ) -> SuiteResults:
     """Run (or fetch cached) suite results for one configuration.
 
@@ -110,6 +133,14 @@ def run_suite(
     overrides the persistent result store's location (default:
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``use_cache=False``
     bypasses both the in-memory and the on-disk tier.
+
+    ``policy`` sets the resilience contract (retries, per-cell timeout,
+    fail-fast; default from ``$REPRO_MAX_RETRIES``/``$REPRO_CELL_TIMEOUT``).
+    With ``strict=True`` (the library default) any cell that ultimately
+    fails raises :class:`~repro.engine.CellExecutionError`; with
+    ``strict=False`` failed cells are dropped from ``results`` and
+    reported in ``SuiteResults.failures`` so drivers can render gaps --
+    the CLI's behavior.  Suites carrying failures are never memoized.
     """
     keys = tuple(keys) if keys is not None else BENCHMARK_ORDER
     cache_key = (
@@ -129,26 +160,30 @@ def run_suite(
               {"paper_scale": paper_scale, "benchmarks": len(keys)}):
         execution = run_cells(
             specs, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-            bus=bus,
+            bus=bus, policy=policy,
         )
         if bus is not None:
             # The suite span's end must pair with its begin on the same
             # process track, so restore the label the span opened under.
             bus.process = suite_process
+    if strict:
+        execution.raise_first_failure()
     benchmarks = {
         key: make_benchmark(key, paper_scale=paper_scale) for key in keys
     }
     results = {
         (spec.benchmark_key, spec.device_type): execution.outcome(spec).result
         for spec in specs
+        if execution.outcome(spec).ok
     }
     suite = SuiteResults(
         num_ranks=num_ranks,
         paper_scale=paper_scale,
         benchmarks=benchmarks,
         results=results,
+        failures=execution.failures,
     )
-    if use_cache:
+    if use_cache and suite.ok:
         _CACHE[cache_key] = suite
     return suite
 

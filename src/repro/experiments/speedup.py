@@ -21,23 +21,38 @@ from repro.experiments.runner import (
 
 @dataclasses.dataclass(frozen=True)
 class SpeedupRow:
-    """One benchmark's bars for one architecture."""
+    """One benchmark's bars for one architecture.
+
+    A *failed* row marks a cell that produced no result (its suite run
+    carries the failure in ``SuiteResults.failures``); the bar values
+    are NaN and the formatter renders an explicit gap.
+    """
 
     benchmark: str
     device_type: PimDeviceType
     speedup_total: float  # kernel + data movement (+ host)
     speedup_kernel: float  # kernel (+ host) only
     speedup_gpu: float
+    failed: bool = False
 
 
 def speedup_table(
     suite: "SuiteResults | None" = None, jobs: "int | None" = None,
 ) -> "list[SpeedupRow]":
-    """All Figure 9 / 10a bars, in figure order."""
+    """All Figure 9 / 10a bars, in figure order (failed cells as gaps)."""
     suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
+    nan = float("nan")
     rows = []
     for device_type in DEVICE_ORDER:
         for key in suite.benchmark_keys():
+            if not suite.has_result(key, device_type):
+                rows.append(SpeedupRow(
+                    benchmark=suite.benchmarks[key].name,
+                    device_type=device_type,
+                    speedup_total=nan, speedup_kernel=nan, speedup_gpu=nan,
+                    failed=True,
+                ))
+                continue
             result = suite.result(key, device_type)
             rows.append(SpeedupRow(
                 benchmark=result.benchmark,
@@ -50,10 +65,16 @@ def speedup_table(
 
 
 def gmean_summary(rows: "list[SpeedupRow]") -> "dict[PimDeviceType, dict[str, float]]":
-    """Per-architecture Gmean of each bar type (the paper's Gmean bars)."""
+    """Per-architecture Gmean of each bar type (the paper's Gmean bars).
+
+    Failed rows are excluded, so a partial suite still summarizes what
+    it did measure.
+    """
     summary = {}
     for device_type in DEVICE_ORDER:
-        device_rows = [r for r in rows if r.device_type is device_type]
+        device_rows = [
+            r for r in rows if r.device_type is device_type and not r.failed
+        ]
         summary[device_type] = {
             "total": geometric_mean(r.speedup_total for r in device_rows),
             "kernel": geometric_mean(r.speedup_kernel for r in device_rows),
@@ -69,6 +90,12 @@ def format_speedup_table(rows: "list[SpeedupRow]") -> str:
         f"{'CPU kernel':>10s} {'GPU':>10s}"
     ]
     for row in rows:
+        if row.failed:
+            lines.append(
+                f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
+                f"{'--':>10s} {'--':>10s} {'--':>10s}  (failed)"
+            )
+            continue
         lines.append(
             f"{row.benchmark:<22s} {row.device_type.display_name:<12s} "
             f"{row.speedup_total:>10.3f} {row.speedup_kernel:>10.3f} "

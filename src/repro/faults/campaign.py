@@ -1,0 +1,240 @@
+"""Fault campaigns: sweep fault models across benchmarks, grade detection.
+
+A campaign answers the reliability question the paper's functional-
+verification methodology (Section V-E) makes answerable: *when the
+device misbehaves, does the benchmark notice?*  Every (benchmark,
+fault configuration) pair runs as one functional-mode engine cell; the
+host-reference check then grades the outcome:
+
+* ``detected`` -- verification failed: the corruption reached the
+  benchmark's output and the methodology caught it;
+* ``masked``   -- faults were injected but verification still passed:
+  silent data corruption (the dangerous quadrant);
+* ``clean``    -- the fault model fired zero times (rate too low for
+  the workload's activation count);
+* ``crashed``  -- the cell itself failed (a structured
+  :class:`~repro.resilience.failures.CellFailure`).
+
+Reproducibility contract: the report is a pure function of
+(benchmarks, fault configs, seed, device).  All randomness flows from
+the per-cell :class:`~repro.faults.models.FaultPlan` seed and the
+engine merge is spec-ordered, so ``to_json()`` is byte-for-byte stable
+across runs, machines, and ``--jobs`` settings.  Campaign cells bypass
+the disk cache -- corrupted results must never be memoized next to
+clean ones, cheap as the functional-scale cells are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from repro.config.device import PimDeviceType
+from repro.engine.cells import CellSpec
+from repro.engine.engine import run_cells
+from repro.faults.models import (
+    BitFlipFault,
+    DroppedCommandFault,
+    FaultModel,
+    FaultPlan,
+    StuckBitFault,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.policy import RetryPolicy
+
+#: Benchmarks with cheap functional modes and host-reference verifiers.
+DEFAULT_BENCHMARKS = ("vecadd", "axpy", "gemv")
+
+#: The default sweep: one hard fault, two transient rates an order of
+#: magnitude apart, and a dropped-command rate high enough to fire on
+#: functional-scale command counts.
+DEFAULT_FAULT_CONFIGS: "tuple[tuple[FaultModel, ...], ...]" = (
+    (StuckBitFault(bit=3, value=1),),
+    (BitFlipFault(rate=1e-3),),
+    (BitFlipFault(rate=1e-5),),
+    (DroppedCommandFault(rate=0.05),),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignCell:
+    """One (benchmark, fault config) outcome, graded."""
+
+    benchmark: str
+    fault: str
+    seed: int
+    grade: str  # detected | masked | clean | crashed
+    injected: "tuple[tuple[str, int], ...]"
+    verified: "bool | None"
+    failure: "str | None" = None
+
+    @property
+    def total_injected(self) -> int:
+        return sum(count for _, count in self.injected)
+
+    def to_dict(self) -> "dict[str, typing.Any]":
+        return {
+            "benchmark": self.benchmark,
+            "fault": self.fault,
+            "seed": self.seed,
+            "grade": self.grade,
+            "injected": {name: count for name, count in self.injected},
+            "verified": self.verified,
+            "failure": self.failure,
+        }
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Every graded cell of one campaign run, in sweep order."""
+
+    cells: "list[CampaignCell]"
+    seed: int
+
+    def grades(self) -> "dict[str, int]":
+        tally: "dict[str, int]" = {
+            "detected": 0, "masked": 0, "clean": 0, "crashed": 0,
+        }
+        for cell in self.cells:
+            tally[cell.grade] += 1
+        return tally
+
+    @property
+    def silent_corruptions(self) -> "list[CampaignCell]":
+        return [c for c in self.cells if c.grade == "masked"]
+
+    def to_json(self) -> str:
+        """Deterministic JSON (the reproducibility artifact)."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "grades": self.grades(),
+                "cells": [cell.to_dict() for cell in self.cells],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format(self) -> str:
+        """The human-readable campaign table."""
+        lines = [
+            f"=== fault campaign (seed={self.seed}, "
+            f"{len(self.cells)} cells) ===",
+            f"{'benchmark':<12s} {'fault':<34s} {'injected':>8s} "
+            f"{'verified':>8s}  grade",
+        ]
+        for cell in self.cells:
+            fault = cell.fault
+            if len(fault) > 34:
+                fault = fault[:31] + "..."
+            verified = "-" if cell.verified is None else str(cell.verified)
+            lines.append(
+                f"{cell.benchmark:<12s} {fault:<34s} "
+                f"{cell.total_injected:>8d} {verified:>8s}  {cell.grade}"
+            )
+        tally = self.grades()
+        lines.append(
+            "summary: "
+            + ", ".join(f"{name}={count}" for name, count in tally.items())
+        )
+        if tally["masked"]:
+            lines.append(
+                "WARNING: masked cells are silent data corruption -- the "
+                "injected fault never reached a verified output."
+            )
+        return "\n".join(lines)
+
+
+class FaultCampaign:
+    """Sweeps fault configurations across benchmarks and grades detection.
+
+    ``fault_configs`` is a sequence of fault-model tuples; each is
+    paired with every benchmark.  Cells run functional at default
+    (small) parameter scale with capacity enforcement off, so the sweep
+    stays cheap enough for CI.
+    """
+
+    def __init__(
+        self,
+        benchmarks: "typing.Sequence[str]" = DEFAULT_BENCHMARKS,
+        fault_configs: "typing.Sequence[tuple[FaultModel, ...]]" = (
+            DEFAULT_FAULT_CONFIGS
+        ),
+        seed: int = 0,
+        device_type: PimDeviceType = PimDeviceType.FULCRUM,
+        num_ranks: int = 2,
+    ) -> None:
+        if not benchmarks:
+            raise ValueError("a campaign needs at least one benchmark")
+        if not fault_configs:
+            raise ValueError("a campaign needs at least one fault config")
+        self.benchmarks = tuple(benchmarks)
+        self.fault_configs = tuple(tuple(config) for config in fault_configs)
+        self.seed = seed
+        self.device_type = device_type
+        self.num_ranks = num_ranks
+
+    def specs(self) -> "list[CellSpec]":
+        """The sweep as engine cells, in (benchmark, config) order.
+
+        Each cell's plan seed folds the sweep position into the campaign
+        seed so no two cells share a random stream, while staying a pure
+        function of the campaign parameters.
+        """
+        specs = []
+        for b_index, benchmark in enumerate(self.benchmarks):
+            for c_index, config in enumerate(self.fault_configs):
+                plan = FaultPlan(
+                    seed=self.seed * 1_000_003 + b_index * 1_009 + c_index,
+                    faults=config,
+                )
+                specs.append(CellSpec(
+                    benchmark_key=benchmark,
+                    device_type=self.device_type,
+                    num_ranks=self.num_ranks,
+                    paper_scale=False,
+                    functional=True,
+                    enforce_capacity=False,
+                    fault_plan=plan,
+                ))
+        return specs
+
+    @staticmethod
+    def grade_cell(outcome) -> "tuple[str, str | None]":
+        """(grade, failure brief) for one executed cell."""
+        if outcome.error is not None:
+            return "crashed", outcome.error.brief()
+        injected = sum(n for _, n in (outcome.faults_injected or ()))
+        if outcome.result is not None and outcome.result.verified is False:
+            return "detected", None
+        if injected == 0:
+            return "clean", None
+        return "masked", None
+
+    def run(
+        self,
+        jobs: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+    ) -> CampaignReport:
+        execution = run_cells(
+            self.specs(), jobs=jobs, use_cache=False, policy=policy
+        )
+        cells = []
+        for spec, outcome in execution.outcomes.items():
+            grade, failure = self.grade_cell(outcome)
+            cells.append(CampaignCell(
+                benchmark=spec.benchmark_key,
+                fault="; ".join(f.describe() for f in spec.fault_plan.faults),
+                seed=spec.fault_plan.seed,
+                grade=grade,
+                injected=outcome.faults_injected or (),
+                verified=(
+                    outcome.result.verified
+                    if outcome.result is not None
+                    else None
+                ),
+                failure=failure,
+            ))
+        return CampaignReport(cells=cells, seed=self.seed)

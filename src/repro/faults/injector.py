@@ -1,0 +1,180 @@
+"""The fault injector: applies a seeded FaultPlan to a live device.
+
+The injector hangs off :class:`repro.core.device.PimDevice` and is
+consulted at the two places data becomes visible to later commands:
+when host data is installed into an object, and when a command writes
+its destination.  All draws come from one ``numpy`` generator seeded by
+the plan, and the command stream of a benchmark is deterministic, so a
+(plan, benchmark) pair always injects the same faults at the same
+points -- the reproducibility the fault campaign relies on.
+
+Only *functional* simulations carry data to corrupt; in analytic mode
+the injector is inert (modeled latencies are unaffected by data
+faults, as on real hardware).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+
+import numpy as np
+
+from repro.faults.models import (
+    BitFlipFault,
+    DroppedCommandFault,
+    FaultPlan,
+    StuckBitFault,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.object import PimObject
+
+#: Cap on the per-command activation count fed to the binomial draw;
+#: keeps pathological analytic-scale counts from overflowing. Functional
+#: workloads (the only place faults act) sit far below it.
+_MAX_ACTIVATIONS_PER_DRAW = 1 << 24
+
+
+def _stable_core(seed: int, fault_index: int, num_cores: int) -> int:
+    """Deterministically pick the afflicted core for a stuck-bit fault."""
+    digest = hashlib.sha256(f"stuck:{seed}:{fault_index}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % max(1, num_cores)
+
+
+def _force_bit(data: np.ndarray, sel, bit: int, value: int) -> bool:
+    """Force bit ``bit`` of ``data[sel]`` to ``value``; False if out of range."""
+    if data.dtype == np.bool_:
+        if bit != 0:
+            return False
+        data[sel] = bool(value)
+        return True
+    width = data.dtype.itemsize * 8
+    if bit >= width:
+        return False
+    view = data.view(np.dtype(f"uint{width}"))
+    mask = np.array(1 << bit, dtype=view.dtype)
+    if value:
+        view[sel] |= mask
+    else:
+        view[sel] &= ~mask
+    return True
+
+
+def _flip_bit(data: np.ndarray, element: int, bit: int) -> bool:
+    if data.dtype == np.bool_:
+        if bit != 0:
+            return False
+        data[element] = not data[element]
+        return True
+    width = data.dtype.itemsize * 8
+    if bit >= width:
+        return False
+    view = data.view(np.dtype(f"uint{width}"))
+    view[element] ^= np.array(1 << bit, dtype=view.dtype)
+    return True
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan`'s device faults to a device's data.
+
+    ``injected`` counts every applied corruption by fault family, for
+    campaign reports and tests.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.stuck = [
+            f for f in plan.device_faults if isinstance(f, StuckBitFault)
+        ]
+        self.flips = [
+            f for f in plan.device_faults if isinstance(f, BitFlipFault)
+        ]
+        self.drops = [
+            f for f in plan.device_faults if isinstance(f, DroppedCommandFault)
+        ]
+        self.injected: "dict[str, int]" = {
+            "stuck_bit": 0,
+            "bit_flip": 0,
+            "dropped_command": 0,
+        }
+
+    @property
+    def active(self) -> bool:
+        return bool(self.stuck or self.flips or self.drops)
+
+    def _emit(self, bus, name: str, args: "dict | None" = None) -> None:
+        if bus is not None:
+            bus.emit_instant(f"fault.{name}", "fault", args)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def drops_command(self, kind_name: str, bus=None) -> bool:
+        """Whether this command silently never commits."""
+        dropped = False
+        for fault in self.drops:
+            if self.rng.random() < fault.rate:
+                dropped = True
+        if dropped:
+            self.injected["dropped_command"] += 1
+            self._emit(bus, "dropped_command", {"command": kind_name})
+        return dropped
+
+    def apply_stuck(self, obj: "PimObject", bus=None) -> None:
+        """Re-assert every stuck bit on an object's freshly-written data."""
+        data = obj.data
+        if data is None or not self.stuck:
+            return
+        for index, fault in enumerate(self.stuck):
+            core = (
+                fault.core
+                if fault.core is not None
+                else _stable_core(self.plan.seed, index, obj.layout.num_cores_used)
+            )
+            per_core = obj.layout.elements_per_core
+            start = core * per_core
+            if start >= obj.num_elements:
+                continue
+            sel = slice(start, min(start + per_core, obj.num_elements))
+            if _force_bit(data, sel, fault.bit, fault.value):
+                self.injected["stuck_bit"] += 1
+                self._emit(bus, "stuck_bit", {
+                    "obj_id": obj.obj_id, "bit": fault.bit,
+                    "value": fault.value, "core": core,
+                })
+
+    def apply_flips(self, obj: "PimObject", activations: float, bus=None) -> None:
+        """Inject transient flips for one command's row activations."""
+        data = obj.data
+        if data is None or not self.flips:
+            return
+        draws = int(min(max(activations, 0.0), _MAX_ACTIVATIONS_PER_DRAW))
+        if draws == 0:
+            return
+        width = obj.bits
+        for fault in self.flips:
+            count = int(self.rng.binomial(draws, fault.rate))
+            for _ in range(count):
+                element = int(self.rng.integers(0, obj.num_elements))
+                bit = int(self.rng.integers(0, width))
+                if _flip_bit(data, element, bit):
+                    self.injected["bit_flip"] += 1
+                    self._emit(bus, "bit_flip", {
+                        "obj_id": obj.obj_id, "element": element, "bit": bit,
+                    })
+
+    def on_data_install(self, obj: "PimObject", bus=None) -> None:
+        """Hook: host/device data was just written into ``obj``."""
+        self.apply_stuck(obj, bus)
+
+    def on_command_dest(
+        self, obj: "PimObject", activations: float, bus=None
+    ) -> None:
+        """Hook: a command just wrote its destination object."""
+        self.apply_flips(obj, activations, bus)
+        self.apply_stuck(obj, bus)
+
+    def counts(self) -> "tuple[tuple[str, int], ...]":
+        """Stable, serializable view of the injection tallies."""
+        return tuple(sorted(self.injected.items()))

@@ -1,0 +1,178 @@
+"""Fault models: the reliability defects a real PIM device exhibits.
+
+Every model is a frozen, hashable, picklable dataclass, so a
+:class:`FaultPlan` can ride inside a :class:`repro.engine.CellSpec`
+across process boundaries and participate in cache keys.  All
+randomness is derived from the plan's seed, never from global state --
+two runs of the same plan inject byte-for-byte identical faults.
+
+Two families:
+
+* **Device faults** corrupt the functional simulation the way real DRAM
+  PIM silicon fails (PiDRAM's end-to-end validation and the UPMEM
+  benchmarking study both report such defects): rows stuck at 0/1,
+  transient per-activation bit flips, and commands that silently never
+  commit.
+* **Engine faults** attack the *worker process* itself (raise, hang,
+  hard-exit) and exist to chaos-test the resilience layer's retries,
+  timeouts, and crash isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """Base class; exists so plans can be typed and filtered."""
+
+    def describe(self) -> str:
+        fields = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+# -- device faults -----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StuckBitFault(FaultModel):
+    """One bit position stuck at 0 or 1 across a core's column slice.
+
+    Models a stuck-at DRAM row in a vertical (bit-serial) layout: bit
+    ``bit`` of every element placed on the afflicted core reads as
+    ``value`` no matter what was written.  ``core`` picks the afflicted
+    core explicitly; ``None`` derives it from the plan seed.
+    """
+
+    bit: int = 0
+    value: int = 0
+    core: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.bit < 0:
+            raise ValueError(f"bit must be >= 0, got {self.bit}")
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class BitFlipFault(FaultModel):
+    """Transient bit flips, at ``rate`` flips per modeled row activation.
+
+    Each injected flip inverts one (element, bit) position of the
+    command's destination object, drawn from the plan's seeded stream.
+    """
+
+    rate: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class DroppedCommandFault(FaultModel):
+    """A command acknowledged by the device but never committed.
+
+    With probability ``rate`` per command, the functional update is
+    skipped entirely (the performance model still bills the command --
+    the hardware issued it; it just silently had no effect).
+    """
+
+    rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+
+# -- engine (worker) faults --------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerExceptionFault(FaultModel):
+    """Raise before simulating, on the first ``fail_attempts`` attempts.
+
+    ``fail_attempts=1`` models a *transient* failure: the first attempt
+    raises, a retry succeeds -- the scenario ``--max-retries`` exists
+    for.  A large ``fail_attempts`` models a deterministic bug.
+    """
+
+    fail_attempts: int = 1
+    message: str = "injected worker exception"
+
+    def __post_init__(self) -> None:
+        if self.fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be >= 1, got {self.fail_attempts}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerHangFault(FaultModel):
+    """Sleep ``seconds`` of wall-clock before simulating.
+
+    Long enough relative to ``--cell-timeout`` and the cell times out;
+    the resilience layer must kill the worker and carry on.
+    """
+
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerCrashFault(FaultModel):
+    """Hard-exit the worker process (no Python exception, no cleanup).
+
+    Models a segfault or an OOM kill; exercises the engine's
+    broken-pool recovery.  Only meaningful under process isolation --
+    in-process execution refuses to run it (it would kill the parent).
+    """
+
+    fail_attempts: int = 1
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be >= 1, got {self.fail_attempts}"
+            )
+
+
+#: The families, for filtering a plan.
+DEVICE_FAULTS = (StuckBitFault, BitFlipFault, DroppedCommandFault)
+ENGINE_FAULTS = (WorkerExceptionFault, WorkerHangFault, WorkerCrashFault)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault models, injected together into one cell."""
+
+    seed: int = 0
+    faults: "tuple[FaultModel, ...]" = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, FaultModel):
+                raise TypeError(
+                    f"faults must be FaultModel instances, got {fault!r}"
+                )
+
+    @property
+    def device_faults(self) -> "tuple[FaultModel, ...]":
+        return tuple(f for f in self.faults if isinstance(f, DEVICE_FAULTS))
+
+    @property
+    def engine_faults(self) -> "tuple[FaultModel, ...]":
+        return tuple(f for f in self.faults if isinstance(f, ENGINE_FAULTS))
+
+    def describe(self) -> str:
+        inner = "; ".join(f.describe() for f in self.faults) or "no faults"
+        return f"seed={self.seed}: {inner}"

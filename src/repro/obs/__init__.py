@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSink,
+    global_registry,
     hottest_commands,
     record_event_counts,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSink",
+    "global_registry",
     "hottest_commands",
     "record_event_counts",
     "CallbackSink",

@@ -42,6 +42,8 @@ DEFAULT_TRACKS = {
     "span": "phases",
     "trace": "api",
     "counter": "counters",
+    "engine": "engine",
+    "fault": "faults",
 }
 
 

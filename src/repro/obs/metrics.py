@@ -173,6 +173,20 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry for engine-side health counters.
+
+    Hosts metrics that exist outside any single simulation's bus --
+    ``cache.corrupt_entries``, for instance, is incremented on cache
+    reads that happen before a device (and its bus) exists.  Tests can
+    read it without plumbing a registry through the engine.
+    """
+    return _GLOBAL_REGISTRY
+
+
 class MetricsSink(Sink):
     """Feeds a registry from the event stream (commands, copies, host)."""
 
@@ -207,6 +221,13 @@ class MetricsSink(Sink):
         elif event.cat == "host":
             registry.counter("host.time_ns").inc(event.dur_ns)
             registry.counter("host.energy_nj").inc(args.get("energy_nj", 0.0))
+        elif event.cat == "engine":
+            # cell.retry:<benchmark> / cell.failed:<benchmark>
+            what = event.name.split(":", 1)[0]
+            registry.counter(f"{what.replace('cell.', 'engine.')}").inc()
+        elif event.cat == "fault":
+            # fault.stuck_bit / fault.bit_flip / fault.dropped_command
+            registry.counter(f"{event.name}.injected").inc()
         registry.gauge("sim.now_ns").set(event.ts_ns + event.dur_ns)
 
 

@@ -1,0 +1,53 @@
+"""repro.resilience: fault-tolerant execution for the experiment engine.
+
+The cross-cutting robustness layer of the reproduction.  Three pieces:
+
+* :class:`RetryPolicy` -- per-cell wall-clock timeouts, bounded retries
+  with exponential backoff and *deterministic* jitter, and fail-fast
+  semantics, consumed by :func:`repro.engine.run_cells`;
+* :class:`CellFailure` -- the structured record a failed suite cell
+  degrades into (taxonomy kind, status code, attempts, traceback)
+  instead of killing the whole run; and
+* :func:`format_failure_summary` -- the end-of-run table the CLI prints
+  when any cell ultimately failed.
+
+Deterministic fault *injection* into the simulated device lives in the
+sibling :mod:`repro.faults` package; the taxonomy itself
+(:class:`repro.core.errors.FailureKind`, the ``PimStatus`` codes) lives
+in :mod:`repro.core.errors`.  See ``docs/RESILIENCE.md`` for the whole
+contract.
+
+Quick start::
+
+    from repro.engine import CellSpec, run_cells
+    from repro.resilience import RetryPolicy
+
+    policy = RetryPolicy(max_retries=2, cell_timeout_s=30.0)
+    execution = run_cells(specs, jobs=4, policy=policy)
+    if not execution.ok:
+        print(format_failure_summary(execution.failures))
+"""
+
+from repro.resilience.failures import (
+    CellFailure,
+    failure_from_exception,
+    format_failure_summary,
+    skipped_failure,
+)
+from repro.resilience.policy import (
+    CELL_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
+    RetryPolicy,
+    deterministic_jitter,
+)
+
+__all__ = [
+    "CELL_TIMEOUT_ENV",
+    "CellFailure",
+    "MAX_RETRIES_ENV",
+    "RetryPolicy",
+    "deterministic_jitter",
+    "failure_from_exception",
+    "format_failure_summary",
+    "skipped_failure",
+]

@@ -1,0 +1,121 @@
+"""Structured failure records and the end-of-run failure summary.
+
+A failed suite cell degrades into a :class:`CellFailure` -- taxonomy
+kind, PimStatus code, exception type/message, attempt count, and (for
+raised errors) the worker traceback -- carried through
+:class:`repro.engine.ExecutionResult` instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback as traceback_mod
+import typing
+
+from repro.core.errors import (
+    FailureKind,
+    PimError,
+    PimStatus,
+    classify_exception,
+    status_of,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cells import CellSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """Why one cell ultimately failed (after all retries)."""
+
+    kind: FailureKind
+    status: PimStatus
+    error_type: str
+    message: str
+    attempts: int
+    traceback: str = ""
+    context: "tuple[tuple[str, typing.Any], ...]" = ()
+
+    @property
+    def transient(self) -> bool:
+        return self.kind.transient
+
+    def to_dict(self) -> "dict[str, typing.Any]":
+        return {
+            "kind": self.kind.value,
+            "status": self.status.value,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "context": dict(self.context),
+        }
+
+    def brief(self) -> str:
+        """One-line description for tables and logs."""
+        detail = f": {self.message}" if self.message else ""
+        return (
+            f"{self.kind.value} after {self.attempts} attempt(s) "
+            f"[{self.error_type}]{detail}"
+        )
+
+
+def failure_from_exception(
+    exc: BaseException, attempts: int, with_traceback: bool = True
+) -> CellFailure:
+    """Package an exception into a :class:`CellFailure` record."""
+    context: "tuple[tuple[str, typing.Any], ...]" = ()
+    if isinstance(exc, PimError):
+        context = tuple(sorted(exc.context.items()))
+    tb = ""
+    if with_traceback and exc.__traceback__ is not None:
+        tb = "".join(
+            traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    return CellFailure(
+        kind=classify_exception(exc),
+        status=status_of(exc),
+        error_type=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+        traceback=tb,
+        context=context,
+    )
+
+
+def skipped_failure(reason: str = "fail-fast stopped the run") -> CellFailure:
+    """The record for a cell never attempted because of ``--fail-fast``."""
+    return CellFailure(
+        kind=FailureKind.SKIPPED,
+        status=PimStatus.ERR_RUNTIME,
+        error_type="Skipped",
+        message=reason,
+        attempts=0,
+    )
+
+
+def format_failure_summary(
+    failures: "dict[CellSpec, CellFailure]",
+) -> str:
+    """The end-of-run failure table the CLI prints.
+
+    One row per failed cell: which (benchmark, device) it was, the
+    taxonomy kind, attempts consumed, and the terminal error.
+    """
+    if not failures:
+        return "All cells completed."
+    lines = [
+        f"=== {len(failures)} cell(s) failed ===",
+        f"{'benchmark':<14s} {'device':<12s} {'kind':<9s} "
+        f"{'attempts':>8s}  error",
+    ]
+    for spec, failure in failures.items():
+        detail = failure.message.splitlines()[0] if failure.message else ""
+        if len(detail) > 60:
+            detail = detail[:57] + "..."
+        lines.append(
+            f"{spec.benchmark_key:<14s} "
+            f"{spec.device_type.display_name:<12s} "
+            f"{failure.kind.value:<9s} {failure.attempts:>8d}  "
+            f"{failure.error_type}: {detail}"
+        )
+    return "\n".join(lines)

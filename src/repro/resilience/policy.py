@@ -1,0 +1,134 @@
+"""Retry/timeout policy: how hard the engine fights for each cell.
+
+The policy is plain data (frozen, picklable) so it can cross process
+boundaries and be embedded in reports.  Backoff delays are exponential
+with *deterministic* jitter: the jitter fraction is derived from a
+SHA-256 over ``(cell key, attempt)``, so two runs of the same suite
+sleep identically -- reproducibility extends to the failure path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+
+
+#: Environment variable supplying the default per-cell timeout in seconds
+#: (CLI ``--cell-timeout`` overrides it; unset means no timeout).
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: Environment variable supplying the default retry budget (CLI
+#: ``--max-retries`` overrides it; unset means no retries).
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+
+def deterministic_jitter(key: str, attempt: int) -> float:
+    """A stable jitter fraction in ``[0, 1)`` for (cell key, attempt).
+
+    Hash-derived rather than random so retried runs are bit-for-bit
+    repeatable; distinct cells still spread their retries out in time.
+    """
+    digest = hashlib.sha256(f"{key}#{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats a failing or slow cell.
+
+    ``max_retries`` bounds *re*-tries: a cell runs at most
+    ``max_retries + 1`` times.  ``cell_timeout_s`` is a wall-clock budget
+    per attempt; setting it forces worker-process isolation even for
+    serial runs (a hung in-process cell cannot be interrupted).
+    ``fail_fast`` stops scheduling new work after the first cell
+    exhausts its budget; cells never attempted are reported as
+    ``SKIPPED``.
+    """
+
+    max_retries: int = 0
+    cell_timeout_s: "float | None" = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_fraction: float = 0.1
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError(
+                f"cell_timeout_s must be positive, got {self.cell_timeout_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    @property
+    def needs_isolation(self) -> bool:
+        """Whether cells must run in worker processes regardless of jobs.
+
+        A timeout can only be enforced on work the parent can abandon,
+        which means a separate process.
+        """
+        return self.cell_timeout_s is not None
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based) of cell ``key``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        return base * (1.0 + self.jitter_fraction * deterministic_jitter(key, attempt))
+
+    @classmethod
+    def from_env(
+        cls,
+        max_retries: "int | None" = None,
+        cell_timeout_s: "float | None" = None,
+        fail_fast: bool = False,
+    ) -> "RetryPolicy":
+        """Policy from explicit values, falling back to the environment.
+
+        Mirrors :func:`repro.engine.resolve_jobs`: an explicit argument
+        beats ``$REPRO_MAX_RETRIES`` / ``$REPRO_CELL_TIMEOUT``, which
+        beat the do-nothing defaults.
+        """
+        if max_retries is None:
+            env = os.environ.get(MAX_RETRIES_ENV, "").strip()
+            if env:
+                try:
+                    max_retries = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{MAX_RETRIES_ENV} must be an integer, got {env!r}"
+                    ) from None
+            else:
+                max_retries = 0
+        if cell_timeout_s is None:
+            env = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+            if env:
+                try:
+                    cell_timeout_s = float(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{CELL_TIMEOUT_ENV} must be a number, got {env!r}"
+                    ) from None
+        return cls(
+            max_retries=max_retries,
+            cell_timeout_s=cell_timeout_s,
+            fail_fast=fail_fast,
+        )

@@ -5,7 +5,7 @@ import pytest
 
 from repro import api
 from repro.config.device import PimDataType, PimDeviceType
-from repro.core.errors import PimError
+from repro.core.errors import PimError, PimStateError, PimStatus
 
 
 @pytest.fixture(autouse=True)
@@ -22,8 +22,11 @@ class TestLifecycle:
         assert device.config.num_cores == 8192
 
     def test_no_device_error(self):
-        with pytest.raises(PimError):
+        # The coded taxonomy: absent device is a *state* error, so C-style
+        # callers can switch on the status instead of parsing the message.
+        with pytest.raises(PimStateError) as info:
             api.pim_get_device()
+        assert info.value.status is PimStatus.ERR_STATE
 
     def test_delete_frees_objects(self):
         api.pim_create_device(PimDeviceType.FULCRUM, num_ranks=4)

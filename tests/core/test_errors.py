@@ -1,0 +1,131 @@
+"""Tests for the coded error hierarchy and the failure taxonomy."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import (
+    FailureKind,
+    PimAllocationError,
+    PimError,
+    PimFaultInjectionError,
+    PimInvalidObjectError,
+    PimStateError,
+    PimStatus,
+    PimTimeoutError,
+    PimWorkerCrashError,
+    classify_exception,
+    status_of,
+)
+
+
+class TestStatusCodes:
+    def test_every_error_class_pins_a_code(self):
+        assert PimAllocationError.status is PimStatus.ERR_ALLOC
+        assert PimInvalidObjectError.status is PimStatus.ERR_INVALID_OBJECT
+        assert PimStateError.status is PimStatus.ERR_STATE
+        assert PimTimeoutError.status is PimStatus.ERR_TIMEOUT
+        assert PimWorkerCrashError.status is PimStatus.ERR_WORKER_CRASH
+        assert PimFaultInjectionError.status is PimStatus.ERR_FAULT_INJECTED
+        assert PimError.status is PimStatus.ERR_RUNTIME
+
+    def test_codes_are_unique(self):
+        values = [s.value for s in PimStatus]
+        assert len(values) == len(set(values))
+
+
+class TestContext:
+    def test_context_kwargs_are_captured(self):
+        exc = PimAllocationError(
+            "cannot allocate", rows_requested=128, rows_total=64
+        )
+        assert exc.context == {"rows_requested": 128, "rows_total": 64}
+        assert exc.message == "cannot allocate"
+
+    def test_str_appends_context(self):
+        exc = PimAllocationError("nope", rows_requested=128)
+        assert str(exc) == "nope [rows_requested=128]"
+        assert str(PimAllocationError("bare")) == "bare"
+
+    def test_to_dict_is_machine_readable(self):
+        exc = PimTimeoutError("too slow", timeout_s=3.0, benchmark="vecadd")
+        record = exc.to_dict()
+        assert record == {
+            "status": "err_timeout",
+            "type": "PimTimeoutError",
+            "message": "too slow",
+            "context": {"timeout_s": 3.0, "benchmark": "vecadd"},
+        }
+
+    def test_context_survives_pickling(self):
+        # Failures cross process boundaries; the payload must too.
+        exc = PimAllocationError("nope", rows_requested=128)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.context == {"rows_requested": 128}
+        assert clone.status is PimStatus.ERR_ALLOC
+
+
+class TestClassification:
+    @pytest.mark.parametrize("exc,kind", [
+        (ValueError("x"), FailureKind.ERROR),
+        (PimAllocationError("x"), FailureKind.ERROR),
+        (MemoryError(), FailureKind.OOM),
+        (TimeoutError(), FailureKind.TIMEOUT),
+        (PimTimeoutError("x"), FailureKind.TIMEOUT),
+        (PimWorkerCrashError("x"), FailureKind.CRASH),
+    ])
+    def test_classify(self, exc, kind):
+        assert classify_exception(exc) is kind
+
+    def test_broken_pool_classifies_as_crash_structurally(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert classify_exception(BrokenProcessPool()) is FailureKind.CRASH
+
+    def test_transient_kinds(self):
+        assert FailureKind.TIMEOUT.transient
+        assert FailureKind.CRASH.transient
+        assert FailureKind.OOM.transient
+        assert not FailureKind.ERROR.transient
+        assert not FailureKind.SKIPPED.transient
+
+    def test_status_of(self):
+        assert status_of(PimAllocationError("x")) is PimStatus.ERR_ALLOC
+        assert status_of(TimeoutError()) is PimStatus.ERR_TIMEOUT
+        assert status_of(ValueError("x")) is PimStatus.ERR_RUNTIME
+
+
+class TestRaiseSiteContext:
+    def test_allocation_exhaustion_carries_diagnostics(self):
+        from repro.config.device import PimAllocType
+        from repro.config.presets import fulcrum_config
+        from repro.core.layout import plan_layout
+
+        config = fulcrum_config(1)
+        with pytest.raises(PimAllocationError) as info:
+            plan_layout(config, 1 << 34, 32, PimAllocType.AUTO)
+        context = info.value.context
+        assert context["num_elements"] == 1 << 34
+        assert context["bits"] == 32
+        assert context["rows_needed"] > context["rows_available"]
+        assert context["bits_requested"] > context["bits_capacity"]
+
+    def test_row_allocator_exhaustion_carries_diagnostics(self):
+        from repro.core.layout import RowAllocator
+
+        allocator = RowAllocator(num_rows=8)
+        allocator.allocate(1, 8)
+        with pytest.raises(PimAllocationError) as info:
+            allocator.allocate(2, 1)
+        assert info.value.context == {
+            "rows_requested": 1, "rows_in_use": 8, "rows_total": 8,
+        }
+
+    def test_invalid_object_carries_id(self):
+        from repro.config.presets import fulcrum_config
+        from repro.core.resource import ResourceManager
+
+        resources = ResourceManager(fulcrum_config(1))
+        with pytest.raises(PimInvalidObjectError) as info:
+            resources.get(42)
+        assert info.value.context["obj_id"] == 42

@@ -129,6 +129,22 @@ class TestInvalidation:
         healed = run_cells(specs, cache_dir=tmp_path)
         assert healed.misses == 0
 
+    def test_corruption_is_diagnosed_and_counted(self, tmp_path):
+        from repro.obs import global_registry
+
+        specs = specs_for()
+        run_cells(specs, cache_dir=tmp_path)
+        path = DiskCache(tmp_path).path_for(cell_cache_key(specs[0]))
+        path.write_bytes(b"\x80garbage")
+        before = global_registry().value("cache.corrupt_entries")
+        with pytest.warns(RuntimeWarning) as caught:
+            run_cells(specs, cache_dir=tmp_path)
+        message = str(caught[0].message)
+        # Names the file and the exception class, for bug reports.
+        assert str(path) in message
+        assert "Error" in message  # e.g. UnpicklingError
+        assert global_registry().value("cache.corrupt_entries") == before + 1
+
 
 class TestObservabilityReplay:
     def run_observed(self, specs, jobs):
@@ -186,5 +202,8 @@ class TestJobsResolution:
         with pytest.raises(ValueError):
             resolve_jobs(0)
         monkeypatch.setenv("REPRO_JOBS", "many")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
             resolve_jobs(None)

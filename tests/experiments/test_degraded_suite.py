@@ -1,0 +1,86 @@
+"""Degraded suites: failed cells become explicit gaps, not crashes.
+
+Paper-scale vecadd does not fit 4 ranks, so (vecadd, axpy) at 4 ranks
+is a natural partial failure: every vecadd cell dies with a structured
+allocation error while axpy completes on all three architectures.
+"""
+
+import math
+
+import pytest
+
+from repro.engine import CellExecutionError
+from repro.experiments import (
+    breakdown_table,
+    energy_table,
+    format_breakdown_table,
+    format_energy_table,
+    format_speedup_table,
+    gmean_summary,
+    run_suite,
+    speedup_table,
+)
+from repro.experiments.runner import _CACHE
+
+
+@pytest.fixture(scope="module")
+def degraded_suite():
+    return run_suite(
+        num_ranks=4, paper_scale=True, keys=("vecadd", "axpy"),
+        use_cache=False, strict=False,
+    )
+
+
+class TestRunnerStrictness:
+    def test_strict_default_raises(self):
+        with pytest.raises(CellExecutionError) as info:
+            run_suite(
+                num_ranks=4, paper_scale=True, keys=("vecadd",),
+                use_cache=False,
+            )
+        assert info.value.error.error_type == "PimAllocationError"
+
+    def test_lenient_mode_reports_and_continues(self, degraded_suite):
+        assert not degraded_suite.ok
+        assert len(degraded_suite.failures) == 3  # vecadd on each device
+        assert all(
+            spec.benchmark_key == "vecadd" for spec in degraded_suite.failures
+        )
+        assert len(degraded_suite.results) == 3  # axpy on each device
+        assert not degraded_suite.has_result(
+            "vecadd", next(iter(degraded_suite.failures)).device_type
+        )
+
+    def test_failed_suites_are_never_memoized(self):
+        before = dict(_CACHE)
+        run_suite(
+            num_ranks=4, paper_scale=True, keys=("vecadd", "axpy"),
+            strict=False,
+        )
+        assert _CACHE == before
+
+
+class TestGapRows:
+    def test_speedup_rows_mark_gaps(self, degraded_suite):
+        rows = speedup_table(degraded_suite)
+        assert len(rows) == 6  # the grid shape survives the failures
+        failed = [r for r in rows if r.failed]
+        assert len(failed) == 3
+        vecadd_name = degraded_suite.benchmarks["vecadd"].name
+        assert all(r.benchmark == vecadd_name for r in failed)
+        assert all(math.isnan(r.speedup_total) for r in failed)
+
+    def test_gmean_ignores_failed_rows(self, degraded_suite):
+        for bars in gmean_summary(speedup_table(degraded_suite)).values():
+            for value in bars.values():
+                assert not math.isnan(value)
+                assert value > 0
+
+    def test_formatters_render_explicit_gaps(self, degraded_suite):
+        speedup = format_speedup_table(speedup_table(degraded_suite))
+        energy = format_energy_table(energy_table(degraded_suite))
+        breakdown = format_breakdown_table(breakdown_table(degraded_suite))
+        for text in (speedup, energy, breakdown):
+            assert "(failed)" in text
+            assert "--" in text
+            assert "nan" not in text.lower()

@@ -1,0 +1,130 @@
+"""Tests for FaultCampaign sweeps, grading, and reproducibility."""
+
+import json
+import types
+
+import pytest
+
+from repro.faults import (
+    BitFlipFault,
+    CampaignCell,
+    CampaignReport,
+    FaultCampaign,
+    StuckBitFault,
+)
+
+#: A small sweep that still hits the detected / clean / masked space.
+SWEEP = (
+    (StuckBitFault(bit=3, value=1),),
+    (BitFlipFault(rate=1e-3),),
+)
+
+
+class TestSweepConstruction:
+    def test_one_cell_per_pair_with_distinct_seeds(self):
+        campaign = FaultCampaign(
+            benchmarks=("vecadd", "axpy"), fault_configs=SWEEP, seed=7
+        )
+        specs = campaign.specs()
+        assert len(specs) == 4
+        seeds = [spec.fault_plan.seed for spec in specs]
+        assert len(set(seeds)) == 4
+        assert seeds[0] == 7 * 1_000_003
+        assert all(spec.functional for spec in specs)
+
+    def test_rejects_empty_sweeps(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(benchmarks=())
+        with pytest.raises(ValueError):
+            FaultCampaign(fault_configs=())
+
+
+class TestGrading:
+    @staticmethod
+    def outcome(error=None, injected=(), verified=None):
+        result = None
+        if verified is not None:
+            result = types.SimpleNamespace(verified=verified)
+        return types.SimpleNamespace(
+            error=error, faults_injected=injected, result=result
+        )
+
+    def test_detected_beats_everything_but_a_crash(self):
+        grade, _ = FaultCampaign.grade_cell(
+            self.outcome(injected=(("stuck_bit", 1),), verified=False)
+        )
+        assert grade == "detected"
+
+    def test_masked_is_injected_but_verified(self):
+        grade, _ = FaultCampaign.grade_cell(
+            self.outcome(injected=(("bit_flip", 2),), verified=True)
+        )
+        assert grade == "masked"
+
+    def test_clean_is_zero_injections(self):
+        grade, _ = FaultCampaign.grade_cell(
+            self.outcome(injected=(("bit_flip", 0),), verified=True)
+        )
+        assert grade == "clean"
+
+    def test_crashed_carries_the_failure_brief(self):
+        failure = types.SimpleNamespace(brief=lambda: "it broke")
+        grade, brief = FaultCampaign.grade_cell(self.outcome(error=failure))
+        assert grade == "crashed"
+        assert brief == "it broke"
+
+
+class TestCampaignRuns:
+    def test_reproducible_and_detects_stuck_bits(self):
+        # The acceptance criteria: a sweep over >= 3 benchmarks is
+        # byte-for-byte reproducible across runs and job counts, and at
+        # least one stuck-at fault is caught by verification mismatch.
+        campaign = FaultCampaign(fault_configs=SWEEP, seed=42)
+        assert len(campaign.benchmarks) >= 3
+        serial = campaign.run()
+        parallel = campaign.run(jobs=2)
+        assert serial.to_json() == parallel.to_json()
+        stuck_grades = [
+            cell.grade for cell in serial.cells if "StuckBitFault" in cell.fault
+        ]
+        assert "detected" in stuck_grades
+        assert serial.grades()["crashed"] == 0
+
+    def test_report_round_trips_as_json(self):
+        report = FaultCampaign(
+            benchmarks=("vecadd",), fault_configs=SWEEP, seed=1
+        ).run()
+        payload = json.loads(report.to_json())
+        assert payload["seed"] == 1
+        assert len(payload["cells"]) == 2
+        assert sum(payload["grades"].values()) == 2
+
+
+class TestReportFormatting:
+    def test_table_and_masked_warning(self):
+        report = CampaignReport(seed=3, cells=[
+            CampaignCell(
+                benchmark="vecadd", fault="StuckBitFault(bit=3)", seed=9,
+                grade="detected", injected=(("stuck_bit", 4),), verified=False,
+            ),
+            CampaignCell(
+                benchmark="axpy", fault="BitFlipFault(rate=0.001)", seed=10,
+                grade="masked", injected=(("bit_flip", 1),), verified=True,
+            ),
+        ])
+        text = report.format()
+        assert "seed=3" in text and "2 cells" in text
+        assert "vecadd" in text and "detected" in text
+        assert "summary: detected=1, masked=1, clean=0, crashed=0" in text
+        assert "WARNING" in text and "silent data corruption" in text
+        assert report.silent_corruptions[0].benchmark == "axpy"
+
+    def test_no_warning_when_nothing_masked(self):
+        report = CampaignReport(seed=0, cells=[
+            CampaignCell(
+                benchmark="vecadd", fault="f", seed=0, grade="clean",
+                injected=(), verified=True,
+            ),
+        ])
+        assert "WARNING" not in report.format()
+        assert report.cells[0].total_injected == 0

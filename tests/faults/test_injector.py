@@ -1,0 +1,142 @@
+"""Tests for the seeded FaultInjector and its bit-twiddling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import fulcrum_config
+from repro.core.device import PimDevice
+from repro.faults import (
+    BitFlipFault,
+    DroppedCommandFault,
+    FaultInjector,
+    FaultPlan,
+    StuckBitFault,
+)
+from repro.faults.injector import _flip_bit, _force_bit
+
+
+def make_obj(device, n=64):
+    obj = device.alloc(n)
+    device.copy_host_to_device(np.arange(n, dtype=np.int32), obj)
+    return obj
+
+
+@pytest.fixture
+def device():
+    return PimDevice(fulcrum_config(2), functional=True)
+
+
+class TestBitHelpers:
+    def test_force_bit_sets_and_clears(self):
+        data = np.zeros(4, dtype=np.int32)
+        assert _force_bit(data, slice(0, 2), 3, 1)
+        assert list(data) == [8, 8, 0, 0]
+        assert _force_bit(data, slice(0, 4), 3, 0)
+        assert list(data) == [0, 0, 0, 0]
+
+    def test_force_bit_out_of_range_is_a_noop(self):
+        data = np.zeros(4, dtype=np.int32)
+        assert not _force_bit(data, slice(0, 4), 40, 1)
+        assert not data.any()
+
+    def test_force_bit_on_bools(self):
+        data = np.zeros(4, dtype=np.bool_)
+        assert _force_bit(data, slice(0, 2), 0, 1)
+        assert list(data) == [True, True, False, False]
+        assert not _force_bit(data, slice(0, 4), 1, 1)
+
+    def test_flip_bit_inverts(self):
+        data = np.array([0, 0], dtype=np.int32)
+        assert _flip_bit(data, 1, 5)
+        assert list(data) == [0, 32]
+        assert _flip_bit(data, 1, 5)
+        assert list(data) == [0, 0]
+        assert not _flip_bit(data, 0, 99)
+
+
+class TestStuckBits:
+    def test_stuck_bit_corrupts_one_core_slice(self, device):
+        obj = make_obj(device)
+        injector = FaultInjector(
+            FaultPlan(seed=0, faults=(StuckBitFault(bit=0, value=1, core=0),))
+        )
+        before = obj.data.copy()
+        injector.apply_stuck(obj)
+        per_core = obj.layout.elements_per_core
+        assert (obj.data[:per_core] & 1 == 1).all()
+        assert (obj.data[per_core:] == before[per_core:]).all()
+        assert injector.injected["stuck_bit"] == 1
+
+    def test_core_choice_is_seed_stable(self, device):
+        plan = FaultPlan(seed=11, faults=(StuckBitFault(bit=2, value=1),))
+        first = make_obj(device)
+        second = make_obj(device)
+        FaultInjector(plan).apply_stuck(first)
+        FaultInjector(plan).apply_stuck(second)
+        assert (first.data == second.data).all()
+
+
+class TestBitFlips:
+    def test_flips_follow_the_seeded_stream(self, device):
+        plan = FaultPlan(seed=5, faults=(BitFlipFault(rate=0.5),))
+        first = make_obj(device)
+        second = make_obj(device)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        a.apply_flips(first, activations=50.0)
+        b.apply_flips(second, activations=50.0)
+        assert a.injected["bit_flip"] > 0
+        assert a.injected == b.injected
+        assert (first.data == second.data).all()
+
+    def test_zero_activations_inject_nothing(self, device):
+        injector = FaultInjector(
+            FaultPlan(seed=5, faults=(BitFlipFault(rate=1.0),))
+        )
+        obj = make_obj(device)
+        injector.apply_flips(obj, activations=0.0)
+        assert injector.injected["bit_flip"] == 0
+
+
+class TestDroppedCommands:
+    def test_certain_drop(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, faults=(DroppedCommandFault(rate=1.0),))
+        )
+        assert injector.drops_command("add")
+        assert injector.injected["dropped_command"] == 1
+
+    def test_never_drops_at_rate_zero(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, faults=(DroppedCommandFault(rate=0.0),))
+        )
+        assert not any(injector.drops_command("add") for _ in range(50))
+
+    def test_drop_sequence_is_deterministic(self):
+        plan = FaultPlan(seed=21, faults=(DroppedCommandFault(rate=0.5),))
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        drops_a = [a.drops_command("add") for _ in range(40)]
+        drops_b = [b.drops_command("add") for _ in range(40)]
+        assert drops_a == drops_b
+        assert True in drops_a and False in drops_a
+
+
+class TestDeviceWiring:
+    def test_device_wraps_a_plan_into_an_injector(self):
+        plan = FaultPlan(seed=0, faults=(StuckBitFault(bit=0, value=1),))
+        device = PimDevice(fulcrum_config(2), functional=True, faults=plan)
+        assert isinstance(device.faults, FaultInjector)
+
+    def test_install_hook_fires_on_host_copy(self):
+        plan = FaultPlan(seed=0, faults=(StuckBitFault(bit=0, value=1, core=0),))
+        device = PimDevice(fulcrum_config(2), functional=True, faults=plan)
+        obj = device.alloc(64)
+        device.copy_host_to_device(np.zeros(64, dtype=np.int32), obj)
+        assert obj.data[0] == 1  # bit 0 stuck high on core 0
+        assert device.faults.injected["stuck_bit"] >= 1
+
+    def test_analytic_devices_carry_no_data_to_corrupt(self):
+        plan = FaultPlan(seed=0, faults=(BitFlipFault(rate=1.0),))
+        device = PimDevice(fulcrum_config(2), functional=False, faults=plan)
+        obj = device.alloc(64)
+        device.copy_host_to_device(np.zeros(64, dtype=np.int32), obj)
+        assert device.faults.injected["bit_flip"] == 0

@@ -1,0 +1,67 @@
+"""Tests for fault-model dataclasses and FaultPlan."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    BitFlipFault,
+    DroppedCommandFault,
+    FaultPlan,
+    StuckBitFault,
+    WorkerCrashFault,
+    WorkerExceptionFault,
+    WorkerHangFault,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factory", [
+        lambda: StuckBitFault(bit=-1),
+        lambda: StuckBitFault(value=2),
+        lambda: BitFlipFault(rate=1.5),
+        lambda: BitFlipFault(rate=-0.1),
+        lambda: DroppedCommandFault(rate=2.0),
+        lambda: WorkerExceptionFault(fail_attempts=0),
+        lambda: WorkerHangFault(seconds=-1.0),
+        lambda: WorkerCrashFault(fail_attempts=0),
+    ])
+    def test_rejects_bad_parameters(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_plan_rejects_non_fault_members(self):
+        with pytest.raises(TypeError):
+            FaultPlan(seed=0, faults=("stuck",))
+
+
+class TestFaultPlan:
+    def test_splits_device_and_engine_families(self):
+        plan = FaultPlan(seed=3, faults=(
+            StuckBitFault(bit=1),
+            WorkerHangFault(seconds=1.0),
+            BitFlipFault(rate=0.5),
+            WorkerCrashFault(),
+            DroppedCommandFault(rate=0.1),
+            WorkerExceptionFault(),
+        ))
+        assert all(
+            type(f) in (StuckBitFault, BitFlipFault, DroppedCommandFault)
+            for f in plan.device_faults
+        )
+        assert len(plan.device_faults) == 3
+        assert len(plan.engine_faults) == 3
+
+    def test_plans_are_hashable_and_picklable(self):
+        plan = FaultPlan(seed=7, faults=(StuckBitFault(bit=2, value=1),))
+        assert hash(plan) == hash(
+            FaultPlan(seed=7, faults=(StuckBitFault(bit=2, value=1),))
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_describe_names_everything(self):
+        plan = FaultPlan(seed=9, faults=(BitFlipFault(rate=0.25),))
+        text = plan.describe()
+        assert "seed=9" in text
+        assert "BitFlipFault" in text and "0.25" in text
+        assert FaultPlan().describe() == "seed=0: no faults"

@@ -70,10 +70,12 @@ class TestApiRuntime:
         sink = bus.subscribe(RingBufferSink())
         with pim_device(PimDeviceType.FULCRUM, bus=bus) as device:
             assert device.stats.bus is bus
-            assert bus.process == device.config.label
+            assert bus.process == device.config.label  # labeled by the config
             obj = device.alloc(16)
             device.copy_host_to_device(np.arange(16, dtype=np.int32), obj)
-        assert bus.process != "repro"  # labeled by the device config
+        # Teardown restores the default label: events emitted after this
+        # device's lifetime must not carry its (stale) name.
+        assert bus.process == "repro"
         assert [e.cat for e in sink.events] == ["copy"]
 
 

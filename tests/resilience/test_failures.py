@@ -1,0 +1,76 @@
+"""Tests for CellFailure records and the failure-summary table."""
+
+from repro.config.device import PimDeviceType
+from repro.core.errors import FailureKind, PimAllocationError, PimStatus
+from repro.engine import CellSpec
+from repro.resilience import (
+    failure_from_exception,
+    format_failure_summary,
+    skipped_failure,
+)
+
+
+def make_exc():
+    try:
+        raise PimAllocationError("no rows", rows_requested=9, rows_total=4)
+    except PimAllocationError as exc:
+        return exc
+
+
+class TestFailureFromException:
+    def test_packages_taxonomy_and_context(self):
+        failure = failure_from_exception(make_exc(), attempts=3)
+        assert failure.kind is FailureKind.ERROR
+        assert failure.status is PimStatus.ERR_ALLOC
+        assert failure.error_type == "PimAllocationError"
+        assert failure.attempts == 3
+        assert failure.context == (("rows_requested", 9), ("rows_total", 4))
+        assert "no rows" in failure.message
+        assert "PimAllocationError" in failure.traceback
+
+    def test_traceback_optional(self):
+        failure = failure_from_exception(
+            make_exc(), attempts=1, with_traceback=False
+        )
+        assert failure.traceback == ""
+
+    def test_to_dict(self):
+        record = failure_from_exception(make_exc(), attempts=2).to_dict()
+        assert record["kind"] == "error"
+        assert record["status"] == "err_alloc"
+        assert record["context"] == {"rows_requested": 9, "rows_total": 4}
+
+    def test_brief_is_one_line(self):
+        brief = failure_from_exception(make_exc(), attempts=2).brief()
+        assert "\n" not in brief
+        assert "2 attempt(s)" in brief
+
+    def test_skipped(self):
+        failure = skipped_failure()
+        assert failure.kind is FailureKind.SKIPPED
+        assert failure.attempts == 0
+        assert not failure.transient
+
+
+class TestSummaryTable:
+    def test_empty(self):
+        assert format_failure_summary({}) == "All cells completed."
+
+    def test_one_row_per_failure(self):
+        spec_a = CellSpec("vecadd", PimDeviceType.FULCRUM)
+        spec_b = CellSpec("axpy", PimDeviceType.BANK_LEVEL)
+        table = format_failure_summary({
+            spec_a: failure_from_exception(make_exc(), attempts=2),
+            spec_b: skipped_failure(),
+        })
+        lines = table.splitlines()
+        assert lines[0] == "=== 2 cell(s) failed ==="
+        assert "vecadd" in table and "axpy" in table
+        assert "error" in table and "skipped" in table
+        assert "PimAllocationError" in table
+
+    def test_long_messages_truncated(self):
+        spec = CellSpec("vecadd", PimDeviceType.FULCRUM)
+        failure = failure_from_exception(ValueError("x" * 500), attempts=1)
+        table = format_failure_summary({spec: failure})
+        assert all(len(line) < 160 for line in table.splitlines())

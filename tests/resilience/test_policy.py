@@ -1,0 +1,97 @@
+"""Tests for RetryPolicy: validation, backoff determinism, env resolution."""
+
+import pytest
+
+from repro.resilience import (
+    CELL_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
+    RetryPolicy,
+    deterministic_jitter,
+)
+
+
+class TestValidation:
+    def test_defaults_do_nothing(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert not policy.needs_isolation
+        assert not policy.fail_fast
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"cell_timeout_s": 0},
+        {"cell_timeout_s": -1.0},
+        {"backoff_factor": 0.5},
+        {"jitter_fraction": 1.5},
+        {"backoff_base_s": -0.1},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_timeout_forces_isolation(self):
+        assert RetryPolicy(cell_timeout_s=5.0).needs_isolation
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = RetryPolicy(max_retries=2, cell_timeout_s=1.0)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_retries=9, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=0.5, jitter_fraction=0.0,
+        )
+        delays = [policy.backoff_s("cell", n) for n in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(max_retries=3)
+        assert policy.backoff_s("k", 2) == policy.backoff_s("k", 2)
+        # distinct cells/attempts spread out
+        assert deterministic_jitter("a", 1) != deterministic_jitter("a", 2)
+        assert deterministic_jitter("a", 1) != deterministic_jitter("b", 1)
+
+    def test_jitter_range(self):
+        for key in ("x", "y", "z"):
+            for attempt in (1, 2, 3):
+                assert 0.0 <= deterministic_jitter(key, attempt) < 1.0
+
+    def test_rejects_attempt_zero(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s("k", 0)
+
+
+class TestFromEnv:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_RETRIES_ENV, "5")
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "60")
+        policy = RetryPolicy.from_env(max_retries=1, cell_timeout_s=2.0)
+        assert policy.max_retries == 1
+        assert policy.cell_timeout_s == 2.0
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv(MAX_RETRIES_ENV, "3")
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "1.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_retries == 3
+        assert policy.cell_timeout_s == 1.5
+
+    def test_unset_env_means_do_nothing(self, monkeypatch):
+        monkeypatch.delenv(MAX_RETRIES_ENV, raising=False)
+        monkeypatch.delenv(CELL_TIMEOUT_ENV, raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy.max_retries == 0
+        assert policy.cell_timeout_s is None
+
+    def test_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_RETRIES_ENV, "several")
+        with pytest.raises(ValueError, match=MAX_RETRIES_ENV):
+            RetryPolicy.from_env()
+        monkeypatch.setenv(MAX_RETRIES_ENV, "1")
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError, match=CELL_TIMEOUT_ENV):
+            RetryPolicy.from_env()

@@ -170,6 +170,57 @@ class TestEngineFlags:
         assert "persistent cache" not in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args([
+            "run", "vecadd", "--cell-timeout", "5",
+            "--max-retries", "2", "--fail-fast",
+        ])
+        assert args.cell_timeout == 5.0
+        assert args.max_retries == 2
+        assert args.fail_fast is True
+
+    def test_resilience_defaults_do_nothing(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.cell_timeout is None
+        assert args.max_retries is None
+        assert args.fail_fast is False
+
+    def test_bad_policy_is_a_clean_exit(self):
+        with pytest.raises(SystemExit):
+            main(["run", "vecadd", "--no-cache", "--max-retries", "-1"])
+
+    def test_failed_cell_exits_nonzero_with_summary(self, capsys):
+        # Paper-scale vecadd needs more rows than 4 ranks offer; the run
+        # must degrade to a failure table on stderr and a non-zero exit,
+        # not a traceback.
+        rc = main(["run", "vecadd", "--no-cache", "--paper-scale",
+                   "--ranks", "4"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cell(s) failed" in err
+        assert "PimAllocationError" in err
+
+
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.benchmarks == []
+        assert args.seed == 0
+        assert args.json is None
+
+    def test_campaign_runs_and_reports(self, capsys, tmp_path):
+        out_path = str(tmp_path / "campaign.json")
+        rc = main(["campaign", "vecadd", "--seed", "7", "--json", out_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault campaign (seed=7" in out
+        assert "summary:" in out
+        payload = json.load(open(out_path))
+        assert payload["seed"] == 7
+        assert len(payload["cells"]) == 4  # one per default fault config
+
+
 class TestCacheSubcommand:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
