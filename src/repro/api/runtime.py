@@ -10,18 +10,22 @@ remains available for programs juggling several devices.
 from __future__ import annotations
 
 import contextlib
+import typing
 
-from repro.config.device import DeviceConfig, PimDeviceType
-from repro.config.presets import make_device_config
+from repro.arch import arch_for, default_backend
+from repro.config.device import DeviceConfig
 from repro.core.device import PimDevice
 from repro.core.errors import PimStateError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 
 _current_device: "PimDevice | None" = None
 
 
 def pim_create_device(
-    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    device_type: "DeviceTypeLike | str | None" = None,
     num_ranks: int = 4,
     functional: bool = True,
     config: "DeviceConfig | None" = None,
@@ -29,6 +33,9 @@ def pim_create_device(
 ) -> PimDevice:
     """Create (and select) a PIM device; mirrors ``pimCreateDevice``.
 
+    ``device_type`` may be a device-type object or any registered
+    backend name/alias (``"fulcrum"``, ``"ddr5"``, ...); the default is
+    the first registered architecture (the paper's bit-serial variant).
     The 4-rank default matches the artifact's out-of-the-box configuration
     (Listing 3).  Pass ``config`` to override the geometry entirely, and
     ``bus`` (a :class:`repro.obs.events.EventBus`) to stream the device's
@@ -36,7 +43,10 @@ def pim_create_device(
     """
     global _current_device
     if config is None:
-        config = make_device_config(device_type, num_ranks)
+        backend = (
+            default_backend() if device_type is None else arch_for(device_type)
+        )
+        config = backend.make_config(num_ranks)
     if bus is not None:
         bus.process = config.label
     _current_device = PimDevice(config=config, functional=functional, bus=bus)
@@ -70,7 +80,7 @@ def pim_delete_device() -> None:
 
 @contextlib.contextmanager
 def pim_device(
-    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    device_type: "DeviceTypeLike | str | None" = None,
     num_ranks: int = 4,
     functional: bool = True,
     config: "DeviceConfig | None" = None,

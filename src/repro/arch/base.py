@@ -1,0 +1,152 @@
+"""The ``ArchBackend`` interface: everything one architecture bundles.
+
+The paper's central claim (Section IV, Table II) is that one API can
+model many digital PIM architectures.  Before this layer existed, each
+architecture was wired in by scattered ``if device_type is ...`` chains
+across config, perf, energy, engine, experiments, and the CLI; adding a
+variant meant editing six layers.  A backend object gathers all of those
+decisions in one place:
+
+* **identity** -- the device-type object (a :class:`PimDeviceType`
+  member or a plug-in :class:`~repro.config.device.ArchDeviceType`),
+  the canonical CLI name, and its aliases;
+* **configuration** -- the Table II preset constructor
+  (:meth:`ArchBackend.make_config`) and the parameters ``repro arch
+  list`` displays (:meth:`ArchBackend.table2_params`);
+* **performance** -- the perf-model factory
+  (:meth:`ArchBackend.make_perf_model`) and the set of
+  :class:`~repro.perf.base.CmdCost` counters its model emits;
+* **energy** -- how the :class:`~repro.energy.model.EnergyModel` prices
+  an ALU word op on this architecture (:meth:`ArchBackend.alu_op_pj`);
+* **capabilities** -- whether commands lower to microprograms and
+  whether the functional simulator supports the device;
+* **caching** -- the source files whose content feeds the
+  architecture's :func:`repro.engine.version.model_version` stamp.
+
+Registering an instance with :func:`repro.arch.register_backend` is the
+*only* step a new architecture needs; see ``docs/ARCHITECTURES.md`` for
+the one-file walkthrough.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+from repro.config.device import ArchDeviceType, DeviceConfig, PimDeviceType
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.power import PowerConfig
+    from repro.perf.base import PerfModel
+
+#: Either kind of device-type object a backend may carry.
+DeviceTypeLike = typing.Union[PimDeviceType, ArchDeviceType]
+
+#: Every energy-relevant counter :class:`~repro.perf.base.CmdCost`
+#: carries.  A backend's ``cost_counters`` must be a subset; the
+#: cross-backend contract test asserts its perf model never emits a
+#: counter outside its declared set (which would silently go unpriced
+#: or double-priced by a mismatched energy hook).
+COST_COUNTERS = (
+    "row_activations",
+    "lane_logic_ops",
+    "alu_word_ops",
+    "walker_bits",
+    "gdl_bits",
+)
+
+
+class ArchBackend(abc.ABC):
+    """One pluggable PIM architecture.
+
+    Subclasses override the class attributes and the two factories;
+    everything else has workable defaults.  Instances are stateless --
+    the registry holds exactly one per architecture.
+    """
+
+    #: Canonical CLI/registry name (``repro run --target <id>``).
+    id: str = ""
+    #: Alternate spellings accepted anywhere a name is (CLI, API).
+    aliases: "tuple[str, ...]" = ()
+    #: The device-type object configs carry for this architecture.
+    device_type: DeviceTypeLike
+    #: One-line description shown by ``repro arch list``.
+    description: str = ""
+    #: ``CmdCost`` counters this architecture's perf model emits.
+    cost_counters: "tuple[str, ...]" = ()
+    #: Source files/packages (relative to the ``repro`` package root)
+    #: whose content stamps this architecture's cache keys.
+    stamp_sources: "tuple[str, ...]" = ()
+    #: Whether high-level commands lower to bit-serial microprograms.
+    uses_microcode: bool = False
+    #: Whether the functional simulator can verify results on it.
+    supports_functional: bool = True
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def display_name(self) -> str:
+        """Figure/report label (delegates to the device type)."""
+        return self.device_type.display_name
+
+    @property
+    def in_paper_evaluation(self) -> bool:
+        return self.device_type.in_paper_evaluation
+
+    def names(self) -> "tuple[str, ...]":
+        """Every name this backend answers to (canonical id first)."""
+        return (self.id, *self.aliases)
+
+    # -- configuration --------------------------------------------------------
+
+    @abc.abstractmethod
+    def make_config(
+        self, num_ranks: int = 32, **geometry_overrides: int
+    ) -> DeviceConfig:
+        """Build this architecture's device configuration."""
+
+    def table2_params(self, num_ranks: int = 32) -> "dict[str, object]":
+        """The Table II row ``repro arch list`` prints.
+
+        Keys: ``cores`` (PIM core count), ``freq_mhz`` (compute clock,
+        or None when timing is DRAM-driven), ``layout`` (native data
+        layout), ``ap_support`` (associative-processing capability).
+        """
+        config = self.make_config(num_ranks)
+        return {
+            "cores": config.num_cores,
+            "freq_mhz": self.compute_freq_mhz(config),
+            "layout": config.native_layout.value,
+            "ap_support": self.device_type.is_bit_serial,
+        }
+
+    def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
+        """The architecture's compute clock, or None when DRAM-timed."""
+        return None
+
+    # -- performance ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        """Instantiate the performance model for a config of this arch."""
+
+    # -- energy ---------------------------------------------------------------
+
+    def alu_op_pj(self, power: "PowerConfig") -> float:
+        """Energy (pJ) of one ALU word operation on this architecture.
+
+        The default prices at the subarray-level (Fulcrum-class) ALPU;
+        bank-scope backends override to the bank ALPU figure.  Backends
+        that never emit ``alu_word_ops`` can leave either in place --
+        the term multiplies a zero count.
+        """
+        return power.compute.fulcrum_alu_op_pj
+
+    # -- caching --------------------------------------------------------------
+
+    def stamp_entries(self) -> "tuple[str, ...]":
+        """The source group feeding this architecture's version stamp."""
+        return tuple(self.stamp_sources)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} id={self.id!r}>"

@@ -1,0 +1,119 @@
+"""Backends for the four architectures the repository already models.
+
+These bundle exactly what the scattered ``if device_type is ...`` chains
+used to encode: the Table II preset constructor, the perf-model factory,
+the energy pricing of an ALU word op, the microcode capability, and the
+stamp sources that tie cached results to the model code.  The stamp
+tuples are byte-for-byte the ones ``repro.engine.version`` hardcoded
+before the registry existed, so the migration does not move any user's
+warm cache entries (see ``tests/engine/test_cache_key_fixture.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.arch.base import ArchBackend
+from repro.arch.registry import register_backend
+from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.presets import make_device_config
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.power import PowerConfig
+    from repro.perf.base import PerfModel
+
+
+class _PaperBackend(ArchBackend):
+    """Shared plumbing: Table II geometry via :func:`make_device_config`."""
+
+    def make_config(
+        self, num_ranks: int = 32, **geometry_overrides: int
+    ) -> DeviceConfig:
+        return make_device_config(
+            self.device_type, num_ranks, **geometry_overrides
+        )
+
+
+class BitSerialBackend(_PaperBackend):
+    """Subarray-level bit-serial PIM (DRAM-AP / BITSIMD_V_AP)."""
+
+    id = "bitserial"
+    aliases = ("bit-serial", "dram-ap", "bitsimd")
+    device_type = PimDeviceType.BITSIMD_V_AP
+    description = "subarray-level bit-serial (DRAM-AP), vertical layout"
+    cost_counters = ("row_activations", "lane_logic_ops")
+    stamp_sources = ("perf/bitserial.py", "microcode")
+    uses_microcode = True
+
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        from repro.perf.bitserial import BitSerialPerfModel
+
+        return BitSerialPerfModel(config)
+
+
+class FulcrumBackend(_PaperBackend):
+    """Subarray-level bit-parallel PIM (Fulcrum)."""
+
+    id = "fulcrum"
+    aliases = ()
+    device_type = PimDeviceType.FULCRUM
+    description = "subarray-level bit-parallel (Fulcrum), word ALPUs"
+    cost_counters = ("row_activations", "alu_word_ops", "walker_bits")
+    stamp_sources = ("perf/fulcrum.py",)
+
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        from repro.perf.fulcrum import FulcrumPerfModel
+
+        return FulcrumPerfModel(config)
+
+    def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
+        return config.arch.fulcrum_alu_freq_mhz
+
+
+class BankLevelBackend(_PaperBackend):
+    """Bank-level bit-parallel PIM (one ALPU per bank, behind the GDL)."""
+
+    id = "bank"
+    aliases = ("bank-level", "banklevel")
+    device_type = PimDeviceType.BANK_LEVEL
+    description = "bank-level bit-parallel, rows serialized over the GDL"
+    cost_counters = (
+        "row_activations", "alu_word_ops", "walker_bits", "gdl_bits"
+    )
+    stamp_sources = ("perf/banklevel.py",)
+
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        from repro.perf.banklevel import BankLevelPerfModel
+
+        return BankLevelPerfModel(config)
+
+    def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
+        return config.arch.bank_alu_freq_mhz
+
+    def alu_op_pj(self, power: "PowerConfig") -> float:
+        return power.compute.bank_alu_op_pj
+
+
+class AnalogBitSerialBackend(_PaperBackend):
+    """Analog (triple-row-activation) bit-serial extension (Section IX)."""
+
+    id = "analog"
+    aliases = ("analog-bit-serial", "tra")
+    device_type = PimDeviceType.ANALOG_BITSIMD_V
+    description = "analog bit-serial (TRA) extension variant, Section IX"
+    cost_counters = ("row_activations", "lane_logic_ops")
+    stamp_sources = ("perf/analog.py", "perf/bitserial.py", "microcode")
+    uses_microcode = True
+
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        from repro.perf.analog import AnalogBitSerialPerfModel
+
+        return AnalogBitSerialPerfModel(config)
+
+
+def register_builtin_backends() -> None:
+    """Register the paper's architectures, in figure order."""
+    register_backend(BitSerialBackend())
+    register_backend(FulcrumBackend())
+    register_backend(BankLevelBackend())
+    register_backend(AnalogBitSerialBackend())

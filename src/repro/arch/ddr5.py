@@ -1,0 +1,118 @@
+"""DDR5 bank-level PIM: a complete plug-in variant in one module.
+
+This is the registry's existence proof: a genuinely new architecture --
+bank-level PIM on a DDR5-4800 module instead of the paper's DDR4 --
+defined entirely here.  It brings its own device type (no
+``PimDeviceType`` edit), its own Table II-style configuration (DDR5's
+32-banks-per-chip organization, faster channel, shallower banks, a
+wider 128-bit ALPU at a faster clock), reuses the bank-level performance
+model (whose cost arithmetic depends only on config traits, not on enum
+identity), and declares its own cache-stamp sources -- so editing this
+file invalidates DDR5 cells and nothing else.
+
+Registration is the single ``register_backend`` import hook in
+``repro/arch/__init__.py``; no other module in the repository names this
+architecture.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.arch.base import ArchBackend
+from repro.config.device import (
+    ArchDeviceType,
+    CORE_SCOPE_BANK,
+    DeviceConfig,
+    PimArchParams,
+)
+from repro.config.dram import DramGeometry, DramSpec, DramTiming
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.power import PowerConfig
+    from repro.perf.base import PerfModel
+
+#: The plug-in device type: enum-free, hashable, picklable.
+DDR5_BANK_LEVEL = ArchDeviceType(
+    value="ddr5-bank-level",
+    name="DDR5_BANK_LEVEL",
+    display_name="DDR5 Bank-level",
+    core_scope=CORE_SCOPE_BANK,
+)
+
+#: DDR5-4800 per-rank timing: a faster channel (38.4 GB/s per rank) and
+#: a tighter burst cadence than the paper's DDR4 module; array-core
+#: timings barely move between generations.
+DDR5_TIMING = DramTiming(
+    row_read_ns=26.0,
+    row_write_ns=41.0,
+    tccd_ns=2.5,
+    tras_ns=32.0,
+    trp_ns=14.0,
+    rank_bandwidth_gbps=38.4,
+)
+
+#: DDR5 ALPU: the extra bank-group parallelism funds a wider (128-bit)
+#: word unit at a faster clock than the DDR4 bank-level design.
+DDR5_ARCH_PARAMS = PimArchParams(bank_alu_bits=128, bank_alu_freq_mhz=250.0)
+
+
+def ddr5_geometry(num_ranks: int = 32) -> DramGeometry:
+    """DDR5 module organization: 32 banks per chip, shallower banks.
+
+    256 chip-level banks per rank (32 banks x 8 chips) with 16 subarrays
+    each keeps the module capacity identical to the paper's DDR4 config
+    (4096 subarrays per rank) while doubling the number of bank-level
+    processing elements -- the architectural trade DDR5 PIM proposals
+    lean on.
+    """
+    return DramGeometry(
+        num_ranks=num_ranks,
+        banks_per_rank=256,
+        subarrays_per_bank=16,
+        rows_per_subarray=1024,
+        cols_per_subarray=8192,
+        gdl_width_bits=128,
+        chips_per_rank=8,
+    )
+
+
+def ddr5_bank_config(num_ranks: int = 32, **geometry_overrides: int) -> DeviceConfig:
+    """Device configuration for the DDR5 bank-level variant."""
+    geometry = ddr5_geometry(num_ranks)
+    if geometry_overrides:
+        geometry = geometry.scaled(**geometry_overrides)
+    return DeviceConfig(
+        device_type=DDR5_BANK_LEVEL,
+        dram=DramSpec(geometry=geometry, timing=DDR5_TIMING),
+        arch=DDR5_ARCH_PARAMS,
+    )
+
+
+class Ddr5BankBackend(ArchBackend):
+    """Registry entry for the DDR5 bank-level variant."""
+
+    id = "ddr5-bank"
+    aliases = ("ddr5", "ddr5-bank-level")
+    device_type = DDR5_BANK_LEVEL
+    description = "bank-level PIM on a DDR5-4800 module (plug-in variant)"
+    cost_counters = (
+        "row_activations", "alu_word_ops", "walker_bits", "gdl_bits"
+    )
+    stamp_sources = ("arch/ddr5.py", "perf/banklevel.py")
+
+    def make_config(
+        self, num_ranks: int = 32, **geometry_overrides: int
+    ) -> DeviceConfig:
+        return ddr5_bank_config(num_ranks, **geometry_overrides)
+
+    def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
+        from repro.perf.banklevel import BankLevelPerfModel
+
+        return BankLevelPerfModel(config)
+
+    def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
+        return config.arch.bank_alu_freq_mhz
+
+    def alu_op_pj(self, power: "PowerConfig") -> float:
+        return power.compute.bank_alu_op_pj

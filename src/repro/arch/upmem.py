@@ -1,0 +1,154 @@
+"""UPMEM backend: the Section V-E toy model, registered as a target.
+
+The repository has carried a toy UPMEM model
+(:class:`repro.upmem.UpmemToyModel`) since the validation work -- DPUs
+with serialized MRAM DMA and compute, the exact limitation the paper
+measures 23-35% slowdowns from.  Registering it as an
+:class:`~repro.arch.base.ArchBackend` proves the registry claim in the
+other direction from :mod:`repro.arch.ddr5`: not just a new config over
+an existing perf model, but a foreign cost model (per-DPU streaming DMA
+plus instruction throughput, nothing row-granular) adapted behind the
+same :class:`~repro.perf.base.PerfModel` protocol and run by the same
+engine, benchmarks, and cache.
+
+Cost mapping: each command streams its operand bytes through MRAM at
+the DPU's streaming bandwidth and spends the command's documented ALU
+cycle class per element at the DPU clock -- serialized, as PIMeval's
+toy model does.  Only ``alu_word_ops`` is emitted for energy (DPUs have
+no DRAM-row or GDL events to price).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.arch.base import ArchBackend
+from repro.config.device import (
+    ArchDeviceType,
+    CORE_SCOPE_BANK,
+    DeviceConfig,
+)
+from repro.config.dram import DramGeometry, DramSpec, DramTiming
+from repro.perf.base import CmdCost, CommandArgs
+from repro.upmem.model import UpmemConfig, UpmemKernel, UpmemToyModel
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.power import PowerConfig
+
+#: One core per "bank": the geometry below makes one bank one DPU.
+UPMEM_DEVICE = ArchDeviceType(
+    value="upmem",
+    name="UPMEM",
+    display_name="UPMEM",
+    core_scope=CORE_SCOPE_BANK,
+)
+
+#: Per-rank DPU count of the mapped geometry (64 DPUs x 40 ranks = the
+#: 2560-DPU PrIM-class system of :class:`~repro.upmem.UpmemConfig`).
+DPUS_PER_RANK = 64
+#: Default rank count reproducing the validation system's 2560 DPUs.
+DEFAULT_NUM_RANKS = UpmemConfig().num_dpus // DPUS_PER_RANK
+
+
+def upmem_geometry(num_ranks: int = DEFAULT_NUM_RANKS) -> DramGeometry:
+    """Map the DPU array onto the simulator's memory hierarchy.
+
+    One chip-level bank per DPU, 64 MiB of MRAM each (64 subarrays of
+    the standard 1 Mib array), so allocation, layout, and functional
+    simulation all work unchanged on the existing resource manager.
+    """
+    return DramGeometry(
+        num_ranks=num_ranks,
+        banks_per_rank=DPUS_PER_RANK,
+        subarrays_per_bank=64,
+        rows_per_subarray=1024,
+        cols_per_subarray=8192,
+        gdl_width_bits=128,
+        chips_per_rank=8,
+    )
+
+
+def upmem_device_config(
+    num_ranks: int = DEFAULT_NUM_RANKS, **geometry_overrides: int
+) -> DeviceConfig:
+    """Device configuration wrapping the toy UPMEM system."""
+    geometry = upmem_geometry(num_ranks)
+    if geometry_overrides:
+        geometry = geometry.scaled(**geometry_overrides)
+    # The DDR4-class channel of the PrIM system; array timings are
+    # irrelevant to the DPU cost model but keep data movement realistic.
+    return DeviceConfig(
+        device_type=UPMEM_DEVICE,
+        dram=DramSpec(geometry=geometry, timing=DramTiming()),
+    )
+
+
+class UpmemPerfModel:
+    """`PerfModel` adapter over :class:`~repro.upmem.UpmemToyModel`."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        if config.device_type.value != UPMEM_DEVICE.value:
+            from repro.core.errors import PimTypeError
+
+            raise PimTypeError(
+                "UpmemPerfModel requires an UPMEM config, got "
+                f"{config.device_type}",
+                device_type=str(getattr(config.device_type, "value", "?")),
+            )
+        self.config = config
+        self.upmem = UpmemConfig(
+            num_dpus=config.dram.geometry.num_banks
+        )
+        self.toy = UpmemToyModel(self.upmem)
+
+    def _kernel_for(self, args: CommandArgs) -> UpmemKernel:
+        """Per-element streaming/compute costs of one command."""
+        element_bytes = max(1, args.bits // 8)
+        # Every vector operand streams through MRAM once; the result
+        # streams back.  Scalar-producing commands only read.
+        streams = len(args.inputs) + (1 if args.dest is not None else 0)
+        instructions = max(1, args.kind.spec.alu_cycles)
+        return UpmemKernel(
+            name=args.kind.name,
+            bytes_per_element=float(max(1, streams) * element_bytes),
+            instructions_per_element=float(instructions),
+        )
+
+    def cost_of(self, args: CommandArgs) -> CmdCost:
+        driving = args.driving_layout
+        num_elements = max(1, driving.num_elements)
+        kernel = self._kernel_for(args)
+        latency = self.toy.kernel_time_ns(kernel, num_elements)
+        if args.kind.spec.produces_scalar:
+            # Per-DPU partials return over the channel, as on the other
+            # backends' reductions.
+            partial_bytes = self.upmem.num_dpus * max(4, args.bits // 8)
+            latency += partial_bytes / self.config.dram.transfer_bandwidth_bytes_per_ns
+        instructions = kernel.instructions_per_element * num_elements
+        return CmdCost(
+            latency_ns=latency,
+            alu_word_ops=instructions,
+            cores_active=min(self.upmem.num_dpus, driving.num_cores_used),
+        )
+
+
+class UpmemBackend(ArchBackend):
+    """Registry entry for the toy UPMEM target."""
+
+    id = "upmem"
+    aliases = ("prim", "dpu")
+    device_type = UPMEM_DEVICE
+    description = "toy UPMEM model (Section V-E): serialized DMA + compute"
+    cost_counters = ("alu_word_ops",)
+    stamp_sources = ("arch/upmem.py", "upmem")
+
+    def make_config(
+        self, num_ranks: int = DEFAULT_NUM_RANKS, **geometry_overrides: int
+    ) -> DeviceConfig:
+        return upmem_device_config(num_ranks, **geometry_overrides)
+
+    def make_perf_model(self, config: DeviceConfig) -> UpmemPerfModel:
+        return UpmemPerfModel(config)
+
+    def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
+        return UpmemConfig().dpu_freq_mhz

@@ -8,6 +8,7 @@ benchmark, read the stats report) without the per-target rebuilds::
     python -m repro suite --ranks 32 --jobs 4     # Figure 9/10/11 tables
     python -m repro figure 6a                     # any figure by number
     python -m repro tables                        # Tables I and II
+    python -m repro arch list                     # architecture backends
     python -m repro profile vecadd --trace t.json # Perfetto trace + metrics
     python -m repro cache info                    # persistent result cache
 
@@ -34,29 +35,26 @@ import argparse
 import sys
 
 from repro.analysis import format_report
+from repro.arch import ArchBackend, backend_names, iter_backends, resolve_backend
 from repro.bench.extensions import EXTENSION_BENCHMARKS
 from repro.bench.registry import BENCHMARK_CLASSES, BENCHMARKS_BY_KEY, make_benchmark
-from repro.config.device import PimDeviceType
-from repro.config.presets import make_device_config
 from repro.core.device import PimDevice
 from repro.engine import CellSpec, run_cells
 
-_TARGETS = {
-    "bitserial": PimDeviceType.BITSIMD_V_AP,
-    "bit-serial": PimDeviceType.BITSIMD_V_AP,
-    "fulcrum": PimDeviceType.FULCRUM,
-    "bank": PimDeviceType.BANK_LEVEL,
-    "bank-level": PimDeviceType.BANK_LEVEL,
-}
 
+def _parse_target(name: str) -> ArchBackend:
+    """Resolve a --device/--target name through the architecture registry."""
+    from repro.core.errors import PimConfigError
 
-def _parse_target(name: str) -> PimDeviceType:
-    target = _TARGETS.get(name.lower())
-    if target is None:
+    try:
+        return resolve_backend(name)
+    except PimConfigError:
         raise SystemExit(
-            f"unknown target {name!r}; choose from {sorted(set(_TARGETS))}"
-        )
-    return target
+            f"unknown device {name!r}; choose from "
+            f"{', '.join(backend_names())} "
+            f"(aliases: {', '.join(backend_names(include_aliases=True))}; "
+            "see `repro arch list`)"
+        ) from None
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -122,18 +120,18 @@ def _make_bus(trace_path: "str | None", with_metrics: bool = False):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    target = _parse_target(args.target)
+    backend = _parse_target(args.target)
     bench = _make_bench(args.benchmark, args.paper_scale)
     # Announce the run up front: paper-scale simulations take a while and
     # a silent terminal reads as a hang.
-    print(f"Running {bench.name} on {target.display_name} "
+    print(f"Running {bench.name} on {backend.display_name} "
           f"({args.ranks} ranks, "
           f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n",
           flush=True)
     bus, chrome, _ = _make_bus(getattr(args, "trace", None))
     spec = CellSpec(
         benchmark_key=args.benchmark,
-        device_type=target,
+        device_type=backend.device_type,
         num_ranks=args.ranks,
         paper_scale=args.paper_scale,
         functional=not args.paper_scale,
@@ -156,7 +154,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     # Re-render the Listing-3 report from the outcome's stats tracker;
     # on a cache hit no device ever ran in this process.
     device = PimDevice(
-        make_device_config(target, args.ranks),
+        backend.make_config(args.ranks),
         functional=not args.paper_scale,
     )
     device.stats = outcome.tracker
@@ -177,14 +175,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Profile one benchmark: trace + metrics + hottest-command table."""
     from repro.analysis import format_hottest_commands
 
-    target = _parse_target(args.target)
+    backend = _parse_target(args.target)
     bench = _make_bench(args.benchmark, args.paper_scale)
-    print(f"Profiling {bench.name} on {target.display_name} "
+    print(f"Profiling {bench.name} on {backend.display_name} "
           f"({args.ranks} ranks)\n", flush=True)
     bus, chrome, metrics = _make_bus(args.trace, with_metrics=True)
     spec = CellSpec(
         benchmark_key=args.benchmark,
-        device_type=target,
+        device_type=backend.device_type,
         num_ranks=args.ranks,
         paper_scale=args.paper_scale,
         functional=not args.paper_scale,
@@ -280,7 +278,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         features = [
             extract_features(
                 suite.benchmarks[key],
-                suite.result(key, PimDeviceType.BITSIMD_V_AP),
+                suite.result(key, "bitserial"),
             )
             for key in suite.benchmark_keys()
         ]
@@ -331,6 +329,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             fh.write(report.to_json() + "\n")
         print(f"\nCampaign report written to {args.json}")
     return 1 if report.grades()["crashed"] else 0
+
+
+def cmd_arch_list(args: argparse.Namespace) -> int:
+    """List registered architecture backends with Table II parameters."""
+    print(f"{'name':<11s} {'display':<18s} {'cores':>9s} {'freq':>9s} "
+          f"{'layout':<11s} {'AP':<3s} {'aliases'}")
+    for backend in iter_backends():
+        params = backend.table2_params(num_ranks=args.ranks)
+        freq = params["freq_mhz"]
+        freq_text = f"{freq:.0f}MHz" if freq is not None else "DRAM"
+        print(
+            f"{backend.id:<11s} {backend.display_name:<18s} "
+            f"{params['cores']:>9,d} {freq_text:>9s} "
+            f"{str(params['layout']):<11s} "
+            f"{'yes' if params['ap_support'] else 'no':<3s} "
+            f"{', '.join(backend.aliases)}"
+        )
+        if args.verbose:
+            print(f"{'':<11s}   {backend.description}")
+            print(f"{'':<11s}   stamp sources: "
+                  f"{', '.join(backend.stamp_sources)}")
+    print(f"\n({args.ranks} ranks; pass any name above as "
+          "`repro run --device <name>`)")
+    return 0
 
 
 def cmd_tables(_args: argparse.Namespace) -> int:
@@ -413,8 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one benchmark")
     run.add_argument("benchmark", help="benchmark key (see `list`)")
-    run.add_argument("--target", default="fulcrum",
-                     help="bitserial | fulcrum | bank (default fulcrum)")
+    run.add_argument("--target", "--device", dest="target", default="fulcrum",
+                     help="architecture backend name (see `repro arch list`; "
+                          "default fulcrum)")
     run.add_argument("--ranks", type=int, default=4)
     run.add_argument("--paper-scale", action="store_true",
                      help="Table I input sizes, analytic mode")
@@ -427,8 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="profile one benchmark (trace, metrics, hotspots)"
     )
     profile.add_argument("benchmark", help="benchmark key (see `list`)")
-    profile.add_argument("--target", default="fulcrum",
-                         help="bitserial | fulcrum | bank (default fulcrum)")
+    profile.add_argument("--target", "--device", dest="target",
+                         default="fulcrum",
+                         help="architecture backend name (see `repro arch "
+                              "list`; default fulcrum)")
     profile.add_argument("--ranks", type=int, default=4)
     profile.add_argument("--paper-scale", action="store_true",
                          help="Table I input sizes, analytic mode")
@@ -473,6 +498,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the deterministic campaign report")
     _add_engine_flags(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    arch = sub.add_parser(
+        "arch", help="inspect the architecture backend registry"
+    )
+    arch_sub = arch.add_subparsers(dest="arch_command", required=True)
+    arch_list = arch_sub.add_parser(
+        "list", help="list registered backends with Table II parameters"
+    )
+    arch_list.add_argument("--ranks", type=int, default=32,
+                           help="rank count for the core column (default 32)")
+    arch_list.add_argument("-v", "--verbose", action="store_true",
+                           help="also print descriptions and stamp sources")
+    arch_list.set_defaults(func=cmd_arch_list)
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables

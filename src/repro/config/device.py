@@ -14,9 +14,27 @@ import enum
 from repro.config.dram import DramSpec
 
 
+#: Where an architecture's processing elements sit.  The traits below
+#: (and :class:`DeviceConfig`'s core/row arithmetic) dispatch on this
+#: declarative scope instead of on enum identity, so plug-in device
+#: types (:class:`ArchDeviceType`) participate in the same arithmetic.
+CORE_SCOPE_SUBARRAY = "subarray"
+CORE_SCOPE_SUBARRAY_GROUP = "subarray-group"
+CORE_SCOPE_BANK = "bank"
+
+_CORE_SCOPES = (
+    CORE_SCOPE_SUBARRAY, CORE_SCOPE_SUBARRAY_GROUP, CORE_SCOPE_BANK
+)
+
+
 class PimDeviceType(enum.Enum):
     """The three digital PIM architectures of the paper, plus the analog
-    bit-serial (TRA) variant PIMeval is being extended with (Section IX)."""
+    bit-serial (TRA) variant PIMeval is being extended with (Section IX).
+
+    Architectures beyond these four are *not* added here: a plug-in
+    backend declares an :class:`ArchDeviceType` instead and registers
+    through :mod:`repro.arch`, so a new variant never edits this enum.
+    """
 
     BITSIMD_V_AP = "bit-serial"
     FULCRUM = "fulcrum"
@@ -29,14 +47,24 @@ class PimDeviceType(enum.Enum):
         return _DISPLAY_NAMES[self]
 
     @property
+    def core_scope(self) -> str:
+        """DRAM structure each processing element is attached to."""
+        return _CORE_SCOPE[self]
+
+    @property
     def is_bit_serial(self) -> bool:
         return self in (
             PimDeviceType.BITSIMD_V_AP, PimDeviceType.ANALOG_BITSIMD_V
         )
 
     @property
+    def is_analog(self) -> bool:
+        """Whether compute uses charge sharing (TRA) rather than logic."""
+        return self is PimDeviceType.ANALOG_BITSIMD_V
+
+    @property
     def is_subarray_level(self) -> bool:
-        return self is not PimDeviceType.BANK_LEVEL
+        return self.core_scope != CORE_SCOPE_BANK
 
     @property
     def in_paper_evaluation(self) -> bool:
@@ -50,6 +78,64 @@ _DISPLAY_NAMES = {
     PimDeviceType.BANK_LEVEL: "Bank-level",
     PimDeviceType.ANALOG_BITSIMD_V: "Analog Bit-Serial",
 }
+
+_CORE_SCOPE = {
+    PimDeviceType.BITSIMD_V_AP: CORE_SCOPE_SUBARRAY,
+    PimDeviceType.FULCRUM: CORE_SCOPE_SUBARRAY_GROUP,
+    PimDeviceType.BANK_LEVEL: CORE_SCOPE_BANK,
+    PimDeviceType.ANALOG_BITSIMD_V: CORE_SCOPE_SUBARRAY,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchDeviceType:
+    """A plug-in device type: the enum-member surface, minus the enum.
+
+    Backends registered through :mod:`repro.arch` that model an
+    architecture outside the paper's four declare one of these instead
+    of extending :class:`PimDeviceType` -- the whole point of the
+    registry is that a new variant touches no shared module.  Instances
+    are frozen (hashable: usable as suite-result and cache-spec keys)
+    and picklable, so they travel to engine worker processes.
+
+    ``value``/``name`` mirror the enum member attributes every consumer
+    already reads (``value`` is the stable string identity; ``name`` the
+    uppercase report label); the trait fields mirror the enum
+    properties.
+    """
+
+    value: str
+    name: str
+    display_name: str
+    core_scope: str = CORE_SCOPE_BANK
+    bit_serial: bool = False
+    analog: bool = False
+    paper_evaluation: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("a device type needs a non-empty value")
+        if self.core_scope not in _CORE_SCOPES:
+            raise ValueError(
+                f"core_scope must be one of {_CORE_SCOPES}, "
+                f"got {self.core_scope!r}"
+            )
+
+    @property
+    def is_bit_serial(self) -> bool:
+        return self.bit_serial
+
+    @property
+    def is_analog(self) -> bool:
+        return self.analog
+
+    @property
+    def is_subarray_level(self) -> bool:
+        return self.core_scope != CORE_SCOPE_BANK
+
+    @property
+    def in_paper_evaluation(self) -> bool:
+        return self.paper_evaluation
 
 
 class PimDataType(enum.Enum):
@@ -133,9 +219,15 @@ class PimArchParams:
 
 @dataclasses.dataclass(frozen=True)
 class DeviceConfig:
-    """Complete description of a simulated PIM device."""
+    """Complete description of a simulated PIM device.
 
-    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP
+    ``device_type`` is a :class:`PimDeviceType` member for the paper's
+    architectures or an :class:`ArchDeviceType` for plug-in backends;
+    either way all dispatch below reads declarative traits
+    (``core_scope``, ``is_bit_serial``), never enum identity.
+    """
+
+    device_type: "PimDeviceType | ArchDeviceType" = PimDeviceType.BITSIMD_V_AP
     dram: DramSpec = dataclasses.field(default_factory=DramSpec)
     arch: PimArchParams = dataclasses.field(default_factory=PimArchParams)
 
@@ -143,23 +235,25 @@ class DeviceConfig:
     def num_cores(self) -> int:
         """Number of PIM cores the device exposes.
 
-        Bit-serial: one core per subarray.  Fulcrum: one core per
-        ``fulcrum_subarrays_per_core`` subarrays.  Bank-level: one core per
-        bank.
+        Subarray scope: one core per subarray.  Subarray-group scope
+        (Fulcrum): one core per ``fulcrum_subarrays_per_core``
+        subarrays.  Bank scope: one core per bank.
         """
         geometry = self.dram.geometry
-        if self.device_type.is_bit_serial:
+        scope = self.device_type.core_scope
+        if scope == CORE_SCOPE_SUBARRAY:
             return geometry.num_subarrays
-        if self.device_type is PimDeviceType.FULCRUM:
+        if scope == CORE_SCOPE_SUBARRAY_GROUP:
             return geometry.num_subarrays // self.arch.fulcrum_subarrays_per_core
         return geometry.num_banks
 
     @property
     def rows_per_core(self) -> int:
         geometry = self.dram.geometry
-        if self.device_type.is_bit_serial:
+        scope = self.device_type.core_scope
+        if scope == CORE_SCOPE_SUBARRAY:
             return geometry.rows_per_subarray
-        if self.device_type is PimDeviceType.FULCRUM:
+        if scope == CORE_SCOPE_SUBARRAY_GROUP:
             return geometry.rows_per_subarray * self.arch.fulcrum_subarrays_per_core
         return geometry.rows_per_subarray * geometry.subarrays_per_bank
 

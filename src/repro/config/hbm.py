@@ -20,8 +20,13 @@ bank count rises), while bit-serial gains mainly on data movement.
 
 from __future__ import annotations
 
-from repro.config.device import DeviceConfig, PimDeviceType
+import typing
+
+from repro.config.device import DeviceConfig
 from repro.config.dram import DramGeometry, DramSpec, DramTiming
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 
 def hbm_timing() -> DramTiming:
@@ -54,7 +59,7 @@ def hbm_geometry(num_stacks: int = 4) -> DramGeometry:
 
 
 def hbm_device_config(
-    device_type: PimDeviceType, num_stacks: int = 4
+    device_type: "DeviceTypeLike", num_stacks: int = 4
 ) -> DeviceConfig:
     """A PIM device built on HBM stacks instead of DDR4 ranks."""
     return DeviceConfig(

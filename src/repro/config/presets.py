@@ -71,27 +71,31 @@ def make_device_config(
     return DeviceConfig(device_type=device_type, dram=DramSpec(geometry=geometry))
 
 
+def _backend_config(name: str, num_ranks: int) -> DeviceConfig:
+    """Delegate a named preset to its architecture backend."""
+    from repro.arch.registry import resolve_backend
+
+    return resolve_backend(name).make_config(num_ranks)
+
+
 def bitserial_config(num_ranks: int = 32) -> DeviceConfig:
     """Table II "Bit-serial" row: DRAM-AP subarray-level bit-serial PIM."""
-    return make_device_config(PimDeviceType.BITSIMD_V_AP, num_ranks)
+    return _backend_config("bitserial", num_ranks)
 
 
 def fulcrum_config(num_ranks: int = 32) -> DeviceConfig:
     """Table II "Fulcrum" row: subarray-level bit-parallel PIM."""
-    return make_device_config(PimDeviceType.FULCRUM, num_ranks)
+    return _backend_config("fulcrum", num_ranks)
 
 
 def bank_level_config(num_ranks: int = 32) -> DeviceConfig:
     """Table II "Bank-level PIM" row."""
-    return make_device_config(PimDeviceType.BANK_LEVEL, num_ranks)
+    return _backend_config("bank", num_ranks)
 
 
-#: The three variants evaluated in the paper's figures.
-PAPER_DEVICE_TYPES = (
-    PimDeviceType.BITSIMD_V_AP,
-    PimDeviceType.FULCRUM,
-    PimDeviceType.BANK_LEVEL,
-)
+#: The three variants evaluated in the paper's figures (enum order is
+#: figure order).
+PAPER_DEVICE_TYPES = tuple(t for t in PimDeviceType if t.in_paper_evaluation)
 
 
 def all_pim_configs(num_ranks: int = 32) -> "dict[PimDeviceType, DeviceConfig]":
@@ -104,7 +108,7 @@ def all_pim_configs(num_ranks: int = 32) -> "dict[PimDeviceType, DeviceConfig]":
 
 def analog_bitserial_config(num_ranks: int = 32) -> DeviceConfig:
     """The analog (TRA) bit-serial extension variant (Section IX)."""
-    return make_device_config(PimDeviceType.ANALOG_BITSIMD_V, num_ranks)
+    return _backend_config("analog", num_ranks)
 
 
 CPU_BASELINE = CpuSpec()

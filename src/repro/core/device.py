@@ -25,7 +25,6 @@ from repro.config.device import (
     DeviceConfig,
     PimAllocType,
     PimDataType,
-    PimDeviceType,
 )
 from repro.config.power import PowerConfig
 from repro.core.commands import PimCmdKind

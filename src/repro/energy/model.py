@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import DeviceConfig
 from repro.config.power import PowerConfig
 from repro.energy.micron import MicronEnergyModel
 from repro.perf.base import CmdCost
@@ -39,9 +39,10 @@ class EnergyModel:
         self.micron = MicronEnergyModel(self.power.micron, config.dram)
 
     def _alu_op_pj(self) -> float:
-        if self.config.device_type is PimDeviceType.BANK_LEVEL:
-            return self.power.compute.bank_alu_op_pj
-        return self.power.compute.fulcrum_alu_op_pj
+        """Per-word-op switching energy, priced by the device's backend."""
+        from repro.arch.registry import arch_for
+
+        return arch_for(self.config).alu_op_pj(self.power)
 
     def background_power_w(self) -> float:
         """Standby-delta power of the whole active module.

@@ -12,10 +12,10 @@ speedups.
 
 Quick start::
 
+    from repro.arch import device_type_for
     from repro.engine import CellSpec, run_cells
-    from repro.config.device import PimDeviceType
 
-    specs = [CellSpec("vecadd", PimDeviceType.FULCRUM, num_ranks=32)]
+    specs = [CellSpec("vecadd", device_type_for("fulcrum"), num_ranks=32)]
     execution = run_cells(specs, jobs=4)
     result = execution.outcome(specs[0]).result
 """

@@ -23,8 +23,7 @@ from repro.baselines.cpu import CpuModel
 from repro.baselines.gpu import GpuModel
 from repro.bench.common import BenchmarkResult, PimBenchmark
 from repro.bench.registry import BENCHMARKS_BY_KEY
-from repro.config.device import DeviceConfig, PimDeviceType
-from repro.config.presets import make_device_config
+from repro.config.device import DeviceConfig
 from repro.core.device import PimDevice
 from repro.core.errors import PimFaultInjectionError
 from repro.core.stats import StatsTracker
@@ -36,6 +35,7 @@ from repro.faults.models import (
 )
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.base import DeviceTypeLike
     from repro.obs.events import EventBus, ObsEvent
     from repro.resilience.failures import CellFailure
 
@@ -63,7 +63,7 @@ class CellSpec:
     """
 
     benchmark_key: str
-    device_type: PimDeviceType
+    device_type: "DeviceTypeLike"
     num_ranks: int = 32
     paper_scale: bool = True
     functional: bool = False
@@ -82,8 +82,10 @@ class CellSpec:
         return tuple(sorted((overrides or {}).items()))
 
     def device_config(self) -> DeviceConfig:
-        return make_device_config(
-            self.device_type, self.num_ranks, **dict(self.geometry_overrides)
+        from repro.arch.registry import arch_for
+
+        return arch_for(self.device_type).make_config(
+            self.num_ranks, **dict(self.geometry_overrides)
         )
 
     def make_benchmark(self) -> PimBenchmark:

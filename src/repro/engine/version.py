@@ -9,9 +9,10 @@ from exactly the source files that can change that cell's numbers:
 * a **common** group every cell depends on -- configs, the device core,
   energy models, host/baseline models, data-movement, workload
   generators, and the shared benchmark plumbing;
-* a **per-device** group -- the performance model of that architecture
-  (plus the microcode library for the bit-serial variants, whose costs
-  come from microprogram lengths);
+* a **per-device** group -- the sources the architecture's backend
+  declares via :attr:`repro.arch.ArchBackend.stamp_sources` (the perf
+  model, plus the microcode library for the bit-serial variants, whose
+  costs come from microprogram lengths);
 * a **per-benchmark** group -- the module defining the benchmark class.
 
 Editing ``perf/fulcrum.py`` therefore invalidates Fulcrum cells and
@@ -28,8 +29,10 @@ import functools
 import hashlib
 import inspect
 import pathlib
+import typing
 
-from repro.config.device import PimDeviceType
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 #: Payload/layout version of the on-disk cache.  Bumping it invalidates
 #: every cached entry regardless of source hashes.
@@ -53,19 +56,6 @@ _COMMON_FILES = (
     "bench/optimized.py",
     "bench/aes_reference.py",
 )
-
-#: Architecture-specific model sources.  The microcode package feeds the
-#: bit-serial stamps because bit-serial command costs are derived from
-#: microprogram instruction counts.
-_DEVICE_SOURCES = {
-    PimDeviceType.BITSIMD_V_AP: ("perf/bitserial.py", "microcode"),
-    PimDeviceType.FULCRUM: ("perf/fulcrum.py",),
-    PimDeviceType.BANK_LEVEL: ("perf/banklevel.py",),
-    PimDeviceType.ANALOG_BITSIMD_V: (
-        "perf/analog.py", "perf/bitserial.py", "microcode",
-    ),
-}
-
 
 def _iter_source_files(entry: str) -> "list[pathlib.Path]":
     """Resolve one group entry (file or package dir) to sorted files."""
@@ -105,14 +95,19 @@ def _benchmark_source(benchmark_key: str) -> str:
         return str(path)
 
 
-def model_version(device_type: PimDeviceType, benchmark_key: str) -> str:
+def model_version(device_type: "DeviceTypeLike", benchmark_key: str) -> str:
     """The stamp embedded in one cell's cache key.
 
     Format: ``schema-common-device-bench`` with 12-hex-digit digests, so
-    a cache-miss diagnosis can see *which* group moved.
+    a cache-miss diagnosis can see *which* group moved.  The per-device
+    group comes from the architecture backend's declared
+    ``stamp_sources``, so a plug-in backend's cells are invalidated by
+    edits to *its* sources and nothing else.
     """
+    from repro.arch.registry import arch_for
+
     common = _digest_entries(_COMMON_PACKAGES + _COMMON_FILES)
-    device = _digest_entries(_DEVICE_SOURCES[device_type])
+    device = _digest_entries(arch_for(device_type).stamp_entries())
     bench = _digest_entries((_benchmark_source(benchmark_key),))
     return (
         f"{CACHE_SCHEMA}-{common[:12]}-{device[:12]}-{bench[:12]}"

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.config.device import PimArchParams, PimDeviceType
-from repro.config.presets import make_device_config
+from repro.arch import resolve_backend
+from repro.config.device import PimArchParams
 from repro.core.commands import PimCmdKind
 from repro.core.device import PimDevice
 
@@ -55,9 +55,7 @@ def gdl_width_sweep(
     """Bank-level latency vs GDL width: the bank-level bottleneck."""
     points = []
     for width in widths:
-        config = make_device_config(
-            PimDeviceType.BANK_LEVEL, 32, gdl_width_bits=width
-        )
+        config = resolve_backend("bank").make_config(32, gdl_width_bits=width)
         device = PimDevice(config, functional=False)
         points.append(AblationPoint(
             study="gdl_width",
@@ -74,7 +72,7 @@ def alu_clock_sweep(
     """Fulcrum latency vs ALU clock (row access eventually dominates)."""
     points = []
     for freq in freqs_mhz:
-        config = make_device_config(PimDeviceType.FULCRUM, 32)
+        config = resolve_backend("fulcrum").make_config(32)
         config = dataclasses.replace(
             config, arch=PimArchParams(fulcrum_alu_freq_mhz=freq)
         )
@@ -93,7 +91,7 @@ def fulcrum_simd_width_sweep(
     """Fulcrum 32- vs 64-bit ALU on int32 addition (Section IX future work)."""
     points = []
     for width in widths:
-        config = make_device_config(PimDeviceType.FULCRUM, 32)
+        config = resolve_backend("fulcrum").make_config(32)
         config = dataclasses.replace(
             config, arch=PimArchParams(fulcrum_alu_bits=width)
         )
@@ -114,7 +112,7 @@ def bitserial_reduction_strategies() -> "list[AblationPoint]":
     reads -- quantifying the "appropriate hardware support" the paper's
     reduction handling assumes.
     """
-    config = make_device_config(PimDeviceType.BITSIMD_V_AP, 32)
+    config = resolve_backend("bitserial").make_config(32)
     device = PimDevice(config, functional=False)
     on_pim = _single_op_latency_ms(device, PimCmdKind.REDSUM)
 
@@ -150,9 +148,10 @@ def fused_vs_portable_brightness(
     from repro.config.device import PimDataType
 
     points = []
-    for device_type in (PimDeviceType.BITSIMD_V_AP, PimDeviceType.FULCRUM,
-                        PimDeviceType.BANK_LEVEL):
-        config = make_device_config(device_type, 32)
+    for name in ("bitserial", "fulcrum", "bank"):
+        backend = resolve_backend(name)
+        device_type = backend.device_type
+        config = backend.make_config(32)
         for label, commands in (
             ("portable", [(PimCmdKind.MIN_SCALAR, 215), (PimCmdKind.ADD_SCALAR, 40)]),
             ("fused", [(PimCmdKind.SAT_ADD_SCALAR, 40)]),
@@ -183,11 +182,8 @@ def digital_vs_analog_bitserial(
     slower on the same microprograms.
     """
     points = []
-    for device_type, label in (
-        (PimDeviceType.BITSIMD_V_AP, "digital"),
-        (PimDeviceType.ANALOG_BITSIMD_V, "analog"),
-    ):
-        config = make_device_config(device_type, 32)
+    for name, label in (("bitserial", "digital"), ("analog", "analog")):
+        config = resolve_backend(name).make_config(32)
         device = PimDevice(config, functional=False)
         for index, kind in enumerate(kinds):
             points.append(AblationPoint(

@@ -13,8 +13,13 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.config.device import PimDeviceType
+import typing
+
+from repro.arch import device_type_for
 from repro.experiments.runner import run_suite
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 #: None = PIMeval's rank-independent default; the others are realistic.
 CHANNEL_SWEEP: "tuple[int | None, ...]" = (None, 12, 4)
@@ -28,7 +33,7 @@ class ChannelPoint:
     """With-DM speedup of one benchmark under one channel count."""
 
     benchmark: str
-    device_type: PimDeviceType
+    device_type: "DeviceTypeLike"
     num_channels: "int | None"
     speedup_cpu_total: float
     copy_ms: float
@@ -37,10 +42,12 @@ class ChannelPoint:
 def channel_sensitivity(
     keys: "tuple[str, ...]" = TRANSFER_BOUND_KEYS,
     channels: "tuple[int | None, ...]" = CHANNEL_SWEEP,
-    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    device_type: "DeviceTypeLike | None" = None,
     jobs: "int | None" = None,
 ) -> "list[ChannelPoint]":
     """Sweep the channel cap; kernel+DM speedups shrink as it tightens."""
+    if device_type is None:
+        device_type = device_type_for("bitserial")
     points = []
     for num_channels in channels:
         overrides = {} if num_channels is None else {

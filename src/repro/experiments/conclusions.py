@@ -16,13 +16,17 @@ harness rather than transcribed:
 from __future__ import annotations
 
 import dataclasses
+import typing
 
-from repro.config.device import PimDeviceType
+from repro.arch import device_type_for
 from repro.experiments.energy import energy_table
 from repro.experiments.energy import gmean_summary as energy_gmeans
 from repro.experiments.runner import SuiteResults, run_suite
 from repro.experiments.speedup import gmean_summary as speedup_gmeans
 from repro.experiments.speedup import speedup_table
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,7 +34,7 @@ class Conclusions:
     """The Section X headline numbers, as measured by this model."""
 
     fulcrum_cpu_gmean: float
-    best_performance_variant: PimDeviceType
+    best_performance_variant: "DeviceTypeLike"
     fraction_of_gpu_wins: float  # share of (benchmark, variant) beating GPU
     fulcrum_energy_winners: int  # benchmarks with CPU-energy reduction > 1
     num_benchmarks: int
@@ -67,19 +71,20 @@ def compute_conclusions(
     # overheads", i.e. the kernel+DM total.
     best = max(speed_means, key=lambda d: speed_means[d]["total"])
     gpu_wins = sum(1 for r in speed_rows if r.speedup_gpu > 1)
+    fulcrum = device_type_for("fulcrum")
     fulcrum_energy_rows = [
-        r for r in energy_rows if r.device_type is PimDeviceType.FULCRUM
+        r for r in energy_rows if r.device_type is fulcrum
     ]
     return Conclusions(
-        fulcrum_cpu_gmean=speed_means[PimDeviceType.FULCRUM]["kernel"],
+        fulcrum_cpu_gmean=speed_means[fulcrum]["kernel"],
         best_performance_variant=best,
         fraction_of_gpu_wins=gpu_wins / len(speed_rows),
         fulcrum_energy_winners=sum(
             1 for r in fulcrum_energy_rows if r.reduction_cpu > 1
         ),
         num_benchmarks=len(fulcrum_energy_rows),
-        fulcrum_energy_gmean_vs_gpu=energy_means[PimDeviceType.FULCRUM]["gpu"],
-        bank_energy_gmean_vs_gpu=energy_means[PimDeviceType.BANK_LEVEL]["gpu"],
+        fulcrum_energy_gmean_vs_gpu=energy_means[fulcrum]["gpu"],
+        bank_energy_gmean_vs_gpu=energy_means[device_type_for("bank")]["gpu"],
     )
 
 

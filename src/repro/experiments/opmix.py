@@ -12,7 +12,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.features import CATEGORY_ORDER, op_mix_fractions
-from repro.config.device import PimDeviceType
 from repro.core.commands import OpCategory
 from repro.experiments.runner import SuiteResults, run_suite
 
@@ -34,7 +33,7 @@ def opmix_table(
     suite = suite or run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
     rows = []
     for key in suite.benchmark_keys():
-        result = suite.result(key, PimDeviceType.BITSIMD_V_AP)
+        result = suite.result(key, "bitserial")
         fractions = op_mix_fractions(result)
         rows.append(OpMixRow(
             benchmark=result.benchmark,

@@ -12,13 +12,18 @@ from __future__ import annotations
 
 import dataclasses
 
+import typing
+
+from repro.arch import arch_for, device_type_for
 from repro.baselines.cpu import CpuModel
 from repro.baselines.roofline import KernelProfile
-from repro.config.device import PimDataType, PimDeviceType
-from repro.config.presets import make_device_config
+from repro.config.device import PimDataType
 from repro.core.commands import PimCmdKind
 from repro.core.device import PimDevice
 from repro.host.model import HostModel
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 NUM_ELEMENTS = 67_108_864
 
@@ -27,7 +32,7 @@ NUM_ELEMENTS = 67_108_864
 class RadixDigitPoint:
     """Total modeled sort time with one digit width on one device."""
 
-    device_type: PimDeviceType
+    device_type: "DeviceTypeLike"
     digit_bits: int
     pim_count_ms: float
     host_scatter_ms: float
@@ -51,15 +56,15 @@ def _scatter_profile(n: int) -> KernelProfile:
 def digit_width_sweep(
     digit_widths: "tuple[int, ...]" = (4, 8, 16),
     num_elements: int = NUM_ELEMENTS,
-    device_types: "tuple[PimDeviceType, ...]" = (
-        PimDeviceType.BITSIMD_V_AP, PimDeviceType.FULCRUM,
-    ),
+    device_types: "tuple[DeviceTypeLike, ...] | None" = None,
 ) -> "list[RadixDigitPoint]":
     """Counting-phase and scatter-phase time per digit width."""
+    if device_types is None:
+        device_types = (device_type_for("bitserial"), device_type_for("fulcrum"))
     cpu = CpuModel()
     points = []
     for device_type in device_types:
-        config = make_device_config(device_type, 32)
+        config = arch_for(device_type).make_config(32)
         for digit_bits in digit_widths:
             num_passes = 32 // digit_bits
             num_buckets = 1 << digit_bits

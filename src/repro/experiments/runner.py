@@ -21,24 +21,22 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.arch import device_type_for, suite_device_order
 from repro.bench.common import BenchmarkResult, PimBenchmark
 from repro.bench.registry import BENCHMARK_CLASSES, make_benchmark
-from repro.config.device import PimDeviceType
 from repro.engine import CellSpec, DiskCache, run_cells
 from repro.obs.spans import span
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
     from repro.resilience.failures import CellFailure
     from repro.resilience.policy import RetryPolicy
 
 #: Figure order of the benchmarks (Table I order).
 BENCHMARK_ORDER: "tuple[str, ...]" = tuple(cls.key for cls in BENCHMARK_CLASSES)
-#: Figure order of the architectures.
-DEVICE_ORDER: "tuple[PimDeviceType, ...]" = (
-    PimDeviceType.BITSIMD_V_AP,
-    PimDeviceType.FULCRUM,
-    PimDeviceType.BANK_LEVEL,
-)
+#: Figure order of the architectures (the paper-evaluated backends, in
+#: registration order).
+DEVICE_ORDER: "tuple[DeviceTypeLike, ...]" = suite_device_order()
 
 
 @dataclasses.dataclass
@@ -55,16 +53,25 @@ class SuiteResults:
     num_ranks: int
     paper_scale: bool
     benchmarks: "dict[str, PimBenchmark]"
-    results: "dict[tuple[str, PimDeviceType], BenchmarkResult]"
+    results: "dict[tuple[str, DeviceTypeLike], BenchmarkResult]"
     failures: "dict[CellSpec, CellFailure]" = dataclasses.field(
         default_factory=dict
     )
 
-    def result(self, key: str, device_type: PimDeviceType) -> BenchmarkResult:
-        return self.results[(key, device_type)]
+    @staticmethod
+    def _resolve(device: "DeviceTypeLike | str") -> "DeviceTypeLike":
+        """Accept a device-type object or a backend name/alias."""
+        if isinstance(device, str):
+            return device_type_for(device)
+        return device
 
-    def has_result(self, key: str, device_type: PimDeviceType) -> bool:
-        return (key, device_type) in self.results
+    def result(
+        self, key: str, device: "DeviceTypeLike | str"
+    ) -> BenchmarkResult:
+        return self.results[(key, self._resolve(device))]
+
+    def has_result(self, key: str, device: "DeviceTypeLike | str") -> bool:
+        return (key, self._resolve(device)) in self.results
 
     @property
     def ok(self) -> bool:

@@ -14,13 +14,18 @@ from __future__ import annotations
 
 import dataclasses
 
+import typing
+
+from repro.arch import arch_for, device_type_for
 from repro.baselines.cpu import CpuModel
 from repro.baselines.roofline import KernelProfile
-from repro.config.device import PimDataType, PimDeviceType
-from repro.config.presets import make_device_config
+from repro.config.device import PimDataType
 from repro.core.commands import PimCmdKind
 from repro.core.device import PimDevice
 from repro.host.model import HostModel
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import DeviceTypeLike
 
 NUM_RECORDS = 1 << 28
 
@@ -68,16 +73,18 @@ def selectivity_sweep(
     selectivities: "tuple[float, ...]" = (0.001, 0.01, 0.1),
     record_widths: "tuple[int, ...]" = (8, 32, 128),
     num_records: int = NUM_RECORDS,
-    device_type: PimDeviceType = PimDeviceType.BITSIMD_V_AP,
+    device_type: "DeviceTypeLike | None" = None,
 ) -> "list[SelectivityPoint]":
     """PIM-vs-CPU filter speedup across the (selectivity, width) grid."""
+    if device_type is None:
+        device_type = device_type_for("bitserial")
     cpu = CpuModel()
     points = []
     for record_bytes in record_widths:
         for selectivity in selectivities:
             matches = int(num_records * selectivity)
             device = PimDevice(
-                make_device_config(device_type, 32), functional=False
+                arch_for(device_type).make_config(32), functional=False
             )
             host = HostModel(device, cpu)
             obj_keys = device.alloc(num_records)

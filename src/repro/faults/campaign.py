@@ -30,7 +30,7 @@ import dataclasses
 import json
 import typing
 
-from repro.config.device import PimDeviceType
+from repro.arch import device_type_for
 from repro.engine.cells import CellSpec
 from repro.engine.engine import run_cells
 from repro.faults.models import (
@@ -42,6 +42,7 @@ from repro.faults.models import (
 )
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.base import DeviceTypeLike
     from repro.resilience.policy import RetryPolicy
 
 #: Benchmarks with cheap functional modes and host-reference verifiers.
@@ -163,7 +164,7 @@ class FaultCampaign:
             DEFAULT_FAULT_CONFIGS
         ),
         seed: int = 0,
-        device_type: PimDeviceType = PimDeviceType.FULCRUM,
+        device_type: "DeviceTypeLike | None" = None,
         num_ranks: int = 2,
     ) -> None:
         if not benchmarks:
@@ -173,7 +174,10 @@ class FaultCampaign:
         self.benchmarks = tuple(benchmarks)
         self.fault_configs = tuple(tuple(config) for config in fault_configs)
         self.seed = seed
-        self.device_type = device_type
+        self.device_type = (
+            device_type if device_type is not None
+            else device_type_for("fulcrum")
+        )
         self.num_ranks = num_ranks
 
     def specs(self) -> "list[CellSpec]":

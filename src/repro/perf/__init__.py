@@ -1,6 +1,13 @@
-"""Per-architecture performance models."""
+"""Per-architecture performance models.
 
-from repro.config.device import DeviceConfig, PimDeviceType
+:func:`make_perf_model` dispatches through the architecture registry
+(:mod:`repro.arch`), so a plug-in backend's model is found exactly like
+a built-in one.  An unregistered device type raises a
+``PimStatus``-coded :class:`~repro.core.errors.PimConfigError` naming
+the type -- never a silent default model.
+"""
+
+from repro.config.device import DeviceConfig
 from repro.perf.analog import AnalogBitSerialPerfModel
 from repro.perf.banklevel import BankLevelPerfModel
 from repro.perf.base import CmdCost, CommandArgs, PerfModel
@@ -11,13 +18,9 @@ from repro.perf.fulcrum import FulcrumPerfModel
 
 def make_perf_model(config: DeviceConfig) -> PerfModel:
     """Instantiate the performance model matching a device configuration."""
-    if config.device_type is PimDeviceType.BITSIMD_V_AP:
-        return BitSerialPerfModel(config)
-    if config.device_type is PimDeviceType.FULCRUM:
-        return FulcrumPerfModel(config)
-    if config.device_type is PimDeviceType.ANALOG_BITSIMD_V:
-        return AnalogBitSerialPerfModel(config)
-    return BankLevelPerfModel(config)
+    from repro.arch.registry import arch_for
+
+    return arch_for(config).make_perf_model(config)
 
 
 __all__ = [

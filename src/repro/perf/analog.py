@@ -12,7 +12,7 @@ measurable.
 
 from __future__ import annotations
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import DeviceConfig
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimTypeError
 from repro.microcode.analog import AnalogTiming, translate_program
@@ -21,15 +21,16 @@ from repro.perf.bitserial import POPCOUNT_TREE_STAGES, resolve_program
 
 
 class AnalogBitSerialPerfModel:
-    """Cost model for ``PimDeviceType.ANALOG_BITSIMD_V``."""
+    """Cost model for analog (TRA) bit-serial devices."""
 
     def __init__(
         self, config: DeviceConfig, timing: "AnalogTiming | None" = None
     ) -> None:
-        if config.device_type is not PimDeviceType.ANALOG_BITSIMD_V:
+        device_type = config.device_type
+        if not (device_type.is_bit_serial and device_type.is_analog):
             raise PimTypeError(
                 "AnalogBitSerialPerfModel requires an analog bit-serial "
-                f"config, got {config.device_type}"
+                f"config, got {device_type}"
             )
         self.config = config
         self.analog_timing = timing or AnalogTiming()

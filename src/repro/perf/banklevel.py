@@ -13,17 +13,22 @@ from __future__ import annotations
 
 import math
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import CORE_SCOPE_BANK, DeviceConfig
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimTypeError
 from repro.perf.base import CmdCost, CommandArgs
 
 
 class BankLevelPerfModel:
-    """Cost model for ``PimDeviceType.BANK_LEVEL``."""
+    """Cost model for bank-level bit-parallel devices.
+
+    The cost arithmetic depends only on configuration traits (geometry,
+    timing, ``bank_alu_*`` parameters), so plug-in bank-scope variants
+    such as :mod:`repro.arch.ddr5` reuse it without modification.
+    """
 
     def __init__(self, config: DeviceConfig) -> None:
-        if config.device_type is not PimDeviceType.BANK_LEVEL:
+        if config.device_type.core_scope != CORE_SCOPE_BANK:
             raise PimTypeError(
                 f"BankLevelPerfModel requires a bank-level config, got "
                 f"{config.device_type}"

@@ -11,7 +11,7 @@ the same as full ones, matching PIMeval's documented behaviour.
 
 from __future__ import annotations
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import DeviceConfig
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimTypeError
 from repro.microcode.isa import MicroProgramCost
@@ -50,13 +50,14 @@ def microprogram_for(args: CommandArgs) -> MicroProgramCost:
 
 
 class BitSerialPerfModel:
-    """Cost model for ``PimDeviceType.BITSIMD_V_AP``."""
+    """Cost model for digital subarray-level bit-serial devices."""
 
     def __init__(self, config: DeviceConfig) -> None:
-        if config.device_type is not PimDeviceType.BITSIMD_V_AP:
+        device_type = config.device_type
+        if not device_type.is_bit_serial or device_type.is_analog:
             raise PimTypeError(
-                f"BitSerialPerfModel requires a bit-serial config, got "
-                f"{config.device_type}"
+                f"BitSerialPerfModel requires a digital bit-serial config, "
+                f"got {device_type}"
             )
         self.config = config
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import DeviceConfig
 
 
 class DataMovementModel:
@@ -39,7 +39,7 @@ class DataMovementModel:
         rows = math.ceil(num_bytes / row_bytes)
         rows_per_core = math.ceil(rows / self.config.num_cores)
         per_row = timing.row_read_ns + timing.row_write_ns
-        if self.config.device_type is PimDeviceType.BANK_LEVEL:
+        if not self.config.device_type.is_subarray_level:
             beats = math.ceil(geometry.cols_per_subarray / geometry.gdl_width_bits)
             per_row += 2 * beats * timing.tccd_ns
         return rows_per_core * per_row

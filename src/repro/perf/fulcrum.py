@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-from repro.config.device import DeviceConfig, PimDeviceType
+from repro.config.device import CORE_SCOPE_SUBARRAY_GROUP, DeviceConfig
 from repro.core.commands import PimCmdKind
 from repro.core.errors import PimTypeError
 from repro.perf.base import CmdCost, CommandArgs
@@ -23,12 +23,12 @@ SWAR_POPCOUNT_CYCLES = 12
 
 
 class FulcrumPerfModel:
-    """Cost model for ``PimDeviceType.FULCRUM``."""
+    """Cost model for subarray-group (Fulcrum-style) bit-parallel devices."""
 
     def __init__(self, config: DeviceConfig) -> None:
-        if config.device_type is not PimDeviceType.FULCRUM:
+        if config.device_type.core_scope != CORE_SCOPE_SUBARRAY_GROUP:
             raise PimTypeError(
-                f"FulcrumPerfModel requires a Fulcrum config, got "
+                f"FulcrumPerfModel requires a Fulcrum-style config, got "
                 f"{config.device_type}"
             )
         self.config = config

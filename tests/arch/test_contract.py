@@ -1,0 +1,111 @@
+"""Cross-backend contract: every backend x every command kind.
+
+The registry's value is that config, perf, energy, and caching agree for
+*every* architecture -- builtin or plug-in -- without any layer naming
+one.  This suite drives that contract generically:
+
+* the perf model prices every ``PimCmdKind`` with finite, non-negative
+  cost fields;
+* the model never emits a counter outside the backend's declared
+  ``cost_counters`` (which would go unpriced or mispriced);
+* the energy model prices every emitted counter to a finite energy;
+* every declared stamp source exists on disk, so the cache stamp can
+  never silently hash an empty group.
+"""
+
+import math
+import pathlib
+
+import pytest
+
+from repro.arch import iter_backends
+from repro.arch.base import COST_COUNTERS
+from repro.config.device import PimAllocType
+from repro.core.commands import PimCmdKind
+from repro.core.layout import plan_layout
+from repro.energy.model import EnergyModel
+from repro.perf import make_perf_model
+from repro.perf.base import CommandArgs
+
+#: Small enough to run the full matrix fast, large enough to exercise
+#: multi-group layouts on every geometry.
+NUM_ELEMENTS = 100_000
+BITS = 32
+
+BACKENDS = list(iter_backends())
+
+
+def _args_for(kind: PimCmdKind, config) -> CommandArgs:
+    """Build a well-formed CommandArgs honoring the command's arity."""
+    spec = kind.spec
+    layout = plan_layout(
+        config, NUM_ELEMENTS, BITS, PimAllocType.AUTO, enforce_capacity=False
+    )
+    bool_layout = plan_layout(
+        config, NUM_ELEMENTS, 1, PimAllocType.AUTO, enforce_capacity=False
+    )
+    inputs = tuple([layout] * spec.num_vector_inputs)
+    if kind is PimCmdKind.SELECT:  # condition mask first
+        inputs = (bool_layout,) + inputs[1:]
+    dest = None if spec.produces_scalar else layout
+    scalar = 3 if spec.has_scalar else None
+    return CommandArgs(
+        kind=kind, bits=BITS, inputs=inputs, dest=dest, scalar=scalar
+    )
+
+
+@pytest.mark.parametrize(
+    "backend", BACKENDS, ids=[b.id for b in BACKENDS]
+)
+class TestBackendContract:
+    def test_declared_counters_are_known(self, backend):
+        assert set(backend.cost_counters) <= set(COST_COUNTERS)
+
+    @pytest.mark.parametrize("kind", list(PimCmdKind), ids=lambda k: k.name)
+    def test_every_command_costs_and_prices(self, backend, kind):
+        config = backend.make_config(num_ranks=2)
+        model = make_perf_model(config)
+        cost = model.cost_of(_args_for(kind, config))
+
+        for field in ("latency_ns",) + COST_COUNTERS:
+            value = getattr(cost, field)
+            assert math.isfinite(value), f"{field} not finite: {value}"
+            assert value >= 0, f"{field} negative: {value}"
+        assert 0 <= cost.cores_active <= config.num_cores
+
+        emitted = {
+            counter for counter in COST_COUNTERS
+            if getattr(cost, counter) > 0
+        }
+        undeclared = emitted - set(backend.cost_counters)
+        assert not undeclared, (
+            f"{backend.id} emitted undeclared counters {sorted(undeclared)} "
+            f"for {kind.name}"
+        )
+
+        energy = EnergyModel(config).command_energy(cost)
+        assert math.isfinite(energy.execution_nj) and energy.execution_nj >= 0
+        assert math.isfinite(energy.background_nj) and energy.background_nj >= 0
+
+    def test_stamp_sources_exist_on_disk(self, backend):
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        assert backend.stamp_entries(), f"{backend.id} declares no stamp sources"
+        for entry in backend.stamp_entries():
+            path = root / entry
+            assert path.exists(), (
+                f"{backend.id} stamp source {entry!r} missing at {path}"
+            )
+
+    def test_table2_params_shape(self, backend):
+        params = backend.table2_params(num_ranks=2)
+        assert set(params) == {"cores", "freq_mhz", "layout", "ap_support"}
+        assert params["cores"] > 0
+        assert params["freq_mhz"] is None or params["freq_mhz"] > 0
+        assert isinstance(params["ap_support"], bool)
+
+    def test_alu_op_pricing_positive(self, backend):
+        from repro.config.power import PowerConfig
+
+        assert backend.alu_op_pj(PowerConfig()) > 0

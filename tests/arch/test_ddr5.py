@@ -1,0 +1,109 @@
+"""The DDR5 bank-level plug-in variant: one module, fully functional."""
+
+from repro.arch import arch_for, resolve_backend
+from repro.arch.ddr5 import (
+    DDR5_BANK_LEVEL,
+    DDR5_TIMING,
+    Ddr5BankBackend,
+    ddr5_bank_config,
+)
+from repro.config.device import CORE_SCOPE_BANK
+from repro.engine import CellSpec, cell_cache_key, model_version, run_cell
+
+
+class TestDeviceType:
+    def test_traits(self):
+        assert DDR5_BANK_LEVEL.core_scope == CORE_SCOPE_BANK
+        assert not DDR5_BANK_LEVEL.is_subarray_level
+        assert not DDR5_BANK_LEVEL.is_bit_serial
+        assert not DDR5_BANK_LEVEL.is_analog
+        assert not DDR5_BANK_LEVEL.in_paper_evaluation
+
+    def test_hashable_and_distinct_from_builtin(self):
+        from repro.config.device import PimDeviceType
+
+        types = {DDR5_BANK_LEVEL, *PimDeviceType}
+        assert len(types) == 1 + len(list(PimDeviceType))
+
+
+class TestConfig:
+    def test_table2_geometry(self):
+        config = ddr5_bank_config(num_ranks=32)
+        geometry = config.dram.geometry
+        # 2x the DDR4 bank-level PE count at identical module capacity.
+        assert geometry.banks_per_rank == 256
+        assert geometry.subarrays_per_bank == 16
+        assert config.num_cores == 32 * 256
+        ddr4 = resolve_backend("bank").make_config(num_ranks=32)
+        assert (
+            config.dram.geometry.num_subarrays
+            == ddr4.dram.geometry.num_subarrays
+        )
+        assert config.num_cores == 2 * ddr4.num_cores
+
+    def test_faster_channel_than_ddr4(self):
+        ddr4 = resolve_backend("bank").make_config(num_ranks=32)
+        assert (
+            DDR5_TIMING.rank_bandwidth_gbps
+            > ddr4.dram.timing.rank_bandwidth_gbps
+        )
+
+    def test_geometry_overrides(self):
+        config = ddr5_bank_config(num_ranks=4, gdl_width_bits=256)
+        assert config.dram.geometry.gdl_width_bits == 256
+
+
+class TestRegistration:
+    def test_resolves_by_name_and_device_type(self):
+        backend = resolve_backend("ddr5")
+        assert isinstance(backend, Ddr5BankBackend)
+        assert arch_for(ddr5_bank_config(num_ranks=2)) is backend
+
+    def test_listed_by_arch_list_cli(self, capsys):
+        import repro.cli as cli
+
+        assert cli.main(["arch", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ddr5-bank" in out
+        assert "DDR5 Bank-level" in out
+
+    def test_reuses_banklevel_perf_model(self):
+        from repro.perf import BankLevelPerfModel, make_perf_model
+
+        model = make_perf_model(ddr5_bank_config(num_ranks=2))
+        assert isinstance(model, BankLevelPerfModel)
+
+
+class TestEndToEnd:
+    def test_vecadd_cell_runs_and_verifies(self):
+        spec = CellSpec(
+            benchmark_key="vecadd",
+            device_type=DDR5_BANK_LEVEL,
+            num_ranks=2,
+            paper_scale=False,
+            functional=True,
+        )
+        outcome = run_cell(spec)
+        assert outcome.ok
+        assert outcome.result.verified is True
+        assert outcome.result.stats.total_time_ns > 0
+
+    def test_own_cache_stamp(self):
+        """The DDR5 device digest differs from every builtin's, so its
+        cells never collide with (or get invalidated by) DDR4 entries."""
+        stamps = {
+            name: model_version(
+                resolve_backend(name).device_type, "vecadd"
+            ).split("-")[2]
+            for name in ("ddr5", "bank", "bitserial", "fulcrum", "analog")
+        }
+        assert stamps["ddr5"] not in {
+            v for k, v in stamps.items() if k != "ddr5"
+        }
+
+    def test_cache_key_distinct_from_ddr4_bank(self):
+        ddr5 = CellSpec("vecadd", DDR5_BANK_LEVEL, num_ranks=32)
+        ddr4 = CellSpec(
+            "vecadd", resolve_backend("bank").device_type, num_ranks=32
+        )
+        assert cell_cache_key(ddr5) != cell_cache_key(ddr4)

@@ -1,0 +1,174 @@
+"""The architecture registry: lookup, errors, and registration rules."""
+
+import pytest
+
+from repro.arch import (
+    ArchBackend,
+    arch_for,
+    backend_names,
+    default_backend,
+    device_type_for,
+    iter_backends,
+    paper_backends,
+    register_backend,
+    resolve_backend,
+    suite_device_order,
+    unregister_backend,
+)
+from repro.config.device import (
+    ArchDeviceType,
+    CORE_SCOPE_BANK,
+    DeviceConfig,
+    PimDeviceType,
+)
+from repro.core.errors import PimConfigError, PimStatus
+from repro.perf import make_perf_model
+
+
+class TestResolution:
+    def test_builtin_ids_in_registration_order(self):
+        ids = [b.id for b in iter_backends()]
+        assert ids[:4] == ["bitserial", "fulcrum", "bank", "analog"]
+        assert "ddr5-bank" in ids and "upmem" in ids
+
+    def test_resolve_by_id_and_alias_case_insensitive(self):
+        assert resolve_backend("fulcrum").id == "fulcrum"
+        assert resolve_backend("Bit-Serial").id == "bitserial"
+        assert resolve_backend("BANK-LEVEL").id == "bank"
+        assert resolve_backend("ddr5").id == "ddr5-bank"
+        assert resolve_backend("prim").id == "upmem"
+
+    def test_arch_for_accepts_config_type_and_name(self):
+        backend = resolve_backend("fulcrum")
+        config = backend.make_config(num_ranks=2)
+        assert arch_for(config) is backend
+        assert arch_for(config.device_type) is backend
+        assert arch_for("fulcrum") is backend
+
+    def test_device_type_for(self):
+        assert device_type_for("bitserial") is PimDeviceType.BITSIMD_V_AP
+        assert device_type_for("ddr5").value == "ddr5-bank-level"
+
+    def test_default_backend_is_first_registered(self):
+        assert default_backend() is next(iter(iter_backends()))
+
+    def test_paper_backends_and_suite_order(self):
+        papers = paper_backends()
+        assert [b.id for b in papers] == ["bitserial", "fulcrum", "bank"]
+        assert suite_device_order() == tuple(b.device_type for b in papers)
+
+    def test_backend_names(self):
+        names = backend_names()
+        assert names == [b.id for b in iter_backends()]
+        with_aliases = backend_names(include_aliases=True)
+        assert "ddr5-bank-level" in with_aliases
+        assert set(names) <= set(with_aliases)
+
+
+class TestErrors:
+    def test_unknown_name_is_config_coded_with_valid_names(self):
+        with pytest.raises(PimConfigError) as exc_info:
+            resolve_backend("hbm3-quantum")
+        err = exc_info.value
+        assert err.status is PimStatus.ERR_CONFIG
+        assert "hbm3-quantum" in str(err)
+        assert err.context["name"] == "hbm3-quantum"
+        assert "fulcrum" in err.context["valid"]
+
+    def test_unregistered_device_type_names_the_type(self):
+        rogue = ArchDeviceType(
+            value="rogue", name="ROGUE", display_name="Rogue",
+            core_scope=CORE_SCOPE_BANK,
+        )
+        with pytest.raises(PimConfigError) as exc_info:
+            arch_for(rogue)
+        err = exc_info.value
+        assert err.status is PimStatus.ERR_CONFIG
+        assert "rogue" in str(err)
+        assert err.context["device_type"] == "rogue"
+
+    def test_make_perf_model_rejects_unknown_device_type(self):
+        """Satellite: the silent fall-through is gone -- an unknown type
+        raises a PimStatus-coded error naming the type, never defaults to
+        the bank-level model."""
+        rogue = ArchDeviceType(
+            value="mystery-arch", name="MYSTERY", display_name="Mystery",
+            core_scope=CORE_SCOPE_BANK,
+        )
+        config = DeviceConfig(device_type=rogue)
+        with pytest.raises(PimConfigError) as exc_info:
+            make_perf_model(config)
+        assert "mystery-arch" in str(exc_info.value)
+        assert exc_info.value.context["device_type"] == "mystery-arch"
+
+
+class _ToyBackend(ArchBackend):
+    id = "toy"
+    aliases = ("toy-alias",)
+    device_type = ArchDeviceType(
+        value="toy", name="TOY", display_name="Toy",
+        core_scope=CORE_SCOPE_BANK,
+    )
+    description = "test-only backend"
+    cost_counters = ("alu_word_ops",)
+    stamp_sources = ("perf/banklevel.py",)
+
+    def make_config(self, num_ranks=32, **geometry_overrides):
+        from repro.arch import resolve_backend
+
+        return DeviceConfig(
+            device_type=self.device_type,
+            dram=resolve_backend("bank").make_config(num_ranks).dram,
+        )
+
+    def make_perf_model(self, config):
+        from repro.perf.banklevel import BankLevelPerfModel
+
+        return BankLevelPerfModel(config)
+
+
+class TestRegistration:
+    def test_register_resolve_unregister_roundtrip(self):
+        backend = _ToyBackend()
+        register_backend(backend)
+        try:
+            assert resolve_backend("toy") is backend
+            assert resolve_backend("toy-alias") is backend
+            assert arch_for(backend.device_type) is backend
+        finally:
+            unregister_backend("toy")
+        with pytest.raises(PimConfigError):
+            resolve_backend("toy")
+
+    def test_id_collision_rejected(self):
+        backend = _ToyBackend()
+        register_backend(backend)
+        try:
+            with pytest.raises(PimConfigError):
+                register_backend(_ToyBackend())
+            # replace=True is the sanctioned swap path.
+            replacement = _ToyBackend()
+            register_backend(replacement, replace=True)
+            assert resolve_backend("toy") is replacement
+        finally:
+            unregister_backend("toy")
+
+    def test_alias_collision_with_other_backend_rejected(self):
+        class Clash(_ToyBackend):
+            id = "clash"
+            aliases = ("fulcrum",)  # collides with a builtin id
+            device_type = ArchDeviceType(
+                value="clash", name="CLASH", display_name="Clash",
+                core_scope=CORE_SCOPE_BANK,
+            )
+
+        with pytest.raises(PimConfigError):
+            register_backend(Clash())
+        assert "clash" not in backend_names()
+
+    def test_empty_id_rejected(self):
+        class Nameless(_ToyBackend):
+            id = ""
+
+        with pytest.raises(PimConfigError):
+            register_backend(Nameless())

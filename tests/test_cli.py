@@ -241,3 +241,39 @@ class TestCacheSubcommand:
         assert "Removed 1 cached result(s)" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
         assert "Entries         : 0" in capsys.readouterr().out
+
+
+class TestArchSubcommand:
+    def test_arch_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arch"])
+
+    def test_list_shows_every_backend_with_table2_params(self, capsys):
+        from repro.arch import iter_backends
+
+        assert main(["arch", "list"]) == 0
+        out = capsys.readouterr().out
+        for backend in iter_backends():
+            assert backend.id in out
+        # Table II columns for the paper devices.
+        assert "131,072" in out  # bit-serial cores at 32 ranks
+        assert "vertical" in out
+        assert "yes" in out  # AP support column
+
+    def test_list_verbose_shows_stamp_sources(self, capsys):
+        assert main(["arch", "list", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "perf/fulcrum.py" in out
+
+    def test_run_accepts_device_alias_and_plugin_name(self, capsys):
+        assert main(["run", "vecadd", "--device", "ddr5", "--ranks", "2"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_unknown_device_error_lists_registry_names(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "vecadd", "--device", "gpu"])
+        message = str(exc_info.value)
+        assert "gpu" in message
+        assert "fulcrum" in message
+        assert "ddr5-bank" in message
+        assert "repro arch list" in message
