@@ -37,7 +37,7 @@ from repro.config.device import ArchDeviceType, DeviceConfig, PimDeviceType
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config.power import PowerConfig
-    from repro.perf.base import PerfModel
+    from repro.perf.base import CommandArgs, PerfModel
 
 #: Either kind of device-type object a backend may carry.
 DeviceTypeLike = typing.Union[PimDeviceType, ArchDeviceType]
@@ -129,6 +129,22 @@ class ArchBackend(abc.ABC):
     @abc.abstractmethod
     def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
         """Instantiate the performance model for a config of this arch."""
+
+    def cost_memo_param(self, args: "CommandArgs") -> typing.Hashable:
+        """The scalar's contribution to the command-cost memo key.
+
+        :class:`repro.perf.memo.CostPipeline` memoizes ``(CmdCost,
+        CommandEnergy)`` on ``(kind, bits, signed, cost_memo_param(args),
+        operand layouts)``; this hook declares which scalar values this
+        architecture's perf model prices identically.  The default --
+        the raw scalar -- is always correct but never collapses two
+        scalars into one entry.  Backends whose cost arithmetic ignores
+        the scalar (the word-ALU models) override to ``None``; the
+        microcoded backends map the scalar to the resolved microprogram
+        parameter, so e.g. every ``ADD_SCALAR`` of the same baked
+        immediate shares one entry.  See ``docs/PERFORMANCE.md`` §5.
+        """
+        return args.scalar
 
     # -- energy ---------------------------------------------------------------
 

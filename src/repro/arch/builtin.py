@@ -20,7 +20,7 @@ from repro.config.presets import make_device_config
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config.power import PowerConfig
-    from repro.perf.base import PerfModel
+    from repro.perf.base import CommandArgs, PerfModel
 
 
 class _PaperBackend(ArchBackend):
@@ -34,7 +34,28 @@ class _PaperBackend(ArchBackend):
         )
 
 
-class BitSerialBackend(_PaperBackend):
+class _MicrocodedBackend(_PaperBackend):
+    """Cost-memo keying shared by the microprogram-lowered backends."""
+
+    def cost_memo_param(self, args: "CommandArgs") -> "int | None":
+        # Two scalars that bake into the same microprogram cost the
+        # same, so the memo keys on the resolved program parameter.
+        from repro.perf.bitserial import program_param
+
+        return program_param(args.kind, args.bits, args.scalar, args.signed)
+
+
+class _WordAluBackend(_PaperBackend):
+    """Cost-memo keying shared by the bit-parallel (word-ALU) backends."""
+
+    def cost_memo_param(self, args: "CommandArgs") -> None:
+        # The word-ALU cost arithmetic never reads the scalar: cycles
+        # depend on the kind's cycle class, the bit width, and the
+        # operand layouts only.  All scalars share one memo entry.
+        return None
+
+
+class BitSerialBackend(_MicrocodedBackend):
     """Subarray-level bit-serial PIM (DRAM-AP / BITSIMD_V_AP)."""
 
     id = "bitserial"
@@ -51,7 +72,7 @@ class BitSerialBackend(_PaperBackend):
         return BitSerialPerfModel(config)
 
 
-class FulcrumBackend(_PaperBackend):
+class FulcrumBackend(_WordAluBackend):
     """Subarray-level bit-parallel PIM (Fulcrum)."""
 
     id = "fulcrum"
@@ -70,7 +91,7 @@ class FulcrumBackend(_PaperBackend):
         return config.arch.fulcrum_alu_freq_mhz
 
 
-class BankLevelBackend(_PaperBackend):
+class BankLevelBackend(_WordAluBackend):
     """Bank-level bit-parallel PIM (one ALPU per bank, behind the GDL)."""
 
     id = "bank"
@@ -94,7 +115,7 @@ class BankLevelBackend(_PaperBackend):
         return power.compute.bank_alu_op_pj
 
 
-class AnalogBitSerialBackend(_PaperBackend):
+class AnalogBitSerialBackend(_MicrocodedBackend):
     """Analog (triple-row-activation) bit-serial extension (Section IX)."""
 
     id = "analog"

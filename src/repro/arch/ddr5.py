@@ -30,7 +30,7 @@ from repro.config.dram import DramGeometry, DramSpec, DramTiming
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config.power import PowerConfig
-    from repro.perf.base import PerfModel
+    from repro.perf.base import CommandArgs, PerfModel
 
 #: The plug-in device type: enum-free, hashable, picklable.
 DDR5_BANK_LEVEL = ArchDeviceType(
@@ -116,3 +116,7 @@ class Ddr5BankBackend(ArchBackend):
 
     def alu_op_pj(self, power: "PowerConfig") -> float:
         return power.compute.bank_alu_op_pj
+
+    def cost_memo_param(self, args: "CommandArgs") -> None:
+        # Reuses the scalar-independent bank-level cost arithmetic.
+        return None

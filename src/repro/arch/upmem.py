@@ -150,5 +150,10 @@ class UpmemBackend(ArchBackend):
     def make_perf_model(self, config: DeviceConfig) -> UpmemPerfModel:
         return UpmemPerfModel(config)
 
+    def cost_memo_param(self, args: CommandArgs) -> None:
+        # The DPU kernel mapping reads bits, operand count, and the ALU
+        # cycle class -- never the scalar value (see ``_kernel_for``).
+        return None
+
     def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
         return UpmemConfig().dpu_freq_mhz

@@ -144,24 +144,40 @@ def _shift_rows(state: _PlaneState, inverse: bool) -> None:
     state.planes = new_planes
 
 
-def _mix_columns(state: _PlaneState, matrix: "list[list[int]]") -> None:
+def _mix_one_column(
+    state: _PlaneState, matrix: "list[list[int]]", c: int
+) -> None:
     device = state.device
-    for c in range(4):
-        column = [state.planes[4 * c + r] for r in range(4)]
-        outputs = []
-        for r in range(4):
-            acc: "PimObject | None" = None
-            for k in range(4):
-                term = _gf_multiple(state, column[k], matrix[r][k])
-                if acc is None:
-                    acc = device.alloc_associated(column[0])
-                    device.execute(PimCmdKind.COPY, (term,), acc)
-                else:
-                    device.execute(PimCmdKind.XOR, (acc, term), acc)
-            outputs.append(acc)
-        for r in range(4):
-            device.execute(PimCmdKind.COPY, (outputs[r],), column[r])
-            device.free(outputs[r])
+    column = [state.planes[4 * c + r] for r in range(4)]
+    outputs = []
+    for r in range(4):
+        acc: "PimObject | None" = None
+        for k in range(4):
+            term = _gf_multiple(state, column[k], matrix[r][k])
+            if acc is None:
+                acc = device.alloc_associated(column[0])
+                device.execute(PimCmdKind.COPY, (term,), acc)
+            else:
+                device.execute(PimCmdKind.XOR, (acc, term), acc)
+        outputs.append(acc)
+    for r in range(4):
+        device.execute(PimCmdKind.COPY, (outputs[r],), column[r])
+        device.free(outputs[r])
+
+
+def _mix_columns(state: _PlaneState, matrix: "list[list[int]]") -> None:
+    if state.device.functional:
+        for c in range(4):
+            _mix_one_column(state, matrix, c)
+        return
+    # Analytic mode: the four columns issue the identical command sequence
+    # (the MIX rows are rotations of one another and every plane shares the
+    # same associated layout), so record column 0 and replay the other
+    # three (docs/PERFORMANCE.md §5).
+    stats = state.device.stats
+    with stats.recorded_trace() as trace:
+        _mix_one_column(state, matrix, 0)
+    stats.replay_trace(trace, times=3)
 
 
 class AesEncryptBenchmark(PimBenchmark):

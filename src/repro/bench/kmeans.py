@@ -62,7 +62,7 @@ class KMeansBenchmark(PimBenchmark):
         device.copy_host_to_device(points[:, 1] if points is not None else None, obj_y)
         device.execute(PimCmdKind.BROADCAST, (), obj_zero, scalar=0)
 
-        for _ in range(iterations):
+        def one_iteration() -> None:
             for c in range(k):
                 if device.functional:
                     cx, cy = int(centroids[c, 0]), int(centroids[c, 1])
@@ -94,6 +94,18 @@ class KMeansBenchmark(PimBenchmark):
                 "host-centroid-update", bytes_accessed=32.0 * k,
                 compute_ops=4.0 * k,
             ))
+
+        if device.functional:
+            for _ in range(iterations):
+                one_iteration()
+        else:
+            # Analytic iterations issue the identical command sequence
+            # (the representative scalars don't change between Lloyd
+            # rounds), so record the first iteration and replay the rest
+            # (docs/PERFORMANCE.md §5).
+            with device.stats.recorded_trace() as trace:
+                one_iteration()
+            device.stats.replay_trace(trace, times=iterations - 1)
         for obj in [obj_x, obj_y, obj_zero, obj_dx, obj_dy, obj_best,
                     obj_mask, obj_sel] + dist_objs:
             device.free(obj)

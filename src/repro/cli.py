@@ -331,6 +331,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if report.grades()["crashed"] else 0
 
 
+def cmd_selfbench(args: argparse.Namespace) -> int:
+    """Time the simulator itself on the standard workloads."""
+    import json
+
+    from repro.experiments import (
+        format_selfbench,
+        run_selfbench,
+        selfbench_payload,
+    )
+    from repro.experiments.selfbench import RUN_NAMES
+
+    runs = tuple(args.runs) or RUN_NAMES
+    try:
+        results = run_selfbench(runs=runs, jobs=args.jobs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(format_selfbench(results))
+    if args.out:
+        payload = selfbench_payload(results)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"\nSelfbench payload written to {args.out}")
+    return 0
+
+
 def cmd_arch_list(args: argparse.Namespace) -> int:
     """List registered architecture backends with Table II parameters."""
     print(f"{'name':<11s} {'display':<18s} {'cores':>9s} {'freq':>9s} "
@@ -498,6 +523,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the deterministic campaign report")
     _add_engine_flags(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    selfbench = sub.add_parser(
+        "selfbench",
+        help="time the simulator itself (cold/warm suite, Figure 12)",
+    )
+    selfbench.add_argument(
+        "runs", nargs="*",
+        help="run names to time (default: suite-cold suite-warm "
+             "figure12-cold)",
+    )
+    selfbench.add_argument(
+        "--out", metavar="OUT.json", default=None,
+        help="also write the JSON payload (the BENCH_PR5.json schema)",
+    )
+    selfbench.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per suite (default: $REPRO_JOBS or serial)",
+    )
+    selfbench.set_defaults(func=cmd_selfbench)
 
     arch = sub.add_parser(
         "arch", help="inspect the architecture backend registry"

@@ -86,18 +86,21 @@ class PimCmdKind(enum.Enum):
     BROADCAST = CmdSpec(0, True, False, False, OpCategory.BROADCAST, "broadcast", 1, 1)
     REDSUM = CmdSpec(1, False, False, True, OpCategory.REDUCTION, "redsum", 1, 1)
 
-    @property
-    def spec(self) -> CmdSpec:
-        return self.value
+    # ``spec``, ``category`` and ``api_name`` are plain attributes stamped
+    # onto every member right after the class body (below), not properties:
+    # the hot command path reads them on every issue, and a property would
+    # re-run its body each time for what is a constant per member.
+    spec: CmdSpec
+    category: OpCategory
+    api_name: str
 
-    @property
-    def category(self) -> OpCategory:
-        return self.value.category
 
-    @property
-    def api_name(self) -> str:
-        """The lowercase name used in stats reports (e.g. ``add``)."""
-        return self.name.lower()
+for _kind in PimCmdKind:
+    _kind.spec = _kind.value
+    _kind.category = _kind.value.category
+    # The lowercase name used in stats reports (e.g. ``add``).
+    _kind.api_name = _kind.name.lower()
+del _kind
 
 
 # Scalar-comparison kinds piggyback on the two-operand compare microprograms

@@ -35,6 +35,7 @@ from repro.core.stats import EventCounts, StatsTracker
 from repro.energy.model import EnergyModel
 from repro.perf import DataMovementModel, make_perf_model
 from repro.perf.base import CommandArgs
+from repro.perf.memo import CostPipeline
 
 
 def _wrap_scalar(scalar: int, dtype: PimDataType):
@@ -79,6 +80,15 @@ class PimDevice:
         self.stats = StatsTracker(bus)
         self.perf = make_perf_model(self.config)
         self.energy = EnergyModel(self.config, power)
+        # The memoized cost pipeline in front of the perf/energy models:
+        # identical-shape commands pay the closed-form derivation once
+        # (see docs/PERFORMANCE.md §5; REPRO_NO_COST_MEMO=1 disables).
+        from repro.arch.registry import arch_for
+
+        self.pipeline = CostPipeline(
+            self.perf, self.energy, arch_for(self.config)
+        )
+        self._signatures: "dict[tuple, str]" = {}
         self.data_movement = DataMovementModel(self.config)
         # ``faults`` is an optional repro.faults FaultInjector (or a
         # FaultPlan, wrapped here): seeded, deterministic corruption of
@@ -230,6 +240,80 @@ class PimDevice:
         """
         if repeat < 1:
             raise PimTypeError(f"repeat must be >= 1, got {repeat}")
+        spec, cost, energy, signature = self._prepare(kind, inputs, dest, scalar)
+        self.stats.record_command(
+            kind,
+            signature,
+            cost.latency_ns * repeat,
+            energy.execution_nj * repeat,
+            energy.background_nj * repeat,
+            count=repeat,
+            events=EventCounts(
+                row_activations=cost.row_activations,
+                lane_logic_ops=cost.lane_logic_ops,
+                alu_word_ops=cost.alu_word_ops,
+                walker_bits=cost.walker_bits,
+                gdl_bits=cost.gdl_bits,
+            ).scaled(repeat),
+        )
+
+        if self.functional:
+            return self._functional_issue(kind, spec, inputs, dest, scalar, cost)
+        if spec.produces_scalar:
+            return 0
+        return None
+
+    def execute_batch(
+        self,
+        kind: PimCmdKind,
+        inputs: "typing.Sequence[PimObject]" = (),
+        dest: "PimObject | None" = None,
+        scalar: "int | None" = None,
+        count: int = 1,
+    ) -> "int | None":
+        """Issue the same command ``count`` times back to back.
+
+        Equivalent -- in stats, energy, fault behaviour, and bus event
+        stream -- to calling :meth:`execute` ``count`` times with the
+        same arguments, but the validation, cost derivation, and stats
+        bucket lookup happen once.  Unlike ``repeat=`` (which bills one
+        multiplied record), each issue is billed individually, so the
+        accumulated floats match the per-call loop bit for bit.  In
+        functional mode every issue runs the full compute/fault path and
+        the last issue's value is returned.
+        """
+        if count < 1:
+            raise PimTypeError(f"count must be >= 1, got {count}")
+        spec, cost, energy, signature = self._prepare(kind, inputs, dest, scalar)
+        self.stats.record_command_batch(
+            kind,
+            signature,
+            cost.latency_ns,
+            energy.execution_nj,
+            energy.background_nj,
+            count=count,
+            events=EventCounts(
+                row_activations=cost.row_activations,
+                lane_logic_ops=cost.lane_logic_ops,
+                alu_word_ops=cost.alu_word_ops,
+                walker_bits=cost.walker_bits,
+                gdl_bits=cost.gdl_bits,
+            ),
+        )
+
+        if self.functional:
+            value: "int | None" = None
+            for _ in range(count):
+                value = self._functional_issue(
+                    kind, spec, inputs, dest, scalar, cost
+                )
+            return value
+        if spec.produces_scalar:
+            return 0
+        return None
+
+    def _prepare(self, kind, inputs, dest, scalar):
+        """Validate one command and derive its (spec, cost, energy, signature)."""
         spec = kind.spec
         if len(inputs) != spec.num_vector_inputs:
             raise PimTypeError(
@@ -250,61 +334,44 @@ class PimDevice:
                 else [dest]
             )
 
-        bits = inputs[-1].bits if inputs else dest.bits  # element width
+        anchor = inputs[-1] if inputs else dest  # drives width/sign/signature
         args = CommandArgs(
             kind=kind,
-            bits=bits,
+            bits=anchor.bits,
             inputs=tuple(obj.layout for obj in inputs),
             dest=dest.layout if dest is not None else None,
             scalar=scalar,
-            signed=(inputs[-1] if inputs else dest).dtype.signed,
+            signed=anchor.dtype.signed,
         )
-        cost = self.perf.cost_of(args)
-        energy = self.energy.command_energy(cost)
-        signature = self._signature(kind, inputs, dest)
-        self.stats.record_command(
-            kind,
-            signature,
-            cost.latency_ns * repeat,
-            energy.execution_nj * repeat,
-            energy.background_nj * repeat,
-            count=repeat,
-            events=EventCounts(
-                row_activations=cost.row_activations,
-                lane_logic_ops=cost.lane_logic_ops,
-                alu_word_ops=cost.alu_word_ops,
-                walker_bits=cost.walker_bits,
-                gdl_bits=cost.gdl_bits,
-            ).scaled(repeat),
-        )
+        cost, energy = self.pipeline.cost_and_energy(args)
+        return spec, cost, energy, self._signature(kind, anchor)
 
-        if self.functional:
-            faults = self.faults
-            if faults is not None:
-                bus = self.stats.bus
-                if faults.drops_command(kind.api_name, bus):
-                    # The command was billed but never committed: the
-                    # destination keeps its stale contents, and a
-                    # scalar-producing command reports garbage (0).
-                    return 0 if spec.produces_scalar else None
-                value = self._compute(kind, inputs, dest, scalar)
-                if dest is not None:
-                    faults.on_command_dest(dest, cost.row_activations, bus)
-                return value
-            return self._compute(kind, inputs, dest, scalar)
-        if spec.produces_scalar:
-            return 0
-        return None
+    def _functional_issue(self, kind, spec, inputs, dest, scalar, cost):
+        """One functional issue: fault gate, compute, destination faults."""
+        faults = self.faults
+        if faults is not None:
+            bus = self.stats.bus
+            if faults.drops_command(kind.api_name, bus):
+                # The command was billed but never committed: the
+                # destination keeps its stale contents, and a
+                # scalar-producing command reports garbage (0).
+                return 0 if spec.produces_scalar else None
+            value = self._compute(kind, inputs, dest, scalar)
+            if dest is not None:
+                faults.on_command_dest(dest, cost.row_activations, bus)
+            return value
+        return self._compute(kind, inputs, dest, scalar)
 
-    def _signature(
-        self,
-        kind: PimCmdKind,
-        inputs: "typing.Sequence[PimObject]",
-        dest: "PimObject | None",
-    ) -> str:
-        anchor = inputs[-1] if inputs else dest
-        layout_letter = "v" if anchor.layout.layout is PimAllocType.VERTICAL else "h"
-        return f"{kind.api_name}.{anchor.dtype.numpy_name}.{layout_letter}"
+    def _signature(self, kind: PimCmdKind, anchor: PimObject) -> str:
+        key = (kind, anchor.dtype, anchor.layout.layout)
+        signature = self._signatures.get(key)
+        if signature is None:
+            layout_letter = (
+                "v" if anchor.layout.layout is PimAllocType.VERTICAL else "h"
+            )
+            signature = f"{kind.api_name}.{anchor.dtype.numpy_name}.{layout_letter}"
+            self._signatures[key] = signature
+        return signature
 
     # -- functional engine -----------------------------------------------------
 

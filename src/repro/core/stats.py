@@ -9,6 +9,7 @@ reports convert to the paper's ms / mJ units.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import typing
 from collections import OrderedDict
@@ -97,6 +98,29 @@ class CopyStats:
         self.energy_nj += energy_nj
 
 
+@dataclasses.dataclass
+class RecordedTrace:
+    """A replayable sub-trace: the ``record_*`` calls one code region made.
+
+    Captured by :meth:`StatsTracker.recorded_trace` and re-applied by
+    :meth:`StatsTracker.replay_trace`.  Replaying dispatches the *same
+    method calls with the same arguments in the same order*, so the
+    accumulators advance through the identical sequence of float
+    operations -- and an attached bus sees the identical event stream --
+    as re-running the region.  Benchmarks whose analytic inner loops
+    repeat an identical command sequence (AES mix-columns per column,
+    k-means per iteration, histogram per channel) record one repetition
+    and replay the rest.
+    """
+
+    entries: "list[tuple[str, tuple]]" = dataclasses.field(
+        default_factory=list
+    )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class StatsTracker:
     """Mutable statistics store attached to a device.
 
@@ -118,6 +142,7 @@ class StatsTracker:
         self.host_time_ns = 0.0
         self.host_energy_nj = 0.0
         self.events = EventCounts()
+        self._recording: "list[tuple[str, tuple]] | None" = None
 
     # -- recording ----------------------------------------------------------
 
@@ -150,6 +175,87 @@ class StatsTracker:
                     gdl_bits=events.gdl_bits,
                 )
             bus.emit_complete(signature, "command", latency_ns, args)
+        if self._recording is not None:
+            self._recording.append((
+                "record_command",
+                (kind, signature, latency_ns, energy_nj,
+                 background_energy_nj, count, events),
+            ))
+
+    def record_command_batch(
+        self,
+        kind: PimCmdKind,
+        signature: str,
+        latency_ns: float,
+        energy_nj: float,
+        background_energy_nj: float = 0.0,
+        count: int = 1,
+        events: "EventCounts | None" = None,
+    ) -> None:
+        """Bill ``count`` back-to-back issues of one command.
+
+        The per-issue arguments are the same a single
+        :meth:`record_command` call takes; the accumulators advance by
+        iterated addition -- the *same* float operations ``count``
+        individual calls would perform -- so the totals are
+        bit-identical to the per-call loop (``a + a + a`` is not
+        ``3 * a`` at float precision).  That makes this path a drop-in
+        batching of existing loops, unlike ``record_command``'s
+        pre-multiplied ``repeat`` billing.  The bucket/dict lookups and
+        event-census objects are paid once; an attached bus still gets
+        one event per issue, preserving the pre-batching stream.
+        """
+        stats = self.commands.setdefault(signature, CmdStats())
+        stats.count += count
+        bucket_latency = stats.latency_ns
+        bucket_energy = stats.energy_nj
+        background = self.background_energy_nj
+        for _ in range(count):
+            bucket_latency += latency_ns
+            bucket_energy += energy_nj
+            background += background_energy_nj
+        stats.latency_ns = bucket_latency
+        stats.energy_nj = bucket_energy
+        self.background_energy_nj = background
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + count
+        if events is not None:
+            row = self.events.row_activations
+            lane = self.events.lane_logic_ops
+            alu = self.events.alu_word_ops
+            walker = self.events.walker_bits
+            gdl = self.events.gdl_bits
+            for _ in range(count):
+                row += events.row_activations
+                lane += events.lane_logic_ops
+                alu += events.alu_word_ops
+                walker += events.walker_bits
+                gdl += events.gdl_bits
+            self.events = EventCounts(
+                row_activations=row,
+                lane_logic_ops=lane,
+                alu_word_ops=alu,
+                walker_bits=walker,
+                gdl_bits=gdl,
+            )
+        bus = self.bus
+        if bus is not None:
+            args = {"count": 1, "energy_nj": energy_nj}
+            if events is not None:
+                args.update(
+                    row_activations=events.row_activations,
+                    lane_logic_ops=events.lane_logic_ops,
+                    alu_word_ops=events.alu_word_ops,
+                    walker_bits=events.walker_bits,
+                    gdl_bits=events.gdl_bits,
+                )
+            for _ in range(count):
+                bus.emit_complete(signature, "command", latency_ns, dict(args))
+        if self._recording is not None:
+            self._recording.append((
+                "record_command_batch",
+                (kind, signature, latency_ns, energy_nj,
+                 background_energy_nj, count, events),
+            ))
 
     def record_copy(
         self, direction: str, num_bytes: int, latency_ns: float, energy_nj: float
@@ -165,6 +271,10 @@ class StatsTracker:
                 {"direction": direction, "bytes": num_bytes,
                  "energy_nj": energy_nj},
             )
+        if self._recording is not None:
+            self._recording.append(
+                ("record_copy", (direction, num_bytes, latency_ns, energy_nj))
+            )
 
     def record_host(
         self, time_ns: float, energy_nj: float, label: str = "kernel"
@@ -176,6 +286,45 @@ class StatsTracker:
             bus.emit_complete(
                 f"host.{label}", "host", time_ns, {"energy_nj": energy_nj}
             )
+        if self._recording is not None:
+            self._recording.append(
+                ("record_host", (time_ns, energy_nj, label))
+            )
+
+    # -- trace record / replay ----------------------------------------------
+
+    @contextlib.contextmanager
+    def recorded_trace(self) -> "typing.Iterator[RecordedTrace]":
+        """Capture every ``record_*`` call made inside the ``with`` body.
+
+        The recorded pass itself is billed normally; the returned
+        :class:`RecordedTrace` can then be re-applied with
+        :meth:`replay_trace`.  Recording does not nest.
+        """
+        if self._recording is not None:
+            raise RuntimeError("a stats trace is already being recorded")
+        trace = RecordedTrace()
+        self._recording = trace.entries
+        try:
+            yield trace
+        finally:
+            self._recording = None
+
+    def replay_trace(self, trace: RecordedTrace, times: int = 1) -> None:
+        """Re-apply a recorded trace ``times`` more times.
+
+        Dispatches each captured call back through the same ``record_*``
+        method, so totals, per-signature tables, the event census, and
+        any attached bus's event stream are bit-identical to running
+        the recorded region ``times`` more times.
+        """
+        if times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        if self._recording is not None:
+            raise RuntimeError("cannot replay while recording a trace")
+        for _ in range(times):
+            for method_name, args in trace.entries:
+                getattr(self, method_name)(*args)
 
     def reset(self) -> None:
         """Zero every accumulator; the attached bus (if any) is kept."""

@@ -37,12 +37,23 @@ class EnergyModel:
         self.config = config
         self.power = power or PowerConfig()
         self.micron = MicronEnergyModel(self.power.micron, config.dram)
+        # Constants of this (config, power) pairing, resolved lazily on
+        # first use (the backend registry may not be populated yet at
+        # construction time) and then reused for every command: the
+        # registry dispatch and the per-chip background derivation are
+        # pure functions of immutable configuration.
+        self._alu_pj: "float | None" = None
+        self._background_w: "float | None" = None
 
     def _alu_op_pj(self) -> float:
         """Per-word-op switching energy, priced by the device's backend."""
-        from repro.arch.registry import arch_for
+        pj = self._alu_pj
+        if pj is None:
+            from repro.arch.registry import arch_for
 
-        return arch_for(self.config).alu_op_pj(self.power)
+            pj = arch_for(self.config).alu_op_pj(self.power)
+            self._alu_pj = pj
+        return pj
 
     def background_power_w(self) -> float:
         """Standby-delta power of the whole active module.
@@ -55,9 +66,13 @@ class EnergyModel:
         background is watt-scale, not the kilowatt a per-subarray reading
         of the text would give.)
         """
-        geometry = self.config.dram.geometry
-        num_chips = geometry.num_ranks * geometry.chips_per_rank
-        return self.micron.background_power_w_per_subarray() * num_chips
+        watts = self._background_w
+        if watts is None:
+            geometry = self.config.dram.geometry
+            num_chips = geometry.num_ranks * geometry.chips_per_rank
+            watts = self.micron.background_power_w_per_subarray() * num_chips
+            self._background_w = watts
+        return watts
 
     def command_energy(self, cost: CmdCost) -> CommandEnergy:
         """Execution plus background energy of one command."""

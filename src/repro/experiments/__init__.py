@@ -80,6 +80,12 @@ from repro.experiments.runner import (
     geometric_mean,
     run_suite,
 )
+from repro.experiments.selfbench import (
+    SelfBenchRun,
+    format_selfbench,
+    run_selfbench,
+    selfbench_payload,
+)
 from repro.experiments.sensitivity import (
     SensitivityPoint,
     bank_sensitivity,
@@ -153,6 +159,10 @@ __all__ = [
     "export_suite_json",
     "geometric_mean",
     "run_suite",
+    "SelfBenchRun",
+    "format_selfbench",
+    "run_selfbench",
+    "selfbench_payload",
     "SensitivityPoint",
     "bank_sensitivity",
     "column_sensitivity",

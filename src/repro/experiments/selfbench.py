@@ -1,0 +1,183 @@
+"""Self-benchmark: wall-clock timing of the simulator itself.
+
+The performance contract (docs/PERFORMANCE.md) promises that the memoized
+cost pipeline and trace batching keep the paper-scale suite fast without
+changing a single modeled number.  This module times the promise: it runs
+the standard workloads end to end and reports wall seconds and simulated
+commands per second, in a stable JSON schema
+(``{"run", "wall_s", "commands_simulated", "commands_per_s"}`` per entry)
+that CI and ``BENCH_PR5.json`` archive.
+
+Three runs cover the interesting regimes:
+
+* ``suite-cold``   -- the full evaluation suite with every cache bypassed
+  (the simulator hot path, where the cost memo lives),
+* ``suite-warm``   -- the same suite served from the persistent disk
+  cache in a scratch directory (the §2 caching contract), and
+* ``figure12-cold``-- the Figure 12 rank sweep (four uncached suites),
+  the heaviest standard driver.
+
+Wall timings are machine-dependent; ``commands_simulated`` is exact and
+machine-independent (it is the op-census total the byte-identity tests
+pin), which is why the schema reports both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+import time
+import typing
+
+from repro.experiments import runner
+from repro.experiments.runner import run_suite
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SuiteResults
+
+#: Schema version of the emitted JSON payload.
+SCHEMA_VERSION = 1
+
+#: Cold-suite wall seconds at commit fc84025 (the last commit before the
+#: memoized cost pipeline), measured on the development container with
+#: the same ``run_suite(use_cache=False)`` call ``suite-cold`` times.
+#: Archived so BENCH_PR5.json carries the before/after pair.
+PRE_MEMO_SUITE_COLD_S = 2.2885
+
+#: The run names ``run_selfbench`` knows, in execution order.
+RUN_NAMES = ("suite-cold", "suite-warm", "figure12-cold")
+
+#: Rank counts of the Figure 12 sweep (mirrors rankscaling.FIG12_RANKS).
+_FIG12_RANKS = (4, 8, 16, 32)
+
+
+@dataclasses.dataclass(frozen=True)
+class SelfBenchRun:
+    """One timed run of a standard workload."""
+
+    run: str
+    wall_s: float
+    commands_simulated: int
+    commands_per_s: float
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "run": self.run,
+            "wall_s": self.wall_s,
+            "commands_simulated": self.commands_simulated,
+            "commands_per_s": self.commands_per_s,
+        }
+
+
+def suite_command_count(suite: "SuiteResults") -> int:
+    """Total simulated commands of a suite (sum of every op census)."""
+    return sum(
+        sum(result.op_counts.values()) for result in suite.results.values()
+    )
+
+
+def _timed(name: str, commands: int, wall_s: float) -> SelfBenchRun:
+    return SelfBenchRun(
+        run=name,
+        wall_s=wall_s,
+        commands_simulated=commands,
+        commands_per_s=commands / wall_s if wall_s > 0 else 0.0,
+    )
+
+
+def _run_suite_cold(jobs: "int | None") -> SelfBenchRun:
+    start = time.perf_counter()
+    suite = run_suite(use_cache=False, jobs=jobs)
+    wall = time.perf_counter() - start
+    return _timed("suite-cold", suite_command_count(suite), wall)
+
+
+def _run_suite_warm(jobs: "int | None", scratch: str) -> SelfBenchRun:
+    # Populate the scratch disk cache, then drop the in-memory tier so
+    # the timed run exercises the persistent store (a fresh process's
+    # warm path), not a dict lookup.
+    suite = run_suite(use_cache=True, cache_dir=scratch, jobs=jobs)
+    commands = suite_command_count(suite)
+    runner._CACHE.clear()
+    start = time.perf_counter()
+    run_suite(use_cache=True, cache_dir=scratch, jobs=jobs)
+    wall = time.perf_counter() - start
+    return _timed("suite-warm", commands, wall)
+
+
+def _run_figure12_cold(jobs: "int | None") -> SelfBenchRun:
+    commands = 0
+    start = time.perf_counter()
+    for num_ranks in _FIG12_RANKS:
+        suite = run_suite(
+            num_ranks=num_ranks, paper_scale=True, enforce_capacity=False,
+            use_cache=False, jobs=jobs,
+        )
+        commands += suite_command_count(suite)
+    wall = time.perf_counter() - start
+    return _timed("figure12-cold", commands, wall)
+
+
+def run_selfbench(
+    runs: "typing.Sequence[str]" = RUN_NAMES,
+    jobs: "int | None" = None,
+) -> "list[SelfBenchRun]":
+    """Execute the requested timed runs (see :data:`RUN_NAMES`)."""
+    unknown = [name for name in runs if name not in RUN_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown selfbench runs {unknown}; know {list(RUN_NAMES)}"
+        )
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-selfbench-") as scratch:
+        for name in runs:
+            if name == "suite-cold":
+                results.append(_run_suite_cold(jobs))
+            elif name == "suite-warm":
+                results.append(
+                    _run_suite_warm(jobs, os.path.join(scratch, "cache"))
+                )
+            elif name == "figure12-cold":
+                results.append(_run_figure12_cold(jobs))
+    return results
+
+
+def selfbench_payload(
+    results: "typing.Sequence[SelfBenchRun]",
+    include_baseline: bool = True,
+) -> "dict[str, object]":
+    """The archivable JSON payload (the ``BENCH_PR5.json`` schema).
+
+    ``include_baseline`` prepends the archived pre-memoization cold-suite
+    timing (:data:`PRE_MEMO_SUITE_COLD_S`) so the before/after pair lives
+    in one file; the baseline reuses the measured command count because
+    the op census is identical by the byte-identity contract.
+    """
+    runs = [result.to_dict() for result in results]
+    if include_baseline:
+        cold = next((r for r in results if r.run == "suite-cold"), None)
+        if cold is not None:
+            runs.insert(0, SelfBenchRun(
+                run="suite-cold-pre-memo",
+                wall_s=PRE_MEMO_SUITE_COLD_S,
+                commands_simulated=cold.commands_simulated,
+                commands_per_s=(
+                    cold.commands_simulated / PRE_MEMO_SUITE_COLD_S
+                ),
+            ).to_dict())
+    return {"schema": SCHEMA_VERSION, "runs": runs}
+
+
+def format_selfbench(results: "typing.Sequence[SelfBenchRun]") -> str:
+    """Human-readable table of one selfbench pass."""
+    lines = [
+        f"{'run':<16s} {'wall_s':>9s} {'commands':>12s} {'cmds/s':>12s}"
+    ]
+    for result in results:
+        lines.append(
+            f"{result.run:<16s} {result.wall_s:>9.4f} "
+            f"{result.commands_simulated:>12,d} "
+            f"{result.commands_per_s:>12,.0f}"
+        )
+    return "\n".join(lines)

@@ -34,15 +34,28 @@ class Operand:
 
 @dataclasses.dataclass
 class MicroProgram:
-    """A named sequence of bit-serial micro-ops."""
+    """A named sequence of bit-serial micro-ops.
+
+    ``cost`` is computed once and cached: programs are assembled once
+    (and memoized by :func:`repro.microcode.programs.get_program`) but
+    costed on every command issue, so re-tallying the op list each time
+    was the single largest term of the simulator's hot path.  The
+    :class:`Assembler` invalidates the cache on every emit; code that
+    mutates ``ops`` directly must clear ``_cost`` itself.
+    """
 
     name: str
     ops: "list[MicroOp]" = dataclasses.field(default_factory=list)
     num_popcount_results: int = 0
+    _cost: "MicroProgramCost | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def cost(self) -> MicroProgramCost:
-        return cost_of(self.ops)
+        if self._cost is None:
+            self._cost = cost_of(self.ops)
+        return self._cost
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -56,6 +69,7 @@ class Assembler:
 
     def _emit(self, op: MicroOp) -> None:
         self.program.ops.append(op)
+        self.program._cost = None  # still assembling: drop any cached tally
 
     # -- row ops ---------------------------------------------------------
 
@@ -129,4 +143,7 @@ class Assembler:
         return self
 
     def done(self) -> MicroProgram:
+        # Tally the cost now, at assembly time, so no command issue ever
+        # pays for a per-op walk of the finished program.
+        self.program._cost = cost_of(self.program.ops)
         return self.program

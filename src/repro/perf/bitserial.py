@@ -22,26 +22,42 @@ from repro.perf.base import CmdCost, CommandArgs
 POPCOUNT_TREE_STAGES = 13
 
 
+#: Kinds whose microprogram is parameterized by signedness, not the scalar.
+_SIGNED_PARAM_KINDS = frozenset((
+    PimCmdKind.LT, PimCmdKind.GT, PimCmdKind.MIN, PimCmdKind.MAX,
+    PimCmdKind.LT_SCALAR, PimCmdKind.GT_SCALAR,
+    PimCmdKind.MIN_SCALAR, PimCmdKind.MAX_SCALAR,
+))
+
+
+def program_param(
+    kind: PimCmdKind, bits: int, scalar: "int | None", signed: bool
+) -> "int | None":
+    """The :func:`get_program` parameter for one command invocation.
+
+    This is also the *scalar equivalence class* of the command's cost on
+    microcoded devices: two invocations with the same ``(kind, bits,
+    param)`` lower to the same microprogram, so the cost memo keys on it
+    (see :meth:`repro.arch.base.ArchBackend.cost_memo_param`).
+    """
+    if kind in _SIGNED_PARAM_KINDS:
+        return int(signed)
+    if kind.spec.has_scalar:
+        if scalar is None:
+            raise PimTypeError(f"{kind.name} requires a scalar operand")
+        if kind in (PimCmdKind.SHIFT_LEFT, PimCmdKind.SHIFT_RIGHT):
+            return int(scalar)
+        if kind is PimCmdKind.SUB_SCALAR:
+            return (-int(scalar)) & ((1 << bits) - 1)
+        return int(scalar) & ((1 << bits) - 1)
+    return None
+
+
 def resolve_program(args: CommandArgs):
     """Resolve the microprogram for one command invocation."""
     kind = args.kind
-    bits = args.bits
-    name = kind.spec.microprogram
-    scalar_needed = kind.spec.has_scalar
-    param: "int | None" = None
-    if kind in (PimCmdKind.LT, PimCmdKind.GT, PimCmdKind.MIN, PimCmdKind.MAX,
-                PimCmdKind.LT_SCALAR, PimCmdKind.GT_SCALAR,
-                PimCmdKind.MIN_SCALAR, PimCmdKind.MAX_SCALAR):
-        param = int(args.signed)
-    elif scalar_needed:
-        if args.scalar is None:
-            raise PimTypeError(f"{kind.name} requires a scalar operand")
-        param = int(args.scalar) & ((1 << bits) - 1)
-        if kind is PimCmdKind.SUB_SCALAR:
-            param = (-int(args.scalar)) & ((1 << bits) - 1)
-        if kind in (PimCmdKind.SHIFT_LEFT, PimCmdKind.SHIFT_RIGHT):
-            param = int(args.scalar)
-    return get_program(name, bits, param)
+    param = program_param(kind, args.bits, args.scalar, args.signed)
+    return get_program(kind.spec.microprogram, args.bits, param)
 
 
 def microprogram_for(args: CommandArgs) -> MicroProgramCost:

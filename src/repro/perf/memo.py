@@ -1,0 +1,101 @@
+"""The memoized command-cost pipeline.
+
+The paper's performance and energy models are closed-form analytic
+functions of a command's *shape* -- its kind, element width, scalar
+class, and operand layouts -- never of the call site or of any device
+state.  A paper-scale suite run issues ~60k commands but only a few
+hundred distinct shapes, so deriving the cost from scratch on every
+issue (walking microprogram op lists, re-pricing energy terms) paid the
+same derivation tens of thousands of times.
+
+:class:`CostPipeline` sits between :meth:`repro.core.device.PimDevice.
+execute` and the perf/energy models and memoizes the ``(CmdCost,
+CommandEnergy)`` pair per shape.  The key's scalar component comes from
+the device's :class:`~repro.arch.base.ArchBackend` via
+:meth:`~repro.arch.base.ArchBackend.cost_memo_param`, making the memo
+part of the backend contract: a plug-in backend gets a correct (raw
+scalar) key by default and can widen its equivalence classes by
+overriding the hook.
+
+The memo changes *when* numbers are computed, never *what* they are:
+for any shape the memoized pair is the exact object the models return
+on the first derivation, so every downstream float operation is
+bit-identical to an unmemoized run.  ``REPRO_NO_COST_MEMO=1`` disables
+memoization as an escape hatch (and for A/B testing that claim); see
+``docs/PERFORMANCE.md`` §5.
+"""
+
+from __future__ import annotations
+
+import os
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import ArchBackend
+    from repro.energy.model import CommandEnergy, EnergyModel
+    from repro.perf.base import CmdCost, CommandArgs, PerfModel
+
+#: Environment escape hatch: set to any non-empty value to force every
+#: command through the full perf/energy derivation.
+MEMO_DISABLE_ENV = "REPRO_NO_COST_MEMO"
+
+
+def memo_enabled() -> bool:
+    """Whether new pipelines memoize (read once per device construction)."""
+    return not os.environ.get(MEMO_DISABLE_ENV)
+
+
+class CostPipeline:
+    """Per-device memo of ``(CmdCost, CommandEnergy)`` by command shape.
+
+    One instance per :class:`~repro.core.device.PimDevice`; the models
+    it wraps are immutable after construction, so entries never go
+    stale.  ``hits``/``misses`` are exposed for tests and selfbench
+    introspection.
+    """
+
+    __slots__ = ("perf", "energy", "backend", "enabled", "hits", "misses",
+                 "_memo")
+
+    def __init__(
+        self,
+        perf: "PerfModel",
+        energy: "EnergyModel",
+        backend: "ArchBackend",
+        enabled: "bool | None" = None,
+    ) -> None:
+        self.perf = perf
+        self.energy = energy
+        self.backend = backend
+        self.enabled = memo_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+        self._memo: "dict[tuple, tuple[CmdCost, CommandEnergy]]" = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def cost_and_energy(
+        self, args: "CommandArgs"
+    ) -> "tuple[CmdCost, CommandEnergy]":
+        """The modeled cost and energy of issuing ``args`` once."""
+        if not self.enabled:
+            cost = self.perf.cost_of(args)
+            return cost, self.energy.command_energy(cost)
+        key = (
+            args.kind,
+            args.bits,
+            args.signed,
+            self.backend.cost_memo_param(args),
+            args.inputs,
+            args.dest,
+        )
+        pair = self._memo.get(key)
+        if pair is None:
+            cost = self.perf.cost_of(args)
+            pair = (cost, self.energy.command_energy(cost))
+            self._memo[key] = pair
+            self.misses += 1
+        else:
+            self.hits += 1
+        return pair

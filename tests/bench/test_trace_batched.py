@@ -1,0 +1,212 @@
+"""Trace-batched benchmark loops == the per-call loops they replaced.
+
+AES mix-columns, k-means iterations, and histogram channels now record
+one repetition of their analytic inner loop and replay the rest
+(docs/PERFORMANCE.md §5).  These tests re-issue the original per-call
+loops on a reference device and demand exact equality -- stats snapshot,
+per-signature tables, and the full bus event stream.
+"""
+
+import numpy as np
+
+from repro.baselines.roofline import KernelProfile
+from repro.bench import aes_reference as ref
+from repro.bench.aes import _mix_columns, _mix_one_column, _PlaneState
+from repro.bench.histogram import NUM_CHANNELS, NUM_LEVELS
+from repro.bench.registry import make_benchmark
+from repro.config import bitserial_config, fulcrum_config
+from repro.config.device import PimDataType
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.host.model import HostModel
+from repro.obs import EventBus, RingBufferSink
+
+
+def _observed_device(config):
+    bus = EventBus()
+    sink = bus.subscribe(RingBufferSink(capacity=1 << 17))
+    return PimDevice(config, functional=False, bus=bus), sink
+
+
+def _shape(events):
+    return [
+        (e.name, e.cat, e.ph, e.ts_ns, e.dur_ns, e.args) for e in events
+    ]
+
+
+class TestAesMixColumns:
+    def _run(self, batched: bool):
+        device, sink = _observed_device(bitserial_config(4))
+        state = _PlaneState(device, num_blocks=64)
+        if batched:
+            _mix_columns(state, ref.MIX)
+        else:
+            for c in range(4):
+                _mix_one_column(state, ref.MIX, c)
+        return device, sink
+
+    def test_replayed_columns_match_loop(self):
+        loop_device, loop_sink = self._run(batched=False)
+        fast_device, fast_sink = self._run(batched=True)
+        assert fast_device.stats.snapshot() == loop_device.stats.snapshot()
+        assert fast_device.stats.commands == loop_device.stats.commands
+        assert fast_device.stats.op_counts == loop_device.stats.op_counts
+        assert _shape(fast_sink.events) == _shape(loop_sink.events)
+
+    def test_functional_path_unchanged(self):
+        # Functional mode must keep computing real per-column results.
+        device = PimDevice(bitserial_config(4), functional=True)
+        state = _PlaneState(device, num_blocks=16)
+        rng = np.random.default_rng(5)
+        for plane in state.planes:
+            plane.set_data(rng.integers(0, 256, size=16, dtype=np.uint8))
+        planes_before = [p.require_data().copy() for p in state.planes]
+        _mix_columns(state, ref.MIX)
+        expected = _reference_mix(planes_before, ref.MIX)
+        for plane, want in zip(state.planes, expected):
+            assert np.array_equal(plane.require_data(), want)
+
+
+def _reference_mix(planes, matrix):
+    """NumPy GF(2^8) mix-columns over the 16 byte planes."""
+    def gf_mul(values, factor):
+        result = np.zeros_like(values)
+        power = values.copy()
+        remaining = factor
+        while remaining:
+            if remaining & 1:
+                result ^= power
+            remaining >>= 1
+            high = (power & 0x80) != 0
+            power = ((power << 1) & 0xFF) ^ np.where(high, 0x1B, 0).astype(
+                power.dtype
+            )
+        return result
+
+    out = [None] * 16
+    for c in range(4):
+        column = [planes[4 * c + r] for r in range(4)]
+        for r in range(4):
+            acc = np.zeros_like(column[0])
+            for k in range(4):
+                acc ^= gf_mul(column[k], matrix[r][k])
+            out[4 * c + r] = acc
+    return out
+
+
+class TestKMeansIterations:
+    K = 3
+    ITERATIONS = 4
+    N = 512
+
+    def _reference_stream(self):
+        """The pre-batching per-iteration loop, issued call by call."""
+        device, sink = _observed_device(bitserial_config(4))
+        host = HostModel(device)
+        obj_x = device.alloc(self.N)
+        obj_y = device.alloc_associated(obj_x)
+        obj_zero = device.alloc_associated(obj_x)
+        obj_dx = device.alloc_associated(obj_x)
+        obj_dy = device.alloc_associated(obj_x)
+        obj_best = device.alloc_associated(obj_x)
+        obj_mask = device.alloc_associated(obj_x, PimDataType.BOOL)
+        obj_sel = device.alloc_associated(obj_x)
+        dist_objs = [device.alloc_associated(obj_x) for _ in range(self.K)]
+        device.copy_host_to_device(None, obj_x)
+        device.copy_host_to_device(None, obj_y)
+        device.execute(PimCmdKind.BROADCAST, (), obj_zero, scalar=0)
+        for _ in range(self.ITERATIONS):
+            for c in range(self.K):
+                cx, cy = 0x1235 + c, 0x2B67 + c
+                device.execute(PimCmdKind.SUB_SCALAR, (obj_x,), obj_dx, scalar=cx)
+                device.execute(PimCmdKind.ABS, (obj_dx,), obj_dx)
+                device.execute(PimCmdKind.SUB_SCALAR, (obj_y,), obj_dy, scalar=cy)
+                device.execute(PimCmdKind.ABS, (obj_dy,), obj_dy)
+                device.execute(PimCmdKind.ADD, (obj_dx, obj_dy), dist_objs[c])
+                if c == 0:
+                    device.execute(PimCmdKind.COPY, (dist_objs[c],), obj_best)
+                else:
+                    device.execute(
+                        PimCmdKind.MIN, (obj_best, dist_objs[c]), obj_best
+                    )
+            for c in range(self.K):
+                device.execute(PimCmdKind.EQ, (dist_objs[c], obj_best), obj_mask)
+                device.execute(PimCmdKind.REDSUM, (obj_mask,))
+                device.execute(
+                    PimCmdKind.SELECT, (obj_mask, obj_x, obj_zero), obj_sel
+                )
+                device.execute(PimCmdKind.REDSUM, (obj_sel,))
+                device.execute(
+                    PimCmdKind.SELECT, (obj_mask, obj_y, obj_zero), obj_sel
+                )
+                device.execute(PimCmdKind.REDSUM, (obj_sel,))
+            host.run(KernelProfile(
+                "host-centroid-update", bytes_accessed=32.0 * self.K,
+                compute_ops=4.0 * self.K,
+            ))
+        return device, sink
+
+    def _converted_stream(self):
+        device, sink = _observed_device(bitserial_config(4))
+        bench = make_benchmark("kmeans")
+        bench.params.update(
+            num_points=self.N, k=self.K, iterations=self.ITERATIONS
+        )
+        bench.run_pim(device, HostModel(device))
+        return device, sink
+
+    def test_converted_benchmark_matches_per_call_loop(self):
+        loop_device, loop_sink = self._reference_stream()
+        fast_device, fast_sink = self._converted_stream()
+        loop_events = _shape(loop_sink.events)
+        fast_events = _shape(fast_sink.events)
+        # The benchmark additionally frees and (before the loop) allocates
+        # -- pure bookkeeping with no recorded events -- so the streams
+        # align one to one.
+        assert fast_events == loop_events
+        assert (
+            fast_device.stats.snapshot() == loop_device.stats.snapshot()
+        )
+        assert fast_device.stats.commands == loop_device.stats.commands
+
+
+class TestHistogramChannels:
+    WIDTH, HEIGHT = 64, 48
+
+    def _reference_stream(self):
+        device, sink = _observed_device(fulcrum_config(4))
+        num_pixels = self.WIDTH * self.HEIGHT
+        obj_chan = device.alloc(num_pixels, PimDataType.UINT8)
+        obj_mask = device.alloc_associated(obj_chan, PimDataType.BOOL)
+        for _ in range(NUM_CHANNELS):
+            device.copy_host_to_device(None, obj_chan)
+            device.execute(
+                PimCmdKind.EQ_SCALAR, (obj_chan,), obj_mask,
+                scalar=0x55, repeat=NUM_LEVELS,
+            )
+            device.execute(PimCmdKind.REDSUM, (obj_mask,), repeat=NUM_LEVELS)
+        device.free(obj_chan)
+        device.free(obj_mask)
+        return device, sink
+
+    def _converted_stream(self):
+        device, sink = _observed_device(fulcrum_config(4))
+        bench = make_benchmark("histogram")
+        bench.params.update(width=self.WIDTH, height=self.HEIGHT)
+        bench.run_pim(device, HostModel(device))
+        return device, sink
+
+    def test_converted_benchmark_matches_per_call_loop(self):
+        loop_device, loop_sink = self._reference_stream()
+        fast_device, fast_sink = self._converted_stream()
+        assert _shape(fast_sink.events) == _shape(loop_sink.events)
+        assert (
+            fast_device.stats.snapshot() == loop_device.stats.snapshot()
+        )
+        assert fast_device.stats.commands == loop_device.stats.commands
+
+    def test_functional_histogram_still_verifies(self):
+        device = PimDevice(fulcrum_config(4), functional=True)
+        bench = make_benchmark("histogram")
+        outputs = bench.run_pim(device, HostModel(device))
+        assert bench.verify(outputs)

@@ -1,0 +1,192 @@
+"""``execute_batch``: N single executes == one batch, bit for bit.
+
+The batching contract (docs/PERFORMANCE.md §5): for any command and any
+``count``, one ``execute_batch`` call must be indistinguishable from
+``count`` individual ``execute`` calls -- same stats snapshot, same
+per-signature tables, same event census, same bus event stream, same
+functional results, same fault-injection behavior.  Exact equality
+throughout: the batch path bills by iterated addition, not
+multiplication, precisely so these floats match.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.core.errors import PimTypeError
+from repro.config import fulcrum_config
+from repro.faults import DroppedCommandFault, FaultPlan
+from repro.obs import EventBus, RingBufferSink
+
+from tests.conftest import make_device
+
+COUNT = 7
+
+
+def _vectors(device, n=256):
+    obj_a = device.alloc(n)
+    obj_b = device.alloc_associated(obj_a)
+    dest = device.alloc_associated(obj_a)
+    if device.functional:
+        device.copy_host_to_device(np.arange(n, dtype=np.int32), obj_a)
+        device.copy_host_to_device(np.arange(n, dtype=np.int32) * 3, obj_b)
+    return obj_a, obj_b, dest
+
+
+def _issue_single(device, count=COUNT):
+    obj_a, obj_b, dest = _vectors(device)
+    for _ in range(count):
+        device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+        device.execute(PimCmdKind.ADD_SCALAR, (dest,), dest, scalar=5)
+    value = 0
+    for _ in range(count):
+        value = device.execute(PimCmdKind.REDSUM, (dest,))
+    return dest, value
+
+
+def _issue_batched(device, count=COUNT):
+    obj_a, obj_b, dest = _vectors(device)
+    for _ in range(count):
+        device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+        device.execute(PimCmdKind.ADD_SCALAR, (dest,), dest, scalar=5)
+    value = device.execute_batch(PimCmdKind.REDSUM, (dest,), count=count)
+    return dest, value
+
+
+class TestBatchEquivalence:
+    def test_snapshot_and_tables_identical(self, device_type):
+        single = make_device(device_type, functional=False)
+        batched = make_device(device_type, functional=False)
+        obj = _vectors(single)
+        for _ in range(COUNT):
+            single.execute(PimCmdKind.ADD, (obj[0], obj[1]), obj[2])
+        obj_b = _vectors(batched)
+        batched.execute_batch(
+            PimCmdKind.ADD, (obj_b[0], obj_b[1]), obj_b[2], count=COUNT
+        )
+        # Dataclass equality is exact float equality -- no approx.
+        assert batched.stats.snapshot() == single.stats.snapshot()
+        assert batched.stats.commands == single.stats.commands
+        assert batched.stats.op_counts == single.stats.op_counts
+        assert batched.stats.events == single.stats.events
+
+    def test_mixed_command_sequence_identical(self, device_type):
+        single = make_device(device_type, functional=False)
+        batched = make_device(device_type, functional=False)
+        _issue_single(single)
+        _issue_batched(batched)
+        assert batched.stats.snapshot() == single.stats.snapshot()
+        assert batched.stats.commands == single.stats.commands
+
+    def test_scalar_command_batch(self, fulcrum_device):
+        device = fulcrum_device
+        reference = make_device(device.config.device_type)
+        obj_a, _, dest = _vectors(device)
+        ref_a, _, ref_dest = _vectors(reference)
+        device.execute_batch(
+            PimCmdKind.MUL_SCALAR, (obj_a,), dest, scalar=9, count=3
+        )
+        for _ in range(3):
+            reference.execute(PimCmdKind.MUL_SCALAR, (ref_a,), ref_dest, scalar=9)
+        assert device.stats.snapshot() == reference.stats.snapshot()
+        assert np.array_equal(dest.require_data(), ref_dest.require_data())
+
+    def test_functional_results_and_return_value(self, device):
+        single_dest, single_value = _issue_single(device)
+        other = make_device(device.config.device_type)
+        batch_dest, batch_value = _issue_batched(other)
+        assert batch_value == single_value
+        assert np.array_equal(
+            batch_dest.require_data(), single_dest.require_data()
+        )
+
+    def test_analytic_return_values(self, fulcrum_device):
+        device = PimDevice(fulcrum_config(4), functional=False)
+        obj_a, obj_b, dest = _vectors(device)
+        assert device.execute_batch(
+            PimCmdKind.ADD, (obj_a, obj_b), dest, count=3
+        ) is None
+        assert device.execute_batch(PimCmdKind.REDSUM, (dest,), count=3) == 0
+
+    def test_count_below_one_rejected(self, fulcrum_device):
+        obj_a, obj_b, dest = _vectors(fulcrum_device)
+        with pytest.raises(PimTypeError, match="count"):
+            fulcrum_device.execute_batch(
+                PimCmdKind.ADD, (obj_a, obj_b), dest, count=0
+            )
+
+    def test_validation_still_applies(self, fulcrum_device):
+        obj_a, _, dest = _vectors(fulcrum_device)
+        with pytest.raises(PimTypeError):
+            fulcrum_device.execute_batch(PimCmdKind.ADD, (obj_a,), dest, count=2)
+        with pytest.raises(PimTypeError):
+            fulcrum_device.execute_batch(
+                PimCmdKind.ADD_SCALAR, (obj_a,), dest, count=2
+            )
+
+
+class TestBatchBusStream:
+    @staticmethod
+    def _stream(device_factory, issue):
+        bus = EventBus()
+        sink = bus.subscribe(RingBufferSink())
+        device = device_factory(bus)
+        issue(device)
+        return [
+            (e.name, e.cat, e.ph, e.ts_ns, e.dur_ns, e.args)
+            for e in sink.events
+        ]
+
+    def test_event_stream_identical(self):
+        def factory(bus):
+            return PimDevice(fulcrum_config(4), functional=False, bus=bus)
+
+        def singles(device):
+            obj_a, obj_b, dest = _vectors(device)
+            for _ in range(COUNT):
+                device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+
+        def batch(device):
+            obj_a, obj_b, dest = _vectors(device)
+            device.execute_batch(
+                PimCmdKind.ADD, (obj_a, obj_b), dest, count=COUNT
+            )
+
+        assert self._stream(factory, batch) == self._stream(factory, singles)
+
+
+class TestBatchFaultInjection:
+    """Dropped-command billing stays per-issue and per-issue RNG order."""
+
+    @staticmethod
+    def _run(use_batch: bool):
+        from repro.config import bitserial_config
+
+        plan = FaultPlan(seed=23, faults=(DroppedCommandFault(rate=0.4),))
+        device = PimDevice(bitserial_config(4), functional=True, faults=plan)
+        obj = device.alloc(64)
+        device.copy_host_to_device(np.zeros(64, dtype=np.int32), obj)
+        if use_batch:
+            device.execute_batch(
+                PimCmdKind.ADD_SCALAR, (obj,), obj, scalar=1, count=20
+            )
+        else:
+            for _ in range(20):
+                device.execute(PimCmdKind.ADD_SCALAR, (obj,), obj, scalar=1)
+        return device, obj
+
+    def test_same_drops_same_data_same_billing(self):
+        loop_device, loop_obj = self._run(use_batch=False)
+        batch_device, batch_obj = self._run(use_batch=True)
+        # Same seeded RNG order -> the same issues drop.
+        assert (
+            batch_device.faults.injected == loop_device.faults.injected
+        )
+        assert np.array_equal(
+            batch_obj.require_data(), loop_obj.require_data()
+        )
+        # Some commands dropped, yet every issue was billed.
+        assert loop_device.faults.injected["dropped_command"] > 0
+        assert batch_device.stats.snapshot() == loop_device.stats.snapshot()
+        assert batch_device.stats.op_counts[PimCmdKind.ADD_SCALAR] == 20

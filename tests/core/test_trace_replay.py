@@ -1,0 +1,125 @@
+"""StatsTracker trace record/replay: the batching tool behind benchmarks.
+
+``recorded_trace()`` captures the ``record_*`` calls a code region makes;
+``replay_trace(trace, times=N)`` re-dispatches them, which must be
+indistinguishable -- in every accumulator and on an attached bus -- from
+running the region ``N`` more times.
+"""
+
+import pytest
+
+from repro.config import bitserial_config
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.core.stats import RecordedTrace, StatsTracker
+from repro.obs import EventBus, RingBufferSink
+
+
+def _region(device, objs):
+    obj_a, obj_b, dest = objs
+    device.copy_host_to_device(None, obj_a)
+    device.execute(PimCmdKind.ADD, (obj_a, obj_b), dest)
+    device.execute(PimCmdKind.MUL_SCALAR, (obj_a,), dest, scalar=3)
+    device.stats.record_host(120.0, 44.0, label="unit-host")
+
+
+def _device(bus=None):
+    device = PimDevice(bitserial_config(4), functional=False, bus=bus)
+    obj_a = device.alloc(512)
+    objs = (obj_a, device.alloc_associated(obj_a), device.alloc_associated(obj_a))
+    return device, objs
+
+
+class TestRecordReplay:
+    def test_replay_equals_rerunning(self):
+        looped, looped_objs = _device()
+        for _ in range(4):
+            _region(looped, looped_objs)
+
+        replayed, replayed_objs = _device()
+        with replayed.stats.recorded_trace() as trace:
+            _region(replayed, replayed_objs)
+        replayed.stats.replay_trace(trace, times=3)
+
+        assert len(trace) == 4  # copy + two commands + host kernel
+        assert replayed.stats.snapshot() == looped.stats.snapshot()
+        assert replayed.stats.commands == looped.stats.commands
+        assert replayed.stats.op_counts == looped.stats.op_counts
+        assert replayed.stats.host_to_device == looped.stats.host_to_device
+
+    def test_replay_zero_times_is_noop(self):
+        device, objs = _device()
+        with device.stats.recorded_trace() as trace:
+            _region(device, objs)
+        before = device.stats.snapshot()
+        device.stats.replay_trace(trace, times=0)
+        assert device.stats.snapshot() == before
+
+    def test_bus_stream_matches_rerunning(self):
+        looped_bus = EventBus()
+        looped_sink = looped_bus.subscribe(RingBufferSink())
+        looped, looped_objs = _device(bus=looped_bus)
+        for _ in range(3):
+            _region(looped, looped_objs)
+
+        replayed_bus = EventBus()
+        replayed_sink = replayed_bus.subscribe(RingBufferSink())
+        replayed, replayed_objs = _device(bus=replayed_bus)
+        with replayed.stats.recorded_trace() as trace:
+            _region(replayed, replayed_objs)
+        replayed.stats.replay_trace(trace, times=2)
+
+        def shape(events):
+            return [
+                (e.name, e.cat, e.ph, e.ts_ns, e.dur_ns, e.args)
+                for e in events
+            ]
+
+        assert shape(replayed_sink.events) == shape(looped_sink.events)
+
+    def test_batch_records_replay_too(self):
+        looped = StatsTracker()
+        for _ in range(3):
+            looped.record_command_batch(
+                PimCmdKind.ADD, "add.int32.v", 10.5, 2.25, 0.125, count=4
+            )
+        replayed = StatsTracker()
+        with replayed.recorded_trace() as trace:
+            replayed.record_command_batch(
+                PimCmdKind.ADD, "add.int32.v", 10.5, 2.25, 0.125, count=4
+            )
+        replayed.replay_trace(trace, times=2)
+        assert replayed.snapshot() == looped.snapshot()
+        assert replayed.commands == looped.commands
+
+
+class TestRecordingGuards:
+    def test_recording_does_not_nest(self):
+        tracker = StatsTracker()
+        with tracker.recorded_trace():
+            with pytest.raises(RuntimeError, match="already"):
+                with tracker.recorded_trace():
+                    pass  # pragma: no cover - the guard raises first
+
+    def test_replay_while_recording_rejected(self):
+        tracker = StatsTracker()
+        with tracker.recorded_trace() as trace:
+            tracker.record_host(5.0, 1.0)
+            with pytest.raises(RuntimeError, match="replay"):
+                tracker.replay_trace(trace)
+
+    def test_negative_times_rejected(self):
+        tracker = StatsTracker()
+        with pytest.raises(ValueError, match="times"):
+            tracker.replay_trace(RecordedTrace(), times=-1)
+
+    def test_recording_cleared_after_exception(self):
+        tracker = StatsTracker()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracker.recorded_trace():
+                raise RuntimeError("boom")
+        # The tap must not leak: subsequent records go nowhere special.
+        tracker.record_host(1.0, 1.0)
+        with tracker.recorded_trace() as trace:
+            pass
+        assert len(trace) == 0

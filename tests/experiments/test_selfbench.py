@@ -1,0 +1,61 @@
+"""Selfbench: the timing harness runs and emits the archived schema."""
+
+import json
+
+import pytest
+
+from repro.experiments.selfbench import (
+    PRE_MEMO_SUITE_COLD_S,
+    RUN_NAMES,
+    SelfBenchRun,
+    format_selfbench,
+    run_selfbench,
+    selfbench_payload,
+)
+
+_FAKE = SelfBenchRun(
+    run="suite-cold", wall_s=0.5, commands_simulated=1000,
+    commands_per_s=2000.0,
+)
+
+
+class TestPayloadSchema:
+    def test_payload_fields(self):
+        payload = selfbench_payload([_FAKE], include_baseline=False)
+        assert payload["schema"] == 1
+        (entry,) = payload["runs"]
+        assert set(entry) == {
+            "run", "wall_s", "commands_simulated", "commands_per_s"
+        }
+
+    def test_baseline_entry_prepended(self):
+        payload = selfbench_payload([_FAKE])
+        assert [r["run"] for r in payload["runs"]] == [
+            "suite-cold-pre-memo", "suite-cold"
+        ]
+        baseline = payload["runs"][0]
+        assert baseline["wall_s"] == PRE_MEMO_SUITE_COLD_S
+        assert baseline["commands_simulated"] == _FAKE.commands_simulated
+
+    def test_payload_is_json_serializable(self):
+        json.dumps(selfbench_payload([_FAKE]))
+
+    def test_unknown_run_rejected(self):
+        with pytest.raises(ValueError, match="unknown selfbench"):
+            run_selfbench(runs=("nope",))
+
+    def test_format_lists_every_run(self):
+        text = format_selfbench([_FAKE])
+        assert "suite-cold" in text and "wall_s" in text
+
+
+class TestSelfBenchExecution:
+    def test_suite_cold_runs_end_to_end(self):
+        (result,) = run_selfbench(runs=("suite-cold",))
+        assert result.run == "suite-cold"
+        assert result.wall_s > 0
+        assert result.commands_simulated > 0
+        assert result.commands_per_s == pytest.approx(
+            result.commands_simulated / result.wall_s
+        )
+        assert set(RUN_NAMES) == {"suite-cold", "suite-warm", "figure12-cold"}

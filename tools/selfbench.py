@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Time the simulator on the standard workloads and archive the result.
+
+Thin wrapper over ``repro selfbench`` (see
+:mod:`repro.experiments.selfbench` for the run definitions and the JSON
+schema) that defaults the output path to ``BENCH_PR5.json`` at the
+repository root::
+
+    PYTHONPATH=src python tools/selfbench.py            # all runs
+    PYTHONPATH=src python tools/selfbench.py suite-cold # one run
+
+Wall timings are machine-dependent; commit a refreshed BENCH_PR5.json
+only when measuring on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--out" not in argv:
+        repo_root = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), ".."
+        )
+        argv = argv + ["--out", os.path.join(repo_root, "BENCH_PR5.json")]
+    sys.exit(main(["selfbench"] + argv))
