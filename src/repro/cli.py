@@ -103,6 +103,23 @@ def _report_failures(failures) -> None:
     print(f"\n{format_failure_summary(failures)}", file=sys.stderr)
 
 
+def _maybe_write_report(args: argparse.Namespace) -> None:
+    """Write the JSON run report when ``--report`` asked for one.
+
+    The report bundles the process-wide metrics registry (including the
+    spec-ordered telemetry merge the engine performed), the per-cell
+    telemetry table, and an environment stamp -- see
+    docs/OBSERVABILITY.md ("Telemetry & exposition").
+    """
+    path = getattr(args, "report", None)
+    if not path:
+        return
+    from repro.obs.report import write_run_report
+
+    write_run_report(path)
+    print(f"Run report written to {path}")
+
+
 def _make_bus(trace_path: "str | None", with_metrics: bool = False):
     """Build an event bus with the sinks the flags ask for.
 
@@ -143,6 +160,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     outcome = execution.outcome(spec)
     if not outcome.ok:
         _report_failures(execution.failures)
+        _maybe_write_report(args)
         return 1
     result = outcome.result
     if execution.hits:
@@ -168,6 +186,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"\nChrome trace written to {chrome.write()} "
               f"({len(chrome.events)} events); open in chrome://tracing "
               "or https://ui.perfetto.dev")
+    _maybe_write_report(args)
     return 0 if result.verified in (True, None) else 1
 
 
@@ -196,6 +215,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     outcome = execution.outcome(spec)
     if not outcome.ok:
         _report_failures(execution.failures)
+        _maybe_write_report(args)
         return 1
     result = outcome.result
     if result.verified is not None:
@@ -205,6 +225,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(format_hottest_commands(registry, top_n=args.top))
     print(f"\nSimulated time : {bus.now_ns / 1e6:.6f} ms "
           f"(simulator wall overhead {bus.wall_us() / 1e3:.1f} ms)")
+    telemetry = getattr(outcome, "telemetry", None)
+    if telemetry is not None and telemetry.memo_lookups:
+        print(f"Cost-memo hit rate : {telemetry.memo_hit_rate:.1%} "
+              f"({telemetry.memo_hits:,} of {telemetry.memo_lookups:,} "
+              f"lookups, {telemetry.memo_shapes} distinct shapes)")
     if chrome is not None:
         print(f"Chrome trace written to {chrome.write()} "
               f"({len(chrome.events)} events); open in chrome://tracing "
@@ -214,6 +239,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
             fh.write(registry.to_jsonl())
         print(f"Metrics written to {args.metrics} "
               f"({len(registry.names())} series)")
+    if args.openmetrics:
+        from repro.obs.openmetrics import write_openmetrics
+
+        write_openmetrics(args.openmetrics, registry)
+        print(f"OpenMetrics exposition written to {args.openmetrics}")
+    _maybe_write_report(args)
     return 0 if result.verified in (True, None) else 1
 
 
@@ -243,6 +274,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     if chrome is not None:
         print(f"\nChrome trace written to {chrome.write()} "
               f"({len(chrome.events)} events)")
+    _maybe_write_report(args)
     if suite.failures:
         _report_failures(suite.failures)
         return 1
@@ -310,6 +342,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(f"unknown figure {args.figure!r}; know 1, 6a, 6b, "
                          "7, 8, 9, 10a, 10b, 11, 12, 13")
+    _maybe_write_report(args)
     return 0
 
 
@@ -340,8 +373,15 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
         run_selfbench,
         selfbench_payload,
     )
-    from repro.experiments.selfbench import RUN_NAMES
+    from repro.experiments.selfbench import (
+        RUN_NAMES,
+        append_history,
+        check_regression,
+        format_regression,
+    )
 
+    if args.check and not args.baseline:
+        raise SystemExit("--check requires --baseline BASELINE.json")
     runs = tuple(args.runs) or RUN_NAMES
     try:
         results = run_selfbench(runs=runs, jobs=args.jobs)
@@ -353,6 +393,24 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(payload, indent=2) + "\n")
         print(f"\nSelfbench payload written to {args.out}")
+    if args.history:
+        append_history(args.history, results)
+        print(f"History entry appended to {args.history}")
+    if args.check:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"cannot read baseline {args.baseline}: {exc}"
+            ) from None
+        try:
+            checks = check_regression(results, baseline, args.tolerance)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"\n{format_regression(checks, args.tolerance)}")
+        if any(not check.ok for check in checks):
+            return 1
     return 0
 
 
@@ -400,14 +458,43 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    """Compact human age: 42s / 12.3m / 5.1h / 3.2d."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
 def cmd_cache_info(args: argparse.Namespace) -> int:
+    import time as time_module
+
     from repro.engine import DiskCache
 
     cache = DiskCache(args.cache_dir)
-    entries, size = cache.stats()
+    entries = cache.entries()
+    size = sum(entry_size for _, entry_size, _ in entries)
+    now = time_module.time()
     print(f"Cache directory : {cache.root}")
-    print(f"Entries         : {entries}")
+    print(f"Entries         : {len(entries)}")
     print(f"Size            : {size / 1024:.1f} KiB")
+    if entries:
+        ages = [now - mtime for _, _, mtime in entries]
+        print(f"Oldest entry    : {_format_age(max(ages))} ago")
+        print(f"Newest entry    : {_format_age(min(ages))} ago")
+    usage = cache.usage()
+    lookups = usage["hits"] + usage["misses"]
+    rate = f" ({usage['hits'] / lookups:.1%} hit rate)" if lookups else ""
+    print(f"Lifetime        : {usage['hits']} hits, {usage['misses']} misses, "
+          f"{usage['writes']} writes, {usage['corrupt']} corrupt{rate}")
+    if args.verbose and entries:
+        print(f"\n{'key':<16s} {'KiB':>8s} {'age':>8s}")
+        for key, entry_size, mtime in entries:
+            print(f"{key[:16]:<16s} {entry_size / 1024:>8.1f} "
+                  f"{_format_age(now - mtime):>8s}")
     return 0
 
 
@@ -444,6 +531,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--fail-fast", action="store_true",
         help="stop scheduling new cells after the first ultimate "
              "failure; unstarted cells are reported as skipped",
+    )
+    parser.add_argument(
+        "--report", metavar="OUT.json", default=None,
+        help="write a JSON run report (metrics snapshot, per-cell "
+             "telemetry table, environment stamp)",
     )
 
 
@@ -486,6 +578,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome/Perfetto trace of the run")
     profile.add_argument("--metrics", metavar="OUT.jsonl", default=None,
                          help="write the metrics registry as JSON Lines")
+    profile.add_argument("--openmetrics", metavar="OUT.txt", default=None,
+                         help="write the metrics registry as OpenMetrics/"
+                              "Prometheus exposition text")
     profile.add_argument("--top", type=int, default=10,
                          help="hottest-command table size (default 10)")
     _add_engine_flags(profile)
@@ -505,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for suite-backed figures "
              "(default: $REPRO_JOBS or serial)",
+    )
+    figure.add_argument(
+        "--report", metavar="OUT.json", default=None,
+        help="write a JSON run report (metrics snapshot, per-cell "
+             "telemetry table, environment stamp)",
     )
     figure.set_defaults(func=cmd_figure)
 
@@ -535,11 +635,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selfbench.add_argument(
         "--out", metavar="OUT.json", default=None,
-        help="also write the JSON payload (the BENCH_PR5.json schema)",
+        help="also write the JSON payload (the BENCH_PR6.json schema)",
     )
     selfbench.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes per suite (default: $REPRO_JOBS or serial)",
+    )
+    selfbench.add_argument(
+        "--history", metavar="OUT.jsonl", default=None,
+        help="append a schema-versioned entry to a history ledger "
+             "(the BENCH_HISTORY.jsonl trend file)",
+    )
+    selfbench.add_argument(
+        "--check", action="store_true",
+        help="compare throughput against --baseline and exit non-zero "
+             "on regression beyond --tolerance",
+    )
+    selfbench.add_argument(
+        "--baseline", metavar="BASE.json", default=None,
+        help="baseline payload for --check (e.g. BENCH_PR5.json)",
+    )
+    selfbench.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional commands/s drop vs the baseline before "
+             "--check fails (default 0.25)",
     )
     selfbench.set_defaults(func=cmd_selfbench)
 
@@ -573,11 +692,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_clear.set_defaults(func=cmd_cache_clear)
     cache_info = cache_sub.add_parser(
-        "info", help="show the cache location, entry count, and size"
+        "info", help="show the cache location, entries, ages, and "
+                     "lifetime hit/miss counters"
     )
     cache_info.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_info.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list every entry with its size and age",
     )
     cache_info.set_defaults(func=cmd_cache_info)
     return parser

@@ -101,20 +101,36 @@ class DiskCache:
     leaves a half-written entry behind for the next reader.
     """
 
+    #: Usage-ledger fields accumulated per session and merged on flush.
+    USAGE_FIELDS = ("hits", "misses", "writes", "corrupt")
+
     def __init__(self, root: "str | os.PathLike | None" = None) -> None:
         self.root = pathlib.Path(root).expanduser() if root else default_cache_dir()
+        self._session_usage = dict.fromkeys(self.USAGE_FIELDS, 0)
 
     @property
     def cells_dir(self) -> pathlib.Path:
         return self.root / "cells"
 
+    @property
+    def usage_path(self) -> pathlib.Path:
+        return self.root / "usage.json"
+
     def path_for(self, key: str) -> pathlib.Path:
         return self.cells_dir / key[:2] / f"{key}.pkl"
+
+    def _count(self, field: str) -> None:
+        """Tally one usage event (global registry + session ledger)."""
+        from repro.obs.metrics import global_registry
+
+        global_registry().counter(f"cache.{field}").inc()
+        self._session_usage[field] += 1
 
     def get(self, key: str) -> "CellOutcome | None":
         """Load an entry; a corrupted one warns, is deleted, and misses."""
         path = self.path_for(key)
         if not path.exists():
+            self._count("misses")
             return None
         try:
             with open(path, "rb") as fh:
@@ -123,11 +139,13 @@ class DiskCache:
                 raise pickle.UnpicklingError(
                     f"expected CellOutcome, found {type(outcome).__name__}"
                 )
+            self._count("hits")
             return outcome
         except Exception as exc:  # noqa: BLE001 - any corruption degrades to a miss
             from repro.obs.metrics import global_registry
 
             global_registry().counter("cache.corrupt_entries").inc()
+            self._session_usage["corrupt"] += 1
             warnings.warn(
                 f"corrupted cache entry at {path}: "
                 f"{type(exc).__name__}: {exc}; re-simulating",
@@ -148,6 +166,58 @@ class DiskCache:
         with open(tmp, "wb") as fh:
             pickle.dump(outcome.without_events(), fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        self._count("writes")
+
+    def usage(self) -> "dict[str, int]":
+        """Lifetime usage counters from the on-disk ledger (all zero when
+        absent or unreadable)."""
+        totals = dict.fromkeys(self.USAGE_FIELDS, 0)
+        try:
+            with open(self.usage_path, "r", encoding="utf-8") as fh:
+                stored = json.load(fh)
+            for field in self.USAGE_FIELDS:
+                totals[field] = int(stored.get(field, 0))
+        except (OSError, ValueError):
+            pass
+        return totals
+
+    def flush_usage(self) -> "dict[str, int]":
+        """Merge this session's tallies into the lifetime ledger.
+
+        Atomic write (temp + rename), best-effort read-modify-write: two
+        racing engines may each lose the other's increments, which is an
+        acceptable error bar for telemetry and never corrupts the file.
+        Returns the merged totals; the session tallies reset.  The
+        engine calls this once per ``run_cells``.
+        """
+        if not any(self._session_usage.values()):
+            return self.usage()
+        totals = self.usage()
+        for field in self.USAGE_FIELDS:
+            totals[field] += self._session_usage[field]
+        self._session_usage = dict.fromkeys(self.USAGE_FIELDS, 0)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.usage_path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(dict(totals, schema=1), fh)
+            os.replace(tmp, self.usage_path)
+        except OSError:  # read-only cache roots lose telemetry, not results
+            pass
+        return totals
+
+    def entries(self) -> "list[tuple[str, int, float]]":
+        """Every stored entry as ``(key, bytes, mtime)``, sorted by key."""
+        found = []
+        if not self.cells_dir.exists():
+            return found
+        for path in sorted(self.cells_dir.rglob("*.pkl")):
+            try:
+                stat = path.stat()
+            except OSError:  # racing delete
+                continue
+            found.append((path.stem, stat.st_size, stat.st_mtime))
+        return found
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

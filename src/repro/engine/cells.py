@@ -37,6 +37,7 @@ from repro.faults.models import (
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.arch.base import DeviceTypeLike
     from repro.obs.events import EventBus, ObsEvent
+    from repro.obs.telemetry import CellTelemetry
     from repro.resilience.failures import CellFailure
 
 
@@ -119,6 +120,10 @@ class CellOutcome:
     events: "tuple[ObsEvent, ...] | None" = None
     error: "CellFailure | None" = None
     faults_injected: "tuple[tuple[str, int], ...] | None" = None
+    #: Per-cell resource accounting captured where the cell actually ran
+    #: (see :mod:`repro.obs.telemetry`).  Persisted in the disk cache;
+    #: entries written before telemetry existed read back as ``None``.
+    telemetry: "CellTelemetry | None" = None
 
     @classmethod
     def failure(cls, error: "CellFailure") -> "CellOutcome":
@@ -198,6 +203,9 @@ def run_cell(
     process, which hard-crash faults require.
     """
     _apply_engine_faults(spec, attempt, isolated)
+    from repro.obs.telemetry import TelemetryCapture
+
+    capture = TelemetryCapture()
     if record_events:
         if bus is not None:
             raise ValueError("record_events and a live bus are exclusive")
@@ -226,11 +234,36 @@ def run_cell(
     )
     result = bench.run(device, CpuModel(), GpuModel())
     tracker = device.stats
+    memo_hits, memo_misses, memo_shapes = device.pipeline.stats()
+    if bus is not None and bus.active:
+        # Perfetto counter track: the memo's cumulative hit/miss totals
+        # at the cell boundary, so hit rates are visible on the timeline
+        # (one sample per cell; the track lives under the device's
+        # process group).  Emitted identically on the serial and the
+        # worker/replay path, preserving stream byte-identity.
+        lookups = memo_hits + memo_misses
+        bus.emit_counter("cost_memo", {
+            "hits": float(memo_hits),
+            "misses": float(memo_misses),
+            "hit_rate_pct": 100.0 * memo_hits / lookups if lookups else 0.0,
+        })
     tracker.bus = None  # the tracker outlives the run; never the bus
+    faults_injected = injector.counts() if injector is not None else None
     return CellOutcome(
         result=result,
         tracker=tracker,
         sim_dur_ns=result.stats.total_time_ns,
         events=tuple(recorder.events) if recorder is not None else None,
-        faults_injected=injector.counts() if injector is not None else None,
+        faults_injected=faults_injected,
+        telemetry=capture.finish(
+            benchmark=spec.benchmark_key,
+            device=str(getattr(spec.device_type, "value", spec.device_type)),
+            num_ranks=spec.num_ranks,
+            attempt=attempt,
+            commands_simulated=int(sum(result.op_counts.values())),
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            memo_shapes=memo_shapes,
+            faults_injected=faults_injected,
+        ),
     )

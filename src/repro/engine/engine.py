@@ -106,6 +106,15 @@ class ExecutionResult:
         }
 
     @property
+    def telemetries(self) -> "list":
+        """Per-cell telemetry records in spec order (cache hits included)."""
+        return [
+            telemetry
+            for outcome in self.outcomes.values()
+            if (telemetry := getattr(outcome, "telemetry", None)) is not None
+        ]
+
+    @property
     def ok(self) -> bool:
         return not self.failures
 
@@ -166,7 +175,12 @@ def _replay(bus: "EventBus", outcome: CellOutcome) -> None:
 
 
 class _Reporter:
-    """Funnels retry/failure happenings onto the bus and tallies retries."""
+    """Funnels retry/failure happenings onto the bus and tallies retries.
+
+    Retries and failures also land in the process-wide metrics registry
+    (``engine.cell_retries`` / ``engine.cell_failures``) so unobserved
+    runs still account for them in the run report.
+    """
 
     def __init__(self, bus: "EventBus | None") -> None:
         self.bus = bus
@@ -174,6 +188,9 @@ class _Reporter:
 
     def retry(self, spec: CellSpec, attempt: int, exc: BaseException) -> None:
         self.retries += 1
+        from repro.obs.metrics import global_registry
+
+        global_registry().counter("engine.cell_retries").inc()
         if self.bus is not None:
             self.bus.emit_instant(
                 f"cell.retry:{spec.benchmark_key}", "engine",
@@ -182,6 +199,9 @@ class _Reporter:
             )
 
     def failed(self, spec: CellSpec, failure: "CellFailure") -> None:
+        from repro.obs.metrics import global_registry
+
+        global_registry().counter("engine.cell_failures").inc()
         if self.bus is not None:
             self.bus.emit_instant(
                 f"cell.failed:{spec.benchmark_key}", "engine",
@@ -380,6 +400,13 @@ def run_cells(
             key = keys[spec] = cell_cache_key(spec)
             cached = cache.get(key)
             if cached is not None:
+                telemetry = getattr(cached, "telemetry", None)
+                if telemetry is not None:
+                    # The stored record describes the simulation that
+                    # originally produced this entry; flag the serving.
+                    cached.telemetry = dataclasses.replace(
+                        telemetry, from_cache=True
+                    )
                 outcomes[spec] = cached
                 hits += 1
 
@@ -407,6 +434,20 @@ def run_cells(
         for spec in misses:
             if outcomes[spec].ok:
                 cache.put(keys[spec], outcomes[spec])
+        cache.flush_usage()
+
+    # Cross-process accounting: fold every cell's telemetry (worker-run,
+    # serial, or cache-served) into the process-wide registry, in spec
+    # order, so the merged counters are identical for any job count.
+    from repro.obs.metrics import global_registry
+    from repro.obs.telemetry import merge_cell_telemetry
+
+    merge_cell_telemetry(
+        global_registry(),
+        (telemetry for spec in specs
+         if (telemetry := getattr(outcomes[spec], "telemetry", None))
+         is not None),
+    )
 
     return ExecutionResult(
         outcomes={spec: outcomes[spec] for spec in specs},

@@ -81,7 +81,11 @@ from repro.experiments.runner import (
     run_suite,
 )
 from repro.experiments.selfbench import (
+    RegressionCheck,
     SelfBenchRun,
+    append_history,
+    check_regression,
+    format_regression,
     format_selfbench,
     run_selfbench,
     selfbench_payload,
@@ -160,6 +164,10 @@ __all__ = [
     "geometric_mean",
     "run_suite",
     "SelfBenchRun",
+    "RegressionCheck",
+    "append_history",
+    "check_regression",
+    "format_regression",
     "format_selfbench",
     "run_selfbench",
     "selfbench_payload",

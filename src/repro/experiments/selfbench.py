@@ -39,6 +39,9 @@ if typing.TYPE_CHECKING:  # pragma: no cover - typing only
 #: Schema version of the emitted JSON payload.
 SCHEMA_VERSION = 1
 
+#: Schema version of one BENCH_HISTORY.jsonl ledger entry.
+HISTORY_SCHEMA = 1
+
 #: Cold-suite wall seconds at commit fc84025 (the last commit before the
 #: memoized cost pipeline), measured on the development container with
 #: the same ``run_suite(use_cache=False)`` call ``suite-cold`` times.
@@ -167,6 +170,124 @@ def selfbench_payload(
                 ),
             ).to_dict())
     return {"schema": SCHEMA_VERSION, "runs": runs}
+
+
+def history_entry(
+    results: "typing.Sequence[SelfBenchRun]",
+    unix_s: "float | None" = None,
+) -> "dict[str, object]":
+    """One schema-versioned BENCH_HISTORY.jsonl ledger line.
+
+    Unlike the overwrite-on-run ``BENCH_PR6.json`` snapshot, the history
+    ledger accumulates: every selfbench pass appends one line, stamping
+    when and where it ran, so throughput trends survive across PRs and
+    machines instead of being overwritten.
+    """
+    import time as time_module
+
+    from repro.obs.report import environment_stamp
+
+    return {
+        "schema": HISTORY_SCHEMA,
+        "unix_s": round(time_module.time() if unix_s is None else unix_s, 3),
+        "environment": environment_stamp(),
+        "runs": [result.to_dict() for result in results],
+    }
+
+
+def append_history(
+    path: "str | os.PathLike",
+    results: "typing.Sequence[SelfBenchRun]",
+    unix_s: "float | None" = None,
+) -> "dict[str, object]":
+    """Append one ledger entry as a JSON line; returns the entry."""
+    import json
+
+    entry = history_entry(results, unix_s=unix_s)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return entry
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionCheck:
+    """One run's throughput compared against an archived baseline."""
+
+    run: str
+    baseline_cps: float
+    measured_cps: float
+    ok: bool
+
+    @property
+    def ratio(self) -> float:
+        """measured / baseline commands-per-second (1.0 = unchanged)."""
+        return (
+            self.measured_cps / self.baseline_cps if self.baseline_cps else 0.0
+        )
+
+
+def check_regression(
+    results: "typing.Sequence[SelfBenchRun]",
+    baseline_payload: "dict[str, object]",
+    tolerance: float = 0.25,
+) -> "list[RegressionCheck]":
+    """Compare measured throughput against a baseline payload.
+
+    ``baseline_payload`` is a selfbench JSON payload (the
+    ``BENCH_PR5.json``/``BENCH_PR6.json`` schema).  Every measured run
+    with a same-named baseline run is checked: it passes while its
+    ``commands_per_s`` stays at or above ``(1 - tolerance)`` times the
+    baseline's.  Archived ``*-pre-memo`` baselines are reference points,
+    not gates, and are skipped.  Raises :class:`ValueError` when the
+    payload is not a selfbench payload or shares no runs with the
+    measurements (a silent pass would hide a misconfigured gate).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    runs = baseline_payload.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError("baseline payload has no 'runs' list")
+    baseline_cps = {
+        run["run"]: float(run["commands_per_s"])
+        for run in runs
+        if isinstance(run, dict) and "run" in run
+        and not str(run["run"]).endswith("-pre-memo")
+    }
+    checks = [
+        RegressionCheck(
+            run=result.run,
+            baseline_cps=baseline_cps[result.run],
+            measured_cps=result.commands_per_s,
+            ok=result.commands_per_s
+            >= baseline_cps[result.run] * (1.0 - tolerance),
+        )
+        for result in results
+        if result.run in baseline_cps
+    ]
+    if not checks:
+        raise ValueError(
+            f"baseline shares no runs with the measurements "
+            f"(baseline has {sorted(baseline_cps)}, "
+            f"measured {[r.run for r in results]})"
+        )
+    return checks
+
+
+def format_regression(
+    checks: "typing.Sequence[RegressionCheck]", tolerance: float
+) -> str:
+    """Human-readable verdict table for one regression check."""
+    lines = [
+        f"Regression gate (tolerance {tolerance:.0%} below baseline):"
+    ]
+    for check in checks:
+        verdict = "ok" if check.ok else "REGRESSED"
+        lines.append(
+            f"  {check.run:<16s} {check.measured_cps:>14,.0f} cmds/s "
+            f"vs baseline {check.baseline_cps:>14,.0f} "
+            f"({check.ratio:>5.2f}x)  {verdict}"
+        )
+    return "\n".join(lines)
 
 
 def format_selfbench(results: "typing.Sequence[SelfBenchRun]") -> str:

@@ -34,6 +34,21 @@ from repro.obs.metrics import (
     hottest_commands,
     record_event_counts,
 )
+from repro.obs.openmetrics import render as render_openmetrics
+from repro.obs.openmetrics import write_openmetrics
+from repro.obs.report import (
+    build_run_report,
+    environment_stamp,
+    write_run_report,
+)
+from repro.obs.telemetry import (
+    CellTelemetry,
+    TelemetryCapture,
+    clear_telemetry_log,
+    merge_cell_telemetry,
+    record_cell_telemetry,
+    telemetry_log,
+)
 from repro.obs.sinks import (
     CallbackSink,
     JsonlSink,
@@ -68,4 +83,15 @@ __all__ = [
     "device_bus",
     "device_span",
     "span",
+    "render_openmetrics",
+    "write_openmetrics",
+    "build_run_report",
+    "environment_stamp",
+    "write_run_report",
+    "CellTelemetry",
+    "TelemetryCapture",
+    "clear_telemetry_log",
+    "merge_cell_telemetry",
+    "record_cell_telemetry",
+    "telemetry_log",
 ]

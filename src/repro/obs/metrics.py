@@ -157,20 +157,70 @@ class MetricsRegistry:
             return default
         return metric.value
 
+    def clear(self) -> None:
+        """Drop every metric (tests and long-lived services)."""
+        self._metrics.clear()
+
     def snapshot(self) -> "dict[str, dict]":
-        """All metrics as JSON-friendly records."""
+        """All metrics as JSON-friendly records, in sorted-name order.
+
+        Sorted (not creation) order makes reports, the JSONL dump, and
+        the OpenMetrics exposition byte-stable across runs whose metric
+        *creation* order differs (worker scheduling, cache hits).
+        """
         return {
-            name: dict(metric.to_record(), kind=metric.kind)
-            for name, metric in self._metrics.items()
+            name: dict(self._metrics[name].to_record(), kind=self._metrics[name].kind)
+            for name in sorted(self._metrics)
         }
 
     def to_jsonl(self) -> str:
-        """One JSON object per metric, newline separated."""
+        """One JSON object per metric, newline separated, sorted by name."""
         lines = [
             json.dumps(dict(record, name=name))
             for name, record in self.snapshot().items()
         ]
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def merge(self, snapshot: "dict[str, dict]") -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Per-class semantics (the cross-process aggregation contract):
+
+        * **counter** -- values sum (each side counted disjoint work);
+        * **gauge** -- last write wins (the merged snapshot is newer);
+        * **histogram** -- counts, sums, and per-bucket tallies add;
+          min/max widen.  An empty histogram merges as a no-op so it
+          cannot corrupt the target's min/max.
+
+        Names are processed in sorted order; combined with the engine's
+        spec-ordered merge loop this makes the merged registry
+        deterministic regardless of worker scheduling.
+        """
+        for name in sorted(snapshot):
+            record = snapshot[name]
+            kind = record.get("kind", "counter")
+            if kind == "counter":
+                self.counter(name).inc(float(record.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(record.get("value", 0.0)))
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                count = int(record.get("count", 0))
+                if count == 0:
+                    continue
+                hist.count += count
+                hist.total += float(record.get("sum", 0.0))
+                if record.get("min") is not None:
+                    hist.min = min(hist.min, float(record["min"]))
+                if record.get("max") is not None:
+                    hist.max = max(hist.max, float(record["max"]))
+                for bucket_key, tally in (record.get("buckets") or {}).items():
+                    bucket = None if bucket_key == "nonpos" else int(bucket_key)
+                    hist.buckets[bucket] = hist.buckets.get(bucket, 0) + int(tally)
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
 
 
 _GLOBAL_REGISTRY = MetricsRegistry()
@@ -228,6 +278,12 @@ class MetricsSink(Sink):
         elif event.cat == "fault":
             # fault.stuck_bit / fault.bit_flip / fault.dropped_command
             registry.counter(f"{event.name}.injected").inc()
+        elif event.cat == "counter":
+            # Counter-track samples (e.g. the per-cell cost_memo track):
+            # last sample wins, mirroring what the Perfetto UI shows at
+            # the end of the timeline.
+            for key, value in args.items():
+                registry.gauge(f"counter.{event.name}.{key}").set(value)
         registry.gauge("sim.now_ns").set(event.ts_ns + event.dur_ns)
 
 

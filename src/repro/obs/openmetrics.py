@@ -1,0 +1,191 @@
+"""OpenMetrics / Prometheus text exposition of a metrics registry.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+the OpenMetrics text format (the ``/metrics`` wire format Prometheus
+scrapes and the contract a future ``repro serve`` endpoint will speak).
+The registry's dotted names map onto metric families:
+
+* structured names become labeled families -- ``cmd.<sig>.count`` is
+  exposed as ``repro_cmd_count_total{signature="<sig>"}``,
+  ``copy.<dir>.bytes`` as ``repro_copy_bytes_total{direction="<dir>"}``,
+  ``fault.<name>.injected`` as ``repro_fault_injected_total{fault="..."}``
+  -- so one family aggregates across signatures/directions the way a
+  scraper expects;
+* every other dotted name flattens to an escaped family name
+  (``cache.hits`` -> ``repro_cache_hits_total``).
+
+Correctness rules implemented here (and pinned by the golden-file
+test):
+
+* family names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* label values escape backslash, double-quote, and newline;
+* counters carry the ``_total`` suffix; histograms expose cumulative
+  ``_bucket{le="..."}`` series (log2 upper bounds, ``le="0.0"`` for
+  non-positive observations) plus ``_sum``/``_count``;
+* output is sorted -- families lexicographically, samples by label --
+  so the exposition is byte-stable; the final line is ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+#: Default family-name prefix (the "namespace" in Prometheus terms).
+DEFAULT_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Structured registry-name patterns -> (family suffix, label key).
+#: ``cmd.<value>.<field>`` exposes field families labeled by signature.
+_FAMILY_RULES = (
+    ("cmd.", ("count", "latency_ns", "energy_nj"), "cmd", "signature"),
+    ("copy.", ("bytes", "latency_ns"), "copy", "direction"),
+    ("fault.", ("injected",), "fault", "fault"),
+)
+
+
+def sanitize_name(name: str) -> str:
+    """A legal OpenMetrics metric/family name for an arbitrary string."""
+    cleaned = _NAME_BAD_CHARS.sub("_", name.replace(".", "_"))
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition-format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integral floats without the trailing .0)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _classify(name: str) -> "tuple[str, dict[str, str]]":
+    """Map a registry name to ``(family suffix, labels)``."""
+    for prefix, fields, family, label_key in _FAMILY_RULES:
+        if not name.startswith(prefix):
+            continue
+        body = name[len(prefix):]
+        value, _, field = body.rpartition(".")
+        if value and field in fields:
+            return f"{family}_{field}", {label_key: value}
+    return sanitize_name(name), {}
+
+
+def _labels_text(labels: "dict[str, str]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: "dict[str, str]", extra: "dict[str, str]"
+) -> "dict[str, str]":
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def _histogram_lines(
+    family: str, labels: "dict[str, str]", record: dict
+) -> "list[str]":
+    """Cumulative le-bucket series + _sum/_count for one histogram."""
+    buckets = record.get("buckets") or {}
+    nonpos = int(buckets.get("nonpos", 0))
+    log2_buckets = sorted(
+        (int(key), int(tally))
+        for key, tally in buckets.items()
+        if key != "nonpos"
+    )
+    lines = []
+    cumulative = nonpos
+    if nonpos:
+        lines.append(
+            f"{family}_bucket"
+            f"{_labels_text(_merge_labels(labels, {'le': '0.0'}))}"
+            f" {cumulative}"
+        )
+    for exponent, tally in log2_buckets:
+        cumulative += tally
+        upper = repr(2.0 ** (exponent + 1))
+        lines.append(
+            f"{family}_bucket"
+            f"{_labels_text(_merge_labels(labels, {'le': upper}))}"
+            f" {cumulative}"
+        )
+    lines.append(
+        f"{family}_bucket"
+        f"{_labels_text(_merge_labels(labels, {'le': '+Inf'}))}"
+        f" {int(record.get('count', 0))}"
+    )
+    lines.append(
+        f"{family}_sum{_labels_text(labels)} "
+        f"{_format_value(record.get('sum', 0.0))}"
+    )
+    lines.append(
+        f"{family}_count{_labels_text(labels)} {int(record.get('count', 0))}"
+    )
+    return lines
+
+
+def render(registry: "MetricsRegistry", prefix: str = DEFAULT_PREFIX) -> str:
+    """The registry as OpenMetrics exposition text (ends with ``# EOF``)."""
+    # family -> (type, [(sort key, sample line or (labels, record))...])
+    families: "dict[str, tuple[str, list]]" = {}
+    for name, record in registry.snapshot().items():
+        suffix, labels = _classify(name)
+        family = sanitize_name(f"{prefix}_{suffix}") if prefix else suffix
+        kind = record["kind"]
+        known = families.setdefault(family, (kind, []))
+        if known[0] != kind:
+            raise ValueError(
+                f"metric family {family!r} mixes kinds "
+                f"{known[0]!r} and {kind!r} (from registry name {name!r})"
+            )
+        sort_key = tuple(sorted(labels.items()))
+        known[1].append((sort_key, labels, record))
+
+    lines: "list[str]" = []
+    for family in sorted(families):
+        kind, samples = families[family]
+        lines.append(f"# TYPE {family} {kind}")
+        for _, labels, record in sorted(samples, key=lambda item: item[0]):
+            if kind == "histogram":
+                lines.extend(_histogram_lines(family, labels, record))
+            elif kind == "counter":
+                lines.append(
+                    f"{family}_total{_labels_text(labels)} "
+                    f"{_format_value(record['value'])}"
+                )
+            else:  # gauge
+                lines.append(
+                    f"{family}{_labels_text(labels)} "
+                    f"{_format_value(record['value'])}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: str, registry: "MetricsRegistry", prefix: str = DEFAULT_PREFIX
+) -> str:
+    """Render and write the exposition; returns the path written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render(registry, prefix=prefix))
+    return path

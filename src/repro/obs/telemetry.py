@@ -1,0 +1,216 @@
+"""Cross-process cell telemetry: where each cell's resources went.
+
+The interesting counters of a parallel run -- cost-memo hits, commands
+simulated, wall/CPU seconds, peak RSS, injected faults -- are born
+inside ProcessPool workers and die with them unless something carries
+them home.  :class:`CellTelemetry` is that carrier: one frozen record
+per executed cell, captured in the worker by
+:func:`repro.engine.cells.run_cell` (via :class:`TelemetryCapture`),
+pickled back alongside the existing RecordingSink payload, and folded
+into the parent's :func:`~repro.obs.metrics.global_registry` with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` -- in spec order, so
+the merged counters are deterministic for any ``--jobs`` value.
+
+Two read paths exist on the parent side:
+
+* the **registry counters** (``telemetry.*``, ``cost_memo.*``,
+  ``fault.*``) for aggregate views -- the OpenMetrics exposition and the
+  run report render these; and
+* the **telemetry log** (:func:`telemetry_log`), the ordered per-cell
+  table the run report's ``cells`` section is built from.
+
+A cell served from the disk cache carries the telemetry of the run that
+originally produced it, marked ``from_cache=True``: its command and
+memo counts are exact (they are deterministic), while its wall/CPU/RSS
+figures describe the original simulation, not the cache read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from repro.obs.metrics import MetricsRegistry
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - e.g. Windows
+    _resource = None
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 where unknown).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalized here so
+    telemetry compares across platforms.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellTelemetry:
+    """Resource accounting for one executed experiment cell.
+
+    ``wall_s``/``cpu_s`` time the simulation itself (excluding engine
+    scheduling); ``peak_rss_kb`` is the executing process's high-water
+    mark *after* the cell ran -- in an isolated worker that is the
+    cell's own footprint, in a serial run it is the parent's cumulative
+    peak.  ``memo_*`` mirror the cost pipeline's counters
+    (:class:`repro.perf.memo.CostPipeline`); ``commands_simulated`` is
+    the op-census total (the machine-independent figure selfbench
+    reports).  ``attempt`` is the 1-based try that finally succeeded.
+    """
+
+    benchmark: str
+    device: str
+    num_ranks: int
+    attempt: int = 1
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_rss_kb: int = 0
+    commands_simulated: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_shapes: int = 0
+    faults_injected: "tuple[tuple[str, int], ...]" = ()
+    from_cache: bool = False
+
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-friendly record (the run report's ``cells`` rows)."""
+        return {
+            "benchmark": self.benchmark,
+            "device": self.device,
+            "num_ranks": self.num_ranks,
+            "attempt": self.attempt,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "commands_simulated": self.commands_simulated,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_shapes": self.memo_shapes,
+            "faults_injected": {name: n for name, n in self.faults_injected},
+            "from_cache": self.from_cache,
+        }
+
+    @property
+    def memo_lookups(self) -> int:
+        return self.memo_hits + self.memo_misses
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of cost lookups served from the memo (0.0 when idle)."""
+        lookups = self.memo_lookups
+        return self.memo_hits / lookups if lookups else 0.0
+
+    def as_metrics_snapshot(self) -> "dict[str, dict]":
+        """This cell as a mergeable registry snapshot.
+
+        Built through a scratch :class:`MetricsRegistry` so the bucket
+        layout and record shapes are exactly the ones
+        :meth:`MetricsRegistry.merge` expects -- one code path for
+        "what a cell contributes" whether it ran serially, in a worker,
+        or came from the cache.
+        """
+        scratch = MetricsRegistry()
+        scratch.counter("telemetry.cells").inc()
+        scratch.counter("telemetry.commands_simulated").inc(
+            self.commands_simulated
+        )
+        scratch.counter("cost_memo.hits").inc(self.memo_hits)
+        scratch.counter("cost_memo.misses").inc(self.memo_misses)
+        if self.from_cache:
+            scratch.counter("telemetry.cells_from_cache").inc()
+        if self.attempt > 1:
+            scratch.counter("telemetry.retry_attempts").inc(self.attempt - 1)
+        for name, count in self.faults_injected:
+            scratch.counter(f"fault.{name}.injected").inc(count)
+        scratch.gauge("telemetry.peak_rss_kb").set(self.peak_rss_kb)
+        scratch.histogram("telemetry.cell_wall_s").observe(self.wall_s)
+        return scratch.snapshot()
+
+
+class TelemetryCapture:
+    """Times one cell run; construct before, :meth:`finish` after."""
+
+    def __init__(self) -> None:
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def finish(
+        self,
+        benchmark: str,
+        device: str,
+        num_ranks: int,
+        attempt: int = 1,
+        commands_simulated: int = 0,
+        memo_hits: int = 0,
+        memo_misses: int = 0,
+        memo_shapes: int = 0,
+        faults_injected: "tuple[tuple[str, int], ...] | None" = None,
+    ) -> CellTelemetry:
+        return CellTelemetry(
+            benchmark=benchmark,
+            device=device,
+            num_ranks=num_ranks,
+            attempt=attempt,
+            wall_s=time.perf_counter() - self._wall0,
+            cpu_s=time.process_time() - self._cpu0,
+            peak_rss_kb=peak_rss_kb(),
+            commands_simulated=commands_simulated,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            memo_shapes=memo_shapes,
+            faults_injected=tuple(faults_injected or ()),
+        )
+
+
+#: Process-wide, spec-ordered log of every cell the engine completed
+#: (including cache hits).  The run report's per-cell table reads it; it
+#: spans run_cells calls so a figure driver's multiple suites all land
+#: in one report.
+_TELEMETRY_LOG: "list[CellTelemetry]" = []
+
+
+def record_cell_telemetry(telemetry: CellTelemetry) -> None:
+    """Append one cell's record to the process-wide log (engine-side)."""
+    _TELEMETRY_LOG.append(telemetry)
+
+
+def telemetry_log() -> "tuple[CellTelemetry, ...]":
+    """Every cell recorded in this process, in completion (spec) order."""
+    return tuple(_TELEMETRY_LOG)
+
+
+def clear_telemetry_log() -> None:
+    """Drop the log (tests and long-lived services)."""
+    _TELEMETRY_LOG.clear()
+
+
+def merge_cell_telemetry(
+    registry: MetricsRegistry,
+    telemetries: "typing.Iterable[CellTelemetry]",
+    log: bool = True,
+) -> int:
+    """Fold per-cell records into a registry; returns how many merged.
+
+    The engine calls this once per :func:`~repro.engine.engine.run_cells`
+    with the outcomes in spec order, which makes the aggregation
+    deterministic for any worker count.  ``log=True`` also appends each
+    record to the process-wide :func:`telemetry_log`.
+    """
+    merged = 0
+    for telemetry in telemetries:
+        registry.merge(telemetry.as_metrics_snapshot())
+        if log:
+            record_cell_telemetry(telemetry)
+        merged += 1
+    return merged

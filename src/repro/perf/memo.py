@@ -75,6 +75,17 @@ class CostPipeline:
     def __len__(self) -> int:
         return len(self._memo)
 
+    def stats(self) -> "tuple[int, int, int]":
+        """``(hits, misses, distinct shapes)`` -- the telemetry triple.
+
+        This is the hook that wires the memo into the observability
+        layer: :func:`repro.engine.cells.run_cell` folds it into the
+        cell's :class:`~repro.obs.telemetry.CellTelemetry`, which the
+        engine merges into the global metrics registry
+        (``cost_memo.hits`` / ``cost_memo.misses``) on the parent side.
+        """
+        return self.hits, self.misses, len(self._memo)
+
     def cost_and_energy(
         self, args: "CommandArgs"
     ) -> "tuple[CmdCost, CommandEnergy]":

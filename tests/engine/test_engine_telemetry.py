@@ -1,0 +1,136 @@
+"""Telemetry through the engine: worker survival, deterministic merge,
+cache-served cells, and the persistent usage ledger."""
+
+import json
+
+from repro.config.device import PimDeviceType
+from repro.engine import CellSpec, DiskCache, run_cells
+from repro.obs.metrics import global_registry
+
+KEYS = ("vecadd", "axpy")
+
+#: The merged counters the ISSUE pins byte-equal across --jobs values.
+MERGED_COUNTERS = (
+    "telemetry.cells",
+    "telemetry.commands_simulated",
+    "cost_memo.hits",
+    "cost_memo.misses",
+)
+
+
+def specs_for(keys=KEYS, **overrides):
+    base = dict(num_ranks=4, paper_scale=False, functional=True)
+    base.update(overrides)
+    return [
+        CellSpec(key, device_type, **base)
+        for key in keys
+        for device_type in (PimDeviceType.FULCRUM, PimDeviceType.BANK_LEVEL)
+    ]
+
+
+def run_with_deltas(specs, **kwargs):
+    """run_cells plus the global-registry counter deltas it caused.
+
+    Deltas (not absolute values) keep the test independent of whatever
+    other tests already folded into the process-wide registry.
+    """
+    registry = global_registry()
+    before = {name: registry.value(name) for name in MERGED_COUNTERS}
+    execution = run_cells(specs, **kwargs)
+    deltas = {
+        name: registry.value(name) - before[name]
+        for name in MERGED_COUNTERS
+    }
+    return execution, deltas
+
+
+class TestWorkerSurvival:
+    def test_parallel_outcomes_carry_telemetry(self):
+        specs = specs_for()
+        execution, _ = run_with_deltas(specs, jobs=2, use_cache=False)
+        for spec in specs:
+            telemetry = execution.outcome(spec).telemetry
+            assert telemetry is not None
+            assert telemetry.benchmark == spec.benchmark_key
+            assert telemetry.num_ranks == spec.num_ranks
+            assert telemetry.commands_simulated > 0
+            assert telemetry.wall_s > 0.0
+            assert telemetry.peak_rss_kb > 0
+            assert not telemetry.from_cache
+
+    def test_telemetries_property_in_spec_order(self):
+        specs = specs_for()
+        execution, _ = run_with_deltas(specs, jobs=2, use_cache=False)
+        assert [t.benchmark for t in execution.telemetries] == [
+            spec.benchmark_key for spec in specs
+        ]
+
+
+class TestDeterministicMerge:
+    def test_serial_and_parallel_deltas_byte_equal(self):
+        specs = specs_for()
+        _, serial = run_with_deltas(specs, jobs=1, use_cache=False)
+        _, parallel = run_with_deltas(specs, jobs=2, use_cache=False)
+        assert serial["telemetry.cells"] == len(specs)
+        assert serial["telemetry.commands_simulated"] > 0
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+
+class TestCacheServedTelemetry:
+    def test_cache_hit_marks_from_cache(self, tmp_path):
+        specs = specs_for()
+        cold, _ = run_with_deltas(specs, cache_dir=tmp_path)
+        warm, _ = run_with_deltas(specs, cache_dir=tmp_path)
+        for spec in specs:
+            original = cold.outcome(spec).telemetry
+            served = warm.outcome(spec).telemetry
+            assert not original.from_cache
+            assert served.from_cache
+            # Deterministic figures survive the round trip exactly;
+            # the wall/RSS figures describe the original simulation.
+            assert served.commands_simulated == original.commands_simulated
+            assert served.memo_hits == original.memo_hits
+            assert served.wall_s == original.wall_s
+
+    def test_cached_cells_still_merge_counters(self, tmp_path):
+        specs = specs_for()
+        _, cold = run_with_deltas(specs, cache_dir=tmp_path)
+        _, warm = run_with_deltas(specs, cache_dir=tmp_path)
+        # Command/memo tallies are identical whether simulated or served.
+        assert warm == cold
+        registry = global_registry()
+        assert registry.value("telemetry.cells_from_cache") >= len(specs)
+
+
+class TestUsageLedger:
+    def test_ledger_accumulates_across_instances(self, tmp_path):
+        specs = specs_for(keys=("vecadd",))
+        run_cells(specs, cache_dir=tmp_path)   # misses + writes
+        run_cells(specs, cache_dir=tmp_path)   # hits
+        usage = DiskCache(tmp_path).usage()
+        assert usage["misses"] == len(specs)
+        assert usage["writes"] == len(specs)
+        assert usage["hits"] == len(specs)
+        assert usage["corrupt"] == 0
+
+    def test_ledger_is_valid_json_on_disk(self, tmp_path):
+        run_cells(specs_for(keys=("vecadd",)), cache_dir=tmp_path)
+        cache = DiskCache(tmp_path)
+        with open(cache.usage_path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == 1
+        assert payload["writes"] >= 1
+
+    def test_absent_ledger_reads_zeros(self, tmp_path):
+        usage = DiskCache(tmp_path).usage()
+        assert usage == {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+
+    def test_entries_lists_key_size_mtime(self, tmp_path):
+        specs = specs_for(keys=("vecadd",))
+        run_cells(specs, cache_dir=tmp_path)
+        entries = DiskCache(tmp_path).entries()
+        assert len(entries) == len(specs)
+        for key, size, mtime in entries:
+            assert len(key) == 64 and size > 0 and mtime > 0

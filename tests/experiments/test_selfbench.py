@@ -59,3 +59,95 @@ class TestSelfBenchExecution:
             result.commands_simulated / result.wall_s
         )
         assert set(RUN_NAMES) == {"suite-cold", "suite-warm", "figure12-cold"}
+
+
+class TestHistoryLedger:
+    def test_entry_schema(self):
+        from repro.experiments.selfbench import HISTORY_SCHEMA, history_entry
+
+        entry = history_entry([_FAKE], unix_s=1234.5)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["unix_s"] == 1234.5
+        assert entry["environment"]["python"]
+        assert entry["runs"] == [_FAKE.to_dict()]
+
+    def test_append_accumulates_json_lines(self, tmp_path):
+        from repro.experiments import append_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, [_FAKE], unix_s=1.0)
+        append_history(path, [_FAKE], unix_s=2.0)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["unix_s"] for line in lines] == [1.0, 2.0]
+
+
+class TestRegressionGate:
+    BASELINE = {
+        "schema": 1,
+        "runs": [
+            {"run": "suite-cold-pre-memo", "wall_s": 2.0,
+             "commands_simulated": 1000, "commands_per_s": 500.0},
+            {"run": "suite-cold", "wall_s": 0.5,
+             "commands_simulated": 1000, "commands_per_s": 2000.0},
+        ],
+    }
+
+    def check(self, measured_cps, tolerance=0.25):
+        from repro.experiments import check_regression
+
+        run = SelfBenchRun(
+            run="suite-cold", wall_s=1.0,
+            commands_simulated=int(measured_cps),
+            commands_per_s=measured_cps,
+        )
+        return check_regression([run], self.BASELINE, tolerance)
+
+    def test_passes_at_and_above_threshold(self):
+        (check,) = self.check(1500.0)  # exactly (1 - 0.25) * 2000
+        assert check.ok
+        assert check.ratio == pytest.approx(0.75)
+        assert self.check(2500.0)[0].ok
+
+    def test_fails_below_threshold(self):
+        (check,) = self.check(1499.0)
+        assert not check.ok
+        assert check.baseline_cps == 2000.0
+
+    def test_pre_memo_baselines_are_not_gates(self):
+        # 600 cmds/s would pass against the 500 pre-memo reference but
+        # must be judged against the real suite-cold baseline only.
+        (check,) = self.check(600.0)
+        assert check.run == "suite-cold"
+        assert not check.ok
+
+    def test_no_overlap_raises(self):
+        from repro.experiments import check_regression
+
+        other = SelfBenchRun(
+            run="figure12-cold", wall_s=1.0,
+            commands_simulated=10, commands_per_s=10.0,
+        )
+        with pytest.raises(ValueError, match="shares no runs"):
+            check_regression([other], self.BASELINE)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            self.check(2000.0, tolerance=1.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            self.check(2000.0, tolerance=-0.1)
+
+    def test_payload_without_runs_rejected(self):
+        from repro.experiments import check_regression
+
+        with pytest.raises(ValueError, match="no 'runs'"):
+            check_regression([_FAKE], {"schema": 1})
+
+    def test_format_names_verdicts(self):
+        from repro.experiments import format_regression
+
+        ok = self.check(2500.0)
+        bad = self.check(100.0)
+        text = format_regression(ok + bad, tolerance=0.25)
+        assert "ok" in text and "REGRESSED" in text
+        assert "25%" in text

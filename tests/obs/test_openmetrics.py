@@ -1,0 +1,119 @@
+"""OpenMetrics exposition: naming, escaping, ordering, the golden file."""
+
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_openmetrics, write_openmetrics
+from repro.obs.openmetrics import escape_label_value, sanitize_name
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "openmetrics_golden.txt"
+)
+
+
+def golden_registry() -> MetricsRegistry:
+    """Every rendering rule in one registry (mirrors the golden file)."""
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(3)
+    registry.counter("cmd.add_rank.count").inc(10)
+    registry.counter("cmd.add_rank.latency_ns").inc(500)
+    registry.counter('cmd.weird"sig\\.count').inc(1)
+    registry.counter("cmd.multi\nline.count").inc(2)
+    registry.counter("copy.host_to_pim.bytes").inc(4096)
+    registry.counter("fault.bit_flip.injected").inc(2)
+    registry.gauge("sim.now_ns").set(123.5)
+    hist = registry.histogram("telemetry.cell_wall_s")
+    hist.observe(0.5)   # log2 bucket -1 -> le="1.0"
+    hist.observe(3.0)   # log2 bucket 1  -> le="4.0"
+    hist.observe(0.0)   # non-positive   -> le="0.0"
+    return registry
+
+
+class TestNamesAndLabels:
+    @pytest.mark.parametrize("raw,expected", [
+        ("cache.hits", "cache_hits"),
+        ("weird name!", "weird_name_"),
+        ("9lives", "_9lives"),
+        ("", "_"),
+    ])
+    def test_sanitize_name(self, raw, expected):
+        assert sanitize_name(raw) == expected
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_structured_names_become_labeled_families(self):
+        registry = MetricsRegistry()
+        registry.counter("cmd.rank.add.count").inc(1)  # dotted signature
+        text = render_openmetrics(registry)
+        assert 'repro_cmd_count_total{signature="rank.add"} 1' in text
+
+
+class TestRender:
+    def test_matches_golden_file(self):
+        with open(FIXTURE, "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        assert render_openmetrics(golden_registry()) == golden
+
+    def test_render_is_byte_stable(self):
+        # Same metrics created in a different order render identically.
+        reordered = MetricsRegistry()
+        for name, record in reversed(
+            list(golden_registry().snapshot().items())
+        ):
+            if record["kind"] == "counter":
+                reordered.counter(name).inc(record["value"])
+            elif record["kind"] == "gauge":
+                reordered.gauge(name).set(record["value"])
+            else:
+                reordered.histogram(name)
+                reordered.merge({name: record})
+        assert render_openmetrics(reordered) == render_openmetrics(
+            golden_registry()
+        )
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_counters_carry_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(1)
+        text = render_openmetrics(registry)
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits_total 1" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wall")
+        hist.observe(1.5)
+        hist.observe(1.5)
+        hist.observe(100.0)
+        lines = render_openmetrics(registry).splitlines()
+        bucket_lines = [l for l in lines if "_bucket" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)          # cumulative
+        assert counts[-1] == 3                   # +Inf == _count
+        assert 'le="+Inf"' in bucket_lines[-1]
+
+    def test_mixed_kinds_in_one_family_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(1)
+        registry.gauge("a_b").set(1.0)  # sanitizes to the same family
+        with pytest.raises(ValueError, match="mixes kinds"):
+            render_openmetrics(registry)
+
+    def test_prefix_override(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(1)
+        assert "pim_cache_hits_total" in render_openmetrics(
+            registry, prefix="pim"
+        )
+
+
+class TestWrite:
+    def test_write_openmetrics_round_trips(self, tmp_path):
+        path = str(tmp_path / "metrics.txt")
+        assert write_openmetrics(path, golden_registry()) == path
+        with open(path, "r", encoding="utf-8") as fh:
+            assert fh.read() == render_openmetrics(golden_registry())

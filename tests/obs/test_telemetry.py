@@ -1,0 +1,195 @@
+"""Cell telemetry: capture, snapshot shape, merge semantics, the log."""
+
+import pytest
+
+from repro.obs import (
+    CellTelemetry,
+    MetricsRegistry,
+    TelemetryCapture,
+    clear_telemetry_log,
+    merge_cell_telemetry,
+    record_cell_telemetry,
+    telemetry_log,
+)
+from repro.obs.telemetry import peak_rss_kb
+
+
+def _cell(**overrides):
+    base = dict(
+        benchmark="vecadd", device="fulcrum", num_ranks=4,
+        wall_s=0.5, cpu_s=0.4, peak_rss_kb=1000,
+        commands_simulated=100, memo_hits=30, memo_misses=10,
+        memo_shapes=5,
+    )
+    base.update(overrides)
+    return CellTelemetry(**base)
+
+
+class TestMergeSemantics:
+    def test_counters_sum(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        source = MetricsRegistry()
+        source.counter("cache.hits").inc(4)
+        registry.merge(source.snapshot())
+        assert registry.value("cache.hits") == 7.0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rss").set(5.0)
+        source = MetricsRegistry()
+        source.gauge("rss").set(2.0)
+        registry.merge(source.snapshot())
+        assert registry.value("rss") == 2.0
+
+    def test_histogram_buckets_add_and_bounds_widen(self):
+        registry = MetricsRegistry()
+        registry.histogram("wall").observe(2.0)
+        source = MetricsRegistry()
+        source.histogram("wall").observe(3.0)   # bucket 1
+        source.histogram("wall").observe(16.0)  # bucket 4
+        source.histogram("wall").observe(-1.0)  # nonpos
+        registry.merge(source.snapshot())
+        hist = registry["wall"]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(20.0)
+        assert hist.min == -1.0 and hist.max == 16.0
+        assert hist.buckets[1] == 2
+        assert hist.buckets[4] == 1
+        assert hist.buckets[None] == 1
+
+    def test_empty_histogram_merges_as_noop(self):
+        registry = MetricsRegistry()
+        registry.histogram("wall").observe(2.0)
+        source = MetricsRegistry()
+        source.histogram("wall")  # created but never observed
+        registry.merge(source.snapshot())
+        hist = registry["wall"]
+        assert hist.count == 1
+        assert hist.min == 2.0 and hist.max == 2.0
+
+    def test_merge_creates_absent_metrics(self):
+        registry = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("new.counter").inc(2)
+        source.histogram("new.hist").observe(1.0)
+        registry.merge(source.snapshot())
+        assert registry.value("new.counter") == 2.0
+        assert registry["new.hist"].count == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            MetricsRegistry().merge({"x": {"kind": "summary", "value": 1.0}})
+
+    def test_merge_is_associative_across_order(self):
+        # Folding A then B equals folding B then A for counters and
+        # histograms (the engine merges in spec order; this pins that
+        # the outcome does not depend on which worker finished first).
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        a.histogram("h").observe(1.0)
+        b.counter("c").inc(5)
+        b.histogram("h").observe(8.0)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.merge(a.snapshot())
+        left.merge(b.snapshot())
+        right.merge(b.snapshot())
+        right.merge(a.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+
+class TestSnapshotOrder:
+    def test_snapshot_sorted_regardless_of_creation_order(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()) == ["alpha", "zebra"]
+
+    def test_to_jsonl_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("alpha").inc()
+        lines = registry.to_jsonl().splitlines()
+        assert '"alpha"' in lines[0] and '"zebra"' in lines[1]
+
+
+class TestCellTelemetry:
+    def test_hit_rate(self):
+        assert _cell().memo_lookups == 40
+        assert _cell().memo_hit_rate == pytest.approx(0.75)
+        assert _cell(memo_hits=0, memo_misses=0).memo_hit_rate == 0.0
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        record = json.loads(json.dumps(
+            _cell(faults_injected=(("stuck_bit", 2),)).to_dict()
+        ))
+        assert record["benchmark"] == "vecadd"
+        assert record["faults_injected"] == {"stuck_bit": 2}
+        assert record["from_cache"] is False
+
+    def test_snapshot_carries_core_counters(self):
+        snap = _cell().as_metrics_snapshot()
+        assert snap["telemetry.cells"]["value"] == 1.0
+        assert snap["telemetry.commands_simulated"]["value"] == 100.0
+        assert snap["cost_memo.hits"]["value"] == 30.0
+        assert snap["cost_memo.misses"]["value"] == 10.0
+        assert snap["telemetry.cell_wall_s"]["count"] == 1
+        assert snap["telemetry.peak_rss_kb"]["kind"] == "gauge"
+        assert "telemetry.cells_from_cache" not in snap
+        assert "telemetry.retry_attempts" not in snap
+
+    def test_snapshot_flags_cache_retries_and_faults(self):
+        snap = _cell(
+            from_cache=True, attempt=3, faults_injected=(("bit_flip", 4),)
+        ).as_metrics_snapshot()
+        assert snap["telemetry.cells_from_cache"]["value"] == 1.0
+        assert snap["telemetry.retry_attempts"]["value"] == 2.0
+        assert snap["fault.bit_flip.injected"]["value"] == 4.0
+
+    def test_capture_measures_elapsed_time(self):
+        capture = TelemetryCapture()
+        sum(range(10_000))
+        telemetry = capture.finish(
+            benchmark="vecadd", device="fulcrum", num_ranks=4
+        )
+        assert telemetry.wall_s > 0.0
+        assert telemetry.cpu_s >= 0.0
+        assert telemetry.peak_rss_kb == peak_rss_kb()
+
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+
+class TestTelemetryLog:
+    def test_merge_folds_and_logs(self):
+        clear_telemetry_log()
+        try:
+            registry = MetricsRegistry()
+            merged = merge_cell_telemetry(
+                registry, [_cell(), _cell(benchmark="axpy")]
+            )
+            assert merged == 2
+            assert registry.value("telemetry.cells") == 2.0
+            assert registry.value("telemetry.commands_simulated") == 200.0
+            assert [t.benchmark for t in telemetry_log()] == [
+                "vecadd", "axpy"
+            ]
+        finally:
+            clear_telemetry_log()
+
+    def test_merge_without_logging(self):
+        clear_telemetry_log()
+        try:
+            merge_cell_telemetry(MetricsRegistry(), [_cell()], log=False)
+            assert telemetry_log() == ()
+        finally:
+            clear_telemetry_log()
+
+    def test_record_and_clear(self):
+        clear_telemetry_log()
+        record_cell_telemetry(_cell())
+        assert len(telemetry_log()) == 1
+        clear_telemetry_log()
+        assert telemetry_log() == ()

@@ -277,3 +277,84 @@ class TestArchSubcommand:
         assert "fulcrum" in message
         assert "ddr5-bank" in message
         assert "repro arch list" in message
+
+
+class TestTelemetryReporting:
+    def test_run_report_written(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["run", "vecadd", "--no-cache",
+                     "--report", str(report_path)]) == 0
+        assert "Run report written" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert report["environment"]["python"]
+        assert report["metrics"]["telemetry.cells"]["value"] >= 1.0
+        assert any(c["benchmark"] == "vecadd" for c in report["cells"])
+        # Metrics are snapshot in sorted-name order (byte-stable).
+        names = list(report["metrics"])
+        assert names == sorted(names)
+
+    def test_profile_prints_memo_hit_rate(self, capsys):
+        assert main(["profile", "vecadd", "--no-cache"]) == 0
+        assert "Cost-memo hit rate" in capsys.readouterr().out
+
+    def test_profile_openmetrics_exposition(self, capsys, tmp_path):
+        path = tmp_path / "metrics.txt"
+        assert main(["profile", "vecadd", "--no-cache",
+                     "--openmetrics", str(path)]) == 0
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_commands_issued_total" in text
+
+    def test_suite_report_covers_every_cell(self, tmp_path):
+        report_path = tmp_path / "suite.json"
+        assert main(["suite", "--no-cache",
+                     "--report", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        benchmarks = {c["benchmark"] for c in report["cells"]}
+        assert "vecadd" in benchmarks and len(benchmarks) > 1
+
+    def test_cache_info_reports_lifetime_usage(self, capsys, tmp_path):
+        assert main(["run", "vecadd", "--cache-dir", str(tmp_path)]) == 0
+        assert main(["run", "vecadd", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "1 hits, 1 misses, 1 writes" in out
+        assert "hit rate" in out
+        assert "age" in out  # verbose per-entry table
+
+
+class TestSelfbenchGate:
+    def run_gate(self, tmp_path, baseline_cps, tolerance="0.25"):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": 1,
+            "runs": [{"run": "suite-cold", "wall_s": 1.0,
+                      "commands_simulated": 1,
+                      "commands_per_s": baseline_cps}],
+        }))
+        return main(["selfbench", "suite-cold", "--check",
+                     "--baseline", str(baseline),
+                     "--tolerance", tolerance])
+
+    def test_check_passes_against_slow_baseline(self, capsys, tmp_path):
+        assert self.run_gate(tmp_path, baseline_cps=1.0) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_fails_against_impossible_baseline(self, capsys, tmp_path):
+        assert self.run_gate(tmp_path, baseline_cps=1e18) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_check_requires_baseline(self):
+        with pytest.raises(SystemExit, match="--baseline"):
+            main(["selfbench", "suite-cold", "--check"])
+
+    def test_history_appended(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert main(["selfbench", "suite-cold",
+                     "--history", str(history)]) == 0
+        (line,) = history.read_text().splitlines()
+        entry = json.loads(line)
+        assert entry["schema"] == 1
+        assert entry["runs"][0]["run"] == "suite-cold"
