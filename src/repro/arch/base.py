@@ -130,6 +130,48 @@ class ArchBackend(abc.ABC):
     def make_perf_model(self, config: DeviceConfig) -> "PerfModel":
         """Instantiate the performance model for a config of this arch."""
 
+    def cost_table(
+        self, pipeline: "typing.Any", shapes: "tuple[CommandArgs, ...]"
+    ) -> "typing.Any":
+        """Price a batch of distinct command shapes as array columns.
+
+        The vector engine (``repro.perf.vector``, ``--vector``) compiles
+        an analytic run into a shape histogram and calls this hook once
+        per cell to price every distinct shape; it returns a
+        :class:`repro.perf.vector.CostTable` whose column ``i`` is the
+        cost of issuing ``shapes[i]`` exactly once.
+
+        The contract is *bit-identity with the scalar path*: for every
+        shape the column values must equal -- at full float precision --
+        what ``pipeline.cost_and_energy(shapes[i])`` returns, because
+        ``--vector-check`` compares the reconstructed totals bit for
+        bit.  This generic fallback simply routes each shape through the
+        device's :class:`~repro.perf.memo.CostPipeline` (so memo
+        telemetry and ``REPRO_NO_COST_MEMO`` keep their meaning), which
+        is always correct; backends with closed-form batch pricing may
+        override, but only if they can hold the bit-identity contract.
+        """
+        import numpy as np
+
+        from repro.perf.vector import CostTable
+
+        count = len(shapes)
+        columns = {
+            name: np.zeros(count, dtype=np.float64)
+            for name in (
+                "latency_ns", "execution_nj", "background_nj",
+                *COST_COUNTERS,
+            )
+        }
+        for index, args in enumerate(shapes):
+            cost, energy = pipeline.cost_and_energy(args)
+            columns["latency_ns"][index] = cost.latency_ns
+            columns["execution_nj"][index] = energy.execution_nj
+            columns["background_nj"][index] = energy.background_nj
+            for counter in COST_COUNTERS:
+                columns[counter][index] = getattr(cost, counter)
+        return CostTable(**columns)
+
     def cost_memo_param(self, args: "CommandArgs") -> typing.Hashable:
         """The scalar's contribution to the command-cost memo key.
 

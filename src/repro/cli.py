@@ -19,6 +19,12 @@ simulations out across worker processes and ``--cache-dir`` /
 ``--no-cache`` to steer the persistent result cache (see
 docs/PERFORMANCE.md for the caching contract).
 
+``run``, ``suite``, and ``figure`` accept ``--vector`` to price
+analytic cells through the vectorized histogram engine
+(docs/VECTORIZATION.md) -- byte-identical numbers, much faster -- and
+``--vector-check`` to cross-check every vectorized cell against the
+scalar path cell by cell.
+
 Resilience flags (docs/RESILIENCE.md): ``--cell-timeout S`` bounds each
 cell's wall-clock time, ``--max-retries N`` re-runs transiently failing
 cells with exponential backoff, ``--fail-fast`` stops scheduling after
@@ -120,6 +126,20 @@ def _maybe_write_report(args: argparse.Namespace) -> None:
     print(f"Run report written to {path}")
 
 
+def _apply_vector_check(args: argparse.Namespace) -> None:
+    """Honor ``--vector-check`` by exporting ``REPRO_VECTOR_CHECK``.
+
+    The flag travels as an environment variable so worker processes
+    (``--jobs N``) inherit it and check their cells too.
+    """
+    if getattr(args, "vector_check", False):
+        import os
+
+        from repro.perf.vector import VECTOR_CHECK_ENV
+
+        os.environ[VECTOR_CHECK_ENV] = "1"
+
+
 def _make_bus(trace_path: "str | None", with_metrics: bool = False):
     """Build an event bus with the sinks the flags ask for.
 
@@ -139,11 +159,20 @@ def _make_bus(trace_path: "str | None", with_metrics: bool = False):
 def cmd_run(args: argparse.Namespace) -> int:
     backend = _parse_target(args.target)
     bench = _make_bench(args.benchmark, args.paper_scale)
+    vector = getattr(args, "vector", False)
+    if vector and not args.paper_scale:
+        # Functional runs execute the data path element by element; the
+        # histogram engine only prices analytic cells.
+        print("--vector applies to analytic runs; functional mode keeps "
+              "the scalar path (add --paper-scale)\n")
+        vector = False
+    _apply_vector_check(args)
     # Announce the run up front: paper-scale simulations take a while and
     # a silent terminal reads as a hang.
     print(f"Running {bench.name} on {backend.display_name} "
           f"({args.ranks} ranks, "
-          f"{'paper-scale analytic' if args.paper_scale else 'functional'})\n",
+          f"{'paper-scale analytic' if args.paper_scale else 'functional'}"
+          f"{', vectorized' if vector else ''})\n",
           flush=True)
     bus, chrome, _ = _make_bus(getattr(args, "trace", None))
     spec = CellSpec(
@@ -152,6 +181,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         num_ranks=args.ranks,
         paper_scale=args.paper_scale,
         functional=not args.paper_scale,
+        vector=vector,
     )
     execution = run_cells(
         [spec], jobs=args.jobs, use_cache=not args.no_cache,
@@ -196,6 +226,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     backend = _parse_target(args.target)
     bench = _make_bench(args.benchmark, args.paper_scale)
+    if getattr(args, "vector", False):
+        # Profiled runs stream per-issue events over the bus; the
+        # histogram engine has no per-issue stream to observe, so the
+        # engine would fall back to the scalar path anyway.
+        print("--vector is ignored by profile: observed runs stream "
+              "per-issue events, which the vectorized engine does not "
+              "produce; profiling the scalar path\n")
     print(f"Profiling {bench.name} on {backend.display_name} "
           f"({args.ranks} ranks)\n", flush=True)
     bus, chrome, metrics = _make_bus(args.trace, with_metrics=True)
@@ -259,11 +296,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
         speedup_table,
     )
 
+    _apply_vector_check(args)
     bus, chrome, _ = _make_bus(getattr(args, "trace", None))
     suite = run_suite(
         num_ranks=args.ranks, paper_scale=True, bus=bus,
         jobs=args.jobs, use_cache=not args.no_cache,
         cache_dir=args.cache_dir, policy=_make_policy(args), strict=False,
+        vector=getattr(args, "vector", False),
     )
     print(f"=== Speedups (Figures 9 / 10a), {args.ranks} ranks ===")
     print(format_speedup_table(speedup_table(suite)))
@@ -298,6 +337,8 @@ def _normalize_figure(text: str) -> str:
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro import experiments as exp
 
+    _apply_vector_check(args)
+    vector = getattr(args, "vector", False)
     figure = _normalize_figure(args.figure)
     if figure in ("1",):
         from repro.analysis import (
@@ -306,7 +347,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
             render_text_dendrogram,
         )
         suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
-                              jobs=args.jobs)
+                              jobs=args.jobs, vector=vector)
         features = [
             extract_features(
                 suite.benchmarks[key],
@@ -321,24 +362,28 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(exp.format_sensitivity_table(exp.bank_sensitivity()))
     elif figure == "7":
         suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
-                              jobs=args.jobs)
+                              jobs=args.jobs, vector=vector)
         print(exp.format_breakdown_table(exp.breakdown_table(suite)))
     elif figure == "8":
         suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
-                              jobs=args.jobs)
+                              jobs=args.jobs, vector=vector)
         print(exp.format_opmix_table(exp.opmix_table(suite)))
     elif figure in ("9", "10", "10a"):
         suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
-                              jobs=args.jobs)
+                              jobs=args.jobs, vector=vector)
         print(exp.format_speedup_table(exp.speedup_table(suite)))
     elif figure in ("10b", "11"):
         suite = exp.run_suite(num_ranks=args.ranks, paper_scale=True,
-                              jobs=args.jobs)
+                              jobs=args.jobs, vector=vector)
         print(exp.format_energy_table(exp.energy_table(suite)))
     elif figure == "12":
-        print(exp.format_rank_table(exp.rank_scaling_table(jobs=args.jobs)))
+        print(exp.format_rank_table(
+            exp.rank_scaling_table(jobs=args.jobs, vector=vector)
+        ))
     elif figure == "13":
-        print(exp.format_rank_table(exp.capacity_matched_table(jobs=args.jobs)))
+        print(exp.format_rank_table(
+            exp.capacity_matched_table(jobs=args.jobs, vector=vector)
+        ))
     else:
         raise SystemExit(f"unknown figure {args.figure!r}; know 1, 6a, 6b, "
                          "7, 8, 9, 10a, 10b, 11, 12, 13")
@@ -539,6 +584,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_vector_flags(parser: argparse.ArgumentParser) -> None:
+    """The vectorized-engine flags shared by run/suite/figure."""
+    parser.add_argument(
+        "--vector", action="store_true",
+        help="price analytic cells through the vectorized histogram "
+             "engine (byte-identical numbers, separate cache entries; "
+             "see docs/VECTORIZATION.md)",
+    )
+    parser.add_argument(
+        "--vector-check", action="store_true",
+        help="also run the scalar path for every vectorized cell and "
+             "fail on any bit difference (sets $REPRO_VECTOR_CHECK=1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -561,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome/Perfetto trace of the run")
     _add_engine_flags(run)
+    _add_vector_flags(run)
     run.set_defaults(func=cmd_run)
 
     profile = sub.add_parser(
@@ -583,6 +644,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "Prometheus exposition text")
     profile.add_argument("--top", type=int, default=10,
                          help="hottest-command table size (default 10)")
+    profile.add_argument(
+        "--vector", action="store_true",
+        help="accepted for symmetry with run/suite; observed runs "
+             "always profile the scalar path (a note explains why)",
+    )
     _add_engine_flags(profile)
     profile.set_defaults(func=cmd_profile)
 
@@ -591,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--trace", metavar="OUT.json", default=None,
                        help="write a Chrome/Perfetto trace of the whole suite")
     _add_engine_flags(suite)
+    _add_vector_flags(suite)
     suite.set_defaults(func=cmd_suite)
 
     figure = sub.add_parser("figure", help="regenerate one figure")
@@ -606,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON run report (metrics snapshot, per-cell "
              "telemetry table, environment stamp)",
     )
+    _add_vector_flags(figure)
     figure.set_defaults(func=cmd_figure)
 
     campaign = sub.add_parser(
@@ -631,11 +699,11 @@ def build_parser() -> argparse.ArgumentParser:
     selfbench.add_argument(
         "runs", nargs="*",
         help="run names to time (default: suite-cold suite-warm "
-             "figure12-cold)",
+             "figure12-cold suite-cold-vector figure12-cold-vector)",
     )
     selfbench.add_argument(
         "--out", metavar="OUT.json", default=None,
-        help="also write the JSON payload (the BENCH_PR6.json schema)",
+        help="also write the JSON payload (the BENCH_PR7.json schema)",
     )
     selfbench.add_argument(
         "--jobs", type=int, default=None, metavar="N",

@@ -70,14 +70,26 @@ class PimDevice:
         enforce_capacity: bool = True,
         bus: "typing.Any | None" = None,
         faults: "typing.Any | None" = None,
+        vector: bool = False,
     ) -> None:
         self.config = config or DeviceConfig()
         self.functional = functional
+        self.vector = vector
+        if vector:
+            # Vector mode is analytic-only and unobserved: there is no
+            # data path to compute with, no per-issue event stream to
+            # publish, and no functional state for faults to corrupt
+            # (see docs/VECTORIZATION.md "when the scalar path runs").
+            if functional:
+                raise PimTypeError("vector mode is analytic-only "
+                                   "(functional=False required)")
+            if bus is not None:
+                raise PimTypeError("vector mode cannot stream per-issue "
+                                   "events; attach no bus")
+            if faults is not None:
+                raise PimTypeError("vector mode has no functional data "
+                                   "path for fault injection")
         self.resources = ResourceManager(self.config, enforce_capacity)
-        # ``bus`` is an optional repro.obs EventBus: attaching one makes
-        # every command/copy/host record also stream onto the simulated
-        # timeline (see docs/OBSERVABILITY.md); None costs nothing.
-        self.stats = StatsTracker(bus)
         self.perf = make_perf_model(self.config)
         self.energy = EnergyModel(self.config, power)
         # The memoized cost pipeline in front of the perf/energy models:
@@ -85,10 +97,30 @@ class PimDevice:
         # (see docs/PERFORMANCE.md §5; REPRO_NO_COST_MEMO=1 disables).
         from repro.arch.registry import arch_for
 
-        self.pipeline = CostPipeline(
-            self.perf, self.energy, arch_for(self.config)
-        )
+        self._backend = arch_for(self.config)
+        self.pipeline = CostPipeline(self.perf, self.energy, self._backend)
+        # ``bus`` is an optional repro.obs EventBus: attaching one makes
+        # every command/copy/host record also stream onto the simulated
+        # timeline (see docs/OBSERVABILITY.md); None costs nothing.
+        if vector:
+            from repro.perf.vector import VectorStatsTracker
+
+            self.stats: StatsTracker = VectorStatsTracker(
+                pricer=self._price_shapes
+            )
+        else:
+            self.stats = StatsTracker(bus)
         self._signatures: "dict[tuple, str]" = {}
+        # Vector-mode call-site cache: maps a call's operand tokens
+        # (plus kind/scalar) to its interned (shape, bucket, kind)
+        # indices, so a hot loop's issue cost is liveness checks, one
+        # dict hit, and one log append.  Tokens intern ``(layout,
+        # dtype)`` pairs *by value* (ObjectLayout is a frozen
+        # dataclass), so freshly allocated objects with the same
+        # geometry reuse the site of every earlier equal-shaped call.
+        self._vector_sites: "dict[tuple, tuple[int, int, int, bool]]" = {}
+        self._vector_shapes: "dict[tuple, int]" = {}
+        self._layout_tokens: "dict[tuple, int]" = {}
         self.data_movement = DataMovementModel(self.config)
         # ``faults`` is an optional repro.faults FaultInjector (or a
         # FaultPlan, wrapped here): seeded, deterministic corruption of
@@ -102,7 +134,15 @@ class PimDevice:
 
     def attach_bus(self, bus) -> None:
         """Attach (or replace) the observability event bus."""
+        if self.vector and bus is not None:
+            raise PimTypeError(
+                "vector mode cannot stream per-issue events; attach no bus"
+            )
         self.stats.bus = bus
+
+    def _price_shapes(self, shapes):
+        """Vector-mode pricer: route the shape batch to the backend."""
+        return self._backend.cost_table(self.pipeline, shapes)
 
     # -- allocation -----------------------------------------------------------
 
@@ -240,6 +280,9 @@ class PimDevice:
         """
         if repeat < 1:
             raise PimTypeError(f"repeat must be >= 1, got {repeat}")
+        if self.vector:
+            return self._vector_issue(kind, inputs, dest, scalar, repeat,
+                                      is_batch=False)
         spec, cost, energy, signature = self._prepare(kind, inputs, dest, scalar)
         self.stats.record_command(
             kind,
@@ -284,6 +327,9 @@ class PimDevice:
         """
         if count < 1:
             raise PimTypeError(f"count must be >= 1, got {count}")
+        if self.vector:
+            return self._vector_issue(kind, inputs, dest, scalar, count,
+                                      is_batch=True)
         spec, cost, energy, signature = self._prepare(kind, inputs, dest, scalar)
         self.stats.record_command_batch(
             kind,
@@ -312,8 +358,8 @@ class PimDevice:
             return 0
         return None
 
-    def _prepare(self, kind, inputs, dest, scalar):
-        """Validate one command and derive its (spec, cost, energy, signature)."""
+    def _validate(self, kind, inputs, dest, scalar):
+        """Validate one command's operands; returns its spec."""
         spec = kind.spec
         if len(inputs) != spec.num_vector_inputs:
             raise PimTypeError(
@@ -333,7 +379,11 @@ class PimDevice:
                 if inputs
                 else [dest]
             )
+        return spec
 
+    def _prepare(self, kind, inputs, dest, scalar):
+        """Validate one command and derive its (spec, cost, energy, signature)."""
+        spec = self._validate(kind, inputs, dest, scalar)
         anchor = inputs[-1] if inputs else dest  # drives width/sign/signature
         args = CommandArgs(
             kind=kind,
@@ -345,6 +395,81 @@ class PimDevice:
         )
         cost, energy = self.pipeline.cost_and_energy(args)
         return spec, cost, energy, self._signature(kind, anchor)
+
+    def _vector_issue(self, kind, inputs, dest, scalar, mult, is_batch):
+        """Vector-mode issue: append to the shape histogram, price later.
+
+        Every operand carries a cached small-int token interning its
+        ``(layout, dtype)`` pair by value, so the steady-state cost of
+        an issue is liveness checks, one dict hit, and one log append
+        -- and a freshly allocated object with the geometry of an
+        earlier one reuses its call site instead of re-validating.
+        Validation and the memo-key derivation run once per distinct
+        site; the interned shape indices key on the same tuple the
+        scalar cost memo uses, so the histogram has exactly as many
+        rows as the memo has shapes.  ``id(kind)`` is a sound key
+        component because command kinds are enum singletons that live
+        for the whole process.
+        """
+        tokens = self._layout_tokens
+        in_toks = []
+        for obj in inputs:
+            obj.require_live()
+            tok = getattr(obj, "_vector_token", None)
+            if tok is None:
+                # The layout and dtype are fixed for an object's whole
+                # lifetime, so the token can live on the object itself.
+                tok = tokens.setdefault((obj.layout, obj.dtype), len(tokens))
+                obj._vector_token = tok
+            in_toks.append(tok)
+        if dest is not None:
+            dest.require_live()
+            dest_tok = getattr(dest, "_vector_token", None)
+            if dest_tok is None:
+                dest_tok = tokens.setdefault(
+                    (dest.layout, dest.dtype), len(tokens)
+                )
+                dest._vector_token = dest_tok
+        else:
+            dest_tok = None
+        site_key = (id(kind), scalar, tuple(in_toks), dest_tok)
+        site = self._vector_sites.get(site_key)
+        if site is None:
+            site = self._vector_register(kind, inputs, dest, scalar)
+            self._vector_sites[site_key] = site
+        shape_idx, bucket_idx, kind_idx, produces_scalar = site
+        self.stats.log_command(shape_idx, bucket_idx, kind_idx, mult, is_batch)
+        if produces_scalar:
+            return 0
+        return None
+
+    def _vector_register(self, kind, inputs, dest, scalar):
+        """First issue from a call site: validate, intern, dedupe by shape."""
+        spec = self._validate(kind, inputs, dest, scalar)
+        anchor = inputs[-1] if inputs else dest
+        args = CommandArgs(
+            kind=kind,
+            bits=anchor.bits,
+            inputs=tuple(obj.layout for obj in inputs),
+            dest=dest.layout if dest is not None else None,
+            scalar=scalar,
+            signed=anchor.dtype.signed,
+        )
+        shape_key = (
+            args.kind,
+            args.bits,
+            args.signed,
+            self._backend.cost_memo_param(args),
+            args.inputs,
+            args.dest,
+        )
+        shape_idx = self._vector_shapes.get(shape_key)
+        if shape_idx is None:
+            shape_idx = self.stats.register_shape(args)
+            self._vector_shapes[shape_key] = shape_idx
+        bucket_idx = self.stats.bucket_index(self._signature(kind, anchor))
+        kind_idx = self.stats.kind_index(kind)
+        return (shape_idx, bucket_idx, kind_idx, spec.produces_scalar)
 
     def _functional_issue(self, kind, spec, inputs, dest, scalar, cost):
         """One functional issue: fault gate, compute, destination faults."""

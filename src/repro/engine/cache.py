@@ -34,7 +34,7 @@ import typing
 import warnings
 
 from repro.engine.cells import CellOutcome, CellSpec
-from repro.engine.version import model_version
+from repro.engine.version import model_version, vector_stamp
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -88,6 +88,12 @@ def cell_cache_key(spec: CellSpec) -> str:
         # Only present when set, so fault-free keys (the overwhelmingly
         # common case) are unchanged from the pre-fault-injection format.
         material["fault_plan"] = _canonical(spec.fault_plan)
+    if spec.vector:
+        # Same only-when-set rule: scalar keys are unchanged from the
+        # pre-vector format, and vectorized cells carry the vector
+        # engine's own source digest so the two paths never share an
+        # entry (docs/VECTORIZATION.md "cache-stamp versioning").
+        material["vector"] = vector_stamp()
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -75,6 +75,14 @@ class CellSpec:
     #: the worker itself (chaos-testing the resilience layer).  Part of
     #: the cell's cache identity.
     fault_plan: "FaultPlan | None" = None
+    #: Vectorized histogram pricing (see docs/VECTORIZATION.md): compile
+    #: the analytic run into a shape histogram and price it in one numpy
+    #: pass.  Totals are byte-identical to the scalar path by contract;
+    #: the flag still stamps the cache key (with the vector engine's own
+    #: source digest) so the two paths never share cache entries.
+    #: Ignored -- with a scalar fallback -- for functional, observed, or
+    #: device-fault cells, which need the per-issue path.
+    vector: bool = False
 
     @staticmethod
     def normalize_overrides(
@@ -224,6 +232,17 @@ def run_cell(
 
         injector = FaultInjector(spec.fault_plan)
 
+    # Vector mode needs the pure analytic path: a functional run has a
+    # real data path, an observed run needs per-issue events, and device
+    # faults hook the functional engine -- all fall back to the scalar
+    # path (docs/VECTORIZATION.md "when the scalar path still runs").
+    # The numbers are identical either way; only the speed differs.
+    vector_active = (
+        spec.vector
+        and not spec.functional
+        and bus is None
+        and injector is None
+    )
     bench = spec.make_benchmark()
     device = PimDevice(
         config,
@@ -231,9 +250,39 @@ def run_cell(
         enforce_capacity=spec.enforce_capacity,
         bus=bus,
         faults=injector,
+        vector=vector_active,
     )
     result = bench.run(device, CpuModel(), GpuModel())
     tracker = device.stats
+    if vector_active:
+        from repro.perf.vector import vector_check_enabled, verify_equivalence
+
+        if vector_check_enabled():
+            # Strict equivalence mode: re-run the cell through the
+            # scalar path and bit-compare every accumulator and the
+            # serialized result (the suite-JSON payload).
+            scalar_device = PimDevice(
+                spec.device_config(),
+                functional=spec.functional,
+                enforce_capacity=spec.enforce_capacity,
+            )
+            scalar_result = spec.make_benchmark().run(
+                scalar_device, CpuModel(), GpuModel()
+            )
+            verify_equivalence(
+                tracker,
+                scalar_device.stats,
+                result,
+                scalar_result,
+                label=(
+                    f"{spec.benchmark_key} on "
+                    f"{getattr(spec.device_type, 'value', spec.device_type)}"
+                ),
+            )
+        # Drop the logs and the (unpicklable) pricer: the sealed tracker
+        # is a plain bag of totals that can cross process and disk-cache
+        # boundaries exactly like a scalar tracker.
+        tracker.seal()
     memo_hits, memo_misses, memo_shapes = device.pipeline.stats()
     if bus is not None and bus.active:
         # Perfetto counter track: the memo's cumulative hit/miss totals
@@ -265,5 +314,6 @@ def run_cell(
             memo_misses=memo_misses,
             memo_shapes=memo_shapes,
             faults_injected=faults_injected,
+            vector=vector_active,
         ),
     )

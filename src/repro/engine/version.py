@@ -114,6 +114,19 @@ def model_version(device_type: "DeviceTypeLike", benchmark_key: str) -> str:
     )
 
 
+def vector_stamp() -> str:
+    """Digest of the vectorized pricing engine's own sources.
+
+    Folded into the cache key only for ``vector=True`` cells: editing
+    ``repro/perf/vector.py`` invalidates exactly the vectorized entries
+    (scalar keys never contain it), and vectorized and scalar results
+    can never share a cache entry even though their totals are
+    byte-identical by contract -- a belt-and-braces guard so a vector
+    bug cannot poison scalar results, or vice versa.
+    """
+    return _digest_entries(("perf/vector.py",))[:12]
+
+
 def clear_stamp_caches() -> None:
     """Drop memoized digests (tests use this after simulating an edit)."""
     _digest_entries.cache_clear()

@@ -38,11 +38,12 @@ def rank_scaling_table(
     ranks: "tuple[int, ...]" = FIG12_RANKS,
     baseline_ranks: int = FIG12_BASELINE_RANKS,
     jobs: "int | None" = None,
+    vector: bool = False,
 ) -> "list[RankScalingRow]":
     """Figure 12: speedups over the 4-rank run, capacity scaling by rank."""
     baseline = run_suite(
         num_ranks=baseline_ranks, paper_scale=True, enforce_capacity=False,
-        jobs=jobs,
+        jobs=jobs, vector=vector,
     )
     rows = []
     for num_ranks in ranks:
@@ -51,7 +52,7 @@ def rank_scaling_table(
         else:
             suite = run_suite(
                 num_ranks=num_ranks, paper_scale=True, enforce_capacity=False,
-                jobs=jobs,
+                jobs=jobs, vector=vector,
             )
         for device_type in DEVICE_ORDER:
             for key in suite.benchmark_keys():
@@ -66,15 +67,18 @@ def rank_scaling_table(
     return rows
 
 
-def capacity_matched_table(jobs: "int | None" = None) -> "list[RankScalingRow]":
+def capacity_matched_table(
+    jobs: "int | None" = None, vector: bool = False
+) -> "list[RankScalingRow]":
     """Figure 13: 32 ranks vs 1 rank at equal total capacity."""
     single = run_suite(
         num_ranks=1,
         paper_scale=True,
         geometry_overrides={"rows_per_subarray": 1024 * 32},
         jobs=jobs,
+        vector=vector,
     )
-    full = run_suite(num_ranks=32, paper_scale=True, jobs=jobs)
+    full = run_suite(num_ranks=32, paper_scale=True, jobs=jobs, vector=vector)
     rows = []
     for device_type in DEVICE_ORDER:
         for key in full.benchmark_keys():

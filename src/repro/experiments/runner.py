@@ -91,6 +91,7 @@ def suite_cell_specs(
     functional: bool,
     enforce_capacity: bool,
     geometry_overrides: "dict[str, int] | None",
+    vector: bool = False,
 ) -> "list[CellSpec]":
     """The suite's cells in deterministic (figure) order."""
     overrides = CellSpec.normalize_overrides(geometry_overrides)
@@ -103,6 +104,7 @@ def suite_cell_specs(
             functional=functional,
             enforce_capacity=enforce_capacity,
             geometry_overrides=overrides,
+            vector=vector,
         )
         for key in keys
         for device_type in DEVICE_ORDER
@@ -122,6 +124,7 @@ def run_suite(
     cache_dir=None,
     policy: "RetryPolicy | None" = None,
     strict: bool = True,
+    vector: bool = False,
 ) -> SuiteResults:
     """Run (or fetch cached) suite results for one configuration.
 
@@ -148,11 +151,15 @@ def run_suite(
     ``strict=False`` failed cells are dropped from ``results`` and
     reported in ``SuiteResults.failures`` so drivers can render gaps --
     the CLI's behavior.  Suites carrying failures are never memoized.
+
+    ``vector=True`` routes every analytic cell through the vectorized
+    histogram-pricing engine (``repro.perf.vector``) -- byte-identical
+    results, separate cache entries; see docs/VECTORIZATION.md.
     """
     keys = tuple(keys) if keys is not None else BENCHMARK_ORDER
     cache_key = (
         num_ranks, paper_scale, keys, functional, enforce_capacity,
-        tuple(sorted((geometry_overrides or {}).items())),
+        tuple(sorted((geometry_overrides or {}).items())), vector,
     )
     use_cache = use_cache and bus is None
     if use_cache and cache_key in _CACHE:
@@ -160,7 +167,7 @@ def run_suite(
 
     specs = suite_cell_specs(
         num_ranks, paper_scale, keys, functional, enforce_capacity,
-        geometry_overrides,
+        geometry_overrides, vector=vector,
     )
     suite_process = bus.process if bus is not None else None
     with span(f"suite:{num_ranks}ranks", bus,

@@ -8,14 +8,19 @@ commands per second, in a stable JSON schema
 (``{"run", "wall_s", "commands_simulated", "commands_per_s"}`` per entry)
 that CI and ``BENCH_PR5.json`` archive.
 
-Three runs cover the interesting regimes:
+Five runs cover the interesting regimes:
 
 * ``suite-cold``   -- the full evaluation suite with every cache bypassed
   (the simulator hot path, where the cost memo lives),
 * ``suite-warm``   -- the same suite served from the persistent disk
-  cache in a scratch directory (the §2 caching contract), and
+  cache in a scratch directory (the §2 caching contract),
 * ``figure12-cold``-- the Figure 12 rank sweep (four uncached suites),
-  the heaviest standard driver.
+  the heaviest standard driver, and
+* ``suite-cold-vector`` / ``figure12-cold-vector`` -- the same cold runs
+  through the vectorized histogram-pricing engine (``--vector``,
+  docs/VECTORIZATION.md); identical command counts by the byte-identity
+  contract, so the cmds/s ratio against the scalar legs *is* the
+  vectorization speedup.
 
 Wall timings are machine-dependent; ``commands_simulated`` is exact and
 machine-independent (it is the op-census total the byte-identity tests
@@ -48,8 +53,17 @@ HISTORY_SCHEMA = 1
 #: Archived so BENCH_PR5.json carries the before/after pair.
 PRE_MEMO_SUITE_COLD_S = 2.2885
 
-#: The run names ``run_selfbench`` knows, in execution order.
-RUN_NAMES = ("suite-cold", "suite-warm", "figure12-cold")
+#: The run names ``run_selfbench`` knows, in execution order.  The
+#: ``--check`` regression gate compares like-named runs only, so a
+#: baseline archived before the vector legs existed (BENCH_PR5.json)
+#: still gates the scalar legs and simply skips the vector ones.
+RUN_NAMES = (
+    "suite-cold",
+    "suite-warm",
+    "figure12-cold",
+    "suite-cold-vector",
+    "figure12-cold-vector",
+)
 
 #: Rank counts of the Figure 12 sweep (mirrors rankscaling.FIG12_RANKS).
 _FIG12_RANKS = (4, 8, 16, 32)
@@ -109,17 +123,27 @@ def _run_suite_warm(jobs: "int | None", scratch: str) -> SelfBenchRun:
     return _timed("suite-warm", commands, wall)
 
 
-def _run_figure12_cold(jobs: "int | None") -> SelfBenchRun:
+def _run_suite_cold_vector(jobs: "int | None") -> SelfBenchRun:
+    start = time.perf_counter()
+    suite = run_suite(use_cache=False, jobs=jobs, vector=True)
+    wall = time.perf_counter() - start
+    return _timed("suite-cold-vector", suite_command_count(suite), wall)
+
+
+def _run_figure12_cold(
+    jobs: "int | None", vector: bool = False
+) -> SelfBenchRun:
     commands = 0
     start = time.perf_counter()
     for num_ranks in _FIG12_RANKS:
         suite = run_suite(
             num_ranks=num_ranks, paper_scale=True, enforce_capacity=False,
-            use_cache=False, jobs=jobs,
+            use_cache=False, jobs=jobs, vector=vector,
         )
         commands += suite_command_count(suite)
     wall = time.perf_counter() - start
-    return _timed("figure12-cold", commands, wall)
+    name = "figure12-cold-vector" if vector else "figure12-cold"
+    return _timed(name, commands, wall)
 
 
 def run_selfbench(
@@ -143,6 +167,10 @@ def run_selfbench(
                 )
             elif name == "figure12-cold":
                 results.append(_run_figure12_cold(jobs))
+            elif name == "suite-cold-vector":
+                results.append(_run_suite_cold_vector(jobs))
+            elif name == "figure12-cold-vector":
+                results.append(_run_figure12_cold(jobs, vector=True))
     return results
 
 
@@ -283,7 +311,7 @@ def format_regression(
     for check in checks:
         verdict = "ok" if check.ok else "REGRESSED"
         lines.append(
-            f"  {check.run:<16s} {check.measured_cps:>14,.0f} cmds/s "
+            f"  {check.run:<20s} {check.measured_cps:>14,.0f} cmds/s "
             f"vs baseline {check.baseline_cps:>14,.0f} "
             f"({check.ratio:>5.2f}x)  {verdict}"
         )
@@ -293,11 +321,11 @@ def format_regression(
 def format_selfbench(results: "typing.Sequence[SelfBenchRun]") -> str:
     """Human-readable table of one selfbench pass."""
     lines = [
-        f"{'run':<16s} {'wall_s':>9s} {'commands':>12s} {'cmds/s':>12s}"
+        f"{'run':<20s} {'wall_s':>9s} {'commands':>12s} {'cmds/s':>12s}"
     ]
     for result in results:
         lines.append(
-            f"{result.run:<16s} {result.wall_s:>9.4f} "
+            f"{result.run:<20s} {result.wall_s:>9.4f} "
             f"{result.commands_simulated:>12,d} "
             f"{result.commands_per_s:>12,.0f}"
         )

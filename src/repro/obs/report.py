@@ -35,6 +35,7 @@ _ENV_KEYS = (
     "REPRO_NO_COST_MEMO",
     "REPRO_MAX_RETRIES",
     "REPRO_CELL_TIMEOUT",
+    "REPRO_VECTOR_CHECK",
 )
 
 

@@ -82,6 +82,12 @@ class CellTelemetry:
     memo_shapes: int = 0
     faults_injected: "tuple[tuple[str, int], ...]" = ()
     from_cache: bool = False
+    #: Whether the cell ran through the vectorized histogram-pricing
+    #: engine (docs/VECTORIZATION.md).  ``commands_simulated`` still
+    #: counts every modeled issue -- histogram-priced commands are in
+    #: the op census exactly like scalar ones.  Defaulted so telemetry
+    #: pickled by older cache entries reads back as scalar.
+    vector: bool = False
 
     def to_dict(self) -> "dict[str, object]":
         """JSON-friendly record (the run report's ``cells`` rows)."""
@@ -99,6 +105,7 @@ class CellTelemetry:
             "memo_shapes": self.memo_shapes,
             "faults_injected": {name: n for name, n in self.faults_injected},
             "from_cache": self.from_cache,
+            "vector": self.vector,
         }
 
     @property
@@ -156,6 +163,7 @@ class TelemetryCapture:
         memo_misses: int = 0,
         memo_shapes: int = 0,
         faults_injected: "tuple[tuple[str, int], ...] | None" = None,
+        vector: bool = False,
     ) -> CellTelemetry:
         return CellTelemetry(
             benchmark=benchmark,
@@ -170,6 +178,7 @@ class TelemetryCapture:
             memo_misses=memo_misses,
             memo_shapes=memo_shapes,
             faults_injected=tuple(faults_injected or ()),
+            vector=vector,
         )
 
 

@@ -1,0 +1,820 @@
+"""Vectorized histogram pricing: the analytic suite without the Python loop.
+
+The paper's analytic mode prices every command as a closed-form function
+of its *shape* (kind, element width, scalar class, operand layouts) --
+never of device state.  PR 5's memo already collapses the derivation to
+one per shape, but the suite still *issued* every command through Python:
+``execute`` -> validate -> memo lookup -> float accumulate, tens of
+thousands of times per cell, millions of times per suite.
+
+:class:`VectorStatsTracker` removes that loop.  In vector mode the device
+does not price commands at issue time at all; it appends ``(shape index,
+multiplicity)`` entries to an append-only log -- a *histogram under
+construction* -- and a ``replay_trace`` of a recorded region becomes one
+O(1) group marker instead of re-dispatching every entry.  At finalize
+time the distinct shapes are priced **once** through the architecture
+backend's :meth:`~repro.arch.base.ArchBackend.cost_table` hook, and the
+accumulator totals are reconstructed with numpy.
+
+The reconstruction is *byte-identical* to the scalar path, which is a
+stricter contract than "numerically close":
+
+* integer accumulators (issue counts, the op census, copy bytes) are
+  order-independent and rebuilt with exact int64 scatter-adds;
+* float accumulators are **not** order-independent (``a + a + a`` is not
+  ``3 * a`` in IEEE-754), so they are rebuilt by replicating the scalar
+  path's exact addend sequence -- one pre-multiplied addend per
+  ``execute(repeat=)`` call, ``count`` iterated addends per
+  ``execute_batch`` call -- and reducing it with
+  ``np.add.accumulate``, whose definition *is* the sequential
+  left-to-right loop (unlike ``np.sum``/``np.add.reduce``, which use
+  pairwise summation and may differ in the last ulp).
+
+``REPRO_VECTOR_CHECK=1`` (or ``--vector-check``) arms the strict
+equivalence mode: every vectorized cell is re-run through the scalar
+path and :func:`verify_equivalence` compares the two trackers field by
+field at full bit precision, raising :class:`VectorEquivalenceError` on
+the first divergence.  See ``docs/VECTORIZATION.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import math
+import os
+import struct
+import typing
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.stats import (
+    COPY_DIRECTIONS,
+    CmdStats,
+    CopyStats,
+    EventCounts,
+    StatsTracker,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.commands import PimCmdKind
+    from repro.perf.base import CommandArgs
+
+#: Environment switch for the strict scalar-equivalence cross-check:
+#: any non-empty value makes every vectorized cell also run the scalar
+#: path and bit-compare the totals (CLI: ``--vector-check``).
+VECTOR_CHECK_ENV = "REPRO_VECTOR_CHECK"
+
+#: Copy-direction order of the vector copy log's direction column.
+_DIRECTIONS = ("h2d", "d2h", "d2d")
+_DIR_INDEX = {name: index for index, name in enumerate(_DIRECTIONS)}
+
+#: EventCounts fields, in declaration order (= CostTable column order).
+EVENT_FIELDS = (
+    "row_activations",
+    "lane_logic_ops",
+    "alu_word_ops",
+    "walker_bits",
+    "gdl_bits",
+)
+
+
+def vector_check_enabled() -> bool:
+    """Whether the strict scalar cross-check is armed (env or CLI)."""
+    return bool(os.environ.get(VECTOR_CHECK_ENV))
+
+
+class VectorEquivalenceError(AssertionError):
+    """A vectorized cell's totals diverged from the scalar path.
+
+    Raised only in ``--vector-check`` / ``REPRO_VECTOR_CHECK=1`` mode;
+    carries every field-level mismatch found, not just the first.
+    """
+
+    def __init__(self, label: str, mismatches: "list[str]") -> None:
+        self.label = label
+        self.mismatches = list(mismatches)
+        lines = "\n  ".join(self.mismatches)
+        super().__init__(
+            f"vectorized totals diverged from the scalar path for {label}:\n"
+            f"  {lines}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTable:
+    """Per-shape cost columns, aligned with the tracker's shape list.
+
+    The vector-mode product of :meth:`repro.arch.base.ArchBackend.
+    cost_table`: column ``i`` of every array is the cost of issuing
+    shape ``i`` exactly once, bit-identical to what the scalar path's
+    :class:`~repro.perf.memo.CostPipeline` would return for the same
+    :class:`~repro.perf.base.CommandArgs`.
+    """
+
+    latency_ns: np.ndarray
+    execution_nj: np.ndarray
+    background_nj: np.ndarray
+    row_activations: np.ndarray
+    lane_logic_ops: np.ndarray
+    alu_word_ops: np.ndarray
+    walker_bits: np.ndarray
+    gdl_bits: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.latency_ns)
+
+    def event_column(self, field: str) -> np.ndarray:
+        return getattr(self, field)
+
+
+@dataclasses.dataclass
+class VectorTrace:
+    """A replayable span of the vector logs.
+
+    The vector-mode analogue of :class:`~repro.core.stats.RecordedTrace`:
+    instead of holding copies of the recorded ``record_*`` calls it
+    holds ``[start, end)`` index spans into the tracker's three logs.
+    Replaying appends one group marker; the span is expanded (tiled)
+    only at finalize time.
+    """
+
+    cmd_span: "tuple[int, int]" = (0, 0)
+    copy_span: "tuple[int, int]" = (0, 0)
+    host_span: "tuple[int, int]" = (0, 0)
+
+    def __len__(self) -> int:
+        return (
+            (self.cmd_span[1] - self.cmd_span[0])
+            + (self.copy_span[1] - self.copy_span[0])
+            + (self.host_span[1] - self.host_span[0])
+        )
+
+
+@dataclasses.dataclass
+class _ReplayGroup:
+    """One ``replay_trace(trace, times)`` call, by log position."""
+
+    cmd_pos: int
+    copy_pos: int
+    host_pos: int
+    trace: VectorTrace
+    times: int
+
+
+def _ordered_sum(
+    addends: np.ndarray, reps: "np.ndarray | None", start: float = 0.0
+) -> float:
+    """The exact float total of adding each addend, in order, from ``start``.
+
+    ``reps[i] > 1`` replicates addend ``i`` that many times (iterated
+    addition, the ``execute_batch`` contract).  Uses
+    ``np.add.accumulate``, which is defined as the sequential
+    left-to-right reduction -- *not* ``np.sum``/``np.add.reduce``,
+    whose pairwise summation trees would differ in the last ulp.
+    """
+    if addends.size == 0:
+        return start
+    if reps is not None and not bool(np.all(reps == 1)):
+        addends = np.repeat(addends, reps)
+    seq = np.empty(addends.size + 1, dtype=np.float64)
+    seq[0] = start
+    seq[1:] = addends
+    return float(np.add.accumulate(seq)[-1])
+
+
+def _first_occurrence_order(values: np.ndarray) -> np.ndarray:
+    """Distinct values of ``values`` in order of first appearance."""
+    uniq, first = np.unique(values, return_index=True)
+    return uniq[np.argsort(first, kind="stable")]
+
+
+class VectorStatsTracker(StatsTracker):
+    """A :class:`StatsTracker` that defers all pricing to finalize time.
+
+    The device (in vector mode) registers each distinct command shape
+    once and appends ``(shape, signature bucket, kind, multiplicity)``
+    entries; copies and host kernels append to their own logs.
+    ``recorded_trace`` captures index spans and ``replay_trace`` appends
+    O(1) group markers.  Any aggregate read (``snapshot``, the
+    ``kernel_*``/``copy_*``/``total_command_count`` properties)
+    triggers :meth:`_finalize`, which prices the distinct shapes once
+    through ``pricer`` and rebuilds every accumulator so the totals are
+    byte-identical to the scalar path (see the module docstring for the
+    float-ordering contract).
+
+    Vector mode is analytic-only and unobserved: the tracker never
+    carries an event bus (per-issue events cannot be synthesized from a
+    histogram) and refuses to record once :meth:`seal`-ed.
+    """
+
+    def __init__(
+        self,
+        pricer: "typing.Callable[[tuple[CommandArgs, ...]], CostTable] | None" = None,
+    ) -> None:
+        super().__init__(bus=None)
+        self._pricer = pricer
+        # Shape table: representative CommandArgs per distinct shape;
+        # priced once per finalize through ``pricer``.
+        self._shape_args: "list[CommandArgs]" = []
+        self._table: "CostTable | None" = None
+        # Interned signature buckets and command kinds.
+        self._bucket_names: "list[str]" = []
+        self._bucket_ids: "dict[str, int]" = {}
+        self._kind_objs: "list[PimCmdKind]" = []
+        self._kind_ids: "dict[object, int]" = {}
+        # The three append-only logs (one per float-accumulator family).
+        # cmd entry: (shape_idx, bucket_idx, kind_idx, mult, is_batch);
+        # literal (pre-priced record_command calls) entries use
+        # shape_idx = -1 - literal_idx into ``_literals``.
+        self._cmd_log: "list[tuple[int, int, int, int, int]]" = []
+        self._literals: "list[tuple[float, float, float, tuple[float, ...]]]" = []
+        # copy entry: (direction_idx, num_bytes, latency_ns, energy_nj)
+        self._copy_log: "list[tuple[int, int, float, float]]" = []
+        # host entry: (time_ns, energy_nj)
+        self._host_log: "list[tuple[float, float]]" = []
+        self._groups: "list[_ReplayGroup]" = []
+        self._finalized_at: "tuple[int, int, int, int] | None" = None
+        self._sealed = False
+
+    # -- interning ----------------------------------------------------------
+
+    def register_shape(self, args: "CommandArgs") -> int:
+        """Intern one distinct command shape; returns its index.
+
+        The *caller* (the device) owns shape deduplication -- it keys on
+        the same tuple the cost memo uses, so the shape count here equals
+        the scalar path's distinct-shape count.
+        """
+        self._check_mutable()
+        self._shape_args.append(args)
+        return len(self._shape_args) - 1
+
+    def bucket_index(self, signature: str) -> int:
+        """Intern one per-signature stats bucket (e.g. ``add.int32.v``)."""
+        index = self._bucket_ids.get(signature)
+        if index is None:
+            index = len(self._bucket_names)
+            self._bucket_names.append(signature)
+            self._bucket_ids[signature] = index
+        return index
+
+    def kind_index(self, kind: "PimCmdKind") -> int:
+        index = self._kind_ids.get(kind)
+        if index is None:
+            index = len(self._kind_objs)
+            self._kind_objs.append(kind)
+            self._kind_ids[kind] = index
+        return index
+
+    # -- logging ------------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._sealed:
+            raise RuntimeError(
+                "this VectorStatsTracker is sealed: its logs were "
+                "finalized and dropped (run_cell seals trackers before "
+                "they cross process/cache boundaries)"
+            )
+
+    def log_command(
+        self,
+        shape_idx: int,
+        bucket_idx: int,
+        kind_idx: int,
+        mult: int,
+        is_batch: bool = False,
+    ) -> None:
+        """Append one histogram entry: ``mult`` issues of one shape.
+
+        ``is_batch`` selects ``execute_batch`` billing (``mult``
+        iterated float adds) over ``execute(repeat=)`` billing (one
+        pre-multiplied add).
+        """
+        self._cmd_log.append(
+            (shape_idx, bucket_idx, kind_idx, mult, 1 if is_batch else 0)
+        )
+
+    def record_command(
+        self,
+        kind: "PimCmdKind",
+        signature: str,
+        latency_ns: float,
+        energy_nj: float,
+        background_energy_nj: float = 0.0,
+        count: int = 1,
+        events: "EventCounts | None" = None,
+    ) -> None:
+        # Pre-priced ("literal") entry: callers outside the vector fast
+        # path (tests, library users) still get exact accounting.
+        self._check_mutable()
+        literal = len(self._literals)
+        event_values = (
+            tuple(getattr(events, field) for field in EVENT_FIELDS)
+            if events is not None
+            else (0.0,) * len(EVENT_FIELDS)
+        )
+        self._literals.append(
+            (latency_ns, energy_nj, background_energy_nj, event_values)
+        )
+        self._cmd_log.append(
+            (-1 - literal, self.bucket_index(signature),
+             self.kind_index(kind), count, 0)
+        )
+
+    def record_command_batch(
+        self,
+        kind: "PimCmdKind",
+        signature: str,
+        latency_ns: float,
+        energy_nj: float,
+        background_energy_nj: float = 0.0,
+        count: int = 1,
+        events: "EventCounts | None" = None,
+    ) -> None:
+        self._check_mutable()
+        literal = len(self._literals)
+        event_values = (
+            tuple(getattr(events, field) for field in EVENT_FIELDS)
+            if events is not None
+            else (0.0,) * len(EVENT_FIELDS)
+        )
+        self._literals.append(
+            (latency_ns, energy_nj, background_energy_nj, event_values)
+        )
+        self._cmd_log.append(
+            (-1 - literal, self.bucket_index(signature),
+             self.kind_index(kind), count, 1)
+        )
+
+    def record_copy(
+        self, direction: str, num_bytes: int, latency_ns: float, energy_nj: float
+    ) -> None:
+        self._check_mutable()
+        index = _DIR_INDEX.get(direction)
+        if index is None:
+            raise ValueError(f"unknown copy direction {direction!r}")
+        self._copy_log.append((index, num_bytes, latency_ns, energy_nj))
+
+    def record_host(
+        self, time_ns: float, energy_nj: float, label: str = "kernel"
+    ) -> None:
+        self._check_mutable()
+        self._host_log.append((time_ns, energy_nj))
+
+    # -- trace record / replay ----------------------------------------------
+
+    @contextlib.contextmanager
+    def recorded_trace(self) -> "typing.Iterator[VectorTrace]":
+        """Capture the log spans the ``with`` body appends.
+
+        The recorded pass is billed normally (its entries stay in the
+        logs); the returned :class:`VectorTrace` can be re-applied with
+        :meth:`replay_trace` at O(1) cost.  Recording does not nest.
+        """
+        if self._recording is not None:
+            raise RuntimeError("a stats trace is already being recorded")
+        self._check_mutable()
+        trace = VectorTrace()
+        start = (len(self._cmd_log), len(self._copy_log), len(self._host_log))
+        self._recording = []  # nesting / replay-while-recording sentinel
+        try:
+            yield trace
+        finally:
+            trace.cmd_span = (start[0], len(self._cmd_log))
+            trace.copy_span = (start[1], len(self._copy_log))
+            trace.host_span = (start[2], len(self._host_log))
+            self._recording = None
+
+    def replay_trace(self, trace, times: int = 1) -> None:
+        """Re-apply a recorded trace ``times`` more times.
+
+        A :class:`VectorTrace` costs one group marker; finalize expands
+        it by tiling the span, reproducing the exact entry sequence the
+        scalar path's per-entry re-dispatch would have produced.  Plain
+        :class:`~repro.core.stats.RecordedTrace` objects still replay
+        entry by entry (through the literal ``record_*`` overrides).
+        """
+        if times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        if self._recording is not None:
+            raise RuntimeError("cannot replay while recording a trace")
+        self._check_mutable()
+        if not isinstance(trace, VectorTrace):
+            super().replay_trace(trace, times)
+            return
+        if times == 0 or len(trace) == 0:
+            return
+        self._groups.append(_ReplayGroup(
+            cmd_pos=len(self._cmd_log),
+            copy_pos=len(self._copy_log),
+            host_pos=len(self._host_log),
+            trace=trace,
+            times=times,
+        ))
+
+    # -- finalize -----------------------------------------------------------
+
+    def _expand(self, length: int, family: str) -> np.ndarray:
+        """Expanded log-index sequence for one family, groups included.
+
+        The timeline interleaves plain entries with replay groups at
+        their recorded positions: ``entries[0:pos1], tile(span1, t1),
+        entries[pos1:pos2], tile(span2, t2), ..., entries[posN:]``.
+        Groups are appended in time order, so positions are
+        non-decreasing.
+        """
+        base = np.arange(length, dtype=np.int64)
+        segments = []
+        cursor = 0
+        for group in self._groups:
+            if family == "cmd":
+                pos, (start, end) = group.cmd_pos, group.trace.cmd_span
+            elif family == "copy":
+                pos, (start, end) = group.copy_pos, group.trace.copy_span
+            else:
+                pos, (start, end) = group.host_pos, group.trace.host_span
+            if pos > cursor:
+                segments.append(base[cursor:pos])
+                cursor = pos
+            if end > start and group.times > 0:
+                segments.append(np.tile(base[start:end], group.times))
+        if cursor < length:
+            segments.append(base[cursor:length])
+        if not segments:
+            return base
+        if len(segments) == 1:
+            return segments[0]
+        return np.concatenate(segments)
+
+    def _price_table(self) -> "CostTable | None":
+        count = len(self._shape_args)
+        if count == 0:
+            return None
+        if self._table is not None and len(self._table) == count:
+            return self._table
+        if self._pricer is None:
+            raise RuntimeError(
+                "VectorStatsTracker has unpriced shapes but no pricer "
+                "(was the tracker detached from its device?)"
+            )
+        table = self._pricer(tuple(self._shape_args))
+        if len(table) != count:
+            raise ValueError(
+                f"cost_table returned {len(table)} rows for {count} shapes"
+            )
+        self._table = table
+        return table
+
+    def _finalize(self) -> None:
+        """Price the histogram and rebuild every accumulator, exactly.
+
+        Idempotent full recomputation: the totals are always rebuilt
+        from the complete logs, so a mid-run ``snapshot`` (benchmark
+        phase accounting) sees exactly what the scalar tracker would
+        hold at the same point.
+        """
+        state = (
+            len(self._cmd_log), len(self._copy_log),
+            len(self._host_log), len(self._groups),
+        )
+        if state == self._finalized_at:
+            return
+
+        # -- commands -------------------------------------------------------
+        commands: "OrderedDict[str, CmdStats]" = OrderedDict()
+        op_counts: "dict[PimCmdKind, int]" = {}
+        background = 0.0
+        events = EventCounts()
+        n = len(self._cmd_log)
+        if n:
+            raw = np.array(self._cmd_log, dtype=np.int64)
+            order = self._expand(n, "cmd")
+            shape_col = raw[order, 0]
+            bucket_col = raw[order, 1]
+            kind_col = raw[order, 2]
+            mult_col = raw[order, 3]
+            batch_col = raw[order, 4].astype(bool)
+
+            # Per-*expanded*-entry unit values: from the cost table for
+            # shape entries, verbatim for literal (pre-priced) entries.
+            # Rows: latency, execution, background, then EVENT_FIELDS.
+            is_shape = shape_col >= 0
+            value_cols = np.zeros(
+                (3 + len(EVENT_FIELDS), order.size), dtype=np.float64
+            )
+            if bool(np.any(is_shape)):
+                table = self._price_table()
+                shape_rows = shape_col[is_shape]
+                columns = (
+                    table.latency_ns, table.execution_nj, table.background_nj,
+                ) + tuple(table.event_column(field) for field in EVENT_FIELDS)
+                for row, column in enumerate(columns):
+                    value_cols[row, is_shape] = column[shape_rows]
+            literal_mask = ~is_shape
+            if bool(np.any(literal_mask)):
+                literal_rows = (-1 - shape_col[literal_mask]).astype(np.int64)
+                lit_lat = np.array(
+                    [lit[0] for lit in self._literals], dtype=np.float64
+                )
+                lit_en = np.array(
+                    [lit[1] for lit in self._literals], dtype=np.float64
+                )
+                lit_bg = np.array(
+                    [lit[2] for lit in self._literals], dtype=np.float64
+                )
+                lit_events = np.array(
+                    [lit[3] for lit in self._literals], dtype=np.float64
+                )
+                value_cols[0, literal_mask] = lit_lat[literal_rows]
+                value_cols[1, literal_mask] = lit_en[literal_rows]
+                value_cols[2, literal_mask] = lit_bg[literal_rows]
+                for offset in range(len(EVENT_FIELDS)):
+                    value_cols[3 + offset, literal_mask] = (
+                        lit_events[literal_rows, offset]
+                    )
+
+            # Scalar billing semantics:
+            #   execute(repeat=r): ONE add of value*r        (pre-multiplied)
+            #   execute_batch(count=c) / literal batch: c iterated adds of value
+            #   literal record_command(count=c): ONE add of value (caller
+            #     already pre-multiplied), counted c times
+            multf = mult_col.astype(np.float64)
+            premult = is_shape & ~batch_col
+            scale = np.where(premult, multf, 1.0)
+            addends = value_cols * scale  # row-wise broadcast
+            reps = np.where(batch_col, mult_col, 1)
+
+            # Integer censuses: order-independent, exact int64 scatter-add.
+            bucket_counts = np.zeros(len(self._bucket_names), dtype=np.int64)
+            np.add.at(bucket_counts, bucket_col, mult_col)
+            kind_counts = np.zeros(len(self._kind_objs), dtype=np.int64)
+            np.add.at(kind_counts, kind_col, mult_col)
+
+            # Per-signature buckets, in first-occurrence order (the
+            # OrderedDict insertion order the scalar path produces).
+            for bucket in _first_occurrence_order(bucket_col):
+                mask = bucket_col == bucket
+                commands[self._bucket_names[int(bucket)]] = CmdStats(
+                    count=int(bucket_counts[int(bucket)]),
+                    latency_ns=_ordered_sum(addends[0][mask], reps[mask]),
+                    energy_nj=_ordered_sum(addends[1][mask], reps[mask]),
+                )
+            for kind in _first_occurrence_order(kind_col):
+                op_counts[self._kind_objs[int(kind)]] = int(
+                    kind_counts[int(kind)]
+                )
+            background = _ordered_sum(addends[2], reps)
+            events = EventCounts(**{
+                field: _ordered_sum(addends[3 + offset], reps)
+                for offset, field in enumerate(EVENT_FIELDS)
+            })
+
+        self.commands = commands
+        self.op_counts = op_counts
+        self.background_energy_nj = background
+        self.events = events
+
+        # -- copies ---------------------------------------------------------
+        copies = [CopyStats() for _ in _DIRECTIONS]
+        m = len(self._copy_log)
+        if m:
+            order = self._expand(m, "copy")
+            dir_col = np.array(
+                [entry[0] for entry in self._copy_log], dtype=np.int64
+            )[order]
+            byte_col = np.array(
+                [entry[1] for entry in self._copy_log], dtype=np.int64
+            )[order]
+            lat_col = np.array(
+                [entry[2] for entry in self._copy_log], dtype=np.float64
+            )[order]
+            en_col = np.array(
+                [entry[3] for entry in self._copy_log], dtype=np.float64
+            )[order]
+            for index in range(len(_DIRECTIONS)):
+                mask = dir_col == index
+                if not bool(np.any(mask)):
+                    continue
+                copies[index] = CopyStats(
+                    num_bytes=int(byte_col[mask].sum()),
+                    latency_ns=_ordered_sum(lat_col[mask], None),
+                    energy_nj=_ordered_sum(en_col[mask], None),
+                )
+        for name, stats in zip(_DIRECTIONS, copies):
+            setattr(self, COPY_DIRECTIONS[name], stats)
+
+        # -- host -----------------------------------------------------------
+        host_time = 0.0
+        host_energy = 0.0
+        h = len(self._host_log)
+        if h:
+            order = self._expand(h, "host")
+            time_col = np.array(
+                [entry[0] for entry in self._host_log], dtype=np.float64
+            )[order]
+            energy_col = np.array(
+                [entry[1] for entry in self._host_log], dtype=np.float64
+            )[order]
+            host_time = _ordered_sum(time_col, None)
+            host_energy = _ordered_sum(energy_col, None)
+        self.host_time_ns = host_time
+        self.host_energy_nj = host_energy
+
+        self._finalized_at = state
+
+    def seal(self) -> None:
+        """Finalize, then drop the logs, shape table, and pricer.
+
+        The pricer closes over the device's perf/energy models and is
+        not picklable; sealing makes the tracker a plain bag of totals
+        that can cross process and disk-cache boundaries exactly like a
+        scalar :class:`StatsTracker`.  Further ``record_*`` calls raise.
+        """
+        self._finalize()
+        self._sealed = True
+        self._pricer = None
+        self._table = None
+        self._shape_args = []
+        self._cmd_log = []
+        self._literals = []
+        self._copy_log = []
+        self._host_log = []
+        self._groups = []
+        self._finalized_at = (0, 0, 0, 0)
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def reset(self) -> None:
+        """Zero every accumulator and clear the logs (un-seals)."""
+        super().reset()
+        self._sealed = False
+        self._table = None
+        self._shape_args = []
+        self._bucket_names = []
+        self._bucket_ids = {}
+        self._kind_objs = []
+        self._kind_ids = {}
+        self._cmd_log = []
+        self._literals = []
+        self._copy_log = []
+        self._host_log = []
+        self._groups = []
+        self._finalized_at = None
+
+    # -- aggregate views ------------------------------------------------------
+
+    def snapshot(self):
+        self._finalize()
+        return super().snapshot()
+
+    @property
+    def kernel_time_ns(self) -> float:
+        self._finalize()
+        return StatsTracker.kernel_time_ns.fget(self)
+
+    @property
+    def kernel_energy_nj(self) -> float:
+        self._finalize()
+        return StatsTracker.kernel_energy_nj.fget(self)
+
+    @property
+    def copy_time_ns(self) -> float:
+        self._finalize()
+        return StatsTracker.copy_time_ns.fget(self)
+
+    @property
+    def copy_energy_nj(self) -> float:
+        self._finalize()
+        return StatsTracker.copy_energy_nj.fget(self)
+
+    @property
+    def copy_bytes(self) -> int:
+        self._finalize()
+        return StatsTracker.copy_bytes.fget(self)
+
+    @property
+    def total_command_count(self) -> int:
+        self._finalize()
+        return StatsTracker.total_command_count.fget(self)
+
+
+# -- strict equivalence ------------------------------------------------------
+
+
+def _bits(value: float) -> str:
+    """The exact IEEE-754 identity of a float (distinguishes -0.0, NaN)."""
+    if isinstance(value, float) and math.isnan(value):
+        return "nan:" + struct.pack("<d", value).hex()
+    return struct.pack("<d", float(value)).hex()
+
+
+def _float_equal(a: float, b: float) -> bool:
+    return _bits(a) == _bits(b)
+
+
+def tracker_mismatches(
+    vector: StatsTracker, scalar: StatsTracker
+) -> "list[str]":
+    """Field-by-field bit comparison of two trackers' totals.
+
+    Returns human-readable mismatch descriptions (empty = equivalent).
+    Float fields compare by IEEE-754 bit pattern, not ``==``: a
+    last-ulp divergence -- exactly what an iterated-add vs multiply
+    substitution produces -- is reported, never absorbed.
+    """
+    for tracker in (vector, scalar):
+        finalize = getattr(tracker, "_finalize", None)
+        if finalize is not None:
+            finalize()
+    mismatches: "list[str]" = []
+
+    def check_float(name: str, a: float, b: float) -> None:
+        if not _float_equal(a, b):
+            mismatches.append(f"{name}: {a!r} != {b!r}")
+
+    def check_int(name: str, a: int, b: int) -> None:
+        if int(a) != int(b):
+            mismatches.append(f"{name}: {a!r} != {b!r}")
+
+    vec_keys = list(vector.commands)
+    ref_keys = list(scalar.commands)
+    if vec_keys != ref_keys:
+        mismatches.append(
+            f"command signature order: {vec_keys!r} != {ref_keys!r}"
+        )
+    for signature in ref_keys:
+        if signature not in vector.commands:
+            continue
+        mine = vector.commands[signature]
+        theirs = scalar.commands[signature]
+        check_int(f"commands[{signature}].count", mine.count, theirs.count)
+        check_float(
+            f"commands[{signature}].latency_ns",
+            mine.latency_ns, theirs.latency_ns,
+        )
+        check_float(
+            f"commands[{signature}].energy_nj",
+            mine.energy_nj, theirs.energy_nj,
+        )
+
+    vec_ops = [(kind.name, count) for kind, count in vector.op_counts.items()]
+    ref_ops = [(kind.name, count) for kind, count in scalar.op_counts.items()]
+    if vec_ops != ref_ops:
+        mismatches.append(f"op_counts: {vec_ops!r} != {ref_ops!r}")
+
+    for direction, attr in COPY_DIRECTIONS.items():
+        mine = getattr(vector, attr)
+        theirs = getattr(scalar, attr)
+        check_int(f"copy[{direction}].num_bytes", mine.num_bytes, theirs.num_bytes)
+        check_float(
+            f"copy[{direction}].latency_ns", mine.latency_ns, theirs.latency_ns
+        )
+        check_float(
+            f"copy[{direction}].energy_nj", mine.energy_nj, theirs.energy_nj
+        )
+
+    check_float(
+        "background_energy_nj",
+        vector.background_energy_nj, scalar.background_energy_nj,
+    )
+    check_float("host_time_ns", vector.host_time_ns, scalar.host_time_ns)
+    check_float("host_energy_nj", vector.host_energy_nj, scalar.host_energy_nj)
+    for field in EVENT_FIELDS:
+        check_float(
+            f"events.{field}",
+            getattr(vector.events, field), getattr(scalar.events, field),
+        )
+    return mismatches
+
+
+def verify_equivalence(
+    vector_tracker: StatsTracker,
+    scalar_tracker: StatsTracker,
+    vector_result: "typing.Any | None" = None,
+    scalar_result: "typing.Any | None" = None,
+    label: str = "cell",
+) -> None:
+    """Raise :class:`VectorEquivalenceError` unless totals are bit-equal.
+
+    Compares the two trackers field by field, then (when both results
+    are given) the serialized benchmark results -- the exact payload
+    ``repro suite`` exports, so passing here *is* the byte-identical
+    suite JSON guarantee.
+    """
+    vector_tracker.snapshot()  # force finalize on the vector side
+    mismatches = tracker_mismatches(vector_tracker, scalar_tracker)
+    if vector_result is not None and scalar_result is not None:
+        vec_payload = json.dumps(vector_result.to_dict(), sort_keys=False)
+        ref_payload = json.dumps(scalar_result.to_dict(), sort_keys=False)
+        if vec_payload != ref_payload:
+            mismatches.append(
+                "serialized benchmark result diverged "
+                f"(vector {len(vec_payload)}B vs scalar {len(ref_payload)}B)"
+            )
+    if mismatches:
+        raise VectorEquivalenceError(label, mismatches)

@@ -1,0 +1,179 @@
+"""Engine integration of the vectorized pricing path.
+
+Covers the seams docs/VECTORIZATION.md documents: cache-key
+separation (vector and scalar cells can never share an entry), the
+``REPRO_VECTOR_CHECK`` strict-equivalence gate (it passes on honest
+cost tables and *fails loudly* on perturbed ones), the scalar
+fallback for functional/observed/fault cells, telemetry stamping, and
+suite-level byte identity of the exported JSON.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.arch import resolve_backend
+from repro.engine import CellSpec
+from repro.engine.cache import cell_cache_key
+from repro.engine.cells import run_cell
+
+FULCRUM = resolve_backend("fulcrum").device_type
+
+
+def _spec(**overrides):
+    defaults = dict(
+        benchmark_key="vecadd",
+        device_type=FULCRUM,
+        num_ranks=2,
+        paper_scale=False,
+        functional=False,
+        vector=True,
+    )
+    defaults.update(overrides)
+    return CellSpec(**defaults)
+
+
+class TestCacheKeySeparation:
+    def test_vector_and_scalar_keys_differ(self):
+        assert cell_cache_key(_spec()) != cell_cache_key(_spec(vector=False))
+
+    def test_vector_key_is_deterministic(self):
+        assert cell_cache_key(_spec()) == cell_cache_key(_spec())
+
+    def test_vector_stamp_is_the_engine_digest(self):
+        from repro.engine.version import vector_stamp
+
+        stamp = vector_stamp()
+        assert len(stamp) == 12
+        assert stamp == vector_stamp()
+
+
+class TestRunCellVector:
+    def test_vector_cell_matches_scalar_cell(self):
+        from repro.perf.vector import tracker_mismatches
+
+        vec = run_cell(_spec())
+        ref = run_cell(_spec(vector=False))
+        assert vec.ok and ref.ok
+        assert tracker_mismatches(vec.tracker, ref.tracker) == []
+        assert json.dumps(vec.result.to_dict()) == json.dumps(
+            ref.result.to_dict()
+        )
+
+    def test_vector_tracker_is_sealed_and_pickleable(self):
+        import pickle
+
+        outcome = run_cell(_spec())
+        assert outcome.tracker.sealed
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert (
+            clone.tracker.total_command_count
+            == outcome.tracker.total_command_count
+        )
+
+    def test_telemetry_stamped_vector(self):
+        outcome = run_cell(_spec())
+        assert outcome.telemetry.vector is True
+        assert outcome.telemetry.to_dict()["vector"] is True
+
+    def test_memo_shapes_match_histogram(self):
+        # The histogram dedupes by the scalar memo's own key, so the
+        # priced-shape census keeps its meaning in vector mode.
+        vec = run_cell(_spec())
+        ref = run_cell(_spec(vector=False))
+        assert vec.telemetry.memo_shapes == ref.telemetry.memo_shapes
+
+
+class TestScalarFallback:
+    def test_functional_cell_falls_back(self):
+        from repro.core.stats import StatsTracker
+
+        outcome = run_cell(_spec(functional=True, vector=True))
+        assert outcome.ok
+        assert outcome.telemetry.vector is False
+        assert type(outcome.tracker) is StatsTracker
+
+    def test_fault_cell_falls_back(self):
+        from repro.faults.models import BitFlipFault, FaultPlan
+
+        plan = FaultPlan(seed=3, faults=(BitFlipFault(rate=1e-4),))
+        outcome = run_cell(
+            _spec(functional=True, vector=True, fault_plan=plan)
+        )
+        assert outcome.ok
+        assert outcome.telemetry.vector is False
+
+    def test_observed_cell_falls_back(self):
+        outcome = run_cell(_spec(vector=True), record_events=True)
+        assert outcome.ok
+        assert outcome.telemetry.vector is False
+        assert outcome.events is not None
+
+
+class TestVectorCheckGate:
+    def test_check_passes_on_honest_tables(self, monkeypatch):
+        from repro.perf.vector import VECTOR_CHECK_ENV, vector_check_enabled
+
+        monkeypatch.setenv(VECTOR_CHECK_ENV, "1")
+        assert vector_check_enabled()
+        outcome = run_cell(_spec())
+        assert outcome.ok
+
+    def test_check_off_when_unset_or_empty(self, monkeypatch):
+        # Same convention as REPRO_NO_COST_MEMO: any non-empty value
+        # arms the check; unset or empty leaves it off.
+        from repro.perf.vector import VECTOR_CHECK_ENV, vector_check_enabled
+
+        monkeypatch.delenv(VECTOR_CHECK_ENV, raising=False)
+        assert not vector_check_enabled()
+        monkeypatch.setenv(VECTOR_CHECK_ENV, "")
+        assert not vector_check_enabled()
+
+    def test_check_catches_perturbed_cost_table(self, monkeypatch):
+        from repro.arch.base import ArchBackend
+        from repro.perf.vector import VECTOR_CHECK_ENV, VectorEquivalenceError
+
+        monkeypatch.setenv(VECTOR_CHECK_ENV, "1")
+        original = ArchBackend.cost_table
+
+        def perturbed(self, pipeline, shapes):
+            table = original(self, pipeline, shapes)
+            return dataclasses.replace(
+                table, latency_ns=table.latency_ns * (1.0 + 1e-9)
+            )
+
+        monkeypatch.setattr(ArchBackend, "cost_table", perturbed)
+        with pytest.raises(VectorEquivalenceError, match="vecadd"):
+            run_cell(_spec())
+
+
+class TestSuiteByteIdentity:
+    def test_exported_suite_json_identical(self):
+        from repro.experiments.runner import export_suite_json, run_suite
+
+        keys = ("vecadd", "histogram")
+        scalar = run_suite(
+            num_ranks=4, paper_scale=True, keys=keys,
+            enforce_capacity=False, use_cache=False,
+        )
+        vector = run_suite(
+            num_ranks=4, paper_scale=True, keys=keys,
+            enforce_capacity=False, use_cache=False, vector=True,
+        )
+        assert export_suite_json(scalar) == export_suite_json(vector)
+
+    def test_vector_suite_round_trips_disk_cache(self, tmp_path):
+        from repro.experiments.runner import _CACHE, run_suite
+
+        keys = ("vecadd",)
+        kwargs = dict(
+            num_ranks=2, paper_scale=False, keys=keys,
+            cache_dir=tmp_path, vector=True,
+        )
+        first = run_suite(**kwargs)
+        _CACHE.clear()  # force the second pass to the disk tier
+        second = run_suite(**kwargs)
+        a = first.result("vecadd", FULCRUM)
+        b = second.result("vecadd", FULCRUM)
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())

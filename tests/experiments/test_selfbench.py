@@ -58,7 +58,10 @@ class TestSelfBenchExecution:
         assert result.commands_per_s == pytest.approx(
             result.commands_simulated / result.wall_s
         )
-        assert set(RUN_NAMES) == {"suite-cold", "suite-warm", "figure12-cold"}
+        assert set(RUN_NAMES) == {
+            "suite-cold", "suite-warm", "figure12-cold",
+            "suite-cold-vector", "figure12-cold-vector",
+        }
 
 
 class TestHistoryLedger:
@@ -142,6 +145,48 @@ class TestRegressionGate:
 
         with pytest.raises(ValueError, match="no 'runs'"):
             check_regression([_FAKE], {"schema": 1})
+
+    def test_vector_legs_skip_pre_vector_baselines(self):
+        # A baseline archived before the vector legs existed (the
+        # BENCH_PR5.json shape) must still gate the scalar legs and
+        # silently skip the vector ones -- like-named runs only.
+        from repro.experiments import check_regression
+
+        measured = [
+            SelfBenchRun(run="suite-cold", wall_s=1.0,
+                         commands_simulated=1900, commands_per_s=1900.0),
+            SelfBenchRun(run="suite-cold-vector", wall_s=0.2,
+                         commands_simulated=1900, commands_per_s=9500.0),
+        ]
+        checks = check_regression(measured, self.BASELINE)
+        assert [c.run for c in checks] == ["suite-cold"]
+        assert checks[0].ok
+
+    def test_vector_legs_gate_against_vector_baselines(self):
+        from repro.experiments import check_regression
+
+        baseline = {
+            "schema": 1,
+            "runs": self.BASELINE["runs"] + [
+                {"run": "suite-cold-vector", "wall_s": 0.1,
+                 "commands_simulated": 1000, "commands_per_s": 10000.0},
+            ],
+        }
+        slow_vector = SelfBenchRun(
+            run="suite-cold-vector", wall_s=1.0,
+            commands_simulated=1000, commands_per_s=1000.0,
+        )
+        checks = check_regression([slow_vector], baseline)
+        assert [c.run for c in checks] == ["suite-cold-vector"]
+        assert not checks[0].ok
+
+    def test_format_fits_vector_leg_names(self):
+        run = SelfBenchRun(
+            run="figure12-cold-vector", wall_s=1.0,
+            commands_simulated=10, commands_per_s=10.0,
+        )
+        text = format_selfbench([run])
+        assert "figure12-cold-vector " in text
 
     def test_format_names_verdicts(self):
         from repro.experiments import format_regression

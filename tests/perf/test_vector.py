@@ -1,0 +1,276 @@
+"""Vectorized histogram pricing: the byte-identity contract.
+
+docs/VECTORIZATION.md promises that a ``vector=True`` run produces
+*bit-identical* accumulators and serialized results to the scalar path,
+for every registered backend (plug-ins included), by replicating the
+scalar tracker's exact float-summation order.  These tests pin that
+contract -- and, just as importantly, pin that the equivalence checker
+*notices* when it is broken (iterated-add vs premultiplied totals are
+different doubles, and must be reported, not absorbed).
+"""
+
+import pickle
+
+import pytest
+
+from repro.arch import iter_backends
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.bench.registry import make_benchmark
+from repro.core.commands import PimCmdKind
+from repro.core.device import PimDevice
+from repro.core.errors import PimTypeError
+from repro.core.stats import StatsTracker
+from repro.perf.vector import (
+    VectorEquivalenceError,
+    VectorStatsTracker,
+    _ordered_sum,
+    tracker_mismatches,
+    verify_equivalence,
+)
+
+BACKENDS = list(iter_backends())
+
+
+def _run_pair(
+    backend, key="vecadd", num_ranks=2, paper_scale=False,
+    enforce_capacity=True,
+):
+    """One benchmark through the scalar and the vector path."""
+    bench = make_benchmark(key, paper_scale=paper_scale)
+    scalar = PimDevice(
+        backend.make_config(num_ranks), functional=False,
+        enforce_capacity=enforce_capacity,
+    )
+    scalar_result = bench.run(scalar, CpuModel(), GpuModel())
+    bench = make_benchmark(key, paper_scale=paper_scale)
+    vector = PimDevice(
+        backend.make_config(num_ranks), functional=False, vector=True,
+        enforce_capacity=enforce_capacity,
+    )
+    vector_result = bench.run(vector, CpuModel(), GpuModel())
+    return scalar, scalar_result, vector, vector_result
+
+
+class TestOrderedSum:
+    def test_matches_sequential_python_sum(self):
+        import numpy as np
+
+        values = [0.1, 0.2, 0.30000000000000004, 1e18, -1e18, 3.5e-9]
+        expected = 0.0
+        for v in values:
+            expected += v
+        got = _ordered_sum(
+            np.asarray(values), np.ones(len(values), dtype=np.int64)
+        )
+        assert got == expected  # bit-equal, not approx
+
+    def test_reps_replicate_iterated_add(self):
+        import numpy as np
+
+        # 0.1 added ten times is NOT 1.0 in binary64; the vector path
+        # must reproduce the iterated result, not the multiplied one.
+        expected = 0.0
+        for _ in range(10):
+            expected += 0.1
+        got = _ordered_sum(
+            np.asarray([0.1]), np.asarray([10], dtype=np.int64)
+        )
+        assert got == expected
+        assert got != 1.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=[b.id for b in BACKENDS])
+class TestByteIdentityEveryBackend:
+    """vecadd on every registered backend: zero bit differences."""
+
+    def test_trackers_bit_identical(self, backend):
+        scalar, _, vector, _ = _run_pair(backend)
+        assert tracker_mismatches(vector.stats, scalar.stats) == []
+
+    def test_results_and_payloads_identical(self, backend):
+        import json
+
+        scalar, scalar_result, vector, vector_result = _run_pair(backend)
+        verify_equivalence(
+            vector.stats, scalar.stats, vector_result, scalar_result,
+            label=f"vecadd on {backend.id}",
+        )
+        assert json.dumps(vector_result.to_dict()) == json.dumps(
+            scalar_result.to_dict()
+        )
+
+
+class TestByteIdentityAcrossBenchmarks:
+    """Heavier kernels (replay traces, batches, host phases) stay exact."""
+
+    @pytest.mark.parametrize("key", ["histogram", "kmeans", "gemv", "aes-enc"])
+    def test_benchmark_bit_identical(self, key):
+        from repro.arch import resolve_backend
+
+        backend = resolve_backend("fulcrum")
+        scalar, scalar_result, vector, vector_result = _run_pair(
+            backend, key=key, enforce_capacity=False
+        )
+        verify_equivalence(
+            vector.stats, scalar.stats, vector_result, scalar_result,
+            label=f"{key} on fulcrum",
+        )
+
+    def test_paper_scale_bitserial(self):
+        from repro.arch import resolve_backend
+
+        backend = resolve_backend("bitserial")
+        scalar, scalar_result, vector, vector_result = _run_pair(
+            backend, key="vecadd", num_ranks=4, paper_scale=True,
+            enforce_capacity=False,
+        )
+        verify_equivalence(
+            vector.stats, scalar.stats, vector_result, scalar_result,
+            label="vecadd on bitserial (paper scale)",
+        )
+
+
+class TestEquivalenceCheckerCatchesDivergence:
+    """a+a+...+a != n*a: the checker must report it, never absorb it."""
+
+    def test_iterated_vs_premultiplied_is_a_mismatch(self):
+        iterated = StatsTracker()
+        iterated.record_command_batch(
+            PimCmdKind.ADD, "add.int32.v", 0.1, 0.1, count=10
+        )
+        premultiplied = StatsTracker()
+        premultiplied.record_command(
+            PimCmdKind.ADD, "add.int32.v", 1.0, 1.0, count=10
+        )
+        mismatches = tracker_mismatches(iterated, premultiplied)
+        assert mismatches, "float-order divergence was silently absorbed"
+        assert any("add.int32.v" in m for m in mismatches)
+
+    def test_vector_batch_follows_iterated_semantics(self):
+        scalar = StatsTracker()
+        scalar.record_command_batch(
+            PimCmdKind.ADD, "add.int32.v", 0.1, 0.1, count=10
+        )
+        vector = VectorStatsTracker()
+        vector.record_command_batch(
+            PimCmdKind.ADD, "add.int32.v", 0.1, 0.1, count=10
+        )
+        assert tracker_mismatches(vector, scalar) == []
+
+    def test_verify_equivalence_raises_with_label(self):
+        a = StatsTracker()
+        a.record_command(PimCmdKind.ADD, "add.int32.v", 1.0, 1.0)
+        b = VectorStatsTracker()
+        b.record_command(PimCmdKind.ADD, "add.int32.v", 1.0 + 1e-12, 1.0)
+        with pytest.raises(VectorEquivalenceError, match="my-cell"):
+            verify_equivalence(b, a, label="my-cell")
+
+    def test_verify_equivalence_passes_on_equal(self):
+        a = StatsTracker()
+        a.record_command(PimCmdKind.ADD, "add.int32.v", 1.0, 1.0)
+        a.record_copy("h2d", 64, 2.0, 3.0)
+        a.record_host(5.0, 7.0)
+        b = VectorStatsTracker()
+        b.record_command(PimCmdKind.ADD, "add.int32.v", 1.0, 1.0)
+        b.record_copy("h2d", 64, 2.0, 3.0)
+        b.record_host(5.0, 7.0)
+        verify_equivalence(b, a, label="equal")
+
+
+class TestReplayGroups:
+    """recorded_trace/replay_trace compress to O(1) markers, same sums."""
+
+    def _fill(self, tracker, times):
+        with tracker.recorded_trace() as trace:
+            tracker.record_command(
+                PimCmdKind.ADD, "add.int32.v", 0.1, 0.2
+            )
+            tracker.record_copy("d2d", 8, 0.3, 0.4)
+            tracker.record_host(0.5, 0.6)
+        tracker.replay_trace(trace, times=times)
+
+    @pytest.mark.parametrize("times", [0, 1, 7])
+    def test_replay_matches_scalar(self, times):
+        scalar = StatsTracker()
+        self._fill(scalar, times)
+        vector = VectorStatsTracker()
+        self._fill(vector, times)
+        assert tracker_mismatches(vector, scalar) == []
+
+    def test_vector_trace_is_compact(self):
+        vector = VectorStatsTracker()
+        with vector.recorded_trace() as trace:
+            vector.record_command(PimCmdKind.ADD, "add.int32.v", 0.1, 0.2)
+        before = vector.total_command_count
+        vector.replay_trace(trace, times=1000)
+        assert vector.total_command_count == before + 1000 * before
+
+
+class TestSealedTracker:
+    def _sealed(self):
+        tracker = VectorStatsTracker()
+        tracker.record_command(PimCmdKind.ADD, "add.int32.v", 1.5, 2.5)
+        tracker.record_copy("h2d", 32, 1.0, 1.0)
+        tracker.seal()
+        return tracker
+
+    def test_seal_is_pickleable_and_stable(self):
+        tracker = self._sealed()
+        clone = pickle.loads(pickle.dumps(tracker))
+        assert tracker_mismatches(clone, tracker) == []
+        assert clone.sealed
+
+    def test_sealed_rejects_new_records(self):
+        tracker = self._sealed()
+        with pytest.raises(RuntimeError, match="sealed"):
+            tracker.record_command(PimCmdKind.ADD, "add.int32.v", 1.0, 1.0)
+        with pytest.raises(RuntimeError, match="sealed"):
+            tracker.record_copy("h2d", 1, 1.0, 1.0)
+
+    def test_reset_unseals(self):
+        tracker = self._sealed()
+        tracker.reset()
+        assert not tracker.sealed
+        assert tracker.total_command_count == 0
+        tracker.record_command(PimCmdKind.ADD, "add.int32.v", 1.0, 1.0)
+        assert tracker.total_command_count == 1
+
+
+class TestVectorDeviceValidation:
+    """Vector mode is analytic-only; incompatible features fail loudly."""
+
+    def _backend(self):
+        from repro.arch import resolve_backend
+
+        return resolve_backend("fulcrum")
+
+    def test_functional_rejected(self):
+        with pytest.raises(PimTypeError, match="analytic"):
+            PimDevice(
+                self._backend().make_config(2), functional=True, vector=True
+            )
+
+    def test_bus_rejected(self):
+        from repro.obs import EventBus
+
+        with pytest.raises(PimTypeError, match="bus"):
+            PimDevice(
+                self._backend().make_config(2),
+                functional=False, bus=EventBus(), vector=True,
+            )
+        device = PimDevice(
+            self._backend().make_config(2), functional=False, vector=True
+        )
+        with pytest.raises(PimTypeError, match="bus"):
+            device.attach_bus(EventBus())
+
+    def test_faults_rejected(self):
+        from repro.faults.models import BitFlipFault, FaultPlan
+
+        plan = FaultPlan(seed=1, faults=(BitFlipFault(rate=1e-3),))
+        with pytest.raises(PimTypeError, match="fault"):
+            PimDevice(
+                self._backend().make_config(2),
+                functional=False, faults=plan, vector=True,
+            )

@@ -28,6 +28,21 @@ class TestParser:
         assert args.metrics is None
         assert args.top == 10
 
+    def test_vector_flags(self):
+        for command in (["run", "vecadd"], ["suite"], ["figure", "9"]):
+            args = build_parser().parse_args(command)
+            assert not args.vector and not args.vector_check
+            args = build_parser().parse_args(
+                command + ["--vector", "--vector-check"]
+            )
+            assert args.vector and args.vector_check
+        # profile accepts --vector (and ignores it with a note) but has
+        # no --vector-check: there is no vectorized run to cross-check.
+        args = build_parser().parse_args(["profile", "vecadd", "--vector"])
+        assert args.vector
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "vecadd", "--vector-check"])
+
 
 class TestFigureNormalization:
     # Regression: lstrip("fig") strips characters, so "figure 7" became
@@ -102,6 +117,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Hottest command signatures (top 3" in out
         assert "Simulated time" in out
+
+    def test_run_vector_paper_scale(self, capsys):
+        assert main([
+            "run", "vecadd", "--paper-scale", "--ranks", "32",
+            "--no-cache", "--vector",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out
+        assert "Speedup vs CPU" in out
+
+    def test_run_vector_functional_falls_back_with_note(self, capsys):
+        assert main(["run", "vecadd", "--vector", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "functional mode keeps" in out
+        assert "vectorized" not in out
+
+    def test_run_vector_check_sets_env_and_passes(self, capsys):
+        import os
+
+        from repro.perf.vector import VECTOR_CHECK_ENV
+
+        before = os.environ.pop(VECTOR_CHECK_ENV, None)
+        try:
+            assert main([
+                "run", "vecadd", "--paper-scale", "--ranks", "32",
+                "--no-cache", "--vector", "--vector-check",
+            ]) == 0
+            assert os.environ.get(VECTOR_CHECK_ENV) == "1"
+        finally:
+            os.environ.pop(VECTOR_CHECK_ENV, None)
+            if before is not None:
+                os.environ[VECTOR_CHECK_ENV] = before
+
+    def test_profile_vector_notes_scalar_path(self, capsys):
+        assert main(["profile", "vecadd", "--vector", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ignored by profile" in out
 
     def test_run_extension_kernel(self, capsys):
         assert main(["run", "stringmatch", "--target", "bank"]) == 0

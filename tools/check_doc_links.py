@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repository's markdown docs.
+
+Scans every ``*.md`` at the repo root and under ``docs/``, extracts
+inline markdown links, and verifies that each relative target resolves
+to an existing file.  External links (``http(s)://``, ``mailto:``) and
+pure-anchor links (``#section``) are skipped; ``#anchor`` suffixes on
+file targets are stripped before checking (anchor validity is not
+verified -- only file existence is cheap enough to gate CI on).
+
+Usage::
+
+    python tools/check_doc_links.py [repo-root]
+
+Exits non-zero listing every dead link as ``file:line: target``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown link: [text](target).  Deliberately simple -- the
+#: docs do not use angle-bracket or reference-style links.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: pathlib.Path) -> "list[pathlib.Path]":
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def dead_links(root: pathlib.Path) -> "list[str]":
+    failures = []
+    for doc in iter_doc_files(root):
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{doc.relative_to(root)}:{lineno}: {target}"
+                    )
+    return failures
+
+
+def main(argv: "list[str]") -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(".")
+    root = root.resolve()
+    failures = dead_links(root)
+    checked = len(iter_doc_files(root))
+    if failures:
+        print(f"dead links in {checked} markdown files:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
