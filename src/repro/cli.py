@@ -90,6 +90,7 @@ def _make_bench(key: str, paper_scale: bool):
 
 def _make_policy(args: argparse.Namespace):
     """The resilience policy the engine flags (or environment) ask for."""
+    from repro.core.errors import PimError
     from repro.resilience import RetryPolicy
 
     try:
@@ -98,7 +99,7 @@ def _make_policy(args: argparse.Namespace):
             cell_timeout_s=getattr(args, "cell_timeout", None),
             fail_fast=getattr(args, "fail_fast", False),
         )
-    except ValueError as exc:
+    except (ValueError, PimError) as exc:
         raise SystemExit(str(exc)) from None
 
 
@@ -423,6 +424,7 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
         append_history,
         check_regression,
         format_regression,
+        missing_baseline_runs,
     )
 
     if args.check and not args.baseline:
@@ -450,12 +452,183 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
                 f"cannot read baseline {args.baseline}: {exc}"
             ) from None
         try:
-            checks = check_regression(results, baseline, args.tolerance)
+            skipped = missing_baseline_runs(results, baseline)
+            checks = check_regression(
+                results, baseline, args.tolerance, missing_ok=True
+            )
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
-        print(f"\n{format_regression(checks, args.tolerance)}")
+        for name in skipped:
+            # A baseline archived before this leg existed cannot gate
+            # it; warn instead of hard-failing so new legs can land
+            # before their baseline does.
+            print(f"warning: no baseline entry for {name!r} in "
+                  f"{args.baseline}; leg skipped by --check",
+                  file=sys.stderr)
+        if checks:
+            print(f"\n{format_regression(checks, args.tolerance)}")
+        else:
+            print("\nRegression gate: no gate-able legs "
+                  "(every measured run skipped; see warnings)")
         if any(not check.ok for check in checks):
             return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived evaluation service (docs/SERVING.md)."""
+    import asyncio
+
+    from repro.serve.http import run_server
+    from repro.serve.service import EvaluationService, ServiceConfig
+
+    host = args.host
+    if args.socket is None and host is None:
+        host = "127.0.0.1"
+    chaos = None
+    if args.chaos_rate or args.chaos_hang_rate:
+        from repro.faults.chaos import ChaosPolicy
+
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed,
+            crash_rate=args.chaos_rate,
+            hang_rate=args.chaos_hang_rate,
+            hang_s=args.chaos_hang_s,
+        )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        default_deadline_s=args.deadline,
+        policy=_make_policy(args),
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        chaos=chaos,
+        drain_grace_s=args.drain_grace,
+    )
+    service = EvaluationService(config)
+
+    def ready(endpoints: "list[str]") -> None:
+        for endpoint in endpoints:
+            print(f"repro serve listening on {endpoint}", flush=True)
+
+    try:
+        code = asyncio.run(
+            run_server(
+                service,
+                host=host,
+                port=args.port,
+                socket_path=args.socket,
+                ready_callback=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        # The drain normally absorbs SIGINT via the loop's handler; a
+        # second interrupt lands here.  Still a clean exit.
+        code = 0
+    if args.openmetrics:
+        from repro.obs.metrics import global_registry
+        from repro.obs.openmetrics import write_openmetrics
+
+        write_openmetrics(args.openmetrics, global_registry())
+        print(f"OpenMetrics exposition written to {args.openmetrics}")
+    print("repro serve drained cleanly", flush=True)
+    return code
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Benchmark a live server with the closed-loop load generator."""
+    import json
+    import os
+    import pathlib
+    import signal as signal_mod
+    import subprocess
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.serve.loadgen import (
+        LoadLeg,
+        bench_payload,
+        format_reports,
+        run_leg,
+    )
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    cache_dir = args.cache_dir or os.path.join(tmpdir, "cache")
+    src_root = pathlib.Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    # Two legs, each against a freshly configured server: a
+    # duplicate-heavy leg sized to measure coalescing and the warm
+    # path, and an overload leg whose tiny admission queue forces
+    # shedding at the target QPS.
+    legs = [
+        (
+            {"queue_limit": str(args.queue_limit)},
+            LoadLeg(
+                name="serve-warm-dup",
+                duration_s=args.duration,
+                target_qps=args.qps,
+                concurrency=args.concurrency,
+                duplicate_ratio=args.duplicate_ratio,
+                seed=args.seed,
+            ),
+        ),
+        (
+            {"queue_limit": str(args.overload_queue_limit)},
+            LoadLeg(
+                name="serve-overload",
+                duration_s=args.duration,
+                target_qps=args.qps * 8,
+                concurrency=max(args.concurrency * 4, 8),
+                duplicate_ratio=0.0,
+                distinct_cells=64,
+                seed=args.seed + 1,
+            ),
+        ),
+    ]
+    reports = []
+    for overrides, leg in legs:
+        sock = os.path.join(tmpdir, f"{leg.name}.sock")
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", sock,
+            "--workers", str(args.workers),
+            "--queue-limit", overrides["queue_limit"],
+            "--cache-dir", cache_dir,
+            "--drain-grace", "5",
+        ]
+        proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            with ServeClient(socket_path=sock, timeout=30.0) as client:
+                client.wait_ready(attempts=300, delay_s=0.1)
+                # Pre-warm the hot cell so the duplicate-heavy leg
+                # measures the serving path, not one cold simulation.
+                client.cell(benchmark=leg.benchmark, device=leg.device,
+                            ranks=leg.ranks)
+            report = run_leg(
+                lambda: ServeClient(socket_path=sock, timeout=30.0), leg
+            )
+            reports.append(report)
+        finally:
+            proc.send_signal(signal_mod.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    print(format_reports(reports))
+    if args.out:
+        payload = bench_payload(reports)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"\nServing benchmark payload written to {args.out}")
     return 0
 
 
@@ -729,6 +902,92 @@ def build_parser() -> argparse.ArgumentParser:
              "--check fails (default 0.25)",
     )
     selfbench.set_defaults(func=cmd_selfbench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived evaluation service (docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default=None,
+                       help="TCP bind host (default: 127.0.0.1 unless "
+                            "--socket is given alone)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: an ephemeral port)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="also (or only) listen on this unix socket")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm worker processes (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max admitted-but-unfinished requests before "
+                            "shedding with ERR_OVERLOAD (default: 64)")
+    serve.add_argument("--quota-rps", type=float, default=None,
+                       help="per-tenant steady-state requests/s "
+                            "(default: unlimited)")
+    serve.add_argument("--quota-burst", type=float, default=None,
+                       help="per-tenant burst size (default: --quota-rps)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline seconds "
+                            "(default: 30)")
+    serve.add_argument("--cell-timeout", type=float, default=60.0,
+                       metavar="S",
+                       help="watchdog seconds before a worker is declared "
+                            "hung and respawned (default: 60)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries per cell after a transient fault "
+                            "(default: 2)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent result cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent result cache")
+    serve.add_argument("--drain-grace", type=float, default=20.0,
+                       metavar="S",
+                       help="seconds SIGTERM waits for in-flight work "
+                            "before force-rejecting it (default: 20)")
+    serve.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="fraction of executions that draw a worker "
+                            "crash (chaos mode; default: 0)")
+    serve.add_argument("--chaos-hang-rate", type=float, default=0.0,
+                       help="fraction of executions that draw a worker "
+                            "hang (default: 0)")
+    serve.add_argument("--chaos-hang-s", type=float, default=120.0,
+                       help="seconds an injected hang sleeps; keep it "
+                            "above --cell-timeout (default: 120)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the deterministic chaos schedule")
+    serve.add_argument("--openmetrics", metavar="OUT.txt", default=None,
+                       help="write a final OpenMetrics exposition on exit")
+    serve.set_defaults(func=cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="load-test repro serve and archive serving benchmarks",
+    )
+    bench_serve.add_argument("--duration", type=float, default=4.0,
+                             help="seconds per leg (default: 4)")
+    bench_serve.add_argument("--qps", type=float, default=40.0,
+                             help="target QPS of the duplicate-heavy leg; "
+                                  "the overload leg runs 8x (default: 40)")
+    bench_serve.add_argument("--concurrency", type=int, default=4,
+                             help="closed-loop workers of the warm leg "
+                                  "(default: 4)")
+    bench_serve.add_argument("--duplicate-ratio", type=float, default=0.8,
+                             help="fraction of warm-leg requests naming "
+                                  "the hot cell (default: 0.8)")
+    bench_serve.add_argument("--workers", type=int, default=2,
+                             help="server worker processes (default: 2)")
+    bench_serve.add_argument("--queue-limit", type=int, default=64,
+                             help="warm-leg admission queue (default: 64)")
+    bench_serve.add_argument("--overload-queue-limit", type=int, default=4,
+                             help="overload-leg admission queue "
+                                  "(default: 4, to force shedding)")
+    bench_serve.add_argument("--cache-dir", default=None,
+                             help="cache dir the benched servers share "
+                                  "(default: a fresh temp dir)")
+    bench_serve.add_argument("--seed", type=int, default=0,
+                             help="load-generator RNG seed")
+    bench_serve.add_argument("--out", metavar="BENCH.json", default=None,
+                             help="write the serving benchmark payload "
+                                  "(e.g. BENCH_PR8.json)")
+    bench_serve.set_defaults(func=cmd_bench_serve)
 
     arch = sub.add_parser(
         "arch", help="inspect the architecture backend registry"

@@ -30,14 +30,80 @@ import json
 import os
 import pathlib
 import pickle
+import time
 import typing
 import warnings
 
 from repro.engine.cells import CellOutcome, CellSpec
 from repro.engine.version import model_version, vector_stamp
 
+try:  # pragma: no cover - fcntl is POSIX-only
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - e.g. Windows
+    _fcntl = None
+
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: How long :meth:`DiskCache.flush_usage` waits for the ledger lock
+#: before falling back to an unlocked best-effort write.
+USAGE_LOCK_WAIT_S = 2.0
+
+#: Polling interval while waiting for the ledger lock.
+_USAGE_LOCK_POLL_S = 0.01
+
+
+class _UsageLock:
+    """Advisory ``fcntl`` lock on the usage ledger, with a bounded wait.
+
+    A serve process and a CLI run racing on the same cache directory
+    both read-modify-write ``usage.json``; without mutual exclusion one
+    side's increments are silently lost (or, worse, a reader observes a
+    torn rename window).  The lock file sits *next to* the ledger so the
+    atomic-rename protocol on the ledger itself is unchanged.
+
+    The wait is bounded (``USAGE_LOCK_WAIT_S``): a peer that died while
+    holding nothing more than an advisory lock must not wedge telemetry
+    flushes forever, so on timeout -- or on platforms without ``fcntl``
+    -- the caller proceeds unlocked, degrading to the historical
+    best-effort behaviour.  ``held`` reports which mode was used.
+    """
+
+    def __init__(self, path: pathlib.Path, wait_s: float = USAGE_LOCK_WAIT_S):
+        self.path = path
+        self.wait_s = wait_s
+        self.held = False
+        self._fh: "typing.IO[bytes] | None" = None
+
+    def __enter__(self) -> "_UsageLock":
+        if _fcntl is None:
+            return self
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError:
+            return self
+        deadline = time.monotonic() + self.wait_s
+        while True:
+            try:
+                _fcntl.flock(self._fh, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+                self.held = True
+                return self
+            except OSError:
+                if time.monotonic() >= deadline:
+                    self._fh.close()
+                    self._fh = None
+                    return self
+                time.sleep(_USAGE_LOCK_POLL_S)
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._fh is not None:
+            try:
+                if self.held:
+                    _fcntl.flock(self._fh, _fcntl.LOCK_UN)
+            finally:
+                self._fh.close()
+                self._fh = None
+        self.held = False
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -122,6 +188,10 @@ class DiskCache:
     def usage_path(self) -> pathlib.Path:
         return self.root / "usage.json"
 
+    @property
+    def usage_lock_path(self) -> pathlib.Path:
+        return self.root / "usage.lock"
+
     def path_for(self, key: str) -> pathlib.Path:
         return self.cells_dir / key[:2] / f"{key}.pkl"
 
@@ -190,26 +260,38 @@ class DiskCache:
     def flush_usage(self) -> "dict[str, int]":
         """Merge this session's tallies into the lifetime ledger.
 
-        Atomic write (temp + rename), best-effort read-modify-write: two
-        racing engines may each lose the other's increments, which is an
-        acceptable error bar for telemetry and never corrupts the file.
-        Returns the merged totals; the session tallies reset.  The
-        engine calls this once per ``run_cells``.
+        The read-modify-write runs under an advisory ``fcntl`` lock
+        (:class:`_UsageLock`) so a serve process and a CLI run racing on
+        the same cache directory serialize their merges instead of each
+        losing the other's increments.  The lock wait is bounded: on
+        timeout (or where ``fcntl`` does not exist) the write degrades
+        to the historical best-effort behaviour -- telemetry may lose an
+        increment, the file is never corrupted (writes stay atomic:
+        temp + rename).  Returns the merged totals; the session tallies
+        reset.  The engine calls this once per ``run_cells``.
         """
         if not any(self._session_usage.values()):
             return self.usage()
-        totals = self.usage()
-        for field in self.USAGE_FIELDS:
-            totals[field] += self._session_usage[field]
+        session = self._session_usage
         self._session_usage = dict.fromkeys(self.USAGE_FIELDS, 0)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self.usage_path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(dict(totals, schema=1), fh)
-            os.replace(tmp, self.usage_path)
         except OSError:  # read-only cache roots lose telemetry, not results
-            pass
+            totals = self.usage()
+            for field in self.USAGE_FIELDS:
+                totals[field] += session[field]
+            return totals
+        with _UsageLock(self.usage_lock_path):
+            totals = self.usage()
+            for field in self.USAGE_FIELDS:
+                totals[field] += session[field]
+            try:
+                tmp = self.usage_path.with_suffix(f".tmp.{os.getpid()}")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(dict(totals, schema=1), fh)
+                os.replace(tmp, self.usage_path)
+            except OSError:
+                pass
         return totals
 
     def entries(self) -> "list[tuple[str, int, float]]":

@@ -175,7 +175,8 @@ def _apply_engine_faults(spec: CellSpec, attempt: int, isolated: bool) -> None:
         return
     for fault in spec.fault_plan.engine_faults:
         if isinstance(fault, WorkerHangFault):
-            time.sleep(fault.seconds)
+            if fault.fail_attempts is None or attempt <= fault.fail_attempts:
+                time.sleep(fault.seconds)
         elif isinstance(fault, WorkerExceptionFault):
             if attempt <= fault.fail_attempts:
                 raise PimFaultInjectionError(

@@ -313,65 +313,75 @@ def _run_isolated(
         )
         running[future] = (spec, pool, deadline)
 
-    while queue or running:
-        now = time.monotonic()
-        if fail_fast_hit:
-            for spec in queue:
-                outcomes[spec] = CellOutcome.failure(skipped_failure())
-            queue = []
-        while queue and len(running) < jobs:
-            index = next(
-                (i for i, s in enumerate(queue)
-                 if not_before.get(s, 0.0) <= now),
-                None,
+    try:
+        while queue or running:
+            now = time.monotonic()
+            if fail_fast_hit:
+                for spec in queue:
+                    outcomes[spec] = CellOutcome.failure(skipped_failure())
+                queue = []
+            while queue and len(running) < jobs:
+                index = next(
+                    (i for i, s in enumerate(queue)
+                     if not_before.get(s, 0.0) <= now),
+                    None,
+                )
+                if index is None:
+                    break
+                launch(queue.pop(index))
+            if not running:
+                # Everything left is gated on backoff; sleep to the
+                # nearest gate.
+                if queue:
+                    gate = min(not_before[s] for s in queue)
+                    time.sleep(max(0.0, gate - time.monotonic()))
+                continue
+            deadlines = [d for (_, _, d) in running.values() if d is not None]
+            if deadlines:
+                wait_s = max(0.0, min(deadlines) - time.monotonic())
+            elif queue:
+                wait_s = 0.05  # backoff-gated cells want a slot soon
+            else:
+                wait_s = None
+            done, _ = concurrent.futures.wait(
+                running, timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED,
             )
-            if index is None:
-                break
-            launch(queue.pop(index))
-        if not running:
-            # Everything left is gated on backoff; sleep to the nearest gate.
-            if queue:
-                gate = min(not_before[s] for s in queue)
-                time.sleep(max(0.0, gate - time.monotonic()))
-            continue
-        deadlines = [d for (_, _, d) in running.values() if d is not None]
-        if deadlines:
-            wait_s = max(0.0, min(deadlines) - time.monotonic())
-        elif queue:
-            wait_s = 0.05  # backoff-gated cells want a slot soon
-        else:
-            wait_s = None
-        done, _ = concurrent.futures.wait(
-            running, timeout=wait_s,
-            return_when=concurrent.futures.FIRST_COMPLETED,
-        )
-        for future in done:
-            spec, pool, _ = running.pop(future)
-            try:
-                outcomes[spec] = future.result()
-            except concurrent.futures.process.BrokenProcessPool:
-                settle(spec, PimWorkerCrashError(
-                    "worker process died without raising",
+            for future in done:
+                spec, pool, _ = running.pop(future)
+                try:
+                    outcomes[spec] = future.result()
+                except concurrent.futures.process.BrokenProcessPool:
+                    settle(spec, PimWorkerCrashError(
+                        "worker process died without raising",
+                        benchmark=spec.benchmark_key,
+                        device=spec.device_type.value,
+                        attempt=attempts[spec],
+                    ))
+                except Exception as exc:  # noqa: BLE001 - degraded to CellFailure
+                    settle(spec, exc)
+                pool.shutdown(wait=False)
+            now = time.monotonic()
+            for future, (spec, pool, deadline) in list(running.items()):
+                if deadline is None or now < deadline or future.done():
+                    continue  # done-but-unharvested cells settle next pass
+                del running[future]
+                _kill_pool(pool)
+                settle(spec, PimTimeoutError(
+                    f"cell exceeded its {policy.cell_timeout_s}s timeout",
+                    timeout_s=policy.cell_timeout_s,
                     benchmark=spec.benchmark_key,
                     device=spec.device_type.value,
                     attempt=attempts[spec],
                 ))
-            except Exception as exc:  # noqa: BLE001 - degraded to CellFailure
-                settle(spec, exc)
-            pool.shutdown(wait=False)
-        now = time.monotonic()
-        for future, (spec, pool, deadline) in list(running.items()):
-            if deadline is None or now < deadline or future.done():
-                continue  # done-but-unharvested cells settle next pass
-            del running[future]
+    finally:
+        # A KeyboardInterrupt (or any other non-local exit) between
+        # supervisor-pool spawns must not leak live worker processes:
+        # kill every pool still checked out.  On a normal exit
+        # ``running`` is already empty and this is a no-op.
+        for _, pool, _ in running.values():
             _kill_pool(pool)
-            settle(spec, PimTimeoutError(
-                f"cell exceeded its {policy.cell_timeout_s}s timeout",
-                timeout_s=policy.cell_timeout_s,
-                benchmark=spec.benchmark_key,
-                device=spec.device_type.value,
-                attempt=attempts[spec],
-            ))
+        running.clear()
     return outcomes
 
 

@@ -1,0 +1,138 @@
+"""Reusable warm executor: worker processes that outlive one cell.
+
+:func:`~repro.engine.engine.run_cells` pays a process spawn per cell
+attempt -- the right trade for a batch run, where spawn cost is noise
+next to simulation time and per-attempt pools give surgical crash
+attribution.  A long-running service cannot afford that: every request
+would re-import numpy and re-build the registry.  :class:`WarmExecutor`
+keeps a fixed set of single-worker pools alive across cells, so the
+interpreter, the arch registry, and the cost-memo tables stay hot in
+each worker, while preserving the engine's isolation story:
+
+* each slot is a **single-worker** pool, so a crash or a hang breaks
+  exactly one slot and is attributable to exactly one cell;
+* a hung or crashed slot is **killed and respawned** (the watchdog's
+  move), costing one spawn instead of poisoning the executor;
+* the worker entry point is the engine's own ``_worker``, so a cell run
+  through a warm slot is byte-identical to one run by ``run_cells``.
+
+The class is synchronous and thread-safe-by-construction (each slot is
+owned by one caller at a time; acquisition goes through a lock-free
+queue).  ``repro.serve`` wraps it with asyncio.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import queue
+import typing
+
+from repro.engine.engine import _kill_pool, _worker
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cells import CellOutcome, CellSpec
+
+
+class WarmSlot:
+    """One persistent single-worker pool, killable and respawnable."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.respawns = 0
+        self.cells_run = 0
+        self._pool: "concurrent.futures.ProcessPoolExecutor | None" = (
+            concurrent.futures.ProcessPoolExecutor(max_workers=1)
+        )
+
+    def submit(
+        self, spec: "CellSpec", attempt: int = 1, record_events: bool = False
+    ) -> "concurrent.futures.Future[CellOutcome]":
+        """Run one cell attempt on this slot's warm worker."""
+        if self._pool is None:
+            raise RuntimeError(f"warm slot {self.index} is shut down")
+        self.cells_run += 1
+        return self._pool.submit(_worker, spec, record_events, attempt, True)
+
+    def warm_up(self) -> None:
+        """Force the worker process to exist (pools spawn lazily)."""
+        if self._pool is not None:
+            self._pool.submit(int).result()
+
+    def respawn(self) -> None:
+        """Kill the (possibly hung) worker and stand up a fresh pool.
+
+        The kill must come first: a plain shutdown would join a hung
+        worker forever.  Safe to call on a healthy slot too.
+        """
+        if self._pool is None:
+            raise RuntimeError(f"warm slot {self.index} is shut down")
+        self.respawns += 1
+        _kill_pool(self._pool)
+        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+
+    def shutdown(self) -> None:
+        """Kill the worker and retire the slot permanently."""
+        if self._pool is not None:
+            _kill_pool(self._pool)
+            self._pool = None
+
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+
+class WarmExecutor:
+    """A fixed fleet of :class:`WarmSlot` workers with checkout semantics.
+
+    Callers :meth:`acquire` a slot (blocking until one is free), submit
+    work on it, and :meth:`release` it back -- or :meth:`respawn` it
+    first if the worker hung or died.  The checkout discipline is what
+    makes hang attribution exact: a slot serves one cell at a time.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.slots = [WarmSlot(i) for i in range(workers)]
+        self._free: "queue.SimpleQueue[WarmSlot]" = queue.SimpleQueue()
+        for slot in self.slots:
+            self._free.put(slot)
+
+    @property
+    def workers(self) -> int:
+        return len(self.slots)
+
+    @property
+    def respawns(self) -> int:
+        return sum(slot.respawns for slot in self.slots)
+
+    def warm_up(self) -> None:
+        """Spawn every worker process up front (service start, not first
+        request, should pay the import cost)."""
+        for slot in self.slots:
+            slot.warm_up()
+
+    def acquire(self, timeout: "float | None" = None) -> WarmSlot:
+        """Check out a free slot (raises ``queue.Empty`` on timeout)."""
+        if timeout is None:
+            return self._free.get()
+        return self._free.get(timeout=timeout)
+
+    def release(self, slot: WarmSlot) -> None:
+        """Return a checked-out slot to the free pool."""
+        if slot.alive:
+            self._free.put(slot)
+
+    def shutdown(self) -> None:
+        """Kill every worker process.  Idempotent."""
+        for slot in self.slots:
+            slot.shutdown()
+
+    def worker_pids(self) -> "list[int]":
+        """PIDs of the currently live worker processes (for drain tests)."""
+        pids = []
+        for slot in self.slots:
+            pool = slot._pool
+            if pool is not None:
+                pids.extend(getattr(pool, "_processes", {}).keys())
+        return pids

@@ -254,10 +254,45 @@ class RegressionCheck:
         )
 
 
+def baseline_run_names(
+    baseline_payload: "dict[str, object]",
+) -> "set[str]":
+    """The gate-able run names a baseline payload carries.
+
+    Archived ``*-pre-memo`` entries are reference points, not gates, and
+    are excluded.  Raises :class:`ValueError` for a payload that is not
+    a selfbench payload at all.
+    """
+    runs = baseline_payload.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError("baseline payload has no 'runs' list")
+    return {
+        str(run["run"])
+        for run in runs
+        if isinstance(run, dict) and "run" in run
+        and not str(run["run"]).endswith("-pre-memo")
+    }
+
+
+def missing_baseline_runs(
+    results: "typing.Sequence[SelfBenchRun]",
+    baseline_payload: "dict[str, object]",
+) -> "list[str]":
+    """Measured runs the baseline has no entry for (gate skips these).
+
+    A baseline archived before a new leg existed -- BENCH_PR7.json knows
+    nothing of the serving legs, for instance -- must not hard-fail the
+    gate; ``--check`` warns about these names and gates the rest.
+    """
+    names = baseline_run_names(baseline_payload)
+    return [result.run for result in results if result.run not in names]
+
+
 def check_regression(
     results: "typing.Sequence[SelfBenchRun]",
     baseline_payload: "dict[str, object]",
     tolerance: float = 0.25,
+    missing_ok: bool = False,
 ) -> "list[RegressionCheck]":
     """Compare measured throughput against a baseline payload.
 
@@ -267,8 +302,13 @@ def check_regression(
     ``commands_per_s`` stays at or above ``(1 - tolerance)`` times the
     baseline's.  Archived ``*-pre-memo`` baselines are reference points,
     not gates, and are skipped.  Raises :class:`ValueError` when the
-    payload is not a selfbench payload or shares no runs with the
-    measurements (a silent pass would hide a misconfigured gate).
+    payload is not a selfbench payload or -- unless ``missing_ok`` --
+    shares no runs with the measurements (a silent pass would hide a
+    misconfigured gate).  With ``missing_ok=True`` a disjoint baseline
+    yields an empty check list instead; callers should pair it with
+    :func:`missing_baseline_runs` and warn about what was skipped, so
+    brand-new legs (the serving benchmarks) can ride an old baseline
+    without breaking the gate.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -292,7 +332,7 @@ def check_regression(
         for result in results
         if result.run in baseline_cps
     ]
-    if not checks:
+    if not checks and not missing_ok:
         raise ValueError(
             f"baseline shares no runs with the measurements "
             f"(baseline has {sorted(baseline_cps)}, "

@@ -1,0 +1,97 @@
+"""Chaos mode for the live server: seeded worker crash/hang injection.
+
+``repro serve --chaos-rate R`` arms a :class:`ChaosPolicy`: a seeded,
+deterministic schedule that decorates a fraction of executing cells
+with the PR 3 *engine* faults (:class:`WorkerCrashFault`,
+:class:`WorkerHangFault`) -- the worker hard-exits or stalls, the
+serve watchdog kills/respawns the slot, and the retry budget absorbs
+the loss.  It exists to prove, against a *live* server, exactly what
+the batch-engine chaos tests prove for ``run_cells``: faults change
+*whether a worker survives*, never *what the cell computes*.
+
+Two properties make that safe:
+
+* only **engine** faults are injected -- they fire before the
+  simulation starts, so a retried attempt produces the byte-identical
+  result a fault-free run would have; and
+* the decoration happens **after** cache-key computation, keyed off the
+  request sequence number, so cached entries and response payloads are
+  those of the undecorated spec.
+
+Determinism: fault decisions derive from SHA-256 over
+``(seed, request_index)`` -- two runs of the same request sequence
+inject the same chaos, making drain/respawn tests repeatable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+from repro.faults.models import FaultPlan, WorkerCrashFault, WorkerHangFault
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cells import CellSpec
+
+
+def _fraction(seed: int, index: int, salt: str) -> float:
+    """A stable value in ``[0, 1)`` for (seed, request index, salt)."""
+    digest = hashlib.sha256(f"{seed}:{salt}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded schedule of worker-level faults for a live server.
+
+    ``crash_rate`` / ``hang_rate`` are per-request probabilities (the
+    deterministic analogue of them); a hang sleeps ``hang_s`` wall
+    seconds, which should exceed the serve watchdog timeout to exercise
+    the kill/respawn path.  Both fault kinds fire on the first attempt
+    only (``fail_attempts=1``), so one retry always recovers.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "hang_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    @property
+    def active(self) -> bool:
+        return self.crash_rate > 0.0 or self.hang_rate > 0.0
+
+    def plan_for(self, index: int) -> "FaultPlan | None":
+        """The fault plan request number ``index`` draws, if any."""
+        if self.crash_rate and _fraction(self.seed, index, "crash") < self.crash_rate:
+            return FaultPlan(
+                seed=self.seed,
+                faults=(WorkerCrashFault(fail_attempts=1),),
+            )
+        if self.hang_rate and _fraction(self.seed, index, "hang") < self.hang_rate:
+            return FaultPlan(
+                seed=self.seed,
+                faults=(WorkerHangFault(seconds=self.hang_s, fail_attempts=1),),
+            )
+        return None
+
+    def decorate(self, spec: "CellSpec", index: int) -> "CellSpec":
+        """The spec to *execute* for request ``index``.
+
+        Returns ``spec`` unchanged when this request draws no fault.
+        Never mutates identity the cache key depends on from the
+        caller's point of view: callers must compute the cache key from
+        the undecorated spec (the serve execution path does).
+        """
+        plan = self.plan_for(index)
+        if plan is None or spec.fault_plan is not None:
+            return spec
+        return dataclasses.replace(spec, fault_plan=plan)

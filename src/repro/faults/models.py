@@ -118,13 +118,23 @@ class WorkerHangFault(FaultModel):
 
     Long enough relative to ``--cell-timeout`` and the cell times out;
     the resilience layer must kill the worker and carry on.
+
+    ``fail_attempts`` bounds which attempts hang: ``None`` (the
+    default) hangs every attempt -- a persistent stall -- while ``1``
+    models a one-off stall that a retry recovers from (what serve-mode
+    chaos injects).
     """
 
     seconds: float = 30.0
+    fail_attempts: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.fail_attempts is not None and self.fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be >= 1 or None, got {self.fail_attempts}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -13,6 +13,7 @@ import dataclasses
 import hashlib
 import os
 
+from repro.core.errors import PimConfigError
 
 #: Environment variable supplying the default per-cell timeout in seconds
 #: (CLI ``--cell-timeout`` overrides it; unset means no timeout).
@@ -105,7 +106,11 @@ class RetryPolicy:
 
         Mirrors :func:`repro.engine.resolve_jobs`: an explicit argument
         beats ``$REPRO_MAX_RETRIES`` / ``$REPRO_CELL_TIMEOUT``, which
-        beat the do-nothing defaults.
+        beat the do-nothing defaults.  An unparseable environment value
+        raises a *coded* :class:`~repro.core.errors.PimConfigError`
+        (status ``ERR_CONFIG``) naming the variable, so callers that
+        catch the taxonomy -- the CLI, the serve admission path -- can
+        surface it structurally instead of as a bare ``ValueError``.
         """
         if max_retries is None:
             env = os.environ.get(MAX_RETRIES_ENV, "").strip()
@@ -113,8 +118,9 @@ class RetryPolicy:
                 try:
                     max_retries = int(env)
                 except ValueError:
-                    raise ValueError(
-                        f"{MAX_RETRIES_ENV} must be an integer, got {env!r}"
+                    raise PimConfigError(
+                        f"{MAX_RETRIES_ENV} must be an integer, got {env!r}",
+                        env_var=MAX_RETRIES_ENV, value=env,
                     ) from None
             else:
                 max_retries = 0
@@ -124,8 +130,9 @@ class RetryPolicy:
                 try:
                     cell_timeout_s = float(env)
                 except ValueError:
-                    raise ValueError(
-                        f"{CELL_TIMEOUT_ENV} must be a number, got {env!r}"
+                    raise PimConfigError(
+                        f"{CELL_TIMEOUT_ENV} must be a number, got {env!r}",
+                        env_var=CELL_TIMEOUT_ENV, value=env,
                     ) from None
         return cls(
             max_retries=max_retries,

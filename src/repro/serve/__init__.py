@@ -1,0 +1,62 @@
+"""repro.serve: the long-running, fault-tolerant evaluation service.
+
+Every CLI query today pays interpreter start-up, numpy import, registry
+construction, and engine spin-up before the first command is priced.
+``repro serve`` keeps all of that warm in one process -- the
+ArchBackend registry, the cost-memo tables, the vectorized pricer, and
+the persistent :class:`~repro.engine.cache.DiskCache` -- and answers
+evaluation requests over JSON/HTTP on a TCP port or a unix socket.
+
+Robustness is the contract, not a bolt-on (docs/SERVING.md):
+
+* **admission control** -- a bounded queue with explicit load shedding
+  (``ERR_OVERLOAD`` + a retry-after hint) and per-tenant token-bucket
+  quotas, so overload degrades into fast rejections instead of
+  unbounded latency;
+* **single-flight coalescing** -- concurrent identical cells (keyed by
+  the engine's content-addressed cache key) cost one execution;
+* **deadlines** -- per-request budgets enforced while queued and while
+  executing, reusing PR 3's :class:`~repro.resilience.RetryPolicy`
+  machinery and fault taxonomy;
+* **circuit breaking** -- a backend that keeps failing is opened for a
+  cooldown and probed half-open before traffic returns;
+* **watchdog-supervised workers** -- warm worker processes
+  (:class:`~repro.engine.warm.WarmExecutor`) that are killed and
+  respawned on hang or crash, with retries absorbing the loss;
+* **graceful drain** -- SIGTERM/SIGINT stops admission, finishes or
+  cleanly rejects in-flight work, flushes telemetry, and exits 0.
+
+Every response payload is byte-identical to what a direct
+:func:`~repro.engine.run_cells` call produces for the same spec -- the
+service changes *when* and *whether* work runs, never its numbers.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.protocol import (
+    ERROR_HTTP_STATUS,
+    CellRequest,
+    ServeError,
+    canonical_json,
+    error_payload,
+    result_payload,
+)
+from repro.serve.service import EvaluationService, ServiceConfig
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerState",
+    "CellRequest",
+    "CircuitBreaker",
+    "ERROR_HTTP_STATUS",
+    "EvaluationService",
+    "ServeError",
+    "ServiceConfig",
+    "SingleFlight",
+    "TokenBucket",
+    "canonical_json",
+    "error_payload",
+    "result_payload",
+]

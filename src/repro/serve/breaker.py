@@ -1,0 +1,128 @@
+"""Per-backend circuit breaking with half-open probing.
+
+A backend whose cells keep dying -- a broken plug-in, a perf model that
+hangs, a poisoned cache directory -- must not be allowed to soak up
+worker slots, watchdog kills, and retry budgets while healthy backends
+starve.  After ``failure_threshold`` *consecutive* failures the
+backend's circuit opens: requests for it are refused instantly with
+``ERR_CIRCUIT_OPEN`` and a retry-after equal to the remaining cooldown.
+When the cooldown lapses the circuit goes **half-open**: exactly one
+probe request is admitted; its success closes the circuit (and resets
+the failure count), its failure re-opens it for another full cooldown.
+
+Only *execution* failures count (the PR 3 taxonomy's ERROR / TIMEOUT /
+CRASH); admission refusals never trip a breaker -- shedding is the
+server protecting itself, not evidence the backend is sick.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+import typing
+
+from repro.serve.protocol import ERR_CIRCUIT_OPEN, ServeError
+
+Clock = typing.Callable[[], float]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class _Circuit:
+    """One key's breaker state machine."""
+
+    def __init__(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probe_out = False
+        self.opens = 0
+
+
+class CircuitBreaker:
+    """Keyed circuit breakers (one state machine per backend id)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 10.0,
+        clock: "Clock | None" = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock or time.monotonic
+        self._circuits: "dict[str, _Circuit]" = {}
+
+    def _circuit(self, key: str) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    def state(self, key: str) -> BreakerState:
+        return self._circuit(key).state
+
+    def opens(self, key: str) -> int:
+        return self._circuit(key).opens
+
+    def check(self, key: str) -> None:
+        """Gate one request; raises :class:`ServeError` while open.
+
+        An open circuit whose cooldown has lapsed transitions to
+        half-open and admits this caller as the probe; concurrent
+        requests during the probe are still refused.
+        """
+        circuit = self._circuit(key)
+        if circuit.state is BreakerState.CLOSED:
+            return
+        now = self._clock()
+        if circuit.state is BreakerState.OPEN:
+            remaining = circuit.opened_at + self.cooldown_s - now
+            if remaining > 0:
+                raise ServeError(
+                    ERR_CIRCUIT_OPEN,
+                    f"circuit for backend {key!r} is open "
+                    f"({circuit.consecutive_failures} consecutive failures)",
+                    retry_after_s=remaining,
+                    backend=key,
+                )
+            circuit.state = BreakerState.HALF_OPEN
+            circuit.probe_out = False
+        # HALF_OPEN: one probe at a time.
+        if circuit.probe_out:
+            raise ServeError(
+                ERR_CIRCUIT_OPEN,
+                f"circuit for backend {key!r} is half-open and its probe "
+                "is still in flight",
+                retry_after_s=self.cooldown_s / 2,
+                backend=key,
+            )
+        circuit.probe_out = True
+
+    def record_success(self, key: str) -> None:
+        circuit = self._circuit(key)
+        circuit.consecutive_failures = 0
+        circuit.probe_out = False
+        circuit.state = BreakerState.CLOSED
+
+    def record_failure(self, key: str) -> None:
+        circuit = self._circuit(key)
+        circuit.consecutive_failures += 1
+        circuit.probe_out = False
+        if (
+            circuit.state is BreakerState.HALF_OPEN
+            or circuit.consecutive_failures >= self.failure_threshold
+        ):
+            circuit.state = BreakerState.OPEN
+            circuit.opened_at = self._clock()
+            circuit.opens += 1

@@ -1,0 +1,291 @@
+"""The transport: stdlib asyncio HTTP/1.1 over TCP and unix sockets.
+
+Deliberately tiny -- request-line + headers + ``Content-Length`` body,
+keep-alive connections, no chunked encoding, no TLS -- because the
+clients are the repo's own tools (``repro.serve.client``, the load
+generator, the CI smoke script) and the contract that matters lives a
+layer down in :class:`~repro.serve.service.EvaluationService`.  Routes:
+
+* ``POST /v1/cell``  -- evaluate one cell (the JSON body is a
+  :class:`~repro.serve.protocol.CellRequest`);
+* ``GET /metrics``   -- OpenMetrics exposition of the process registry
+  (the same :func:`repro.obs.openmetrics.render` CI already scrapes);
+* ``GET /healthz``   -- liveness: 200 while the process can answer;
+* ``GET /readyz``    -- readiness: 200 only when warmed and not
+  draining (a draining server fails readiness first, so an external
+  balancer stops sending work before the socket closes);
+* ``GET /statusz``   -- JSON service introspection (queue depth,
+  coalesce/shed tallies; what the load generator samples).
+
+Shutdown is the drain contract from docs/SERVING.md: SIGTERM/SIGINT
+flips readiness, stops admission, lets in-flight requests finish (or
+cleanly refuses them after the grace budget), flushes telemetry, and
+exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import signal
+import typing
+
+from repro.obs.openmetrics import render
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    canonical_json,
+    error_payload,
+)
+from repro.serve.service import EvaluationService
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Refuse bodies beyond this size before reading them (a request names a
+#: cell; it has no business being large).
+MAX_BODY_BYTES = 1 << 20
+
+#: OpenMetrics text media type (what the exposition spec mandates).
+OPENMETRICS_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+@dataclasses.dataclass
+class _Request:
+    method: str
+    path: str
+    headers: "dict[str, str]"
+    body: bytes
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: "tuple[tuple[str, str], ...]" = (),
+    keep_alive: bool = True,
+) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: "asyncio.StreamReader",
+) -> "_Request | None":
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed request line: {request_line!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"request body of {length} bytes exceeds the limit")
+    body = await reader.readexactly(length) if length else b""
+    return _Request(method=method, path=path, headers=headers, body=body)
+
+
+class ServeApp:
+    """Routes + connection handling around one :class:`EvaluationService`."""
+
+    def __init__(self, service: EvaluationService) -> None:
+        self.service = service
+        self.connections = 0
+
+    async def handle_connection(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ValueError as exc:
+                    body = canonical_json(
+                        error_payload(ERR_BAD_REQUEST, str(exc))
+                    )
+                    writer.write(
+                        _response_bytes(400, body, keep_alive=False)
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, body, content_type, extra = await self.dispatch(
+                    request
+                )
+                writer.write(
+                    _response_bytes(
+                        status,
+                        body,
+                        content_type=content_type,
+                        extra_headers=extra,
+                        keep_alive=keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # the client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def dispatch(
+        self, request: _Request
+    ) -> "tuple[int, bytes, str, tuple[tuple[str, str], ...]]":
+        """Route one request; returns (status, body, content-type, headers)."""
+        method, path = request.method, request.path.split("?", 1)[0]
+        if path == "/v1/cell":
+            if method != "POST":
+                return self._json(
+                    405,
+                    error_payload(
+                        ERR_BAD_REQUEST, f"{method} not allowed; POST /v1/cell"
+                    ),
+                )
+            try:
+                status, payload = await self.service.evaluate(request.body)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - keep the server alive
+                return self._json(
+                    500,
+                    error_payload(
+                        ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            extra: "tuple[tuple[str, str], ...]" = ()
+            retry_after = payload.get("retry_after_s")
+            if isinstance(retry_after, (int, float)):
+                extra = (("Retry-After", f"{max(retry_after, 0.0):.3f}"),)
+            return status, canonical_json(payload), "application/json", extra
+        if path == "/metrics":
+            text = render(self.service.registry)
+            return 200, text.encode("utf-8"), OPENMETRICS_TYPE, ()
+        if path == "/healthz":
+            return self._json(200, {"status": "ok"})
+        if path == "/readyz":
+            ready = self.service.started and not self.service.admission.draining
+            return self._json(
+                200 if ready else 503,
+                {
+                    "status": "ready" if ready else "unready",
+                    "draining": self.service.admission.draining,
+                    "started": self.service.started,
+                },
+            )
+        if path == "/statusz":
+            return self._json(200, self.service.status())
+        return self._json(
+            404,
+            error_payload(ERR_BAD_REQUEST, f"no route for {method} {path}"),
+        )
+
+    @staticmethod
+    def _json(
+        status: int, payload: dict
+    ) -> "tuple[int, bytes, str, tuple[tuple[str, str], ...]]":
+        return status, canonical_json(payload), "application/json", ()
+
+
+async def run_server(
+    service: EvaluationService,
+    host: "str | None" = None,
+    port: int = 0,
+    socket_path: "str | None" = None,
+    ready_callback: "typing.Callable[[list[str]], None] | None" = None,
+    install_signal_handlers: bool = True,
+    stop_event: "asyncio.Event | None" = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT (or ``stop_event``), then drain.
+
+    Binds TCP (when ``host`` is given) and/or a unix socket (when
+    ``socket_path`` is given); at least one is required.
+    ``ready_callback`` fires once listening, with human-readable
+    endpoint strings -- the CLI prints them, tests parse them.  Returns
+    the process exit code (0 for a clean drain).
+    """
+    if host is None and socket_path is None:
+        raise ValueError("need a TCP host or a unix socket path to serve on")
+    await service.start()
+    app = ServeApp(service)
+    stop = stop_event or asyncio.Event()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without signal support; rely on stop_event
+    servers: "list[asyncio.base_events.Server]" = []
+    endpoints: "list[str]" = []
+    try:
+        if host is not None:
+            tcp = await asyncio.start_server(
+                app.handle_connection, host=host, port=port
+            )
+            servers.append(tcp)
+            for sock in tcp.sockets:
+                bound_host, bound_port = sock.getsockname()[:2]
+                endpoints.append(f"http://{bound_host}:{bound_port}")
+        if socket_path is not None:
+            unix = await asyncio.start_unix_server(
+                app.handle_connection, path=socket_path
+            )
+            servers.append(unix)
+            endpoints.append(f"unix:{socket_path}")
+        if ready_callback is not None:
+            ready_callback(endpoints)
+        await stop.wait()
+        # Drain: close the listeners first (no new connections), then
+        # let the service finish its backlog within the grace budget.
+        for server in servers:
+            server.close()
+        await service.drain()
+        for server in servers:
+            await server.wait_closed()
+    finally:
+        for server in servers:
+            server.close()
+    return 0

@@ -1,0 +1,227 @@
+"""The wire contract: request parsing, canonical payloads, error codes.
+
+One rule anchors everything here: **a served result is byte-identical
+to a direct engine run**.  :func:`result_payload` is the single
+serializer both sides share -- the server renders its responses through
+it, and the equivalence tests render a local
+:class:`~repro.engine.cells.CellOutcome` through the very same function
+and compare bytes.  ``canonical_json`` (sorted keys, minimal
+separators) makes the encoding deterministic; the simulation itself is
+deterministic by the engine's contract, so equal specs yield equal
+bytes.
+
+Service-level refusals are *coded*, mirroring the PR 3 fault taxonomy:
+every error body carries ``code`` (an ``ERR_*`` string), a
+human-readable ``error`` message, and -- for pressure-induced refusals
+-- a ``retry_after_s`` hint, so a well-behaved client can back off
+instead of hammering an overloaded server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from repro.core.errors import PimConfigError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cells import CellOutcome, CellSpec
+
+#: Service refusal codes (the admission/degradation taxonomy).
+ERR_BAD_REQUEST = "ERR_BAD_REQUEST"
+ERR_OVERLOAD = "ERR_OVERLOAD"
+ERR_QUOTA = "ERR_QUOTA"
+ERR_DEADLINE = "ERR_DEADLINE"
+ERR_CIRCUIT_OPEN = "ERR_CIRCUIT_OPEN"
+ERR_DRAINING = "ERR_DRAINING"
+ERR_CELL_FAILED = "ERR_CELL_FAILED"
+ERR_INTERNAL = "ERR_INTERNAL"
+
+#: HTTP status each refusal code maps to.  429 for pressure the client
+#: can relieve by backing off, 503 for states the server will leave on
+#: its own (drain, open breaker), 504 for blown deadlines.
+ERROR_HTTP_STATUS = {
+    ERR_BAD_REQUEST: 400,
+    ERR_OVERLOAD: 429,
+    ERR_QUOTA: 429,
+    ERR_DEADLINE: 504,
+    ERR_CIRCUIT_OPEN: 503,
+    ERR_DRAINING: 503,
+    ERR_CELL_FAILED: 500,
+    ERR_INTERNAL: 500,
+}
+
+
+class ServeError(Exception):
+    """A coded service refusal (never a simulation error)."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_s: "float | None" = None,
+        **context: object,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+        self.context = context
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_HTTP_STATUS.get(self.code, 500)
+
+
+def canonical_json(payload: object) -> bytes:
+    """Deterministic JSON bytes: sorted keys, minimal separators."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclasses.dataclass(frozen=True)
+class CellRequest:
+    """One parsed ``POST /v1/cell`` body.
+
+    Field semantics mirror ``repro run``: ``paper_scale`` selects the
+    analytic path (``functional`` is its complement, exactly as the CLI
+    builds its :class:`~repro.engine.cells.CellSpec`), ``vector`` opts
+    into histogram pricing, ``tenant`` names the quota bucket, and
+    ``deadline_s`` overrides the server's default request budget.
+    """
+
+    benchmark: str
+    device: str
+    ranks: int = 32
+    paper_scale: bool = True
+    vector: bool = False
+    tenant: str = "default"
+    deadline_s: "float | None" = None
+    no_cache: bool = False
+
+    @classmethod
+    def from_json(cls, body: bytes) -> "CellRequest":
+        """Parse and validate a request body; raises :class:`ServeError`."""
+        try:
+            raw = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(
+                ERR_BAD_REQUEST, f"request body is not JSON: {exc}"
+            ) from None
+        if not isinstance(raw, dict):
+            raise ServeError(
+                ERR_BAD_REQUEST,
+                f"request body must be a JSON object, got {type(raw).__name__}",
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ServeError(
+                ERR_BAD_REQUEST,
+                f"unknown request fields {unknown}; known: {sorted(known)}",
+            )
+        benchmark = raw.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise ServeError(
+                ERR_BAD_REQUEST, "'benchmark' (string) is required"
+            )
+        device = raw.get("device")
+        if not isinstance(device, str) or not device:
+            raise ServeError(ERR_BAD_REQUEST, "'device' (string) is required")
+        ranks = raw.get("ranks", 32)
+        if not isinstance(ranks, int) or isinstance(ranks, bool) or ranks < 1:
+            raise ServeError(
+                ERR_BAD_REQUEST, f"'ranks' must be a positive int, got {ranks!r}"
+            )
+        deadline_s = raw.get("deadline_s")
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+                raise ServeError(
+                    ERR_BAD_REQUEST,
+                    f"'deadline_s' must be a positive number, got {deadline_s!r}",
+                )
+            deadline_s = float(deadline_s)
+        tenant = raw.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServeError(
+                ERR_BAD_REQUEST, f"'tenant' must be a non-empty string"
+            )
+        for flag in ("paper_scale", "vector", "no_cache"):
+            if flag in raw and not isinstance(raw[flag], bool):
+                raise ServeError(
+                    ERR_BAD_REQUEST, f"'{flag}' must be a boolean"
+                )
+        return cls(
+            benchmark=benchmark,
+            device=device,
+            ranks=ranks,
+            paper_scale=raw.get("paper_scale", True),
+            vector=raw.get("vector", False),
+            tenant=tenant,
+            deadline_s=deadline_s,
+            no_cache=raw.get("no_cache", False),
+        )
+
+    def to_spec(self) -> "CellSpec":
+        """The engine cell this request names (device resolved through
+        the architecture registry, exactly like ``repro run``)."""
+        from repro.arch import resolve_backend
+        from repro.engine.cells import CellSpec
+
+        try:
+            backend = resolve_backend(self.device)
+        except PimConfigError as exc:
+            raise ServeError(
+                ERR_BAD_REQUEST, f"unknown device {self.device!r}: {exc}"
+            ) from None
+        vector = self.vector and self.paper_scale
+        return CellSpec(
+            benchmark_key=self.benchmark,
+            device_type=backend.device_type,
+            num_ranks=self.ranks,
+            paper_scale=self.paper_scale,
+            functional=not self.paper_scale,
+            vector=vector,
+        )
+
+
+def result_payload(spec: "CellSpec", outcome: "CellOutcome") -> dict:
+    """The canonical success payload for one evaluated cell.
+
+    Built from the spec identity plus the outcome's
+    :meth:`~repro.bench.common.BenchmarkResult.to_dict` record -- the
+    same serialization the suite archive uses.  Deliberately excludes
+    anything execution-dependent (attempt counts, wall times, cache
+    provenance), so a retried, coalesced, cache-served, or chaos-ridden
+    execution produces the same bytes as a pristine direct run.
+    """
+    result = outcome.result
+    assert result is not None, "result_payload requires a successful outcome"
+    return {
+        "status": "ok",
+        "benchmark": spec.benchmark_key,
+        "device": str(getattr(spec.device_type, "value", spec.device_type)),
+        "num_ranks": spec.num_ranks,
+        "paper_scale": spec.paper_scale,
+        "vector": spec.vector,
+        "result": result.to_dict(),
+    }
+
+
+def error_payload(
+    code: str,
+    message: str,
+    retry_after_s: "float | None" = None,
+    **extra: object,
+) -> dict:
+    """The canonical refusal/failure payload."""
+    payload: "dict[str, object]" = {
+        "status": "error",
+        "code": code,
+        "error": message,
+    }
+    if retry_after_s is not None:
+        payload["retry_after_s"] = round(retry_after_s, 3)
+    payload.update(extra)
+    return payload

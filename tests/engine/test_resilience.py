@@ -81,6 +81,23 @@ class TestSerialFailures:
         assert execution.failures[never].kind is FailureKind.SKIPPED
         assert execution.failures[never].attempts == 0
 
+    def test_fail_fast_with_zero_retries_attempts_exactly_once(self):
+        # max_retries=0 + fail_fast is the strictest policy: a fault
+        # that one retry would have healed still stops the suite after
+        # a single attempt, and nothing later is even tried.
+        healable = cell("vecadd", WorkerExceptionFault(fail_attempts=1))
+        never = cell("axpy")
+        execution = run_cells(
+            [healable, never], use_cache=False,
+            policy=RetryPolicy(max_retries=0, fail_fast=True),
+        )
+        assert not execution.ok
+        assert execution.retries == 0
+        assert execution.failures[healable].kind is FailureKind.ERROR
+        assert execution.failures[healable].attempts == 1
+        assert execution.failures[never].kind is FailureKind.SKIPPED
+        assert execution.failures[never].attempts == 0
+
     def test_crash_fault_refuses_to_kill_the_parent(self):
         # In-process execution must never hard-exit the test runner.
         bad = cell("vecadd", WorkerCrashFault(fail_attempts=99))
@@ -150,6 +167,23 @@ class TestIsolatedFailures:
         )
         assert execution.ok
         assert execution.retries == 1
+
+    def test_fail_fast_zero_retries_skips_unstarted_isolated_cells(self):
+        # The isolated scheduler has its own fail-fast bookkeeping;
+        # with no retry budget the first worker failure must both stop
+        # new dispatches and mark never-started cells SKIPPED.
+        bad = cell("vecadd", WorkerExceptionFault(fail_attempts=99))
+        rest = [cell(key) for key in ("axpy", "gemv", "dot")]
+        execution = run_cells(
+            [bad] + rest, jobs=1, use_cache=False,
+            policy=RetryPolicy(
+                max_retries=0, fail_fast=True, cell_timeout_s=60.0, **FAST
+            ),
+        )
+        assert execution.failures[bad].kind is FailureKind.ERROR
+        assert execution.failures[bad].attempts == 1
+        kinds = {execution.failures[spec].kind for spec in rest}
+        assert kinds == {FailureKind.SKIPPED}
 
     def test_timeout_policy_isolates_even_serial_jobs(self):
         # jobs=1 + a timeout still runs in a killable worker process.

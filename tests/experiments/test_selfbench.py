@@ -134,6 +134,53 @@ class TestRegressionGate:
         with pytest.raises(ValueError, match="shares no runs"):
             check_regression([other], self.BASELINE)
 
+    def test_no_overlap_with_missing_ok_yields_empty_gate(self):
+        # New legs (the serving benchmarks) land before their baseline
+        # exists; --check passes missing_ok so a disjoint baseline is a
+        # warning condition upstream, not a hard failure here.
+        from repro.experiments.selfbench import check_regression
+
+        other = SelfBenchRun(
+            run="serve-warm-dup", wall_s=1.0,
+            commands_simulated=10, commands_per_s=10.0,
+        )
+        assert check_regression([other], self.BASELINE, missing_ok=True) == []
+
+    def test_missing_ok_still_gates_the_overlap(self):
+        from repro.experiments.selfbench import check_regression
+
+        measured = [
+            SelfBenchRun(run="suite-cold", wall_s=1.0,
+                         commands_simulated=100, commands_per_s=100.0),
+            SelfBenchRun(run="serve-warm-dup", wall_s=1.0,
+                         commands_simulated=10, commands_per_s=10.0),
+        ]
+        checks = check_regression(measured, self.BASELINE, missing_ok=True)
+        assert [c.run for c in checks] == ["suite-cold"]
+        assert not checks[0].ok  # 100 vs 2000 baseline regresses
+
+    def test_baseline_run_names_excludes_references(self):
+        from repro.experiments.selfbench import baseline_run_names
+
+        assert baseline_run_names(self.BASELINE) == {"suite-cold"}
+        with pytest.raises(ValueError, match="no 'runs'"):
+            baseline_run_names({"schema": 1})
+
+    def test_missing_baseline_runs_names_the_skipped_legs(self):
+        from repro.experiments.selfbench import missing_baseline_runs
+
+        measured = [
+            SelfBenchRun(run="suite-cold", wall_s=1.0,
+                         commands_simulated=1, commands_per_s=1.0),
+            SelfBenchRun(run="serve-warm-dup", wall_s=1.0,
+                         commands_simulated=1, commands_per_s=1.0),
+            SelfBenchRun(run="serve-overload", wall_s=1.0,
+                         commands_simulated=1, commands_per_s=1.0),
+        ]
+        assert missing_baseline_runs(measured, self.BASELINE) == [
+            "serve-warm-dup", "serve-overload",
+        ]
+
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):
             self.check(2000.0, tolerance=1.0)

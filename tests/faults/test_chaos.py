@@ -1,0 +1,90 @@
+"""Chaos policy: seeded determinism and cache-key neutrality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import resolve_backend
+from repro.engine import CellSpec
+from repro.engine.cache import cell_cache_key
+from repro.faults.chaos import ChaosPolicy
+from repro.faults.models import FaultPlan, WorkerCrashFault, WorkerHangFault
+
+
+def _spec(**overrides) -> CellSpec:
+    backend = resolve_backend("bank")
+    fields = dict(
+        benchmark_key="vecadd", device_type=backend.device_type,
+        num_ranks=32, paper_scale=True, functional=False,
+    )
+    fields.update(overrides)
+    return CellSpec(**fields)
+
+
+class TestChaosPolicy:
+    def test_inactive_by_default(self):
+        assert ChaosPolicy().active is False
+        assert ChaosPolicy(crash_rate=0.1).active is True
+        assert ChaosPolicy(hang_rate=0.1).active is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"crash_rate": -0.1}, {"crash_rate": 1.1},
+        {"hang_rate": 2.0}, {"hang_s": -1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosPolicy(**kwargs)
+
+    def test_schedule_is_deterministic(self):
+        a = ChaosPolicy(seed=7, crash_rate=0.3, hang_rate=0.2)
+        b = ChaosPolicy(seed=7, crash_rate=0.3, hang_rate=0.2)
+        assert [a.plan_for(i) for i in range(50)] == [
+            b.plan_for(i) for i in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ChaosPolicy(seed=1, crash_rate=0.5)
+        b = ChaosPolicy(seed=2, crash_rate=0.5)
+        assert [a.plan_for(i) is not None for i in range(64)] != [
+            b.plan_for(i) is not None for i in range(64)
+        ]
+
+    def test_rates_are_respected_at_extremes(self):
+        always = ChaosPolicy(crash_rate=1.0)
+        never = ChaosPolicy(crash_rate=0.0, hang_rate=0.0)
+        for i in range(20):
+            plan = always.plan_for(i)
+            assert plan is not None
+            assert isinstance(plan.faults[0], WorkerCrashFault)
+            assert never.plan_for(i) is None
+
+    def test_hang_uses_configured_seconds(self):
+        policy = ChaosPolicy(hang_rate=1.0, hang_s=42.0)
+        plan = policy.plan_for(0)
+        assert isinstance(plan.faults[0], WorkerHangFault)
+        assert plan.faults[0].seconds == 42.0
+
+    def test_faults_fire_on_first_attempt_only(self):
+        plan = ChaosPolicy(crash_rate=1.0).plan_for(3)
+        assert plan.faults[0].fail_attempts == 1
+
+    def test_decorate_preserves_cache_key_of_undecorated_spec(self):
+        spec = _spec()
+        key_before = cell_cache_key(spec)
+        policy = ChaosPolicy(crash_rate=1.0)
+        decorated = policy.decorate(spec, index=0)
+        assert decorated is not spec
+        assert decorated.fault_plan is not None
+        # The undecorated spec's key is what the serve path caches by;
+        # decoration must never mutate it.
+        assert cell_cache_key(spec) == key_before
+
+    def test_decorate_never_overrides_an_explicit_plan(self):
+        explicit = FaultPlan(seed=1, faults=(WorkerHangFault(seconds=1.0),))
+        spec = _spec(fault_plan=explicit)
+        decorated = ChaosPolicy(crash_rate=1.0).decorate(spec, index=0)
+        assert decorated.fault_plan is explicit
+
+    def test_decorate_noop_when_no_fault_drawn(self):
+        spec = _spec()
+        assert ChaosPolicy().decorate(spec, index=0) is spec

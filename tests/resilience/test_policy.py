@@ -1,5 +1,10 @@
 """Tests for RetryPolicy: validation, backoff determinism, env resolution."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.resilience import (
@@ -64,6 +69,40 @@ class TestBackoff:
         with pytest.raises(ValueError):
             RetryPolicy().backoff_s("k", 0)
 
+    def test_jitter_is_deterministic_across_processes(self):
+        # Reproducibility extends to the failure path: a retried run in
+        # a *fresh interpreter* (different hash randomization, different
+        # process) must sleep the exact same delays.  This is what lets
+        # the serve chaos tests and a re-run batch suite line up.
+        cases = [("cell-a", 1), ("cell-a", 2), ("cell-b", 1), ("", 7)]
+        probe = (
+            "import json, sys\n"
+            "from repro.resilience import RetryPolicy, deterministic_jitter\n"
+            "cases = json.load(sys.stdin)\n"
+            "policy = RetryPolicy(max_retries=3)\n"
+            "print(json.dumps([\n"
+            "    [deterministic_jitter(k, a), policy.backoff_s(k, a)]\n"
+            "    for k, a in cases\n"
+            "]))\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", probe], input=json.dumps(cases),
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        remote = json.loads(proc.stdout)
+        policy = RetryPolicy(max_retries=3)
+        local = [
+            [deterministic_jitter(k, a), policy.backoff_s(k, a)]
+            for k, a in cases
+        ]
+        assert remote == local
+
 
 class TestFromEnv:
     def test_explicit_beats_env(self, monkeypatch):
@@ -88,10 +127,16 @@ class TestFromEnv:
         assert policy.cell_timeout_s is None
 
     def test_rejects_garbage_env(self, monkeypatch):
+        from repro.core.errors import PimConfigError, PimStatus
+
         monkeypatch.setenv(MAX_RETRIES_ENV, "several")
-        with pytest.raises(ValueError, match=MAX_RETRIES_ENV):
+        with pytest.raises(PimConfigError, match=MAX_RETRIES_ENV):
             RetryPolicy.from_env()
         monkeypatch.setenv(MAX_RETRIES_ENV, "1")
         monkeypatch.setenv(CELL_TIMEOUT_ENV, "soon")
-        with pytest.raises(ValueError, match=CELL_TIMEOUT_ENV):
+        with pytest.raises(PimConfigError, match=CELL_TIMEOUT_ENV) as info:
             RetryPolicy.from_env()
+        # The coded form carries the offending variable and value.
+        assert info.value.status is PimStatus.ERR_CONFIG
+        assert info.value.context["env_var"] == CELL_TIMEOUT_ENV
+        assert info.value.context["value"] == "soon"

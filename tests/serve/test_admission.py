@@ -1,0 +1,121 @@
+"""Admission gates: quotas, bounded queueing, shed hints, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.protocol import (
+    ERR_DRAINING,
+    ERR_OVERLOAD,
+    ERR_QUOTA,
+    ServeError,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_take() is None
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1, 1), (1, 0)])
+    def test_invalid_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestAdmissionGates:
+    def test_admit_and_finish_track_inflight(self):
+        ctrl = AdmissionController(queue_limit=2)
+        decision = ctrl.admit("a")
+        assert decision.queue_depth == 1
+        assert ctrl.inflight == 1
+        ctrl.finish()
+        assert ctrl.inflight == 0
+
+    def test_finish_without_admit_is_a_bug(self):
+        ctrl = AdmissionController()
+        with pytest.raises(RuntimeError):
+            ctrl.finish()
+
+    def test_queue_bound_sheds_with_depth_and_hint(self):
+        ctrl = AdmissionController(queue_limit=2)
+        ctrl.admit()
+        ctrl.admit()
+        with pytest.raises(ServeError) as info:
+            ctrl.admit()
+        assert info.value.code == ERR_OVERLOAD
+        assert info.value.retry_after_s >= 0.05
+        assert info.value.context["queue_depth"] == 2
+        ctrl.finish()
+        ctrl.admit()  # a freed slot admits again
+
+    def test_draining_sheds_first(self):
+        ctrl = AdmissionController(queue_limit=1)
+        ctrl.draining = True
+        with pytest.raises(ServeError) as info:
+            ctrl.admit()
+        assert info.value.code == ERR_DRAINING
+
+    def test_tenant_quota_is_per_tenant(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            queue_limit=100, quota_rate=1.0, quota_burst=1.0, clock=clock
+        )
+        ctrl.admit("alice")
+        with pytest.raises(ServeError) as info:
+            ctrl.admit("alice")
+        assert info.value.code == ERR_QUOTA
+        assert info.value.retry_after_s == pytest.approx(1.0)
+        ctrl.admit("bob")  # bob's bucket is untouched
+        clock.advance(1.0)
+        ctrl.admit("alice")
+
+    def test_quota_burst_defaults_to_rate(self):
+        ctrl = AdmissionController(quota_rate=5.0)
+        assert ctrl.quota_burst == 5.0
+
+    def test_max_inflight_high_water_mark(self):
+        ctrl = AdmissionController(queue_limit=8)
+        for _ in range(5):
+            ctrl.admit()
+        for _ in range(5):
+            ctrl.finish()
+        assert ctrl.max_inflight == 5
+
+    def test_retry_after_tracks_service_time(self):
+        ctrl = AdmissionController(queue_limit=100, workers=1)
+        for _ in range(10):
+            ctrl.admit()
+        for _ in range(50):
+            ctrl.observe_service_time(0.2)
+        slow_hint = ctrl.retry_after_hint()
+        for _ in range(100):
+            ctrl.observe_service_time(0.001)
+        fast_hint = ctrl.retry_after_hint()
+        assert slow_hint > fast_hint
+        assert fast_hint >= 0.05  # floor: never tell a client to hammer

@@ -1,0 +1,98 @@
+"""Circuit breaker state machine: open, cool down, probe, close."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.protocol import ERR_CIRCUIT_OPEN, ServeError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+    ), clock
+
+
+class TestCircuitBreaker:
+    def test_closed_by_default_and_below_threshold(self):
+        breaker, _ = make()
+        breaker.check("bank")
+        breaker.record_failure("bank")
+        breaker.record_failure("bank")
+        breaker.check("bank")  # 2 < 3: still closed
+        assert breaker.state("bank") is BreakerState.CLOSED
+
+    def test_opens_at_threshold_with_cooldown_hint(self):
+        breaker, _ = make(threshold=2, cooldown=8.0)
+        breaker.record_failure("bank")
+        breaker.record_failure("bank")
+        assert breaker.state("bank") is BreakerState.OPEN
+        with pytest.raises(ServeError) as info:
+            breaker.check("bank")
+        assert info.value.code == ERR_CIRCUIT_OPEN
+        assert info.value.retry_after_s == pytest.approx(8.0)
+        assert breaker.opens("bank") == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure("bank")
+        breaker.record_success("bank")
+        breaker.record_failure("bank")
+        assert breaker.state("bank") is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure("bank")
+        clock.now = 5.1
+        breaker.check("bank")  # the probe
+        assert breaker.state("bank") is BreakerState.HALF_OPEN
+        with pytest.raises(ServeError):
+            breaker.check("bank")  # concurrent request refused
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure("bank")
+        clock.now = 6.0
+        breaker.check("bank")
+        breaker.record_success("bank")
+        assert breaker.state("bank") is BreakerState.CLOSED
+        breaker.check("bank")  # traffic flows again
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker, clock = make(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure("bank")
+        clock.now = 5.1
+        breaker.check("bank")
+        breaker.record_failure("bank")  # the probe dies
+        assert breaker.state("bank") is BreakerState.OPEN
+        assert breaker.opens("bank") == 2
+        clock.now = 10.0  # 4.9s into the new cooldown: still open
+        with pytest.raises(ServeError):
+            breaker.check("bank")
+
+    def test_keys_are_independent(self):
+        breaker, _ = make(threshold=1)
+        breaker.record_failure("bank")
+        with pytest.raises(ServeError):
+            breaker.check("bank")
+        breaker.check("fulcrum")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown_s": 0.0},
+        {"cooldown_s": -1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

@@ -1,0 +1,144 @@
+"""The wire contract: request validation and canonical payloads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch import resolve_backend
+from repro.engine import CellSpec, run_cells
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERROR_HTTP_STATUS,
+    CellRequest,
+    ServeError,
+    canonical_json,
+    error_payload,
+    result_payload,
+)
+
+
+def _body(**fields) -> bytes:
+    return json.dumps(fields).encode()
+
+
+class TestCellRequestParsing:
+    def test_minimal_request(self):
+        req = CellRequest.from_json(_body(benchmark="vecadd", device="bank"))
+        assert req.benchmark == "vecadd"
+        assert req.device == "bank"
+        assert req.ranks == 32
+        assert req.paper_scale is True
+        assert req.tenant == "default"
+        assert req.deadline_s is None
+
+    def test_full_request(self):
+        req = CellRequest.from_json(_body(
+            benchmark="gemv", device="fulcrum", ranks=8, paper_scale=True,
+            vector=True, tenant="alice", deadline_s=2.5, no_cache=True,
+        ))
+        assert req.ranks == 8
+        assert req.vector is True
+        assert req.tenant == "alice"
+        assert req.deadline_s == 2.5
+        assert req.no_cache is True
+
+    def test_not_json(self):
+        with pytest.raises(ServeError) as info:
+            CellRequest.from_json(b"{nope")
+        assert info.value.code == ERR_BAD_REQUEST
+
+    def test_not_an_object(self):
+        with pytest.raises(ServeError) as info:
+            CellRequest.from_json(b"[1,2]")
+        assert info.value.code == ERR_BAD_REQUEST
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError) as info:
+            CellRequest.from_json(_body(
+                benchmark="vecadd", device="bank", bogus=1
+            ))
+        assert "bogus" in str(info.value)
+
+    def test_missing_benchmark(self):
+        with pytest.raises(ServeError):
+            CellRequest.from_json(_body(device="bank"))
+
+    @pytest.mark.parametrize("ranks", [0, -1, "four", 1.5, True])
+    def test_bad_ranks(self, ranks):
+        with pytest.raises(ServeError):
+            CellRequest.from_json(_body(
+                benchmark="vecadd", device="bank", ranks=ranks
+            ))
+
+    @pytest.mark.parametrize("deadline", [0, -2, "soon"])
+    def test_bad_deadline(self, deadline):
+        with pytest.raises(ServeError):
+            CellRequest.from_json(_body(
+                benchmark="vecadd", device="bank", deadline_s=deadline
+            ))
+
+    def test_bad_flag_type(self):
+        with pytest.raises(ServeError):
+            CellRequest.from_json(_body(
+                benchmark="vecadd", device="bank", vector="yes"
+            ))
+
+    def test_unknown_device_is_bad_request(self):
+        req = CellRequest.from_json(_body(benchmark="vecadd", device="zzz"))
+        with pytest.raises(ServeError) as info:
+            req.to_spec()
+        assert info.value.code == ERR_BAD_REQUEST
+
+    def test_to_spec_mirrors_cli(self):
+        req = CellRequest.from_json(_body(
+            benchmark="vecadd", device="bank", ranks=32
+        ))
+        spec = req.to_spec()
+        backend = resolve_backend("bank")
+        assert spec.device_type == backend.device_type
+        assert spec.paper_scale is True
+        assert spec.functional is False
+        assert spec.num_ranks == 32
+
+    def test_vector_requires_paper_scale(self):
+        req = CellRequest.from_json(_body(
+            benchmark="vecadd", device="bank", vector=True, paper_scale=False
+        ))
+        assert req.to_spec().vector is False
+
+
+class TestCanonicalPayloads:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_every_code_has_a_status(self):
+        for code, status in ERROR_HTTP_STATUS.items():
+            assert code.startswith("ERR_")
+            assert status in (400, 429, 500, 503, 504)
+
+    def test_error_payload_shape(self):
+        payload = error_payload("ERR_OVERLOAD", "full", retry_after_s=1.23456)
+        assert payload["status"] == "error"
+        assert payload["code"] == "ERR_OVERLOAD"
+        assert payload["retry_after_s"] == 1.235
+
+    def test_result_payload_matches_direct_run(self):
+        backend = resolve_backend("bank")
+        spec = CellSpec(
+            benchmark_key="vecadd", device_type=backend.device_type,
+            num_ranks=32, paper_scale=True, functional=False,
+        )
+        execution = run_cells([spec], use_cache=False)
+        outcome = execution.outcome(spec)
+        payload = result_payload(spec, outcome)
+        assert payload["status"] == "ok"
+        assert payload["benchmark"] == "vecadd"
+        assert payload["num_ranks"] == 32
+        assert payload["result"] == outcome.result.to_dict()
+        # Execution-dependent data must not leak into the payload.
+        assert "attempt" not in payload
+        assert "telemetry" not in payload

@@ -1,0 +1,123 @@
+"""Single-flight coalescing semantics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_runs_once(self):
+        async def main():
+            sf = SingleFlight()
+            calls = 0
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.02)
+                return "answer"
+
+            results = await asyncio.gather(
+                *(sf.run("k", work) for _ in range(5))
+            )
+            assert calls == 1
+            assert all(value == "answer" for value, _ in results)
+            assert sum(1 for _, leader in results if leader) == 1
+            assert sf.coalesced == 4
+            assert sf.flights == 1
+
+        run(main())
+
+    def test_different_keys_do_not_coalesce(self):
+        async def main():
+            sf = SingleFlight()
+
+            async def work():
+                await asyncio.sleep(0.01)
+                return "x"
+
+            await asyncio.gather(sf.run("a", work), sf.run("b", work))
+            assert sf.flights == 2
+            assert sf.coalesced == 0
+
+        run(main())
+
+    def test_failure_reaches_every_waiter_and_clears_key(self):
+        async def main():
+            sf = SingleFlight()
+
+            async def boom():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("dead")
+
+            results = await asyncio.gather(
+                *(sf.run("k", boom) for _ in range(3)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert sf.inflight_count == 0
+            # A retry after failure starts a fresh flight.
+            async def fine():
+                return 42
+
+            value, leader = await sf.run("k", fine)
+            assert value == 42 and leader
+
+        run(main())
+
+    def test_sequential_calls_do_not_coalesce(self):
+        async def main():
+            sf = SingleFlight()
+
+            async def work():
+                return 1
+
+            await sf.run("k", work)
+            await sf.run("k", work)
+            assert sf.flights == 2
+            assert sf.coalesced == 0
+
+        run(main())
+
+    def test_abandoned_waiter_does_not_cancel_the_flight(self):
+        async def main():
+            sf = SingleFlight()
+            finished = asyncio.Event()
+
+            async def slow():
+                await asyncio.sleep(0.05)
+                finished.set()
+                return "late"
+
+            task, leader = sf.flight("k", slow)
+            assert leader
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.shield(task), timeout=0.01)
+            # The flight survives the deadline-abandoned waiter.
+            assert await task == "late"
+            assert finished.is_set()
+
+        run(main())
+
+    def test_cancel_all_cancels_inflight(self):
+        async def main():
+            sf = SingleFlight()
+
+            async def forever():
+                await asyncio.sleep(30)
+
+            task, _ = sf.flight("k", forever)
+            await asyncio.sleep(0)
+            assert sf.cancel_all() == 1
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(main())

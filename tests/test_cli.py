@@ -402,6 +402,23 @@ class TestSelfbenchGate:
         with pytest.raises(SystemExit, match="--baseline"):
             main(["selfbench", "suite-cold", "--check"])
 
+    def test_check_warns_and_passes_when_baseline_lacks_the_leg(
+        self, capsys, tmp_path
+    ):
+        # A baseline archived before this leg existed cannot gate it:
+        # --check must warn per missing leg and exit 0, not hard-fail.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": 1,
+            "runs": [{"run": "some-other-leg", "wall_s": 1.0,
+                      "commands_simulated": 1, "commands_per_s": 1.0}],
+        }))
+        assert main(["selfbench", "suite-cold", "--check",
+                     "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "no baseline entry for 'suite-cold'" in captured.err
+        assert "no gate-able legs" in captured.out
+
     def test_history_appended(self, capsys, tmp_path):
         history = tmp_path / "history.jsonl"
         assert main(["selfbench", "suite-cold",

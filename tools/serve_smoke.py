@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI smoke for ``repro serve``: boot, coalesce, byte-identity, drain.
+
+Drives one real server process over a unix socket the way the e2e tests
+do, but as a standalone script CI (or a developer) can run without
+pytest::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+The script asserts the serving acceptance contract end to end:
+
+1. the server comes up and reports ready;
+2. a burst of duplicate concurrent requests yields byte-identical
+   payloads and a coalescing counter > 0 (single-flight worked);
+3. every served payload equals a direct ``run_cells`` evaluation of
+   the same cell -- the service may shed or degrade, never lie;
+4. SIGTERM drains cleanly: exit code 0, drain banner printed, and no
+   worker process survives.
+
+Exit status is 0 only if every check passes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.arch import resolve_backend  # noqa: E402
+from repro.engine import CellSpec, run_cells  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.protocol import canonical_json, result_payload  # noqa: E402
+
+BENCHMARK, DEVICE, RANKS = "vecadd", "bank", 32
+
+
+def direct_bytes(vector: bool = False) -> bytes:
+    backend = resolve_backend(DEVICE)
+    spec = CellSpec(
+        benchmark_key=BENCHMARK, device_type=backend.device_type,
+        num_ranks=RANKS, paper_scale=True, functional=False, vector=vector,
+    )
+    outcome = run_cells([spec], use_cache=False).outcome(spec)
+    assert outcome.error is None, outcome.error
+    return canonical_json(result_payload(spec, outcome))
+
+
+def live_workers(server_pid: int) -> "list[int]":
+    out = subprocess.run(
+        ["ps", "--ppid", str(server_pid), "-o", "pid="],
+        capture_output=True, text=True,
+    ).stdout.split()
+    return [int(pid) for pid in out]
+
+
+def main() -> int:
+    checks: "list[tuple[str, bool, str]]" = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, bool(ok), detail))
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}"
+              + (f"  ({detail})" if detail and not ok else ""))
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path,
+             "--workers", "2",
+             "--cache-dir", os.path.join(tmp, "cache"),
+             "--drain-grace", "15"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            print("serve smoke: waiting for readiness ...")
+            with ServeClient(socket_path=socket_path) as client:
+                client.wait_ready(attempts=600, delay_s=0.1)
+                check("server ready", True)
+
+                print("serve smoke: scalar + vector byte identity ...")
+                status, _, raw = client.cell(
+                    benchmark=BENCHMARK, device=DEVICE, ranks=RANKS
+                )
+                check("scalar request served", status == 200, f"status {status}")
+                check("scalar bytes == run_cells", raw == direct_bytes())
+                status, _, raw = client.cell(
+                    benchmark=BENCHMARK, device=DEVICE, ranks=RANKS,
+                    vector=True,
+                )
+                check("vector request served", status == 200, f"status {status}")
+                check(
+                    "vector bytes == run_cells",
+                    raw == direct_bytes(vector=True),
+                )
+
+            print("serve smoke: concurrent duplicates must coalesce ...")
+
+            def one(_: int) -> "tuple[int, bytes]":
+                with ServeClient(socket_path=socket_path) as c:
+                    status, _, raw = c.cell(
+                        benchmark="gemv", device="fulcrum", ranks=RANKS
+                    )
+                    return status, raw
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                answers = list(pool.map(one, range(8)))
+            check(
+                "all duplicates served",
+                all(status == 200 for status, _ in answers),
+                str([status for status, _ in answers]),
+            )
+            check(
+                "duplicate payloads byte-identical",
+                len({raw for _, raw in answers}) == 1,
+            )
+            with ServeClient(socket_path=socket_path) as client:
+                _, payload = client.get_json("/statusz")
+                coalesced = int(payload.get("coalesced", 0))
+                check("coalescing counter > 0", coalesced > 0, str(coalesced))
+                metrics = client.metrics_text()
+                check(
+                    "openmetrics exposition well-formed",
+                    metrics.rstrip().endswith("# EOF")
+                    and "repro_serve_requests" in metrics,
+                )
+
+            print("serve smoke: SIGTERM drain ...")
+            workers = live_workers(server.pid)
+            check("worker pool is live", bool(workers))
+            server.send_signal(signal.SIGTERM)
+            code = server.wait(timeout=60)
+            stdout = server.stdout.read() if server.stdout else ""
+            check("exit code 0 after SIGTERM", code == 0, f"exit {code}")
+            check("drain banner printed", "drained cleanly" in stdout)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                alive = [p for p in workers if os.path.exists(f"/proc/{p}")]
+                if not alive:
+                    break
+                time.sleep(0.1)
+            check("no orphaned workers", not alive, str(alive))
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    failed = [name for name, ok, _ in checks if not ok]
+    print(f"serve smoke: {len(checks) - len(failed)}/{len(checks)} checks ok")
+    if failed:
+        print(f"serve smoke FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
