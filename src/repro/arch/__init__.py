@@ -26,16 +26,23 @@ from repro.arch.builtin import (
     FulcrumBackend,
     register_builtin_backends,
 )
+from repro.arch.parametric import (
+    ParametricBackend,
+    ParametricDeviceType,
+    derive_backend,
+)
 from repro.arch.registry import (
     arch_for,
     backend_names,
     default_backend,
     device_type_for,
+    is_registered,
     iter_backends,
     paper_backends,
     register_backend,
     resolve_backend,
     suite_device_order,
+    temporary_backend,
     unregister_backend,
 )
 
@@ -62,16 +69,21 @@ __all__ = [
     "Ddr5BankBackend",
     "DeviceTypeLike",
     "FulcrumBackend",
+    "ParametricBackend",
+    "ParametricDeviceType",
     "UpmemBackend",
     "arch_for",
     "backend_names",
     "default_backend",
+    "derive_backend",
     "device_type_for",
+    "is_registered",
     "iter_backends",
     "paper_backends",
     "register_backend",
     "register_builtin_backends",
     "resolve_backend",
     "suite_device_order",
+    "temporary_backend",
     "unregister_backend",
 ]

@@ -81,6 +81,14 @@ class ArchBackend(abc.ABC):
     uses_microcode: bool = False
     #: Whether the functional simulator can verify results on it.
     supports_functional: bool = True
+    #: Whether this backend is a generated, registration-scoped point
+    #: (a :class:`repro.arch.parametric.ParametricBackend`) rather than
+    #: a hand-written module.  ``repro arch list`` marks transient
+    #: backends and sweeps unregister them when done.
+    transient: bool = False
+    #: For transient backends, the id of the hand-written base backend
+    #: the point was derived from; ``None`` for hand-written backends.
+    origin: "str | None" = None
 
     # -- identity -------------------------------------------------------------
 

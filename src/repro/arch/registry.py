@@ -8,13 +8,28 @@ Both raise :class:`~repro.core.errors.PimConfigError` -- the
 ``PimStatus``-coded error the resilience layer already classifies --
 carrying the offending name and the valid choices in their context.
 
-Registration order is display order: ``iter_backends`` preserves it, so
-the paper backends registered by :mod:`repro.arch.builtin` keep the
-figure ordering (bit-serial, Fulcrum, bank-level) everywhere.
+Two orderings coexist on purpose.  :func:`iter_backends` and
+:func:`backend_names` return backends sorted by id, so ``repro arch
+list`` and sweep reports are byte-stable no matter what order modules
+(or DSE sweeps) registered in.  :func:`paper_backends`,
+:func:`suite_device_order`, and :func:`default_backend` keep
+*registration* order, which :mod:`repro.arch.builtin` arranges to be the
+paper's figure order (bit-serial, Fulcrum, bank-level) -- suite tables
+and figures must not reorder when a sweep registers ``analog``-sorting
+transient points.
+
+Transient backends (:mod:`repro.arch.parametric`) get two extra
+services: :func:`arch_for` re-derives an unregistered
+:class:`~repro.arch.parametric.ParametricDeviceType` on the fly (the
+engine's worker processes start with only the import-time registry), and
+:func:`temporary_backend` scopes a registration so sweeps and tests
+cannot leak thousands of generated points into a long-lived ``repro
+serve`` process.
 """
 
 from __future__ import annotations
 
+import contextlib
 import typing
 
 from repro.arch.base import ArchBackend, DeviceTypeLike
@@ -66,9 +81,39 @@ def unregister_backend(backend_id: str) -> None:
     _BY_DEVICE_TYPE.pop(backend.device_type, None)
 
 
+def is_registered(name: str) -> bool:
+    """Whether a backend answers to this id or alias right now."""
+    return str(name).lower() in _BY_NAME
+
+
+@contextlib.contextmanager
+def temporary_backend(
+    backend: ArchBackend, replace: bool = False
+) -> "typing.Iterator[ArchBackend]":
+    """Register a backend for the duration of a ``with`` block.
+
+    The registration is removed on exit even when the body raises, so a
+    sweep (or a test) that stamps out transient backends leaves the
+    registry at its pre-entry size.  If the same id was already
+    registered when entering (two overlapping sweeps sharing a point),
+    the existing registration is kept and left in place on exit --
+    ownership stays with whoever registered first.
+    """
+    if is_registered(backend.id):
+        if not replace:
+            yield resolve_backend(backend.id)
+            return
+        unregister_backend(resolve_backend(backend.id).id)
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        unregister_backend(backend.id)
+
+
 def iter_backends() -> "tuple[ArchBackend, ...]":
-    """All registered backends, in registration (display) order."""
-    return tuple(_BACKENDS.values())
+    """All registered backends, sorted by id (byte-stable listings)."""
+    return tuple(sorted(_BACKENDS.values(), key=lambda b: b.id))
 
 
 def paper_backends() -> "tuple[ArchBackend, ...]":
@@ -80,7 +125,7 @@ def backend_names(include_aliases: bool = False) -> "list[str]":
     """Valid ``--target`` spellings (canonical ids, optionally aliases)."""
     if include_aliases:
         return sorted(_BY_NAME)
-    return list(_BACKENDS)
+    return sorted(_BACKENDS)
 
 
 def resolve_backend(name: str) -> ArchBackend:
@@ -112,6 +157,20 @@ def arch_for(target: "DeviceConfig | DeviceTypeLike | str") -> ArchBackend:
     except TypeError:  # unhashable stand-in
         backend = None
     if backend is None:
+        # A parametric device type carries its own derivation recipe
+        # (base backend id + canonical knobs), so a registry miss is
+        # self-healing: engine worker processes start with only the
+        # import-time registry, re-derive the backend here on first
+        # touch, and cache it for the rest of the process.
+        from repro.arch.parametric import (
+            ParametricDeviceType,
+            backend_for_device_type,
+        )
+
+        if isinstance(device_type, ParametricDeviceType):
+            return register_backend(
+                backend_for_device_type(device_type), replace=True
+            )
         raise PimConfigError(
             f"no architecture backend registered for device type "
             f"{getattr(device_type, 'value', device_type)!r}; "
@@ -128,7 +187,12 @@ def device_type_for(name: str) -> DeviceTypeLike:
 
 
 def default_backend() -> ArchBackend:
-    """The first registered backend (the artifact's default target)."""
+    """The first *registered* backend (the artifact's default target).
+
+    Deliberately registration order, not the sorted listing order: the
+    builtins register bit-serial first, and the default target must not
+    drift when a sweep registers an alphabetically-earlier point.
+    """
     if not _BACKENDS:
         raise PimConfigError("no architecture backends are registered")
     return next(iter(_BACKENDS.values()))

@@ -87,7 +87,10 @@ class UpmemPerfModel:
     """`PerfModel` adapter over :class:`~repro.upmem.UpmemToyModel`."""
 
     def __init__(self, config: DeviceConfig) -> None:
-        if config.device_type.value != UPMEM_DEVICE.value:
+        # Parametric derivatives carry "upmem@<digest>" values; the
+        # guard accepts them (the cost model reads only the geometry).
+        base_value = str(config.device_type.value).partition("@")[0]
+        if base_value != UPMEM_DEVICE.value:
             from repro.core.errors import PimTypeError
 
             raise PimTypeError(

@@ -422,6 +422,7 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
     from repro.experiments.selfbench import (
         RUN_NAMES,
         append_history,
+        baseline_schema_issues,
         check_regression,
         format_regression,
         missing_baseline_runs,
@@ -458,6 +459,11 @@ def cmd_selfbench(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+        for issue in baseline_schema_issues(baseline):
+            # Same warn-don't-fail posture as the missing-leg path: an
+            # unversioned or newer-schema baseline still gates its
+            # like-named runs.
+            print(f"warning: {issue}", file=sys.stderr)
         for name in skipped:
             # A baseline archived before this leg existed cannot gate
             # it; warn instead of hard-failing so new legs can land
@@ -633,26 +639,182 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_arch_list(args: argparse.Namespace) -> int:
-    """List registered architecture backends with Table II parameters."""
-    print(f"{'name':<11s} {'display':<18s} {'cores':>9s} {'freq':>9s} "
-          f"{'layout':<11s} {'AP':<3s} {'aliases'}")
+    """List registered architecture backends with Table II parameters.
+
+    Transient parametric backends (alive only while a sweep or a caller
+    holds them registered) render with a ``*`` marker and the base
+    backend they were derived from in the ``origin`` column.  Iteration
+    is sorted by id, so the listing is byte-stable for a given registry
+    population.
+    """
+    print(f"{'name':<18s} {'T':<2s}{'display':<18s} {'cores':>9s} "
+          f"{'freq':>9s} {'layout':<11s} {'AP':<3s} {'origin':<10s} "
+          f"{'aliases'}")
+    any_transient = False
     for backend in iter_backends():
         params = backend.table2_params(num_ranks=args.ranks)
         freq = params["freq_mhz"]
         freq_text = f"{freq:.0f}MHz" if freq is not None else "DRAM"
+        transient = bool(getattr(backend, "transient", False))
+        any_transient = any_transient or transient
         print(
-            f"{backend.id:<11s} {backend.display_name:<18s} "
+            f"{backend.id:<18s} {'*' if transient else '':<2s}"
+            f"{backend.display_name:<18s} "
             f"{params['cores']:>9,d} {freq_text:>9s} "
             f"{str(params['layout']):<11s} "
             f"{'yes' if params['ap_support'] else 'no':<3s} "
+            f"{backend.origin or '-':<10s} "
             f"{', '.join(backend.aliases)}"
         )
         if args.verbose:
-            print(f"{'':<11s}   {backend.description}")
-            print(f"{'':<11s}   stamp sources: "
+            print(f"{'':<18s}   {backend.description}")
+            print(f"{'':<18s}   stamp sources: "
                   f"{', '.join(backend.stamp_sources)}")
     print(f"\n({args.ranks} ranks; pass any name above as "
-          "`repro run --device <name>`)")
+          "`repro run --device <name>`"
+          + ("; * = transient parametric backend" if any_transient else "")
+          + ")")
+    return 0
+
+
+def _load_sweep_spec(args: argparse.Namespace):
+    """Build the SweepSpec the ``dse`` flags describe."""
+    from repro.core.errors import PimError
+    from repro.dse import SweepSpec
+
+    try:
+        return SweepSpec.from_file(args.spec)
+    except PimError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_dse_list(args: argparse.Namespace) -> int:
+    """Compile a sweep spec and list its design points without running."""
+    from repro.core.errors import PimError
+
+    spec = _load_sweep_spec(args)
+    try:
+        points = spec.compile_points()
+    except PimError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"Sweep {spec.name!r}: {len(points)} design point(s) over "
+          f"base(s) {', '.join(spec.bases)}; benchmarks: "
+          f"{', '.join(spec.benchmarks)}")
+    for point in points:
+        knobs = ", ".join(f"{k}={v}" for k, v in point.knobs) or "(base)"
+        print(f"  {point.point_id:<28s} {knobs}")
+    return 0
+
+
+def cmd_dse_run(args: argparse.Namespace) -> int:
+    """Run a sweep: evaluate every point, print and save the report."""
+    from repro.core.errors import PimError
+    from repro.dse import (
+        SweepSpec,
+        format_sweep,
+        render_json,
+        run_sweep,
+        sweep_payload,
+        vector_check_point,
+    )
+
+    spec = _load_sweep_spec(args)
+    vector = not args.no_vector
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            vector=vector,
+            policy=_make_policy(args),
+        )
+    except PimError as exc:
+        raise SystemExit(str(exc)) from None
+    print(format_sweep(result, verbose=args.verbose))
+    status = 0
+    if any(outcome.failed for outcome in result.outcomes):
+        status = 1
+    if args.vector_check and vector and status == 0:
+        # Strict equivalence probe: one deterministic sampled point
+        # re-simulated with the scalar/vector bit-compare gate on
+        # (sweeping the whole grid twice would double CI cost for no
+        # additional coverage -- the pricer is shared by every point).
+        import os as _os
+
+        from repro.perf.vector import VECTOR_CHECK_ENV
+
+        point = vector_check_point(spec)
+        probe = SweepSpec(
+            name=f"{spec.name}-vector-check",
+            bases=(point.base,),
+            benchmarks=spec.benchmarks,
+            num_ranks=spec.num_ranks,
+            points=(point.knobs,),
+        )
+        _os.environ[VECTOR_CHECK_ENV] = "1"
+        try:
+            checked = run_sweep(
+                probe, jobs=1, use_cache=False, vector=True,
+                policy=_make_policy(args),
+            )
+        finally:
+            _os.environ.pop(VECTOR_CHECK_ENV, None)
+        if any(outcome.failed for outcome in checked.outcomes):
+            print(f"\nVector check FAILED on {point.point_id}",
+                  file=sys.stderr)
+            for outcome in checked.outcomes:
+                for bench, msg in sorted(outcome.errors.items()):
+                    print(f"  {bench}: {msg}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"\nVector check passed on sampled point "
+                  f"{point.point_id} (scalar/vector bit-identical)")
+    if args.report:
+        payload = sweep_payload(result)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_json(payload))
+        print(f"\nSweep report written to {args.report}")
+    return status
+
+
+def cmd_dse_frontier(args: argparse.Namespace) -> int:
+    """Print the Pareto frontier from a saved sweep report."""
+    import json
+
+    from repro.dse import REPORT_SCHEMA
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read sweep report {args.report}: {exc}")
+    schema = payload.get("schema")
+    if schema != REPORT_SCHEMA:
+        print(f"warning: report schema {schema!r} != {REPORT_SCHEMA} "
+              f"(reading anyway)", file=sys.stderr)
+    frontier = set(payload.get("frontier", ()))
+    points = [
+        p for p in payload.get("points", ()) if p.get("id") in frontier
+    ]
+    spec = payload.get("spec", {})
+    print(f"Sweep {spec.get('name', '?')!r}: {len(points)} of "
+          f"{payload.get('num_points', '?')} points on the Pareto frontier")
+    print(f"  {'point':<28} {'base':<10} {'latency_ns':>14} "
+          f"{'energy_nj':>14} {'area':>10}")
+    for point in points:
+        metrics = point.get("metrics", {})
+        print(
+            f"  {point['id']:<28} {point.get('base', '?'):<10} "
+            f"{metrics.get('latency_ns', float('nan')):>14.1f} "
+            f"{metrics.get('energy_nj', float('nan')):>14.1f} "
+            f"{metrics.get('area_proxy', float('nan')):>10.0f}"
+        )
+        if args.verbose:
+            knobs = ", ".join(
+                f"{k}={v}" for k, v in sorted(point.get("knobs", {}).items())
+            )
+            print(f"      knobs: {knobs or '(base)'}")
     return 0
 
 
@@ -872,11 +1034,12 @@ def build_parser() -> argparse.ArgumentParser:
     selfbench.add_argument(
         "runs", nargs="*",
         help="run names to time (default: suite-cold suite-warm "
-             "figure12-cold suite-cold-vector figure12-cold-vector)",
+             "figure12-cold suite-cold-vector figure12-cold-vector "
+             "dse-sweep-cold)",
     )
     selfbench.add_argument(
         "--out", metavar="OUT.json", default=None,
-        help="also write the JSON payload (the BENCH_PR7.json schema)",
+        help="also write the JSON payload (the BENCH_PR9.json schema)",
     )
     selfbench.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -1001,6 +1164,66 @@ def build_parser() -> argparse.ArgumentParser:
     arch_list.add_argument("-v", "--verbose", action="store_true",
                            help="also print descriptions and stamp sources")
     arch_list.set_defaults(func=cmd_arch_list)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration sweeps over parametric "
+             "architectures (docs/DSE.md)",
+    )
+    dse_sub = dse.add_subparsers(dest="dse_command", required=True)
+
+    dse_run = dse_sub.add_parser(
+        "run", help="evaluate a sweep spec and extract the Pareto frontier"
+    )
+    dse_run.add_argument("--spec", required=True, metavar="SPEC.json",
+                         help="sweep spec file (schema: docs/DSE.md)")
+    dse_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="simulate cells across N worker processes; "
+                              "the report is byte-identical for any N")
+    dse_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent result cache location "
+                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    dse_run.add_argument("--no-cache", action="store_true",
+                         help="ignore cached results and do not write new "
+                              "ones")
+    dse_run.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock budget per cell in seconds")
+    dse_run.add_argument("--max-retries", type=int, default=None, metavar="N",
+                         help="retries per failing cell before recording "
+                              "the failure")
+    dse_run.add_argument("--fail-fast", action="store_true",
+                         help="stop scheduling after the first ultimate "
+                              "failure")
+    dse_run.add_argument("--report", metavar="OUT.json", default=None,
+                         help="write the byte-stable sweep report (points, "
+                              "frontier, winner tables)")
+    dse_run.add_argument("--no-vector", action="store_true",
+                         help="price cells through the scalar path instead "
+                              "of the vectorized engine (same numbers, "
+                              "slower; sweeps default to --vector)")
+    dse_run.add_argument("--vector-check", action="store_true",
+                         help="re-simulate one deterministic sampled point "
+                              "with the scalar/vector bit-compare gate on")
+    dse_run.add_argument("-v", "--verbose", action="store_true",
+                         help="also print each frontier point's knobs")
+    dse_run.set_defaults(func=cmd_dse_run)
+
+    dse_frontier = dse_sub.add_parser(
+        "frontier", help="print the Pareto frontier of a saved sweep report"
+    )
+    dse_frontier.add_argument("report", metavar="REPORT.json",
+                              help="report written by `dse run --report`")
+    dse_frontier.add_argument("-v", "--verbose", action="store_true",
+                              help="also print each frontier point's knobs")
+    dse_frontier.set_defaults(func=cmd_dse_frontier)
+
+    dse_list = dse_sub.add_parser(
+        "list", help="compile a sweep spec and list its design points"
+    )
+    dse_list.add_argument("--spec", required=True, metavar="SPEC.json",
+                          help="sweep spec file (schema: docs/DSE.md)")
+    dse_list.set_defaults(func=cmd_dse_list)
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
         func=cmd_tables

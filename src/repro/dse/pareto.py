@@ -1,0 +1,70 @@
+"""Pareto-frontier extraction over sweep metrics.
+
+The design space is scored on three minimized objectives:
+
+* **latency** -- PIM kernel+host time (ns), geometric mean across the
+  sweep's benchmarks;
+* **energy** -- PIM kernel+host energy (nJ), same aggregation;
+* **area** -- a first-order proxy, ``num_banks x pe_width_bits``: how
+  much compute silicon the design point spends across the DRAM die
+  (Section VI trades exactly this against performance).
+
+A point is *dominated* if some other point is no worse on every
+objective and strictly better on at least one; the frontier is the
+non-dominated set, returned in input order so frontier reports are
+byte-stable for a given sweep enumeration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Objective names, in report order.  All minimized.
+OBJECTIVES = ("latency_ns", "energy_nj", "area_proxy")
+
+
+@dataclasses.dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate: an opaque key plus its objective vector."""
+
+    key: str
+    latency_ns: float
+    energy_nj: float
+    area_proxy: float
+
+    @property
+    def objectives(self) -> "tuple[float, float, float]":
+        return (self.latency_ns, self.energy_nj, self.area_proxy)
+
+
+def dominates(
+    a: "typing.Sequence[float]", b: "typing.Sequence[float]"
+) -> bool:
+    """True if objective vector ``a`` Pareto-dominates ``b`` (minimize)."""
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    points: "typing.Iterable[ParetoPoint]",
+) -> "tuple[ParetoPoint, ...]":
+    """The non-dominated subset, preserving input order.
+
+    O(n^2) pairwise scan -- exact, dependency-free, and instant at the
+    4096-point sweep ceiling.  Duplicate objective vectors all survive
+    (neither strictly beats the other), so equivalent designs are kept
+    visible rather than arbitrarily dropped.
+    """
+    candidates = list(points)
+    frontier = []
+    for i, point in enumerate(candidates):
+        dominated = any(
+            dominates(other.objectives, point.objectives)
+            for j, other in enumerate(candidates)
+            if j != i
+        )
+        if not dominated:
+            frontier.append(point)
+    return tuple(frontier)

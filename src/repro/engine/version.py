@@ -71,9 +71,22 @@ def _iter_source_files(entry: str) -> "list[pathlib.Path]":
 
 @functools.lru_cache(maxsize=None)
 def _digest_entries(entries: "tuple[str, ...]") -> str:
-    """SHA-256 over the (relative path, contents) of every listed source."""
+    """SHA-256 over the (relative path, contents) of every listed source.
+
+    An entry containing ``=`` is a *pseudo-entry* -- literal content a
+    backend wants folded into its stamp rather than a file to read.
+    Parametric backends (``repro.arch.parametric``) use this to stamp
+    ``knobs=<digest>``, giving every generated design point its own
+    model version.  Real source paths never contain ``=``, so every
+    hand-written backend's digest is byte-identical to before
+    pseudo-entries existed.
+    """
     sha = hashlib.sha256()
     for entry in entries:
+        if "=" in entry:
+            sha.update(entry.encode())
+            sha.update(b"\0")
+            continue
         for path in _iter_source_files(entry):
             sha.update(str(path.relative_to(_REPRO_ROOT)).encode())
             sha.update(b"\0")

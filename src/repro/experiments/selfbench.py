@@ -8,19 +8,22 @@ commands per second, in a stable JSON schema
 (``{"run", "wall_s", "commands_simulated", "commands_per_s"}`` per entry)
 that CI and ``BENCH_PR5.json`` archive.
 
-Five runs cover the interesting regimes:
+Six runs cover the interesting regimes:
 
 * ``suite-cold``   -- the full evaluation suite with every cache bypassed
   (the simulator hot path, where the cost memo lives),
 * ``suite-warm``   -- the same suite served from the persistent disk
   cache in a scratch directory (the §2 caching contract),
 * ``figure12-cold``-- the Figure 12 rank sweep (four uncached suites),
-  the heaviest standard driver, and
+  the heaviest standard driver,
 * ``suite-cold-vector`` / ``figure12-cold-vector`` -- the same cold runs
   through the vectorized histogram-pricing engine (``--vector``,
   docs/VECTORIZATION.md); identical command counts by the byte-identity
   contract, so the cmds/s ratio against the scalar legs *is* the
-  vectorization speedup.
+  vectorization speedup, and
+* ``dse-sweep-cold`` -- a fixed 12-point uncached design-space sweep
+  (:mod:`repro.dse`): every cell runs on a freshly derived transient
+  parametric backend, timing the derivation + vector-pricing path.
 
 Wall timings are machine-dependent; ``commands_simulated`` is exact and
 machine-independent (it is the op-census total the byte-identity tests
@@ -63,10 +66,27 @@ RUN_NAMES = (
     "figure12-cold",
     "suite-cold-vector",
     "figure12-cold-vector",
+    "dse-sweep-cold",
 )
 
 #: Rank counts of the Figure 12 sweep (mirrors rankscaling.FIG12_RANKS).
 _FIG12_RANKS = (4, 8, 16, 32)
+
+#: The fixed sweep the ``dse-sweep-cold`` leg times: a 12-point grid
+#: over the bank-level base (every point a distinct transient backend,
+#: so the leg times the parametric-derivation + vector-pricing path the
+#: DSE layer leans on).  Kept small enough to ride every CI pass.
+_DSE_SWEEP_SPEC = {
+    "name": "selfbench-dse",
+    "base": "bank",
+    "benchmarks": ["gemv"],
+    "num_ranks": 2,
+    "axes": {
+        "banks_per_rank": [16, 32, 64],
+        "pe_width_bits": [32, 64],
+        "pe_freq_mhz": [164, 250],
+    },
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,6 +166,16 @@ def _run_figure12_cold(
     return _timed(name, commands, wall)
 
 
+def _run_dse_sweep_cold(jobs: "int | None") -> SelfBenchRun:
+    from repro.dse import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_dict(_DSE_SWEEP_SPEC)
+    start = time.perf_counter()
+    result = run_sweep(spec, jobs=jobs, use_cache=False, vector=True)
+    wall = time.perf_counter() - start
+    return _timed("dse-sweep-cold", result.total_commands(), wall)
+
+
 def run_selfbench(
     runs: "typing.Sequence[str]" = RUN_NAMES,
     jobs: "int | None" = None,
@@ -171,6 +201,8 @@ def run_selfbench(
                 results.append(_run_suite_cold_vector(jobs))
             elif name == "figure12-cold-vector":
                 results.append(_run_figure12_cold(jobs, vector=True))
+            elif name == "dse-sweep-cold":
+                results.append(_run_dse_sweep_cold(jobs))
     return results
 
 
@@ -272,6 +304,34 @@ def baseline_run_names(
         if isinstance(run, dict) and "run" in run
         and not str(run["run"]).endswith("-pre-memo")
     }
+
+
+def baseline_schema_issues(
+    baseline_payload: "dict[str, object]",
+) -> "list[str]":
+    """Non-fatal shape problems of a baseline payload, as warnings.
+
+    A baseline archived before the payload schema was versioned (or
+    hand-edited since) lacks the ``schema`` field; newer tooling may
+    have written a version this reader predates.  Neither should fail
+    ``--check`` outright -- the per-run gate below still compares
+    like-named runs correctly -- but both are worth a warning so a
+    stale or foreign baseline is not trusted silently.
+    """
+    issues = []
+    schema = baseline_payload.get("schema")
+    if schema is None:
+        issues.append(
+            "baseline payload has no 'schema' version field (archived "
+            "before schema versioning, or hand-edited); gating on it "
+            "anyway"
+        )
+    elif schema != SCHEMA_VERSION:
+        issues.append(
+            f"baseline payload schema {schema!r} != expected "
+            f"{SCHEMA_VERSION}; gating on like-named runs anyway"
+        )
+    return issues
 
 
 def missing_baseline_runs(

@@ -1,0 +1,50 @@
+"""Pareto extraction: domination, ties, and order preservation."""
+
+from repro.dse import ParetoPoint, dominates, pareto_frontier
+
+
+def _p(key, latency, energy, area):
+    return ParetoPoint(
+        key=key, latency_ns=latency, energy_nj=energy, area_proxy=area
+    )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_better_on_one_equal_elsewhere(self):
+        assert dominates((1, 2, 2), (2, 2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 1, 1), (1, 1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3, 1), (2, 2, 2))
+        assert not dominates((2, 2, 2), (1, 3, 1))
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            _p("slow-fat", 10, 10, 10),
+            _p("best", 1, 1, 1),
+            _p("tradeoff", 2, 0.5, 5),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.key for p in frontier] == ["best", "tradeoff"]
+
+    def test_input_order_preserved(self):
+        points = [
+            _p("c", 3, 1, 1), _p("a", 1, 3, 1), _p("b", 2, 2, 1),
+        ]
+        assert [p.key for p in pareto_frontier(points)] == ["c", "a", "b"]
+
+    def test_duplicate_objective_vectors_all_survive(self):
+        points = [_p("x", 1, 1, 1), _p("y", 1, 1, 1), _p("z", 5, 5, 5)]
+        assert [p.key for p in pareto_frontier(points)] == ["x", "y"]
+
+    def test_single_and_empty(self):
+        assert pareto_frontier([]) == ()
+        only = _p("solo", 1, 2, 3)
+        assert pareto_frontier([only]) == (only,)

@@ -110,3 +110,80 @@ def test_stamp_schema_unchanged(schema_digests):
         model_version(d, "vecadd").split("-")[2] for d in PAPER_DEVICES
     }
     assert len(digests) == len(PAPER_DEVICES)
+
+
+def test_handwritten_stamp_entries_never_contain_pseudo_entries():
+    """The byte-identity guarantee for hand-written backends rests on
+    real source paths never containing ``=`` (the pseudo-entry marker
+    parametric knob digests use).  Pin it for every non-transient
+    backend."""
+    from repro.arch import iter_backends
+
+    for backend in iter_backends():
+        if getattr(backend, "transient", False):
+            continue
+        assert not any("=" in entry for entry in backend.stamp_entries()), (
+            f"{backend.id} stamp entries contain '='; hand-written keys "
+            "would collide with the pseudo-entry namespace"
+        )
+
+
+class TestParametricKeys:
+    """Cache-key soundness of derived (transient parametric) backends.
+
+    The knob content enters the key twice -- via the ParametricDeviceType
+    dataclass fields in the config material and via the ``knobs=<digest>``
+    stamp pseudo-entry -- so distinct knob dicts can never share a key
+    and key-order/numeric-spelling variants of the same dict always do.
+    """
+
+    def _key_for(self, backend) -> str:
+        spec = CellSpec(
+            benchmark_key="vecadd", device_type=backend.device_type
+        )
+        return cell_cache_key(spec)
+
+    def test_distinct_knob_dicts_get_distinct_keys(self, schema_digests):
+        from repro.arch import derive_backend, unregister_backend
+
+        variants = [
+            derive_backend("bank", {"banks_per_rank": banks})
+            for banks in (16, 32, 64, 128)
+        ]
+        try:
+            keys = {self._key_for(backend) for backend in variants}
+            assert len(keys) == len(variants)
+        finally:
+            # cell_cache_key resolves the backend via arch_for, whose
+            # self-heal path registers the derived type; clean up.
+            for backend in variants:
+                unregister_backend(backend.id)
+
+    def test_dict_order_variants_share_one_key(self, schema_digests):
+        from repro.arch import derive_backend, unregister_backend
+
+        a = derive_backend(
+            "bank", {"pe_width_bits": 128, "pe_freq_mhz": 250}
+        )
+        b = derive_backend(
+            "bank", {"pe_freq_mhz": 250.0, "bank_alu_bits": 128}
+        )
+        try:
+            assert self._key_for(a) == self._key_for(b)
+        finally:
+            unregister_backend(a.id)
+
+    def test_parametric_stamp_differs_from_base(self, schema_digests):
+        from repro.arch import derive_backend, unregister_backend
+
+        backend = derive_backend("bank", {"banks_per_rank": 64})
+        try:
+            derived = model_version(backend.device_type, "vecadd")
+            base = model_version(PimDeviceType.BANK_LEVEL, "vecadd")
+            # Same schema and common/bench digests; the device digest
+            # (position 2) must differ -- the knob pseudo-entry moved it.
+            assert derived.split("-")[2] != base.split("-")[2]
+            assert derived.split("-")[1] == base.split("-")[1]
+            assert derived.split("-")[3] == base.split("-")[3]
+        finally:
+            unregister_backend(backend.id)

@@ -60,8 +60,22 @@ class TestSelfBenchExecution:
         )
         assert set(RUN_NAMES) == {
             "suite-cold", "suite-warm", "figure12-cold",
-            "suite-cold-vector", "figure12-cold-vector",
+            "suite-cold-vector", "figure12-cold-vector", "dse-sweep-cold",
         }
+
+    def test_dse_sweep_cold_runs_end_to_end(self):
+        from repro.arch import iter_backends
+
+        before = len(iter_backends())
+        (result,) = run_selfbench(runs=("dse-sweep-cold",))
+        assert result.run == "dse-sweep-cold"
+        assert result.wall_s > 0
+        # 12 design points x the paper gemv at 2 ranks; anything near
+        # the old 12-commands-total figure means the leg went back to a
+        # 1-command-per-cell benchmark and times nothing.
+        assert result.commands_simulated > 10_000
+        # The leg must not leak transient backends into the registry.
+        assert len(iter_backends()) == before
 
 
 class TestHistoryLedger:
@@ -243,3 +257,41 @@ class TestRegressionGate:
         text = format_regression(ok + bad, tolerance=0.25)
         assert "ok" in text and "REGRESSED" in text
         assert "25%" in text
+
+
+class TestBaselineSchemaIssues:
+    """``--check`` warns -- never fails -- on unversioned baselines."""
+
+    def test_current_schema_is_clean(self):
+        from repro.experiments.selfbench import baseline_schema_issues
+
+        payload = selfbench_payload([_FAKE], include_baseline=False)
+        assert baseline_schema_issues(payload) == []
+
+    def test_missing_schema_field_warns(self):
+        from repro.experiments.selfbench import baseline_schema_issues
+
+        (issue,) = baseline_schema_issues({"runs": []})
+        assert "no 'schema' version field" in issue
+        assert "anyway" in issue  # a warning, not a refusal
+
+    def test_mismatched_schema_warns_with_both_versions(self):
+        from repro.experiments.selfbench import (
+            SCHEMA_VERSION,
+            baseline_schema_issues,
+        )
+
+        (issue,) = baseline_schema_issues({"schema": 99, "runs": []})
+        assert "99" in issue and str(SCHEMA_VERSION) in issue
+
+    def test_archived_baseline_is_clean(self):
+        import pathlib
+
+        from repro.experiments.selfbench import baseline_schema_issues
+
+        archived = json.loads(
+            pathlib.Path(__file__).parents[2].joinpath(
+                "BENCH_PR9.json"
+            ).read_text()
+        )
+        assert baseline_schema_issues(archived) == []

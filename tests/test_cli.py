@@ -427,3 +427,98 @@ class TestSelfbenchGate:
         entry = json.loads(line)
         assert entry["schema"] == 1
         assert entry["runs"][0]["run"] == "suite-cold"
+
+    def test_check_warns_when_baseline_is_unversioned(self, capsys, tmp_path):
+        # Satellite contract: a baseline without the schema field gets a
+        # warning, never a failure -- the per-leg gate still runs.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "runs": [{"run": "suite-cold", "wall_s": 9.0,
+                      "commands_simulated": 9, "commands_per_s": 1.0}],
+        }))
+        assert main(["selfbench", "suite-cold", "--check",
+                     "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "no 'schema' version field" in err
+
+
+class TestDseSubcommand:
+    SPEC = {
+        "name": "cli-unit",
+        "base": "bank",
+        "benchmarks": ["vecadd"],
+        "num_ranks": 2,
+        "axes": {"banks_per_rank": [32, 64]},
+    }
+
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_dse_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse"])
+
+    def test_list_enumerates_points_without_running(self, capsys, tmp_path):
+        assert main(["dse", "list", "--spec", self._spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 design point(s)" in out
+        assert "banks_per_rank=32" in out and "banks_per_rank=64" in out
+        assert out.count("bank@") == 2
+
+    def test_run_prints_frontier_and_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "frontier.json"
+        assert main(["dse", "run", "--spec", self._spec_file(tmp_path),
+                     "--no-cache", "--jobs", "1",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "Per-benchmark winners:" in out
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == 1
+        assert payload["num_points"] == 2
+        assert payload["num_failed"] == 0
+        assert payload["frontier"]
+
+    def test_run_vector_check_probe_passes(self, capsys, tmp_path):
+        assert main(["dse", "run", "--spec", self._spec_file(tmp_path),
+                     "--no-cache", "--jobs", "1", "--vector-check"]) == 0
+        assert "Vector check passed" in capsys.readouterr().out
+
+    def test_frontier_reads_saved_report(self, capsys, tmp_path):
+        report = tmp_path / "frontier.json"
+        assert main(["dse", "run", "--spec", self._spec_file(tmp_path),
+                     "--no-cache", "--report", str(report)]) == 0
+        capsys.readouterr()
+        assert main(["dse", "frontier", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "on the Pareto frontier" in out
+        assert "latency_ns" in out
+
+    def test_bad_spec_exits_with_coded_message(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "axes": {"warp": [1]}}))
+        with pytest.raises(SystemExit, match="warp"):
+            main(["dse", "run", "--spec", str(path)])
+
+    def test_missing_report_exits_with_message(self):
+        with pytest.raises(SystemExit, match="cannot read sweep report"):
+            main(["dse", "frontier", "/nonexistent/frontier.json"])
+
+    def test_arch_list_marks_transient_backends(self, capsys):
+        from repro.arch import derive_backend, temporary_backend
+
+        backend = derive_backend("bank", {"banks_per_rank": 64})
+        with temporary_backend(backend):
+            assert main(["arch", "list"]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if l.startswith(backend.id))
+        assert " * " in f" {line} " or line.split()[1] == "*"
+        assert "bank" in line.split()  # origin column names the base
+        assert "transient parametric backend" in out
+
+    def test_arch_list_hides_transient_note_without_transients(self, capsys):
+        assert main(["arch", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "transient parametric backend" not in out
