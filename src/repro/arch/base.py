@@ -158,27 +158,41 @@ class ArchBackend(abc.ABC):
         telemetry and ``REPRO_NO_COST_MEMO`` keep their meaning), which
         is always correct; backends with closed-form batch pricing may
         override, but only if they can hold the bit-identity contract.
+
+        Batched sweeps (:mod:`repro.dse.batch`) call this hook once per
+        *design point* with a shapes tuple shared by the whole geometry
+        group: the same ``shapes`` arrive with a different ``pipeline``
+        (a different cost/energy model) each time.  Implementations must
+        therefore price through the supplied pipeline's models on every
+        call and never cache columns statically keyed on the shapes
+        alone -- per-pipeline memoization (what ``CostPipeline`` already
+        provides) is the correct granularity.
         """
         import numpy as np
 
         from repro.perf.vector import CostTable
 
         count = len(shapes)
-        columns = {
-            name: np.zeros(count, dtype=np.float64)
-            for name in (
-                "latency_ns", "execution_nj", "background_nj",
-                *COST_COUNTERS,
-            )
-        }
+        names = ("latency_ns", "execution_nj", "background_nj",
+                 *COST_COUNTERS)
+        # One backing allocation; the CostTable columns are row views.
+        # Counter rows are read as direct attributes in COST_COUNTERS
+        # order (a getattr loop here is measurable in batched sweeps).
+        data = np.zeros((len(names), count), dtype=np.float64)
+        cost_and_energy = pipeline.cost_and_energy
         for index, args in enumerate(shapes):
-            cost, energy = pipeline.cost_and_energy(args)
-            columns["latency_ns"][index] = cost.latency_ns
-            columns["execution_nj"][index] = energy.execution_nj
-            columns["background_nj"][index] = energy.background_nj
-            for counter in COST_COUNTERS:
-                columns[counter][index] = getattr(cost, counter)
-        return CostTable(**columns)
+            cost, energy = cost_and_energy(args)
+            data[0, index] = cost.latency_ns
+            data[1, index] = energy.execution_nj
+            data[2, index] = energy.background_nj
+            data[3, index] = cost.row_activations
+            data[4, index] = cost.lane_logic_ops
+            data[5, index] = cost.alu_word_ops
+            data[6, index] = cost.walker_bits
+            data[7, index] = cost.gdl_bits
+        return CostTable(**{
+            name: data[row] for row, name in enumerate(names)
+        })
 
     def cost_memo_param(self, args: "CommandArgs") -> typing.Hashable:
         """The scalar's contribution to the command-cost memo key.

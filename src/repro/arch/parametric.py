@@ -45,8 +45,10 @@ top.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import typing
+import weakref
 
 from repro.arch.base import ArchBackend
 from repro.config.device import (
@@ -180,8 +182,24 @@ def normalize_knobs(
     return tuple(sorted(normalized.items()))
 
 
+#: Per-base memo of geometry-merged configs, shared by every derived
+#: variant: the points of one sweep geometry group all splice identical
+#: geometry into the same base, so the expensive preset construction
+#: runs once per group and each point only pays its own arch/type
+#: replace.  Weakly keyed so an unregistered base releases its configs.
+_BASE_CONFIG_MEMO: "weakref.WeakKeyDictionary[ArchBackend, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+@functools.lru_cache(maxsize=4096)
 def knob_digest(knobs: "tuple[tuple[str, object], ...]") -> str:
-    """SHA-256 over the canonical knob tuple (full hex digest)."""
+    """SHA-256 over the canonical knob tuple (full hex digest).
+
+    Memoized: a sweep reads each point's content id many times
+    (``SweepPoint.point_id`` is a property) and the digest of an
+    immutable tuple never changes.
+    """
     return hashlib.sha256(repr(tuple(knobs)).encode()).hexdigest()
 
 
@@ -224,7 +242,10 @@ class ParametricBackend(ArchBackend):
     transient = True
 
     def __init__(
-        self, base: ArchBackend, knobs: "typing.Mapping[str, object]"
+        self,
+        base: ArchBackend,
+        knobs: "typing.Mapping[str, object]",
+        canonical: bool = False,
     ) -> None:
         if getattr(base, "transient", False):
             raise PimConfigError(
@@ -233,7 +254,16 @@ class ParametricBackend(ArchBackend):
                 base=base.id,
             )
         self._base = base
-        self._knobs = normalize_knobs(base, knobs)
+        # ``canonical=True`` asserts ``knobs`` is already the exact
+        # tuple :func:`normalize_knobs` returns for this base (the
+        # sweep layer normalizes every point once at spec-compile
+        # time); re-normalizing a thousand-point sweep's knobs twice
+        # is measurable.  Arbitrary callers keep the validating path.
+        self._knobs = (
+            tuple(knobs)  # type: ignore[arg-type]
+            if canonical
+            else normalize_knobs(base, knobs)
+        )
         self.knob_digest = knob_digest(self._knobs)
         tag = self.knob_digest[:12]
         base_type = base.device_type
@@ -251,8 +281,6 @@ class ParametricBackend(ArchBackend):
             base_id=base.id,
             knobs=self._knobs,
         )
-        knob_text = ", ".join(f"{k}={v}" for k, v in self._knobs)
-        self.description = f"parametric {base.id} variant ({knob_text})"
         self.cost_counters = base.cost_counters
         self.stamp_sources = tuple(base.stamp_sources) + ("arch/parametric.py",)
         self.uses_microcode = base.uses_microcode
@@ -264,6 +292,11 @@ class ParametricBackend(ArchBackend):
         self._energy_knobs = {
             k: v for k, v in self._knobs if k in ENERGY_KNOBS
         }
+        # Derived configs are frozen and deterministic per (num_ranks,
+        # overrides), so they are memoized: a sweep touches each point's
+        # config several times (derive-time validation, plan grouping,
+        # the area proxy) and re-splicing it is pure waste.
+        self._config_memo: "dict[typing.Hashable, DeviceConfig]" = {}
         # Surface invalid combinations (ALU widths outside the model's
         # validated set, geometry constraint violations) at derive time
         # as coded config errors, not as bare ValueErrors mid-sweep.
@@ -276,6 +309,17 @@ class ParametricBackend(ArchBackend):
                 f"invalid knobs for base {base.id!r}: {exc}",
                 base=base.id, knobs=dict(self._knobs),
             ) from exc
+
+    @property
+    def description(self) -> str:  # type: ignore[override]
+        """One-line ``repro arch list`` text, formatted on demand.
+
+        A property rather than an ``__init__`` assignment: sweeps derive
+        thousands of transient backends whose description is never read,
+        so the knob formatting is deferred to the rare display path.
+        """
+        knob_text = ", ".join(f"{k}={v}" for k, v in self._knobs)
+        return f"parametric {self._base.id} variant ({knob_text})"
 
     @property
     def base(self) -> ArchBackend:
@@ -292,18 +336,30 @@ class ParametricBackend(ArchBackend):
     def make_config(
         self, num_ranks: int = 32, **geometry_overrides: int
     ) -> DeviceConfig:
+        memo_key = (num_ranks, tuple(sorted(geometry_overrides.items())))
+        cached = self._config_memo.get(memo_key)
+        if cached is not None:
+            return cached
         # Knob geometry first, caller overrides second: an explicit
         # per-cell override (the Figure 6/12 sweeps) wins over the
         # derived architecture's own geometry.
         merged = dict(self._geometry_knobs)
         merged.update(geometry_overrides)
-        config = self._base.make_config(num_ranks, **merged)
+        base_memo = _BASE_CONFIG_MEMO.setdefault(self._base, {})
+        base_key = (num_ranks, tuple(sorted(merged.items())))
+        config = base_memo.get(base_key)
+        if config is None:
+            config = self._base.make_config(num_ranks, **merged)
+            if len(base_memo) < 512:
+                base_memo[base_key] = config
         arch = config.arch
         if self._arch_knobs:
             arch = dataclasses.replace(arch, **self._arch_knobs)
-        return dataclasses.replace(
+        config = dataclasses.replace(
             config, device_type=self.device_type, arch=arch
         )
+        self._config_memo[memo_key] = config
+        return config
 
     def compute_freq_mhz(self, config: DeviceConfig) -> "float | None":
         return self._base.compute_freq_mhz(config)

@@ -718,8 +718,14 @@ def cmd_dse_run(args: argparse.Namespace) -> int:
         vector_check_point,
     )
 
+    import os as _os
+
+    from repro.dse.batch import BATCH_CHECK_ENV
+
     spec = _load_sweep_spec(args)
     vector = not args.no_vector
+    if args.batch_check:
+        _os.environ[BATCH_CHECK_ENV] = "1"
     try:
         result = run_sweep(
             spec,
@@ -728,10 +734,18 @@ def cmd_dse_run(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             vector=vector,
             policy=_make_policy(args),
+            batched=not args.no_batch,
         )
     except PimError as exc:
         raise SystemExit(str(exc)) from None
+    finally:
+        if args.batch_check:
+            _os.environ.pop(BATCH_CHECK_ENV, None)
     print(format_sweep(result, verbose=args.verbose))
+    print(f"{len(result.outcomes)} point(s) in {result.wall_s:.2f} s "
+          f"({result.points_per_s:.0f} points/s); plan cache: "
+          f"{result.plan_hits} hit(s), {result.plan_misses} compile(s); "
+          f"{result.batched_cells} cell(s) batch-priced")
     status = 0
     if any(outcome.failed for outcome in result.outcomes):
         status = 1
@@ -1205,6 +1219,14 @@ def build_parser() -> argparse.ArgumentParser:
     dse_run.add_argument("--vector-check", action="store_true",
                          help="re-simulate one deterministic sampled point "
                               "with the scalar/vector bit-compare gate on")
+    dse_run.add_argument("--no-batch", action="store_true",
+                         help="price every cell through the per-cell engine "
+                              "instead of the sweep-level matrix pricer "
+                              "(same numbers, slower; docs/DSE.md)")
+    dse_run.add_argument("--batch-check", action="store_true",
+                         help="re-run a deterministic sample of batch-priced "
+                              "points through the per-cell engine and "
+                              "bit-compare the totals")
     dse_run.add_argument("-v", "--verbose", action="store_true",
                          help="also print each frontier point's knobs")
     dse_run.set_defaults(func=cmd_dse_run)

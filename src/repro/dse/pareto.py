@@ -13,10 +13,18 @@ A point is *dominated* if some other point is no worse on every
 objective and strictly better on at least one; the frontier is the
 non-dominated set, returned in input order so frontier reports are
 byte-stable for a given sweep enumeration.
+
+:func:`pareto_frontier` runs an O(n log n) sort-based sweep (sort by
+the objective tuple, then probe a monotone (energy -> min area)
+staircase of the already-scanned points); the retired O(n^2) pairwise
+scan survives as :func:`_pairwise_frontier`, the oracle the randomized
+property test cross-checks against.  Both return the identical tuple
+for every input -- same set, same (input) order.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import typing
 
@@ -47,16 +55,10 @@ def dominates(
     return no_worse and strictly_better
 
 
-def pareto_frontier(
+def _pairwise_frontier(
     points: "typing.Iterable[ParetoPoint]",
 ) -> "tuple[ParetoPoint, ...]":
-    """The non-dominated subset, preserving input order.
-
-    O(n^2) pairwise scan -- exact, dependency-free, and instant at the
-    4096-point sweep ceiling.  Duplicate objective vectors all survive
-    (neither strictly beats the other), so equivalent designs are kept
-    visible rather than arbitrarily dropped.
-    """
+    """Reference O(n^2) pairwise scan (the property-test oracle)."""
     candidates = list(points)
     frontier = []
     for i, point in enumerate(candidates):
@@ -68,3 +70,62 @@ def pareto_frontier(
         if not dominated:
             frontier.append(point)
     return tuple(frontier)
+
+
+def pareto_frontier(
+    points: "typing.Iterable[ParetoPoint]",
+) -> "tuple[ParetoPoint, ...]":
+    """The non-dominated subset, preserving input order.
+
+    O(n log n) sort-based sweep.  Sort the candidates by their objective
+    tuple and scan ascending: any dominator of a point sorts strictly
+    before it (a dominator is <= everywhere, and the lexicographic order
+    breaks the tie at the first strict improvement), so a point is
+    dominated iff some *earlier-sorting* point has ``energy <= its
+    energy`` and ``area <= its area``.  That query runs against a
+    monotone staircase -- scanned (energy, area) pairs with strictly
+    decreasing area as energy grows -- via binary search.  Points with
+    *equal* objective tuples are processed as one group (neither
+    dominates the other: nothing is strictly better), so duplicate
+    vectors all survive, exactly like the pairwise scan.  Survivors are
+    emitted in input order, making the output byte-identical to
+    :func:`_pairwise_frontier` for every input.
+    """
+    candidates = list(points)
+    order = sorted(range(len(candidates)), key=lambda i: candidates[i].objectives)
+    # Staircase over scanned points: energies strictly increasing,
+    # areas strictly decreasing -- the 2D non-dominated minima.
+    stair_energy: "list[float]" = []
+    stair_area: "list[float]" = []
+    surviving: "list[int]" = []
+    position = 0
+    while position < len(order):
+        # One group of identical objective tuples is judged together
+        # (its members never dominate each other) and inserted after.
+        group_end = position
+        vector = candidates[order[position]].objectives
+        while (
+            group_end < len(order)
+            and candidates[order[group_end]].objectives == vector
+        ):
+            group_end += 1
+        _latency, energy, area = vector
+        # Rightmost staircase column with stair_energy <= energy; its
+        # area is the minimum area among all scanned points with
+        # energy <= this point's energy.
+        column = bisect.bisect_right(stair_energy, energy) - 1
+        dominated = column >= 0 and stair_area[column] <= area
+        if not dominated:
+            surviving.extend(order[position:group_end])
+        # Insert (energy, area) unless an existing column already covers
+        # it; drop any columns it renders redundant.
+        if column < 0 or stair_area[column] > area:
+            insert_at = column + 1
+            cut = insert_at
+            while cut < len(stair_energy) and stair_area[cut] >= area:
+                cut += 1
+            stair_energy[insert_at:cut] = [energy]
+            stair_area[insert_at:cut] = [area]
+        position = group_end
+    surviving.sort()
+    return tuple(candidates[i] for i in surviving)

@@ -80,8 +80,18 @@ class SweepPoint:
 
     @property
     def point_id(self) -> str:
-        """Stable content-addressed id (matches the derived backend id)."""
-        return f"{self.base}@{knob_digest(self.knobs)[:12]}"
+        """Stable content-addressed id (matches the derived backend id).
+
+        Cached on the instance (the sweep loop reads it many times per
+        point); stored via ``object.__setattr__`` because the dataclass
+        is frozen, and invisible to ``==``/``hash`` which only consult
+        declared fields.
+        """
+        pid = self.__dict__.get("_point_id")
+        if pid is None:
+            pid = f"{self.base}@{knob_digest(self.knobs)[:12]}"
+            object.__setattr__(self, "_point_id", pid)
+        return pid
 
     def knobs_dict(self) -> "dict[str, object]":
         return dict(self.knobs)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 import typing
 
 from repro.arch.parametric import ParametricBackend
@@ -36,11 +37,18 @@ from repro.config.device import (
     CORE_SCOPE_SUBARRAY,
     CORE_SCOPE_SUBARRAY_GROUP,
 )
+from repro.dse.batch import (
+    batch_eligible,
+    batching_disabled,
+    price_cells_batched,
+)
 from repro.dse.pareto import ParetoPoint, pareto_frontier
 from repro.dse.spec import SweepPoint, SweepSpec
 from repro.engine import run_cells
 from repro.engine.cells import CellSpec
+from repro.engine.engine import resolve_jobs
 from repro.experiments.runner import geometric_mean
+from repro.perf.vector import vector_check_enabled
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.common import BenchmarkResult
@@ -115,11 +123,27 @@ class SweepResult:
     sample_results: "dict[str, BenchmarkResult]" = dataclasses.field(
         default_factory=dict
     )
+    #: Sweep wall-clock, pricing-plan cache accounting, and how many
+    #: cells the matrix pricer synthesized (0 on the per-cell path).
+    #: Deliberately absent from :func:`repro.dse.report.sweep_payload`:
+    #: the frontier report stays byte-identical between the batched and
+    #: per-cell paths.
+    wall_s: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    batched_cells: int = 0
 
     @property
     def frontier(self) -> "list[PointOutcome]":
         on = set(self.frontier_ids)
         return [o for o in self.outcomes if o.point.point_id in on]
+
+    @property
+    def points_per_s(self) -> float:
+        """Design points evaluated per wall second (0.0 when untimed)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return len(self.outcomes) / self.wall_s
 
     def total_commands(self) -> int:
         """PIM commands simulated across every successful cell."""
@@ -136,12 +160,17 @@ def _derive_all(
     """Derive + register every point's backend; return (by id, new ids)."""
     derived: "dict[str, ParametricBackend]" = {}
     added: "list[str]" = []
+    bases: "dict[str, typing.Any]" = {}
     for point in points:
         if point.point_id in derived:
             continue
-        backend = ParametricBackend(
-            resolve_backend(point.base), point.knobs_dict()
-        )
+        base = bases.get(point.base)
+        if base is None:
+            base = bases[point.base] = resolve_backend(point.base)
+        # Compiled points carry knobs already normalized against their
+        # base (SweepSpec.compile_points), so the backend can take them
+        # verbatim instead of re-validating each point.
+        backend = ParametricBackend(base, point.knobs, canonical=True)
         derived[backend.id] = backend
         if not is_registered(backend.id):
             register_backend(backend)
@@ -156,6 +185,7 @@ def run_sweep(
     cache_dir: "str | os.PathLike | None" = None,
     vector: bool = True,
     policy: "RetryPolicy | None" = None,
+    batched: bool = True,
 ) -> SweepResult:
     """Evaluate every compiled point of ``spec`` and extract the frontier.
 
@@ -164,7 +194,18 @@ def run_sweep(
     suite, ``repro serve`` -- sees no registry growth from completed
     sweeps.  Points whose id was already registered (an overlapping
     concurrent sweep) are left alone, first owner wins.
+
+    Batched pricing (docs/DSE.md "Batched pricing"): by default,
+    analytic vector cells are grouped by geometry signature and priced
+    through the matrix pricer (:mod:`repro.dse.batch`) -- one benchmark
+    compile per group instead of one per point, with bit-identical
+    totals by the PR 7 summation contract.  The per-cell engine path
+    still runs for anything ineligible (``vector=False``, functional,
+    fault plans), when ``REPRO_NO_BATCH`` is set, or when the strict
+    per-cell scalar cross-check (``REPRO_VECTOR_CHECK``) is armed --
+    the check only means something if each cell actually runs.
     """
+    wall0 = time.perf_counter()
     points = spec.compile_points()
     derived, added = _derive_all(points)
     try:
@@ -186,9 +227,36 @@ def run_sweep(
                 )
                 cell_specs.append(cell)
                 index[cell] = (point, benchmark)
-        execution = run_cells(
-            cell_specs, jobs=jobs, use_cache=use_cache,
-            cache_dir=cache_dir, policy=policy,
+        batch_outcomes: "dict[CellSpec, typing.Any]" = {}
+        plan_hits = plan_misses = batch_hits = synthesized = 0
+        batch_on = (
+            batched
+            and vector
+            and not batching_disabled()
+            and not vector_check_enabled()
+        )
+        if batch_on:
+            eligible = [
+                (cell, derived[index[cell][0].point_id])
+                for cell in cell_specs
+                if batch_eligible(cell)
+            ]
+            if eligible:
+                batch_outcomes, batch_report = price_cells_batched(
+                    eligible, use_cache=use_cache, cache_dir=cache_dir,
+                )
+                plan_hits = batch_report.plan_hits
+                plan_misses = batch_report.plan_misses
+                batch_hits = batch_report.cache_hits
+                synthesized = batch_report.synthesized
+        remaining = [c for c in cell_specs if c not in batch_outcomes]
+        execution = (
+            run_cells(
+                remaining, jobs=jobs, use_cache=use_cache,
+                cache_dir=cache_dir, policy=policy,
+            )
+            if remaining
+            else None
         )
     finally:
         for backend_id in added:
@@ -198,7 +266,9 @@ def run_sweep(
     sample_results: "dict[str, BenchmarkResult]" = {}
     for cell in cell_specs:
         point, benchmark = index[cell]
-        outcome = execution.outcomes[cell]
+        outcome = batch_outcomes.get(cell)
+        if outcome is None:
+            outcome = execution.outcomes[cell]  # type: ignore[union-attr]
         entry = by_point.get(point.point_id)
         if entry is None:
             entry = by_point[point.point_id] = PointOutcome(
@@ -249,10 +319,14 @@ def run_sweep(
         spec=spec,
         outcomes=outcomes,
         frontier_ids=tuple(p.key for p in frontier),
-        cache_hits=execution.hits,
-        cache_misses=execution.misses,
-        jobs=execution.jobs,
+        cache_hits=batch_hits + (execution.hits if execution else 0),
+        cache_misses=synthesized + (execution.misses if execution else 0),
+        jobs=execution.jobs if execution else resolve_jobs(jobs),
         sample_results=sample_results,
+        wall_s=time.perf_counter() - wall0,
+        plan_hits=plan_hits,
+        plan_misses=plan_misses,
+        batched_cells=synthesized,
     )
 
 

@@ -33,7 +33,12 @@ class CommandEnergy:
 class EnergyModel:
     """Per-device energy accounting."""
 
-    def __init__(self, config: DeviceConfig, power: "PowerConfig | None" = None) -> None:
+    def __init__(
+        self,
+        config: DeviceConfig,
+        power: "PowerConfig | None" = None,
+        backend: "object | None" = None,
+    ) -> None:
         self.config = config
         self.power = power or PowerConfig()
         self.micron = MicronEnergyModel(self.power.micron, config.dram)
@@ -41,8 +46,14 @@ class EnergyModel:
         # first use (the backend registry may not be populated yet at
         # construction time) and then reused for every command: the
         # registry dispatch and the per-chip background derivation are
-        # pure functions of immutable configuration.
-        self._alu_pj: "float | None" = None
+        # pure functions of immutable configuration.  A caller that
+        # already holds the config's backend (the batched sweep pricer)
+        # may pass it to skip the registry dispatch; the value is the
+        # same one ``arch_for(config)`` would resolve.
+        self._alu_pj: "float | None" = (
+            backend.alu_op_pj(self.power)  # type: ignore[attr-defined]
+            if backend is not None else None
+        )
         self._background_w: "float | None" = None
 
     def _alu_op_pj(self) -> float:

@@ -134,16 +134,31 @@ def _canonical(value: typing.Any) -> typing.Any:
     return repr(value)
 
 
+#: Memoized cell keys, keyed on ``(spec, model_version, vector_stamp)``.
+#: A spec is frozen and its config/params derive from it alone, so the
+#: only inputs that can change within a process are the stamps -- which
+#: are part of the memo key, so schema bumps and source edits still
+#: produce fresh keys.  Bounded: a sweep touches thousands of specs.
+_KEY_MEMO: "dict[typing.Hashable, str]" = {}
+_KEY_MEMO_MAX = 8192
+
+
 def cell_cache_key(spec: CellSpec) -> str:
     """Content hash identifying one cell's result on disk.
 
     The documented cache-key contract (docs/PERFORMANCE.md) is exactly
     the ``material`` dict below.
     """
+    stamp = model_version(spec.device_type, spec.benchmark_key)
+    vec = vector_stamp() if spec.vector else None
+    memo_key = (spec, stamp, vec)
+    cached = _KEY_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     config = spec.device_config()
     bench = spec.make_benchmark()
     material = {
-        "model_version": model_version(spec.device_type, spec.benchmark_key),
+        "model_version": stamp,
         "benchmark": spec.benchmark_key,
         "params": _canonical(bench.params),
         "device_config": _canonical(config),
@@ -159,9 +174,12 @@ def cell_cache_key(spec: CellSpec) -> str:
         # pre-vector format, and vectorized cells carry the vector
         # engine's own source digest so the two paths never share an
         # entry (docs/VECTORIZATION.md "cache-stamp versioning").
-        material["vector"] = vector_stamp()
+        material["vector"] = vec
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
+    key = hashlib.sha256(blob.encode()).hexdigest()
+    if len(_KEY_MEMO) < _KEY_MEMO_MAX:
+        _KEY_MEMO[memo_key] = key
+    return key
 
 
 class DiskCache:
@@ -185,6 +203,16 @@ class DiskCache:
         return self.root / "cells"
 
     @property
+    def plans_dir(self) -> pathlib.Path:
+        """Root of the pricing-plan store (:mod:`repro.perf.plans`).
+
+        Plans live beside the cell entries but in their own namespace:
+        a plan is keyed by its *own* ``plan_stamp()`` digest, so plan
+        layout changes can never collide with (or poison) a cell key.
+        """
+        return self.root / "plans"
+
+    @property
     def usage_path(self) -> pathlib.Path:
         return self.root / "usage.json"
 
@@ -194,6 +222,53 @@ class DiskCache:
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.cells_dir / key[:2] / f"{key}.pkl"
+
+    def plan_path_for(self, key: str) -> pathlib.Path:
+        return self.plans_dir / key[:2] / f"{key}.pkl"
+
+    def get_plan(self, key: str) -> "typing.Any | None":
+        """Load a persisted :class:`~repro.perf.plans.PricingPlan`.
+
+        Same degradation contract as :meth:`get`: a corrupted entry
+        warns, is deleted, and reads as a miss (the sweep recompiles).
+        """
+        from repro.perf.plans import PricingPlan
+
+        path = self.plan_path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                plan = pickle.load(fh)
+            if not isinstance(plan, PricingPlan):
+                raise pickle.UnpicklingError(
+                    f"expected PricingPlan, found {type(plan).__name__}"
+                )
+            return plan
+        except Exception as exc:  # noqa: BLE001 - corruption degrades to a miss
+            from repro.obs.metrics import global_registry
+
+            global_registry().counter("cache.corrupt_entries").inc()
+            warnings.warn(
+                f"corrupted plan entry at {path}: "
+                f"{type(exc).__name__}: {exc}; recompiling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_plan(self, key: str, plan: "typing.Any") -> None:
+        """Atomically persist one pricing plan."""
+        path = self.plan_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(plan, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
 
     def _count(self, field: str) -> None:
         """Tally one usage event (global registry + session ledger)."""
@@ -308,16 +383,17 @@ class DiskCache:
         return found
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (cells and plans); returns how many."""
         removed = 0
-        if not self.cells_dir.exists():
-            return removed
-        for path in sorted(self.cells_dir.rglob("*.pkl")):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for root in (self.cells_dir, self.plans_dir):
+            if not root.exists():
+                continue
+            for path in sorted(root.rglob("*.pkl")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def stats(self) -> "tuple[int, int]":

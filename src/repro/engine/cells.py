@@ -84,6 +84,33 @@ class CellSpec:
     #: device-fault cells, which need the per-issue path.
     vector: bool = False
 
+    def __hash__(self) -> int:
+        """Field-tuple hash (what ``@dataclass`` generates), cached.
+
+        A sweep hashes every cell spec dozens of times -- the outcome
+        index, the batch grouping maps, the cache-key memo -- and the
+        generated hash re-walks all nine fields (including the derived
+        device type's own dataclass hash) on each call.  The cache
+        lives in ``__dict__`` so ``==``/``hash`` semantics and the
+        frozen contract are untouched; ``__getstate__`` drops it so a
+        pickled spec never carries one process's string-hash salt into
+        another (hash randomization is per-process).
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.benchmark_key, self.device_type, self.num_ranks,
+                self.paper_scale, self.functional, self.enforce_capacity,
+                self.geometry_overrides, self.fault_plan, self.vector,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> "dict[str, object]":
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @staticmethod
     def normalize_overrides(
         overrides: "dict[str, int] | None",

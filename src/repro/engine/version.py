@@ -140,6 +140,22 @@ def vector_stamp() -> str:
     return _digest_entries(("perf/vector.py",))[:12]
 
 
+def plan_stamp() -> str:
+    """Digest of the sweep-level batched pricing sources.
+
+    Folded into every :mod:`repro.perf.plans` plan-cache key (never into
+    per-cell keys): editing the plan extractor (``perf/plans.py``), the
+    matrix pricer (``dse/batch.py``), or the histogram engine itself
+    (``perf/vector.py``) invalidates exactly the persisted pricing
+    plans.  Per-cell cache keys are untouched by those edits unless
+    ``vector_stamp()`` moved too, so a plan-layout change can never
+    poison per-cell results.
+    """
+    return _digest_entries(
+        ("perf/vector.py", "perf/plans.py", "dse/batch.py")
+    )[:12]
+
+
 def clear_stamp_caches() -> None:
     """Drop memoized digests (tests use this after simulating an edit)."""
     _digest_entries.cache_clear()

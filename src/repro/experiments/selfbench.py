@@ -8,7 +8,7 @@ commands per second, in a stable JSON schema
 (``{"run", "wall_s", "commands_simulated", "commands_per_s"}`` per entry)
 that CI and ``BENCH_PR5.json`` archive.
 
-Six runs cover the interesting regimes:
+Seven runs cover the interesting regimes:
 
 * ``suite-cold``   -- the full evaluation suite with every cache bypassed
   (the simulator hot path, where the cost memo lives),
@@ -22,8 +22,15 @@ Six runs cover the interesting regimes:
   contract, so the cmds/s ratio against the scalar legs *is* the
   vectorization speedup, and
 * ``dse-sweep-cold`` -- a fixed 12-point uncached design-space sweep
-  (:mod:`repro.dse`): every cell runs on a freshly derived transient
-  parametric backend, timing the derivation + vector-pricing path.
+  (:mod:`repro.dse`) forced down the per-cell path (``batched=False``):
+  every cell runs on a freshly derived transient parametric backend,
+  timing the derivation + vector-pricing path, comparable across
+  baselines archived before batched pricing existed, and
+* ``dse-sweep-cold-batched`` -- a larger fixed 540-point uncached sweep
+  through the sweep-level matrix pricer (docs/DSE.md "Batched
+  pricing"): three geometry groups, each compiled once and priced as a
+  cost matrix; its ``points_per_s`` against ``dse-sweep-cold``'s is the
+  batching speedup.
 
 Wall timings are machine-dependent; ``commands_simulated`` is exact and
 machine-independent (it is the op-census total the byte-identity tests
@@ -67,6 +74,7 @@ RUN_NAMES = (
     "suite-cold-vector",
     "figure12-cold-vector",
     "dse-sweep-cold",
+    "dse-sweep-cold-batched",
 )
 
 #: Rank counts of the Figure 12 sweep (mirrors rankscaling.FIG12_RANKS).
@@ -88,6 +96,25 @@ _DSE_SWEEP_SPEC = {
     },
 }
 
+#: The fixed sweep the ``dse-sweep-cold-batched`` leg times: 540 points
+#: spanning three geometry groups (the ``banks_per_rank`` axis) with
+#: 180 cost-knob variants each (3 ALU widths x 60 clocks), so the
+#: matrix pricer compiles three plans and prices 180 points from every
+#: one -- the regime batched pricing exists for (a real frontier sweep
+#: scans cost knobs densely; per-plan compile cost has to amortize to
+#: noise).
+_DSE_SWEEP_BATCHED_SPEC = {
+    "name": "selfbench-dse-batched",
+    "base": "bank",
+    "benchmarks": ["gemv"],
+    "num_ranks": 2,
+    "axes": {
+        "banks_per_rank": [16, 32, 64],
+        "pe_width_bits": [32, 64, 128],
+        "pe_freq_mhz": list(range(100, 400, 5)),
+    },
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class SelfBenchRun:
@@ -97,14 +124,21 @@ class SelfBenchRun:
     wall_s: float
     commands_simulated: int
     commands_per_s: float
+    #: Design points per wall second -- only the DSE sweep legs set it.
+    #: Serialized only when present, so non-sweep rows (and baselines
+    #: archived before it existed) keep their exact schema.
+    points_per_s: "float | None" = None
 
     def to_dict(self) -> "dict[str, object]":
-        return {
+        payload: "dict[str, object]" = {
             "run": self.run,
             "wall_s": self.wall_s,
             "commands_simulated": self.commands_simulated,
             "commands_per_s": self.commands_per_s,
         }
+        if self.points_per_s is not None:
+            payload["points_per_s"] = self.points_per_s
+        return payload
 
 
 def suite_command_count(suite: "SuiteResults") -> int:
@@ -166,14 +200,27 @@ def _run_figure12_cold(
     return _timed(name, commands, wall)
 
 
-def _run_dse_sweep_cold(jobs: "int | None") -> SelfBenchRun:
+def _run_dse_sweep_cold(
+    jobs: "int | None", batched: bool = False
+) -> SelfBenchRun:
     from repro.dse import SweepSpec, run_sweep
 
-    spec = SweepSpec.from_dict(_DSE_SWEEP_SPEC)
+    # The unbatched leg pins batched=False (not merely the env escape
+    # hatch) so its timing stays comparable with baselines archived
+    # before the matrix pricer existed.
+    raw = _DSE_SWEEP_BATCHED_SPEC if batched else _DSE_SWEEP_SPEC
+    spec = SweepSpec.from_dict(raw)
     start = time.perf_counter()
-    result = run_sweep(spec, jobs=jobs, use_cache=False, vector=True)
+    result = run_sweep(
+        spec, jobs=jobs, use_cache=False, vector=True, batched=batched,
+    )
     wall = time.perf_counter() - start
-    return _timed("dse-sweep-cold", result.total_commands(), wall)
+    name = "dse-sweep-cold-batched" if batched else "dse-sweep-cold"
+    timed = _timed(name, result.total_commands(), wall)
+    points = len(result.outcomes)
+    return dataclasses.replace(
+        timed, points_per_s=points / wall if wall > 0 else 0.0
+    )
 
 
 def run_selfbench(
@@ -203,6 +250,8 @@ def run_selfbench(
                 results.append(_run_figure12_cold(jobs, vector=True))
             elif name == "dse-sweep-cold":
                 results.append(_run_dse_sweep_cold(jobs))
+            elif name == "dse-sweep-cold-batched":
+                results.append(_run_dse_sweep_cold(jobs, batched=True))
     return results
 
 
@@ -411,7 +460,7 @@ def format_regression(
     for check in checks:
         verdict = "ok" if check.ok else "REGRESSED"
         lines.append(
-            f"  {check.run:<20s} {check.measured_cps:>14,.0f} cmds/s "
+            f"  {check.run:<22s} {check.measured_cps:>14,.0f} cmds/s "
             f"vs baseline {check.baseline_cps:>14,.0f} "
             f"({check.ratio:>5.2f}x)  {verdict}"
         )
@@ -421,12 +470,18 @@ def format_regression(
 def format_selfbench(results: "typing.Sequence[SelfBenchRun]") -> str:
     """Human-readable table of one selfbench pass."""
     lines = [
-        f"{'run':<20s} {'wall_s':>9s} {'commands':>12s} {'cmds/s':>12s}"
+        f"{'run':<22s} {'wall_s':>9s} {'commands':>12s} {'cmds/s':>12s} "
+        f"{'points/s':>9s}"
     ]
     for result in results:
+        points = (
+            f"{result.points_per_s:>9,.0f}"
+            if result.points_per_s is not None
+            else f"{'-':>9s}"
+        )
         lines.append(
-            f"{result.run:<20s} {result.wall_s:>9.4f} "
+            f"{result.run:<22s} {result.wall_s:>9.4f} "
             f"{result.commands_simulated:>12,d} "
-            f"{result.commands_per_s:>12,.0f}"
+            f"{result.commands_per_s:>12,.0f} {points}"
         )
     return "\n".join(lines)

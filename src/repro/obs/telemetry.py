@@ -88,6 +88,13 @@ class CellTelemetry:
     #: the op census exactly like scalar ones.  Defaulted so telemetry
     #: pickled by older cache entries reads back as scalar.
     vector: bool = False
+    #: Whether the cell's totals were synthesized by the sweep-level
+    #: matrix pricer (:mod:`repro.dse.batch`) from a shared pricing plan
+    #: rather than by running the benchmark.  Batched cells are always
+    #: ``vector=True``; per-cell fallbacks (functional, observed, fault
+    #: cells) report ``batched=False``.  Defaulted so older pickled
+    #: telemetry reads back as per-cell.
+    batched: bool = False
 
     def to_dict(self) -> "dict[str, object]":
         """JSON-friendly record (the run report's ``cells`` rows)."""
@@ -106,6 +113,7 @@ class CellTelemetry:
             "faults_injected": {name: n for name, n in self.faults_injected},
             "from_cache": self.from_cache,
             "vector": self.vector,
+            "batched": self.batched,
         }
 
     @property
@@ -118,30 +126,64 @@ class CellTelemetry:
         lookups = self.memo_lookups
         return self.memo_hits / lookups if lookups else 0.0
 
+    def contribute(self, scratch: MetricsRegistry) -> None:
+        """Add this cell's contribution to a registry in place.
+
+        The single code path for "what a cell contributes" whether it
+        ran serially, in a worker, or came from the cache; both
+        :meth:`as_metrics_snapshot` and the batched fold in
+        :func:`merge_cell_telemetry` route through it (via
+        :meth:`contribute_many`, which hoists the per-name registry
+        lookups out of the per-cell loop).
+        """
+        self.contribute_many(scratch, (self,))
+
+    @staticmethod
+    def contribute_many(
+        scratch: MetricsRegistry,
+        telemetries: "typing.Iterable[CellTelemetry]",
+    ) -> int:
+        """Fold many cells into a registry; returns how many folded.
+
+        Instrument objects are resolved once per call, not once per
+        cell -- a sweep merges thousands of records whose name set is
+        fixed.  Per-cell increment/observe order is unchanged, so the
+        folded snapshot is identical to chaining :meth:`contribute`.
+        """
+        cells = scratch.counter("telemetry.cells")
+        commands = scratch.counter("telemetry.commands_simulated")
+        memo_hits = scratch.counter("cost_memo.hits")
+        memo_misses = scratch.counter("cost_memo.misses")
+        rss = scratch.gauge("telemetry.peak_rss_kb")
+        wall = scratch.histogram("telemetry.cell_wall_s")
+        folded = 0
+        for telemetry in telemetries:
+            cells.inc()
+            commands.inc(telemetry.commands_simulated)
+            memo_hits.inc(telemetry.memo_hits)
+            memo_misses.inc(telemetry.memo_misses)
+            if telemetry.from_cache:
+                scratch.counter("telemetry.cells_from_cache").inc()
+            if telemetry.attempt > 1:
+                scratch.counter("telemetry.retry_attempts").inc(
+                    telemetry.attempt - 1
+                )
+            for name, count in telemetry.faults_injected:
+                scratch.counter(f"fault.{name}.injected").inc(count)
+            rss.set(telemetry.peak_rss_kb)
+            wall.observe(telemetry.wall_s)
+            folded += 1
+        return folded
+
     def as_metrics_snapshot(self) -> "dict[str, dict]":
         """This cell as a mergeable registry snapshot.
 
         Built through a scratch :class:`MetricsRegistry` so the bucket
         layout and record shapes are exactly the ones
-        :meth:`MetricsRegistry.merge` expects -- one code path for
-        "what a cell contributes" whether it ran serially, in a worker,
-        or came from the cache.
+        :meth:`MetricsRegistry.merge` expects.
         """
         scratch = MetricsRegistry()
-        scratch.counter("telemetry.cells").inc()
-        scratch.counter("telemetry.commands_simulated").inc(
-            self.commands_simulated
-        )
-        scratch.counter("cost_memo.hits").inc(self.memo_hits)
-        scratch.counter("cost_memo.misses").inc(self.memo_misses)
-        if self.from_cache:
-            scratch.counter("telemetry.cells_from_cache").inc()
-        if self.attempt > 1:
-            scratch.counter("telemetry.retry_attempts").inc(self.attempt - 1)
-        for name, count in self.faults_injected:
-            scratch.counter(f"fault.{name}.injected").inc(count)
-        scratch.gauge("telemetry.peak_rss_kb").set(self.peak_rss_kb)
-        scratch.histogram("telemetry.cell_wall_s").observe(self.wall_s)
+        self.contribute(scratch)
         return scratch.snapshot()
 
 
@@ -164,6 +206,7 @@ class TelemetryCapture:
         memo_shapes: int = 0,
         faults_injected: "tuple[tuple[str, int], ...] | None" = None,
         vector: bool = False,
+        batched: bool = False,
     ) -> CellTelemetry:
         return CellTelemetry(
             benchmark=benchmark,
@@ -179,6 +222,7 @@ class TelemetryCapture:
             memo_shapes=memo_shapes,
             faults_injected=tuple(faults_injected or ()),
             vector=vector,
+            batched=batched,
         )
 
 
@@ -215,11 +259,17 @@ def merge_cell_telemetry(
     with the outcomes in spec order, which makes the aggregation
     deterministic for any worker count.  ``log=True`` also appends each
     record to the process-wide :func:`telemetry_log`.
+
+    All records fold into one scratch registry (in the given order)
+    which merges into ``registry`` once -- one sorted-merge pass per
+    call instead of one per cell, with the same deterministic result
+    for any worker count.
     """
-    merged = 0
-    for telemetry in telemetries:
-        registry.merge(telemetry.as_metrics_snapshot())
-        if log:
-            record_cell_telemetry(telemetry)
-        merged += 1
+    scratch = MetricsRegistry()
+    if log:
+        telemetries = list(telemetries)
+        _TELEMETRY_LOG.extend(telemetries)
+    merged = CellTelemetry.contribute_many(scratch, telemetries)
+    if merged:
+        registry.merge(scratch.snapshot())
     return merged

@@ -1,0 +1,242 @@
+"""Pricing plans: the compile-once half of sweep-level batched pricing.
+
+A vectorized cell (docs/VECTORIZATION.md) splits into two phases with
+very different costs:
+
+* **compile** -- run the benchmark against the device to *build* the
+  shape histogram: every ``execute`` call still goes through Python, so
+  this costs roughly one scalar cell;
+* **price** -- evaluate the distinct shapes through the backend's cost
+  table and reconstruct the accumulator totals with numpy: microseconds.
+
+A design-space sweep (:mod:`repro.dse`) re-paid the compile phase for
+every point, even though the command trace -- which shapes are issued,
+how many times, in what order -- depends only on the benchmark
+parameters and the *geometry* of the device (bank/subarray/row/column
+counts, core scope), never on the cost-model knobs (ALU width and
+clock, walker count, per-op energy) that most sweep axes vary.  This
+module extracts the compile product into a :class:`PricingPlan`: a
+picklable, content-addressed record of the histogram and the
+accumulator-reconstruction metadata, keyed by benchmark + geometry
+signature so one compile serves every point in a geometry group.  The
+matrix pricer (:mod:`repro.dse.batch`) then re-prices the plan under
+each point's own cost table.
+
+The geometry signature is the canonical device config *minus* the
+cost-only :class:`~repro.config.device.PimArchParams` fields and minus
+the device-type identity (two parametric variants that differ only in
+ALU width share a trace; their device types differ).  Behavioral traits
+that select code paths -- core scope, bit-serial, analog -- stay in the
+signature, as does ``fulcrum_subarrays_per_core``, which feeds the
+device's core count.
+
+Plan-cache entries are stamped with :func:`repro.engine.version.
+plan_stamp` (this module + the vector engine + the matrix pricer), a
+digest deliberately separate from the per-cell ``vector_stamp()`` so a
+plan-layout change flushes plans and nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.base import ArchBackend
+    from repro.config.device import DeviceConfig
+    from repro.engine.cells import CellSpec
+
+#: Layout version of the pickled plan payload.
+PLAN_SCHEMA = 1
+
+#: PimArchParams fields that only affect command *pricing*, never which
+#: commands a benchmark issues: no benchmark, resource-manager, layout,
+#: or data-movement code reads them (they feed the perf/energy models
+#: exclusively), so two configs differing only here share one trace.
+#: ``fulcrum_subarrays_per_core`` is deliberately absent: it determines
+#: the device's core count, which shapes the trace.
+COST_ONLY_ARCH_FIELDS = (
+    "bitserial_num_registers",
+    "fulcrum_alu_bits",
+    "fulcrum_alu_freq_mhz",
+    "fulcrum_num_walkers",
+    "bank_alu_bits",
+    "bank_alu_freq_mhz",
+    "bank_num_walkers",
+)
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class PricingPlan:
+    """One compiled histogram, ready to re-price under any cost table.
+
+    The expanded (replay groups tiled in place) log columns of a
+    :class:`~repro.perf.vector.VectorStatsTracker` after one benchmark
+    run, plus everything outcome synthesis needs that does not depend on
+    the design point: the interned shape/bucket/kind tables, the
+    pre-priced copy and host logs (geometry-determined: data movement
+    prices off the DRAM spec, host energy off the host TDP -- both part
+    of the geometry signature), and the device-independent CPU/GPU
+    baseline numbers.
+    """
+
+    benchmark_key: str
+    benchmark_name: str
+    #: Representative CommandArgs per distinct shape, in shape order.
+    shape_args: "tuple[typing.Any, ...]"
+    bucket_names: "tuple[str, ...]"
+    kind_objs: "tuple[typing.Any, ...]"
+    literals: "tuple[tuple[float, float, float, tuple[float, ...]], ...]"
+    # Expanded command-log columns (int64, one entry per issue event).
+    cmd_shape: np.ndarray
+    cmd_bucket: np.ndarray
+    cmd_kind: np.ndarray
+    cmd_mult: np.ndarray
+    cmd_batch: np.ndarray
+    # Expanded, pre-priced copy log (point-independent within a group).
+    copy_dir: np.ndarray
+    copy_bytes: np.ndarray
+    copy_latency: np.ndarray
+    copy_energy: np.ndarray
+    # Expanded, pre-priced host log (point-independent within a group).
+    host_time: np.ndarray
+    host_energy: np.ndarray
+    # Device-independent roofline baselines (verbatim per point).
+    cpu_time_ns: float = 0.0
+    cpu_energy_nj: float = 0.0
+    gpu_time_ns: float = 0.0
+    gpu_energy_nj: float = 0.0
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.cmd_shape.size)
+
+    @property
+    def num_shapes(self) -> int:
+        return len(self.shape_args)
+
+
+def geometry_signature(config: "DeviceConfig") -> str:
+    """Digest of the trace-affecting subset of a device config.
+
+    Canonicalizes the full config the same way the per-cell cache key
+    does (:func:`repro.engine.cache._canonical`), then drops the
+    cost-only arch fields and replaces the device-type identity with its
+    behavioral traits.  Two configs with equal signatures issue
+    byte-identical command traces for any benchmark.
+    """
+    from repro.engine.cache import _canonical
+
+    material = _canonical(config)
+    arch = material.get("arch")
+    if isinstance(arch, dict):
+        for field in COST_ONLY_ARCH_FIELDS:
+            arch.pop(field, None)
+    device_type = config.device_type
+    material["device_type"] = {
+        "core_scope": device_type.core_scope,
+        "bit_serial": bool(device_type.is_bit_serial),
+        "analog": bool(device_type.is_analog),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def plan_cache_key(
+    backend: "ArchBackend",
+    spec: "CellSpec",
+    config: "DeviceConfig | None" = None,
+) -> str:
+    """Content hash identifying one pricing plan on disk.
+
+    Keyed by the *base* backend lineage (its sources govern shape
+    deduplication and trace generation; the derived point's knob digest
+    must NOT appear, or no two points would ever share a plan), the
+    benchmark and its merged params, the geometry signature, and
+    ``plan_stamp()``.  ``model_version`` of the base folds in the cache
+    schema, the common model sources, and the benchmark source, so any
+    edit that would invalidate a per-cell entry also invalidates the
+    plans built from the same code.
+    """
+    from repro.engine.cache import _canonical
+    from repro.engine.version import model_version, plan_stamp
+
+    base = getattr(backend, "base", backend)
+    bench = spec.make_benchmark()
+    if config is None:
+        config = backend.make_config(
+            spec.num_ranks, **dict(spec.geometry_overrides)
+        )
+    material = {
+        "plan_schema": PLAN_SCHEMA,
+        "plan_stamp": plan_stamp(),
+        "model_version": model_version(base.device_type, spec.benchmark_key),
+        "base": base.id,
+        "benchmark": spec.benchmark_key,
+        "params": _canonical(bench.params),
+        "geometry": geometry_signature(config),
+        "enforce_capacity": spec.enforce_capacity,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def compile_plan(
+    spec: "CellSpec",
+    backend: "ArchBackend",
+    config: "DeviceConfig | None" = None,
+) -> PricingPlan:
+    """Run one cell's benchmark in vector mode and extract its plan.
+
+    This is the sweep's once-per-geometry-group compile step: it costs
+    one vectorized cell (the Python issue loop runs), after which every
+    sibling point is priced from the returned plan without touching the
+    benchmark again.  The backend must be resolvable through the
+    registry while this runs (the energy model resolves ``arch_for``
+    lazily); :func:`repro.dse.sweep.run_sweep` calls it inside its
+    registration window.
+    """
+    from repro.baselines.cpu import CpuModel
+    from repro.baselines.gpu import GpuModel
+    from repro.core.device import PimDevice
+
+    if config is None:
+        config = backend.make_config(
+            spec.num_ranks, **dict(spec.geometry_overrides)
+        )
+    bench = spec.make_benchmark()
+    device = PimDevice(
+        config,
+        functional=False,
+        enforce_capacity=spec.enforce_capacity,
+        vector=True,
+    )
+    result = bench.run(device, CpuModel(), GpuModel())
+    state = device.stats.export_plan_state()
+    return PricingPlan(
+        benchmark_key=spec.benchmark_key,
+        benchmark_name=bench.name,
+        shape_args=state["shape_args"],
+        bucket_names=state["bucket_names"],
+        kind_objs=state["kind_objs"],
+        literals=state["literals"],
+        cmd_shape=state["cmd_shape"],
+        cmd_bucket=state["cmd_bucket"],
+        cmd_kind=state["cmd_kind"],
+        cmd_mult=state["cmd_mult"],
+        cmd_batch=state["cmd_batch"],
+        copy_dir=state["copy_dir"],
+        copy_bytes=state["copy_bytes"],
+        copy_latency=state["copy_latency"],
+        copy_energy=state["copy_energy"],
+        host_time=state["host_time"],
+        host_energy=state["host_energy"],
+        cpu_time_ns=result.cpu_time_ns,
+        cpu_energy_nj=result.cpu_energy_nj,
+        gpu_time_ns=result.gpu_time_ns,
+        gpu_energy_nj=result.gpu_energy_nj,
+    )

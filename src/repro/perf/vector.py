@@ -476,6 +476,12 @@ class VectorStatsTracker(StatsTracker):
         phase accounting) sees exactly what the scalar tracker would
         hold at the same point.
         """
+        if self._sealed:
+            # Sealed trackers dropped their logs; the stored totals are
+            # final.  (The state check below would conclude the same,
+            # but every aggregate property funnels through here -- the
+            # batched sweep synthesizes thousands of sealed trackers.)
+            return
         state = (
             len(self._cmd_log), len(self._copy_log),
             len(self._host_log), len(self._groups),
@@ -648,6 +654,93 @@ class VectorStatsTracker(StatsTracker):
     @property
     def sealed(self) -> bool:
         return self._sealed
+
+    # -- plan export / synthesis ---------------------------------------------
+
+    def export_plan_state(self) -> "dict[str, object]":
+        """Raw histogram state for :mod:`repro.perf.plans`.
+
+        Returns the *expanded* (replay groups tiled in place) log
+        columns plus the interned shape/bucket/kind tables -- everything
+        a :class:`~repro.perf.plans.PricingPlan` needs to re-price this
+        exact addend sequence under a different point's cost table.
+        Requires the logs, so it must be called before :meth:`seal`.
+        """
+        if self._sealed:
+            raise RuntimeError(
+                "cannot export a pricing plan from a sealed tracker: "
+                "the logs were dropped at seal time"
+            )
+        n = len(self._cmd_log)
+        raw = (
+            np.array(self._cmd_log, dtype=np.int64)
+            if n
+            else np.zeros((0, 5), dtype=np.int64)
+        )
+        cmd = raw[self._expand(n, "cmd")]
+        copy_order = self._expand(len(self._copy_log), "copy")
+        host_order = self._expand(len(self._host_log), "host")
+        return {
+            "shape_args": tuple(self._shape_args),
+            "bucket_names": tuple(self._bucket_names),
+            "kind_objs": tuple(self._kind_objs),
+            "literals": tuple(self._literals),
+            "cmd_shape": cmd[:, 0].copy(),
+            "cmd_bucket": cmd[:, 1].copy(),
+            "cmd_kind": cmd[:, 2].copy(),
+            "cmd_mult": cmd[:, 3].copy(),
+            "cmd_batch": cmd[:, 4].copy(),
+            "copy_dir": np.array(
+                [entry[0] for entry in self._copy_log], dtype=np.int64
+            )[copy_order],
+            "copy_bytes": np.array(
+                [entry[1] for entry in self._copy_log], dtype=np.int64
+            )[copy_order],
+            "copy_latency": np.array(
+                [entry[2] for entry in self._copy_log], dtype=np.float64
+            )[copy_order],
+            "copy_energy": np.array(
+                [entry[3] for entry in self._copy_log], dtype=np.float64
+            )[copy_order],
+            "host_time": np.array(
+                [entry[0] for entry in self._host_log], dtype=np.float64
+            )[host_order],
+            "host_energy": np.array(
+                [entry[1] for entry in self._host_log], dtype=np.float64
+            )[host_order],
+        }
+
+    @classmethod
+    def synthesize_sealed(
+        cls,
+        commands: "OrderedDict[str, CmdStats]",
+        op_counts: "dict[PimCmdKind, int]",
+        copies: "dict[str, CopyStats]",
+        background_energy_nj: float,
+        events: EventCounts,
+        host_time_ns: float,
+        host_energy_nj: float,
+    ) -> "VectorStatsTracker":
+        """A sealed tracker holding externally computed totals.
+
+        The batched sweep pricer (:mod:`repro.dse.batch`) rebuilds a
+        point's accumulator totals matrix-wise and wraps them in the
+        same sealed-tracker state :meth:`seal` leaves behind, so
+        synthesized cell outcomes pickle, disk-cache, and snapshot
+        exactly like per-cell vector outcomes.
+        """
+        tracker = cls()
+        tracker.commands = OrderedDict(commands)
+        tracker.op_counts = dict(op_counts)
+        for direction, attr in COPY_DIRECTIONS.items():
+            setattr(tracker, attr, copies.get(direction, CopyStats()))
+        tracker.background_energy_nj = background_energy_nj
+        tracker.events = events
+        tracker.host_time_ns = host_time_ns
+        tracker.host_energy_nj = host_energy_nj
+        tracker._sealed = True
+        tracker._finalized_at = (0, 0, 0, 0)
+        return tracker
 
     def reset(self) -> None:
         """Zero every accumulator and clear the logs (un-seals)."""

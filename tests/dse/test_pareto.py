@@ -1,6 +1,9 @@
 """Pareto extraction: domination, ties, and order preservation."""
 
+import random
+
 from repro.dse import ParetoPoint, dominates, pareto_frontier
+from repro.dse.pareto import _pairwise_frontier
 
 
 def _p(key, latency, energy, area):
@@ -48,3 +51,36 @@ class TestFrontier:
         assert pareto_frontier([]) == ()
         only = _p("solo", 1, 2, 3)
         assert pareto_frontier([only]) == (only,)
+
+
+class TestSweepMatchesPairwiseOracle:
+    """The O(n log n) staircase sweep against the retired O(n^2) scan.
+
+    Small coordinate alphabets force the hard cases -- equal objective
+    tuples, ties on one axis, staircase columns covering each other --
+    far more often than uniform floats would.
+    """
+
+    def _random_points(self, rng, count, alphabet):
+        return [
+            _p(
+                f"p{i}",
+                rng.choice(alphabet),
+                rng.choice(alphabet),
+                rng.choice(alphabet),
+            )
+            for i in range(count)
+        ]
+
+    def test_identical_tuple_for_random_inputs(self):
+        rng = random.Random(20260808)
+        for trial in range(200):
+            count = rng.randrange(0, 25)
+            alphabet = [1.0, 2.0, 3.0, 4.0] if trial % 2 else [1.0, 2.0]
+            points = self._random_points(rng, count, alphabet)
+            assert pareto_frontier(points) == _pairwise_frontier(points)
+
+    def test_all_duplicates_survive(self):
+        points = [_p(f"d{i}", 2.0, 2.0, 2.0) for i in range(5)]
+        assert pareto_frontier(points) == tuple(points)
+        assert _pairwise_frontier(points) == tuple(points)

@@ -61,6 +61,7 @@ class TestSelfBenchExecution:
         assert set(RUN_NAMES) == {
             "suite-cold", "suite-warm", "figure12-cold",
             "suite-cold-vector", "figure12-cold-vector", "dse-sweep-cold",
+            "dse-sweep-cold-batched",
         }
 
     def test_dse_sweep_cold_runs_end_to_end(self):
@@ -75,6 +76,20 @@ class TestSelfBenchExecution:
         # 1-command-per-cell benchmark and times nothing.
         assert result.commands_simulated > 10_000
         # The leg must not leak transient backends into the registry.
+        assert len(iter_backends()) == before
+
+    def test_dse_sweep_batched_leg_reports_points_rate(self):
+        from repro.arch import iter_backends
+
+        before = len(iter_backends())
+        (result,) = run_selfbench(runs=("dse-sweep-cold-batched",))
+        assert result.run == "dse-sweep-cold-batched"
+        assert result.wall_s > 0
+        assert result.commands_simulated > 10_000
+        # The batched leg's headline figure: design points per second.
+        assert result.points_per_s == pytest.approx(
+            540 / result.wall_s
+        )
         assert len(iter_backends()) == before
 
 

@@ -161,6 +161,25 @@ class TestCellTelemetry:
     def test_peak_rss_positive_on_posix(self):
         assert peak_rss_kb() > 0
 
+    def test_contribute_many_equals_chained_contribute(self):
+        """The hoisted-lookup fold must not change the snapshot a bit.
+
+        Mixed records (plain, cached, retried, faulted) so the lazily
+        resolved conditional counters fire mid-fold.
+        """
+        cells = [
+            _cell(),
+            _cell(from_cache=True, wall_s=0.1, peak_rss_kb=2000),
+            _cell(attempt=3, memo_hits=7, memo_misses=1),
+            _cell(faults_injected=(("bit_flip", 4),), commands_simulated=9),
+        ]
+        chained = MetricsRegistry()
+        for cell in cells:
+            cell.contribute(chained)
+        folded = MetricsRegistry()
+        assert CellTelemetry.contribute_many(folded, iter(cells)) == 4
+        assert folded.snapshot() == chained.snapshot()
+
 
 class TestTelemetryLog:
     def test_merge_folds_and_logs(self):

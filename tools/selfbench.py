@@ -3,7 +3,7 @@
 
 Thin wrapper over ``repro selfbench`` (see
 :mod:`repro.experiments.selfbench` for the run definitions and the JSON
-schema) that defaults the snapshot path to ``BENCH_PR9.json`` and the
+schema) that defaults the snapshot path to ``BENCH_PR10.json`` and the
 trend ledger to ``BENCH_HISTORY.jsonl`` at the repository root::
 
     PYTHONPATH=src python tools/selfbench.py            # all runs
@@ -11,7 +11,7 @@ trend ledger to ``BENCH_HISTORY.jsonl`` at the repository root::
     PYTHONPATH=src python tools/selfbench.py suite-cold \
         --check --baseline BENCH_PR5.json --tolerance 0.25
 
-Wall timings are machine-dependent; commit a refreshed BENCH_PR9.json
+Wall timings are machine-dependent; commit a refreshed BENCH_PR10.json
 only when measuring on comparable hardware.  The history ledger appends
 (one JSON line per pass, with an environment stamp), so re-runs add
 trend points instead of overwriting them.
@@ -33,7 +33,7 @@ if __name__ == "__main__":
     argv = sys.argv[1:]
     repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     if "--out" not in argv:
-        argv = argv + ["--out", os.path.join(repo_root, "BENCH_PR9.json")]
+        argv = argv + ["--out", os.path.join(repo_root, "BENCH_PR10.json")]
     if "--history" not in argv:
         argv = argv + [
             "--history", os.path.join(repo_root, "BENCH_HISTORY.jsonl")
